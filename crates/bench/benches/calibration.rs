@@ -1,0 +1,41 @@
+//! Off-line calibration cost: the full campaign per cluster, the clique
+//! (1-factorisation) round construction, and latency-model queries.
+
+use cbes_cluster::presets::{centurion, orange_grove};
+use cbes_cluster::NodeId;
+use cbes_netmodel::calibrate::{round_robin_rounds, Calibrator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibrate");
+    group.sample_size(10);
+    for (label, cluster) in [("orange-grove/28", orange_grove()), ("centurion/128", centurion())]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cluster, |b, cl| {
+            b.iter(|| black_box(Calibrator::default().calibrate(cl).measurements))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("clique_rounds");
+    for n in [28usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(round_robin_rounds(n).len()))
+        });
+    }
+    group.finish();
+
+    let cluster = centurion();
+    let model = Calibrator::default().calibrate(&cluster).model;
+    c.bench_function("model_query", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 127;
+            black_box(model.no_load(NodeId(i), NodeId(i + 1), 4096))
+        })
+    });
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Mapping-evaluation throughput — the paper's scheduler-overhead driver:
+//! "the higher the complexity [of an application's communication pattern],
+//! the longer it takes to evaluate a mapping" (§6.2). Measures single
+//! `predict_time` calls against profiles of growing message-group counts.
+
+use cbes_bench::harness::Testbed;
+use cbes_bench::zones::lu_zones;
+use cbes_core::eval::Evaluator;
+use cbes_core::mapping::Mapping;
+use cbes_workloads::{asci, npb};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_eval(c: &mut Criterion) {
+    let tb = Testbed::orange_grove(1);
+    let zones = lu_zones(&tb.cluster);
+    let pool = &zones[0].pool;
+    let mapping = Mapping::new(pool.clone());
+
+    let mut group = c.benchmark_group("predict_time");
+    for (name, w) in [
+        ("ep (trivial pattern)", npb::ep(8, npb::NpbClass::S)),
+        ("lu (neighbour pattern)", npb::lu(8, npb::NpbClass::S)),
+        ("aztec (halo + reductions)", asci::aztec(8)),
+        ("samrai (irregular all-to-all)", asci::samrai(8)),
+    ] {
+        let profile = tb.profile(&w, pool, 42);
+        let groups: usize = profile.procs.iter().map(|p| p.group_count()).sum();
+        let snap = tb.snapshot();
+        let ev = Evaluator::new(&profile, &snap);
+        group.bench_with_input(
+            BenchmarkId::new("groups", format!("{name} [{groups} groups]")),
+            &ev,
+            |b, ev| b.iter(|| black_box(ev.predict_time(black_box(&mapping)))),
+        );
+    }
+    group.finish();
+
+    // The NCS variant skips the communication term entirely.
+    let w = npb::lu(8, npb::NpbClass::S);
+    let profile = tb.profile(&w, pool, 42);
+    let snap = tb.snapshot();
+    let ev = Evaluator::new(&profile, &snap);
+    c.bench_function("compute_only_score (NCS energy)", |b| {
+        b.iter(|| black_box(ev.compute_only_score(black_box(&mapping))))
+    });
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

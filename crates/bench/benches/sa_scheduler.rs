@@ -1,0 +1,76 @@
+//! Scheduler wall time (the paper's "approximate scheduler time" column):
+//! a full CS simulated-annealing run as a function of annealing effort and
+//! candidate-pool size, plus the RS and greedy baselines for contrast.
+
+use cbes_bench::harness::Testbed;
+use cbes_bench::lu_exp::prepare_lu;
+use cbes_bench::zones::lu_zones;
+use cbes_sched::{
+    GreedyScheduler, RandomScheduler, SaConfig, SaScheduler, ScheduleRequest, Scheduler,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let tb = Testbed::orange_grove(1);
+    let zones = lu_zones(&tb.cluster);
+    let setup = prepare_lu(&tb, &zones);
+
+    let mut group = c.benchmark_group("cs_effort");
+    group.sample_size(10);
+    for iters in [500u32, 2_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            let cfg = SaConfig {
+                iters,
+                ..SaConfig::fast(7)
+            };
+            b.iter(|| {
+                let snap = tb.snapshot();
+                let req = ScheduleRequest::new(&setup.profile, &snap, &zones[1].pool);
+                black_box(SaScheduler::new(cfg).schedule(&req).unwrap().predicted_time)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pool_size");
+    group.sample_size(10);
+    for zone in &zones {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{} nodes", zone.pool.len())),
+            zone,
+            |b, zone| {
+                b.iter(|| {
+                    let snap = tb.snapshot();
+                    let req = ScheduleRequest::new(&setup.profile, &snap, &zone.pool);
+                    black_box(
+                        SaScheduler::new(SaConfig::fast(7))
+                            .schedule(&req)
+                            .unwrap()
+                            .predicted_time,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("rs_baseline", |b| {
+        let mut rs = RandomScheduler::new(3);
+        b.iter(|| {
+            let snap = tb.snapshot();
+            let req = ScheduleRequest::new(&setup.profile, &snap, &zones[1].pool);
+            black_box(rs.schedule(&req).unwrap().predicted_time)
+        })
+    });
+    c.bench_function("greedy_baseline", |b| {
+        b.iter(|| {
+            let snap = tb.snapshot();
+            let req = ScheduleRequest::new(&setup.profile, &snap, &zones[1].pool);
+            black_box(GreedyScheduler::new().schedule(&req).unwrap().predicted_time)
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Discrete-event simulator throughput: full "measured runs" of
+//! representative workloads, and the marginal cost of contention modelling
+//! and trace collection.
+
+use cbes_cluster::load::LoadState;
+use cbes_cluster::presets::{centurion, orange_grove};
+use cbes_cluster::NodeId;
+use cbes_mpisim::{simulate, SimConfig};
+use cbes_workloads::npb::{lu, NpbClass};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let og = orange_grove();
+    let cen = centurion();
+
+    let mut group = c.benchmark_group("lu_run");
+    group.sample_size(10);
+    for (label, cluster, ranks) in [
+        ("orange-grove/8", &og, 8usize),
+        ("centurion/32", &cen, 32),
+        ("centurion/64", &cen, 64),
+    ] {
+        let w = lu(ranks, NpbClass::S);
+        let ops = w.program.total_ops();
+        let mapping: Vec<NodeId> = (0..ranks as u32).map(NodeId).collect();
+        let load = LoadState::idle(cluster.len());
+        let cfg = SimConfig {
+            collect_trace: false,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label} [{ops} ops]")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        simulate(cluster, &w.program, &mapping, &load, &cfg)
+                            .unwrap()
+                            .wall_time,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Feature cost: contention and tracing.
+    let w = lu(8, NpbClass::S);
+    let mapping: Vec<NodeId> = (0..8).map(NodeId).collect();
+    let load = LoadState::idle(og.len());
+    let mut group = c.benchmark_group("sim_features");
+    for (label, contention, trace) in [
+        ("bare", false, false),
+        ("contention", true, false),
+        ("contention+trace", true, true),
+    ] {
+        let cfg = SimConfig {
+            contention,
+            collect_trace: trace,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(
+                    simulate(&og, &w.program, &mapping, &load, cfg)
+                        .unwrap()
+                        .wall_time,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Ablation: the calibrated latency model vs. topological ground truth.
+//!
+//! The paper's infrastructure trades a one-time noisy measurement campaign
+//! for an `O(N)`-maintainable latency picture. This ablation quantifies what
+//! the empirical model costs in prediction quality: the same profile and
+//! mappings are predicted against (a) the calibrated model and (b) the
+//! simulator's exact topological latencies, and both are compared to
+//! measured runs. It also shows calibration noise sensitivity.
+//!
+//! ```text
+//! cargo run --release -p cbes-bench --bin ablation_calibration [--full]
+//! ```
+
+use cbes_bench::harness::Testbed;
+use cbes_bench::zones::{lu_zones, sample_mappings};
+use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};
+use cbes_cluster::load::LoadState;
+use cbes_core::eval::Evaluator;
+use cbes_core::snapshot::SystemSnapshot;
+use cbes_netmodel::Calibrator;
+use cbes_trace::extract_profile;
+use cbes_workloads::npb::{lu, NpbClass};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mappings_n = args.reps(8, 25);
+    let tb = Testbed::orange_grove(args.seed);
+    let zones = lu_zones(&tb.cluster);
+    let idle = LoadState::idle(tb.cluster.len());
+    let w = lu(8, NpbClass::A);
+
+    println!(
+        "Ablation — calibrated model vs topological ground truth \
+         ({} mappings, LU class A)",
+        mappings_n
+    );
+
+    let mut t = Table::new(&[
+        "latency source",
+        "calib noise",
+        "mean |err| %",
+        "max |err| %",
+    ]);
+    let mut rows_json = Vec::new();
+    let mappings = sample_mappings(&zones[1].pool, 8, mappings_n, args.seed + 4);
+
+    // Measured times are the same for every variant.
+    let measured: Vec<f64> = mappings
+        .iter()
+        .enumerate()
+        .map(|(i, m)| tb.measure(&w, m, &idle, args.seed + 900 + i as u64))
+        .collect();
+
+    let eval_with = |label: &str, noise_label: &str, snap: &SystemSnapshot<'_>,
+                         profile: &cbes_trace::AppProfile,
+                         rows: &mut Vec<serde_json::Value>,
+                         table: &mut Table| {
+        let ev = Evaluator::new(profile, snap);
+        let errs: Vec<f64> = mappings
+            .iter()
+            .zip(&measured)
+            .map(|(m, &meas)| stats::pct_error(ev.predict_time(m), meas).abs())
+            .collect();
+        table.row(vec![
+            label.to_string(),
+            noise_label.to_string(),
+            format!("{:.2}", stats::mean(&errs)),
+            format!("{:.2}", stats::max(&errs)),
+        ]);
+        rows.push(serde_json::json!({
+            "source": label, "noise": noise_label,
+            "mean_err_pct": stats::mean(&errs), "max_err_pct": stats::max(&errs),
+        }));
+    };
+
+    // (a) Ground truth: profile and predict against the topology itself.
+    {
+        let run = cbes_mpisim::simulate(
+            &tb.cluster,
+            &w.program,
+            &zones[0].pool,
+            &idle,
+            &cbes_mpisim::SimConfig::default().with_seed(0x1111),
+        )
+        .expect("profiling run");
+        let profile = extract_profile(&w.name, &run.trace, &tb.cluster, &zones[0].pool, &tb.cluster);
+        let snap = SystemSnapshot::no_load(&tb.cluster, &tb.cluster);
+        eval_with("topology (exact)", "-", &snap, &profile, &mut rows_json, &mut t);
+    }
+
+    // (b) Calibrated models at increasing measurement noise.
+    for noise in [0.01, 0.05, 0.15] {
+        let cal = Calibrator {
+            noise,
+            ..Calibrator::default()
+        }
+        .with_seed(args.seed + (noise * 1000.0) as u64);
+        let outcome = cal.calibrate(&tb.cluster);
+        let run = cbes_mpisim::simulate(
+            &tb.cluster,
+            &w.program,
+            &zones[0].pool,
+            &idle,
+            &cbes_mpisim::SimConfig::default().with_seed(0x1111),
+        )
+        .expect("profiling run");
+        let profile =
+            extract_profile(&w.name, &run.trace, &tb.cluster, &zones[0].pool, &outcome.model);
+        let snap = SystemSnapshot::no_load(&tb.cluster, &outcome.model);
+        eval_with(
+            "calibrated model",
+            &format!("{:.0}%", noise * 100.0),
+            &snap,
+            &profile,
+            &mut rows_json,
+            &mut t,
+        );
+    }
+
+    t.print("Calibration ablation: prediction error by latency source");
+    println!(
+        "expected: the default 1% calibration campaign is indistinguishable \
+         from exact topology\nknowledge; prediction quality only degrades \
+         once per-measurement noise grows to ~15%."
+    );
+    save_json("ablation_calibration", &serde_json::json!({ "rows": rows_json }));
+}

@@ -1,0 +1,76 @@
+//! Ablation: the simulated-annealing neighbourhood. Rank-swap moves
+//! rearrange which process sits where (communication matching); node-replace
+//! moves change the node set itself (speed matching). The mixed
+//! neighbourhood should dominate either pure strategy.
+//!
+//! ```text
+//! cargo run --release -p cbes-bench --bin ablation_moves [--full]
+//! ```
+
+use cbes_bench::harness::Testbed;
+use cbes_bench::lu_exp::prepare_lu;
+use cbes_bench::zones::lu_zones;
+use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};
+use cbes_sched::{SaConfig, SaScheduler, ScheduleRequest, Scheduler};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let runs = args.reps(20, 60);
+    let tb = Testbed::orange_grove(args.seed);
+    let zones = lu_zones(&tb.cluster);
+    let setup = prepare_lu(&tb, &zones);
+    let pool = &zones[1].pool; // medium group: both speed and topology matter
+
+    println!(
+        "Ablation — SA neighbourhood mix on the LU(2) case ({} runs per \
+         configuration)",
+        runs
+    );
+
+    let mut t = Table::new(&[
+        "neighbourhood",
+        "mean predicted (s)",
+        "best predicted (s)",
+        "stddev",
+    ]);
+    let mut rows_json = Vec::new();
+    for (name, swap_prob) in [
+        ("replace only (p_swap = 0)", 0.0),
+        ("mixed (p_swap = 0.5)", 0.5),
+        ("swap only (p_swap = 1)", 1.0),
+    ] {
+        let preds: Vec<f64> = (0..runs)
+            .map(|i| {
+                let mut cfg = SaConfig::fast(args.seed + i as u64 * 7919);
+                cfg.swap_prob = swap_prob;
+                let snap = tb.snapshot();
+                let req = ScheduleRequest::new(&setup.profile, &snap, pool);
+                SaScheduler::new(cfg)
+                    .schedule(&req)
+                    .expect("valid request")
+                    .predicted_time
+            })
+            .collect();
+        t.row(vec![
+            name.to_string(),
+            format!("{:.4}", stats::mean(&preds)),
+            format!("{:.4}", stats::min(&preds)),
+            format!("{:.4}", stats::stddev(&preds)),
+        ]);
+        rows_json.push(serde_json::json!({
+            "neighbourhood": name, "swap_prob": swap_prob,
+            "mean": stats::mean(&preds), "best": stats::min(&preds),
+            "stddev": stats::stddev(&preds),
+        }));
+    }
+    t.print("SA neighbourhood ablation (LU(2), medium speed group)");
+    println!(
+        "note: a pure-swap neighbourhood freezes the node *set* at the random \
+         initial choice,\nso speed matching fails. Pure-replace is a complete \
+         neighbourhood (any assignment is\nreachable through the spare pool) \
+         and performs on par with the mix; swaps act as a\nshortcut that \
+         reshuffles communication structure in one step."
+    );
+
+    save_json("ablation_moves", &serde_json::json!({ "rows": rows_json }));
+}

@@ -1,0 +1,71 @@
+//! Figure 6: LU on 8 Orange Grove nodes — measured execution-time ranges of
+//! representative mappings, showing three distinct speed zones.
+//!
+//! ```text
+//! cargo run --release -p cbes-bench --bin fig6_lu_zones [--full] [--runs N]
+//! ```
+
+use cbes_bench::harness::Testbed;
+use cbes_bench::lu_exp::{measure_all, prepare_lu};
+use cbes_bench::zones::{lu_zones, sample_mappings};
+use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    // The paper samples ~100 representative mappings across the zones.
+    let per_zone = args.reps(20, 34);
+    let tb = Testbed::orange_grove(args.seed);
+    let zones = lu_zones(&tb.cluster);
+    let setup = prepare_lu(&tb, &zones);
+
+    println!(
+        "Figure 6 — LU on 8 Orange Grove nodes: measured execution time ranges\n\
+         ({} representative mappings per zone, workload {})",
+        per_zone, setup.workload.name
+    );
+
+    let mut t = Table::new(&["architecture mix", "min (s)", "mean (s)", "max (s)", "range %"]);
+    let mut all_times: Vec<f64> = Vec::new();
+    let mut zone_json = Vec::new();
+    for zone in &zones {
+        let mappings = sample_mappings(&zone.pool, 8, per_zone, args.seed + zone.id as u64);
+        let times = measure_all(&tb, &setup.workload, &mappings, args.seed);
+        let (lo, hi, mu) = (stats::min(&times), stats::max(&times), stats::mean(&times));
+        t.row(vec![
+            zone.name.to_string(),
+            format!("{lo:.3}"),
+            format!("{mu:.3}"),
+            format!("{hi:.3}"),
+            format!("{:.1}", (hi / lo - 1.0) * 100.0),
+        ]);
+        zone_json.push(serde_json::json!({
+            "zone": zone.name, "min": lo, "mean": mu, "max": hi, "samples": times,
+        }));
+        all_times.extend(times);
+    }
+    t.print("LU execution time zones (paper figure 6)");
+
+    let best = stats::min(&all_times);
+    let worst = stats::max(&all_times);
+    let avg = stats::mean(&all_times);
+    println!(
+        "overall: best {:.3} s, worst {:.3} s, average {:.3} s\n\
+         max speedup vs a random scheduler over the full space: {:.1}% \
+         (paper: 36.6%)\n\
+         best vs overall-average speedup: {:.1}% (paper: ~30%)",
+        best,
+        worst,
+        avg,
+        stats::speedup_pct(worst, best),
+        stats::speedup_pct(avg, best),
+    );
+
+    save_json(
+        "fig6_lu_zones",
+        &serde_json::json!({
+            "zones": zone_json,
+            "overall": {"best": best, "worst": worst, "mean": avg,
+                         "max_speedup_vs_rs_pct": stats::speedup_pct(worst, best)},
+        }),
+    );
+}

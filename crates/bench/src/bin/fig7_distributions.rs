@@ -1,0 +1,71 @@
+//! Figure 7: distributions of predicted execution times for the mappings
+//! selected by CS and by NCS on the LU(3) (low-speed group) case — showing
+//! CS results skewed towards the minimum-time mappings and NCS towards the
+//! worst.
+//!
+//! ```text
+//! cargo run --release -p cbes-bench --bin fig7_distributions [--full]
+//! ```
+
+use cbes_bench::harness::Testbed;
+use cbes_bench::lu_exp::{prepare_lu, run_scheduler, Driver};
+use cbes_bench::zones::lu_zones;
+use cbes_bench::{args::ExpArgs, save_json, stats};
+
+fn ascii_hist(label: &str, xs: &[f64], lo: f64, hi: f64, bins: usize) {
+    let (counts, width) = stats::histogram(xs, lo, hi, bins);
+    let maxc = counts.iter().copied().max().unwrap_or(1).max(1);
+    println!("\n{label} (n = {}):", xs.len());
+    for (i, &c) in counts.iter().enumerate() {
+        let from = lo + i as f64 * width;
+        let bar = "#".repeat(c * 50 / maxc);
+        println!("  {from:8.3}s | {bar} {c}");
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let runs = args.reps(40, 100);
+    let tb = Testbed::orange_grove(args.seed);
+    let zones = lu_zones(&tb.cluster);
+    let setup = prepare_lu(&tb, &zones);
+    let low = &zones[2];
+
+    println!(
+        "Figure 7 — predicted time distributions for the LU(3) case\n\
+         ({} runs per scheduler over '{}')",
+        runs, low.name
+    );
+
+    let cs = run_scheduler(
+        &tb, &setup.profile, &setup.workload, &low.pool, Driver::Cs, runs, args.seed,
+    );
+    let ncs = run_scheduler(
+        &tb, &setup.profile, &setup.workload, &low.pool, Driver::Ncs, runs,
+        args.seed + 1000,
+    );
+    let cs_pred: Vec<f64> = cs.iter().map(|o| o.predicted).collect();
+    let ncs_pred: Vec<f64> = ncs.iter().map(|o| o.predicted).collect();
+
+    let lo = stats::min(&cs_pred).min(stats::min(&ncs_pred));
+    let hi = stats::max(&cs_pred).max(stats::max(&ncs_pred));
+    let span = (hi - lo).max(1e-9);
+    let (lo, hi) = (lo - 0.02 * span, hi + 0.02 * span);
+    ascii_hist("CS predicted times", &cs_pred, lo, hi, 14);
+    ascii_hist("NCS predicted times (normalised)", &ncs_pred, lo, hi, 14);
+
+    println!(
+        "\nCS mean {:.3}s vs NCS mean {:.3}s — CS skews to the fast end \
+         (paper figure 7 shape)",
+        stats::mean(&cs_pred),
+        stats::mean(&ncs_pred)
+    );
+
+    save_json(
+        "fig7_distributions",
+        &serde_json::json!({
+            "cs_predicted": cs_pred,
+            "ncs_predicted": ncs_pred,
+        }),
+    );
+}

@@ -1,0 +1,76 @@
+//! Run every experiment binary in sequence, writing logs to
+//! `results/logs/` and finishing with the collected `results/REPORT.md`.
+//!
+//! ```text
+//! cargo run --release -p cbes-bench --bin run_all [-- --full]
+//! ```
+//!
+//! Flags after `--` are forwarded to every experiment.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "e10_latency_spread",
+    "phase1_sweep",
+    "fig5_prediction_error",
+    "phase3_load_sensitivity",
+    "fig6_lu_zones",
+    "table1_lu_worst_best",
+    "table2_lu_average",
+    "fig7_distributions",
+    "table3_other_worst_best",
+    "table4_other_average",
+    "ablation_lambda",
+    "ablation_forecast",
+    "ablation_moves",
+    "ablation_sched",
+    "ablation_calibration",
+    "ext_irregular",
+];
+
+fn main() {
+    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe directory")
+        .to_path_buf();
+    std::fs::create_dir_all("results/logs").expect("create results/logs");
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        print!("running {name} ... ");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        let started = std::time::Instant::now();
+        let output = Command::new(exe_dir.join(name))
+            .args(&forward)
+            .output()
+            .unwrap_or_else(|e| panic!("cannot spawn {name}: {e} (build with `cargo build --release -p cbes-bench` first)"));
+        let log = format!(
+            "{}{}",
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        std::fs::write(format!("results/logs/{name}.txt"), &log).expect("write log");
+        if output.status.success() {
+            println!("ok ({:.1}s)", started.elapsed().as_secs_f64());
+        } else {
+            println!("FAILED ({})", output.status);
+            failures.push(*name);
+        }
+    }
+
+    let report = Command::new(exe_dir.join("make_report"))
+        .status()
+        .expect("run make_report");
+    if !report.success() {
+        failures.push("make_report");
+    }
+    if failures.is_empty() {
+        println!("all {} experiments complete; see results/REPORT.md", EXPERIMENTS.len());
+    } else {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Table 1: LU worst-case vs. best-case scenario per node group.
+//!
+//! For each zone the NCS baseline cannot distinguish mappings (all nodes in
+//! a zone are compute-equivalent), so the worst time over its selections
+//! approaches the zone's worst mapping; CS consistently selects the
+//! fastest. The speedup column is `(worst − best) / worst`.
+//!
+//! ```text
+//! cargo run --release -p cbes-bench --bin table1_lu_worst_best [--full]
+//! ```
+
+use cbes_bench::harness::Testbed;
+use cbes_bench::lu_exp::{mean_sched_secs, prepare_lu, run_scheduler, Driver};
+use cbes_bench::zones::lu_zones;
+use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let runs = args.reps(15, 50);
+    let tb = Testbed::orange_grove(args.seed);
+    let zones = lu_zones(&tb.cluster);
+    let setup = prepare_lu(&tb, &zones);
+
+    println!(
+        "Table 1 — LU worst vs best case ({} scheduler runs per zone, {})",
+        runs, setup.workload.name
+    );
+
+    let mut t = Table::new(&[
+        "test case",
+        "worst (meas, s)",
+        "best (meas, s)",
+        "speedup %",
+        "sched time (s)",
+        "comments",
+    ]);
+    let mut rows_json = Vec::new();
+    let mut global_best = f64::INFINITY;
+    let mut global_worst: f64 = 0.0;
+    for zone in &zones {
+        let ncs = run_scheduler(
+            &tb, &setup.profile, &setup.workload, &zone.pool, Driver::Ncs, runs, args.seed,
+        );
+        let cs = run_scheduler(
+            &tb, &setup.profile, &setup.workload, &zone.pool, Driver::Cs, runs,
+            args.seed + 1000,
+        );
+        let worst = stats::max(&ncs.iter().map(|o| o.measured).collect::<Vec<_>>());
+        let best = stats::min(&cs.iter().map(|o| o.measured).collect::<Vec<_>>());
+        global_best = global_best.min(best);
+        global_worst = global_worst.max(worst);
+        let sp = stats::speedup_pct(worst, best);
+        t.row(vec![
+            format!("LU ({})", zone.id),
+            format!("{worst:.3}"),
+            format!("{best:.3}"),
+            format!("{sp:.1}"),
+            format!("{:.4}", mean_sched_secs(&cs)),
+            zone.name.to_string(),
+        ]);
+        rows_json.push(serde_json::json!({
+            "case": format!("LU ({})", zone.id), "worst": worst, "best": best,
+            "speedup_pct": sp, "sched_time_s": mean_sched_secs(&cs),
+        }));
+    }
+    t.print("LU: worst vs best case scenario (paper table 1)");
+    println!(
+        "max potential speedup vs RS over all zones: {:.1}% (paper: 36.6%)\n\
+         paper's per-zone speedups for reference: 5.3 / 9.3 / 6.0 %",
+        stats::speedup_pct(global_worst, global_best)
+    );
+
+    save_json(
+        "table1_lu_worst_best",
+        &serde_json::json!({
+            "rows": rows_json,
+            "vs_rs_speedup_pct": stats::speedup_pct(global_worst, global_best),
+        }),
+    );
+}

@@ -1,0 +1,83 @@
+//! Table 3: worst vs. best case for the remaining programs — HPL (three
+//! problem sizes), sweep3d, smg2000 (three sizes), SAMRAI, Towhee and Aztec
+//! — on a homogeneous node subset (all Intel nodes), isolating the effect
+//! of communication. Four cases are expected to show "uncertain speedup":
+//! sweep3d and SAMRAI (near-all-to-all patterns), Towhee (embarrassingly
+//! parallel), and HPL(1) (too short).
+//!
+//! ```text
+//! cargo run --release -p cbes-bench --bin table3_other_worst_best [--full]
+//! ```
+
+use cbes_bench::harness::Testbed;
+use cbes_bench::lu_exp::{mean_sched_secs, run_scheduler, Driver};
+use cbes_bench::zones::homogeneous_pool;
+use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};
+use cbes_workloads::{asci, hpl, Workload};
+
+fn cases() -> Vec<(Workload, &'static str)> {
+    vec![
+        (hpl::hpl(8, 500), "500 problem size (uncertain speedup)"),
+        (hpl::hpl(8, 5_000), "5,000 problem size"),
+        (hpl::hpl(8, 10_000), "10,000 problem size"),
+        (asci::sweep3d(8), "uncertain speedup (near all-to-all)"),
+        (asci::smg2000(8, 12), "12x12x12 problem size"),
+        (asci::smg2000(8, 50), "50x50x50 problem size"),
+        (asci::smg2000(8, 60), "60x60x60 problem size"),
+        (asci::samrai(8), "uncertain speedup (irregular all-to-all)"),
+        (asci::towhee(8), "uncertain speedup (embarrassingly parallel)"),
+        (asci::aztec(8), "Poisson solver"),
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let runs = args.reps(12, 40);
+    let tb = Testbed::orange_grove(args.seed);
+    let pool = homogeneous_pool(&tb.cluster);
+
+    println!(
+        "Table 3 — other programs, worst vs best case on the homogeneous \
+         SPARC pool ({} nodes, {} scheduler runs per case)",
+        pool.len(),
+        runs
+    );
+
+    let mut t = Table::new(&[
+        "test case",
+        "worst (s)",
+        "best (s)",
+        "speedup %",
+        "sched time (s)",
+        "comments",
+    ]);
+    let mut rows_json = Vec::new();
+    for (w, comment) in cases() {
+        // Profile on the first 8 Intel nodes.
+        let profile = tb.profile(&w, &pool[..w.num_ranks()], args.seed + 7);
+        let ncs = run_scheduler(&tb, &profile, &w, &pool, Driver::Ncs, runs, args.seed);
+        let cs = run_scheduler(&tb, &profile, &w, &pool, Driver::Cs, runs, args.seed + 500);
+        let worst = stats::max(&ncs.iter().map(|o| o.measured).collect::<Vec<_>>());
+        let best = stats::min(&cs.iter().map(|o| o.measured).collect::<Vec<_>>());
+        let sp = stats::speedup_pct(worst, best);
+        t.row(vec![
+            w.name.clone(),
+            format!("{worst:.3}"),
+            format!("{best:.3}"),
+            format!("{sp:.1}"),
+            format!("{:.4}", mean_sched_secs(&cs)),
+            comment.to_string(),
+        ]);
+        rows_json.push(serde_json::json!({
+            "case": w.name, "worst": worst, "best": best, "speedup_pct": sp,
+            "sched_time_s": mean_sched_secs(&cs), "comment": comment,
+        }));
+    }
+    t.print("Other tests: worst vs best case scenario (paper table 3)");
+    println!(
+        "paper reference: speedups 5.6–10.8% for the schedulable cases;\n\
+         sweep3d, SAMRAI, Towhee and HPL(500) show uncertain speedup"
+    );
+
+    save_json("table3_other_worst_best", &serde_json::json!({ "rows": rows_json }));
+}

@@ -1,0 +1,93 @@
+//! Table 4: average-case scenario for the schedulable table-3 programs —
+//! HPL(5000), HPL(10000), smg2000 (three sizes) and Aztec. 100 CS and 100
+//! NCS runs per case (scaled down by default); hit rates and expected /
+//! measured / maximum speedups.
+//!
+//! ```text
+//! cargo run --release -p cbes-bench --bin table4_other_average [--full]
+//! ```
+
+use cbes_bench::harness::Testbed;
+use cbes_bench::lu_exp::{hit_rate, run_scheduler, Driver};
+use cbes_bench::zones::homogeneous_pool;
+use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};
+use cbes_workloads::{asci, hpl, Workload};
+
+fn cases() -> Vec<Workload> {
+    vec![
+        hpl::hpl(8, 5_000),
+        hpl::hpl(8, 10_000),
+        asci::smg2000(8, 12),
+        asci::smg2000(8, 50),
+        asci::smg2000(8, 60),
+        asci::aztec(8),
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let runs = args.reps(25, 100);
+    let tb = Testbed::orange_grove(args.seed);
+    let pool = homogeneous_pool(&tb.cluster);
+
+    println!(
+        "Table 4 — other programs, average case on the homogeneous SPARC \
+         pool ({} CS + {} NCS runs per case)",
+        runs, runs
+    );
+
+    let mut t = Table::new(&[
+        "test case",
+        "NCS pred (s)",
+        "NCS hits %",
+        "NCS meas (s)",
+        "CS pred (s)",
+        "CS hits %",
+        "CS meas (s)",
+        "exp sp %",
+        "meas sp %",
+        "max sp %",
+    ]);
+    let mut rows_json = Vec::new();
+    for w in cases() {
+        let profile = tb.profile(&w, &pool[..w.num_ranks()], args.seed + 7);
+        let ncs = run_scheduler(&tb, &profile, &w, &pool, Driver::Ncs, runs, args.seed);
+        let cs = run_scheduler(&tb, &profile, &w, &pool, Driver::Cs, runs, args.seed + 500);
+        let ncs_pred: Vec<f64> = ncs.iter().map(|o| o.predicted).collect();
+        let ncs_meas: Vec<f64> = ncs.iter().map(|o| o.measured).collect();
+        let cs_pred: Vec<f64> = cs.iter().map(|o| o.predicted).collect();
+        let cs_meas: Vec<f64> = cs.iter().map(|o| o.measured).collect();
+        let best_pred = stats::min(&cs_pred).min(stats::min(&ncs_pred));
+        let best = stats::min(&cs_meas).min(stats::min(&ncs_meas));
+        let worst = stats::max(&ncs_meas).max(stats::max(&cs_meas));
+        let expected = stats::speedup_pct(stats::mean(&ncs_pred), stats::mean(&cs_pred));
+        let measured = stats::speedup_pct(stats::mean(&ncs_meas), stats::mean(&cs_meas));
+        let max_sp = stats::speedup_pct(worst, best);
+        t.row(vec![
+            w.name.clone(),
+            format!("{:.3}", stats::mean(&ncs_pred)),
+            format!("{:.0}", hit_rate(&ncs, best_pred, 0.005)),
+            format!("{:.3}", stats::mean(&ncs_meas)),
+            format!("{:.3}", stats::mean(&cs_pred)),
+            format!("{:.0}", hit_rate(&cs, best_pred, 0.005)),
+            format!("{:.3}", stats::mean(&cs_meas)),
+            format!("{expected:.1}"),
+            format!("{measured:.1}"),
+            format!("{max_sp:.1}"),
+        ]);
+        rows_json.push(serde_json::json!({
+            "case": w.name,
+            "ncs": {"pred": stats::mean(&ncs_pred), "meas": stats::mean(&ncs_meas),
+                     "hits_pct": hit_rate(&ncs, best_pred, 0.005)},
+            "cs": {"pred": stats::mean(&cs_pred), "meas": stats::mean(&cs_meas),
+                    "hits_pct": hit_rate(&cs, best_pred, 0.005)},
+            "expected_speedup_pct": expected,
+            "measured_speedup_pct": measured,
+            "max_speedup_pct": max_sp,
+        }));
+    }
+    t.print("Other tests: average case scenario (paper table 4)");
+    println!("paper reference: average speedups 5.2–10.3%, CS hit rates 85–98%");
+
+    save_json("table4_other_average", &serde_json::json!({ "rows": rows_json }));
+}

@@ -1,0 +1,141 @@
+//! Summary statistics used by the experiment reports.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Half-width of the 95 % confidence interval for the mean, using Student's
+/// t for small samples (the paper reports 95 % CIs on 5-run means).
+pub fn ci95(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    t95(n - 1) * stddev(xs) / (n as f64).sqrt()
+}
+
+/// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
+fn t95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Signed percent error of `predicted` against `actual`.
+pub fn pct_error(predicted: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        0.0
+    } else {
+        (predicted - actual) / actual * 100.0
+    }
+}
+
+/// Percent speedup of `best` over `worst` (paper convention:
+/// `(worst - best) / worst × 100`).
+pub fn speedup_pct(worst: f64, best: f64) -> f64 {
+    if worst == 0.0 {
+        0.0
+    } else {
+        (worst - best) / worst * 100.0
+    }
+}
+
+/// Minimum of a slice (∞ for empty).
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a slice (-∞ for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Histogram of `xs` over `bins` equal-width buckets spanning [lo, hi].
+/// Returns (bucket counts, bucket width).
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> (Vec<usize>, f64) {
+    assert!(bins > 0 && hi > lo);
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &x in xs {
+        if x < lo || x > hi {
+            continue;
+        }
+        let mut b = ((x - lo) / width) as usize;
+        if b >= bins {
+            b = bins - 1;
+        }
+        counts[b] += 1;
+    }
+    (counts, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.13809).abs() < 1e-4);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ci95_uses_t_distribution_for_small_n() {
+        // 5 samples with stddev 1.0: CI = 2.776 / sqrt(5).
+        let xs = [
+            -1.26490646, -0.63245323, 0.0, 0.63245323, 1.26490646, // stddev = 1
+        ];
+        let ci = ci95(&xs);
+        assert!((ci - 2.776 / 5f64.sqrt()).abs() < 1e-4, "ci={ci}");
+    }
+
+    #[test]
+    fn errors_and_speedups() {
+        assert!((pct_error(104.0, 100.0) - 4.0).abs() < 1e-12);
+        assert!((pct_error(96.0, 100.0) + 4.0).abs() < 1e-12);
+        assert!((speedup_pct(260.4, 236.2) - 9.2933).abs() < 1e-3);
+        assert_eq!(speedup_pct(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let xs = [0.1, 0.2, 0.5, 0.9, 1.0];
+        let (counts, w) = histogram(&xs, 0.0, 1.0, 4);
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        assert!((w - 0.25).abs() < 1e-12);
+        assert_eq!(counts[3], 2); // 0.9 and 1.0
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(max(&xs), 3.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The Orange Grove node groups the LU experiments sample (paper §6.1), and
+//! the homogeneous pool used by the table 3/4 programs.
+
+use cbes_cluster::{Architecture, Cluster, NodeId};
+use cbes_core::mapping::Mapping;
+use cbes_sched::moves::SearchState;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named candidate-node pool ("node group" in the paper).
+#[derive(Debug, Clone)]
+pub struct Zone {
+    /// Paper-style label, e.g. `"high speed node group (A)"`.
+    pub name: &'static str,
+    /// Short id used in case names: `LU (1)`, `LU (2)`, `LU (3)`.
+    pub id: usize,
+    /// Candidate nodes.
+    pub pool: Vec<NodeId>,
+}
+
+/// The three LU node groups (figure 6): pools constructed so any 8-node
+/// mapping drawn from them lands in the corresponding speed zone.
+///
+/// * high — the 8 Alphas;
+/// * medium — 4 Alphas + all 12 Intels (at least four Intel nodes in every
+///   8-node mapping, so the zone's bottleneck speed is the Intel's);
+/// * low — 2 Alphas + 2 Intels + all 8 SPARCs (at least four SPARC nodes in
+///   every mapping).
+pub fn lu_zones(cluster: &Cluster) -> [Zone; 3] {
+    let a = cluster.nodes_by_arch(Architecture::Alpha);
+    let i = cluster.nodes_by_arch(Architecture::IntelPII);
+    let s = cluster.nodes_by_arch(Architecture::Sparc);
+    assert!(a.len() >= 8 && i.len() >= 12 && s.len() >= 8, "orange grove expected");
+    let mut medium = a[..4].to_vec();
+    medium.extend_from_slice(&i);
+    let mut low = a[..2].to_vec();
+    low.extend_from_slice(&i[..2]);
+    low.extend_from_slice(&s);
+    [
+        Zone {
+            name: "high speed node group (A)",
+            id: 1,
+            pool: a,
+        },
+        Zone {
+            name: "medium speed node group (A+I)",
+            id: 2,
+            pool: medium,
+        },
+        Zone {
+            name: "low speed node group (A+I+S)",
+            id: 3,
+            pool: low,
+        },
+    ]
+}
+
+/// The homogeneous pool for the table 3/4 programs: the 8 SPARC nodes.
+/// Homogeneous in compute speed AND in switch hardware (two identical
+/// DLink switches, four nodes each), so every mapping has the same
+/// computation cost and scheduling can only exploit the communication
+/// term — the paper's "level the field" setup. With exactly eight nodes
+/// for eight processes, the search space is the pure permutation space of
+/// rank-to-node arrangements.
+pub fn homogeneous_pool(cluster: &Cluster) -> Vec<NodeId> {
+    cluster.nodes_by_arch(Architecture::Sparc)
+}
+
+/// `count` random injective `n`-node mappings drawn from `pool`
+/// (the "representative mapping" sampling of figure 6).
+pub fn sample_mappings(pool: &[NodeId], n: usize, count: usize, seed: u64) -> Vec<Mapping> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| SearchState::random(pool, n, &mut rng).mapping())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::presets::orange_grove;
+
+    #[test]
+    fn zones_have_expected_architecture_floors() {
+        let c = orange_grove();
+        let [high, medium, low] = lu_zones(&c);
+        assert_eq!(high.pool.len(), 8);
+        assert!(high.pool.iter().all(|&n| c.node(n).arch == Architecture::Alpha));
+        // Medium: at most 4 Alphas -> any 8-mapping includes >= 4 Intels.
+        let alphas = medium
+            .pool
+            .iter()
+            .filter(|&&n| c.node(n).arch == Architecture::Alpha)
+            .count();
+        assert_eq!(alphas, 4);
+        assert_eq!(medium.pool.len(), 16);
+        // Low: at most 4 non-SPARC -> any 8-mapping includes >= 4 SPARCs.
+        let non_sparc = low
+            .pool
+            .iter()
+            .filter(|&&n| c.node(n).arch != Architecture::Sparc)
+            .count();
+        assert_eq!(non_sparc, 4);
+        assert_eq!(low.pool.len(), 12);
+    }
+
+    #[test]
+    fn sampled_mappings_are_injective_and_within_pool() {
+        let c = orange_grove();
+        let [_, medium, _] = lu_zones(&c);
+        let ms = sample_mappings(&medium.pool, 8, 40, 9);
+        assert_eq!(ms.len(), 40);
+        for m in &ms {
+            assert!(m.is_injective());
+            for (_, n) in m.iter() {
+                assert!(medium.pool.contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_pool_is_sparc_only() {
+        let c = orange_grove();
+        let pool = homogeneous_pool(&c);
+        assert_eq!(pool.len(), 8);
+        assert!(pool.iter().all(|&n| c.node(n).arch == Architecture::Sparc));
+        // Spread over exactly two identical switches.
+        let sw: std::collections::BTreeSet<_> =
+            pool.iter().map(|&n| c.node(n).switch).collect();
+        assert_eq!(sw.len(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Minimal hand-rolled argument parsing.
+
+use crate::error::CliError;
+use std::collections::BTreeMap;
+
+/// A parsed command line: command word, positional arguments, and
+/// `--flag value` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Parsed {
+    /// The subcommand (first token).
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub flags: BTreeMap<String, String>,
+}
+
+impl Parsed {
+    /// Parse an argument vector (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, CliError> {
+        let mut it = argv.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| CliError::usage("no command given"))?;
+        let mut out = Parsed {
+            command,
+            ..Default::default()
+        };
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
+                out.flags.insert(key.to_string(), value);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The first positional argument (e.g. the preset name).
+    pub fn positional0(&self) -> Result<&str, CliError> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| CliError::usage(format!("`{}` needs a cluster preset", self.command)))
+    }
+
+    /// A required flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::usage(format!("`{}` requires --{key}", self.command)))
+    }
+
+    /// An optional flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// An optional flag parsed to a type, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad value `{v}` for --{key}"))),
+        }
+    }
+}
+
+/// Parse a comma-separated node-id list, e.g. `"0,3,17"`.
+pub fn parse_node_list(s: &str) -> Result<Vec<cbes_cluster::NodeId>, CliError> {
+    s.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u32>()
+                .map(cbes_cluster::NodeId)
+                .map_err(|_| CliError::usage(format!("bad node id `{tok}`")))
+        })
+        .collect()
+}
+
+/// Parse a load override list `"0=0.5,7=0.9"` into `(node, availability)`.
+pub fn parse_load_list(s: &str) -> Result<Vec<(cbes_cluster::NodeId, f64)>, CliError> {
+    s.split(',')
+        .map(|tok| {
+            let (n, a) = tok
+                .split_once('=')
+                .ok_or_else(|| CliError::usage(format!("bad load entry `{tok}` (want NODE=AVAIL)")))?;
+            let node = n
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| CliError::usage(format!("bad node id `{n}`")))?;
+            let avail = a
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| CliError::usage(format!("bad availability `{a}`")))?;
+            if !(0.0..=1.0).contains(&avail) {
+                return Err(CliError::usage(format!(
+                    "availability `{a}` must be within [0, 1]"
+                )));
+            }
+            Ok((cbes_cluster::NodeId(node), avail))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::NodeId;
+
+    fn p(v: &[&str]) -> Result<Parsed, CliError> {
+        Parsed::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let a = p(&["profile", "demo", "--workload", "lu", "--ranks", "8"]).unwrap();
+        assert_eq!(a.command, "profile");
+        assert_eq!(a.positional0().unwrap(), "demo");
+        assert_eq!(a.require("workload").unwrap(), "lu");
+        assert_eq!(a.get_parsed("ranks", 4usize).unwrap(), 8);
+        assert_eq!(a.get_parsed("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_values_are_usage_errors() {
+        assert!(p(&["x", "--flag"]).is_err());
+        assert!(p(&[]).is_err());
+        let a = p(&["predict"]).unwrap();
+        assert!(a.positional0().is_err());
+        assert!(a.require("profile").is_err());
+    }
+
+    #[test]
+    fn node_list_parsing() {
+        assert_eq!(
+            parse_node_list("0, 3,17").unwrap(),
+            vec![NodeId(0), NodeId(3), NodeId(17)]
+        );
+        assert!(parse_node_list("0,x").is_err());
+    }
+
+    #[test]
+    fn load_list_parsing() {
+        assert_eq!(
+            parse_load_list("0=0.5, 3=1.0").unwrap(),
+            vec![(NodeId(0), 0.5), (NodeId(3), 1.0)]
+        );
+        assert!(parse_load_list("0=1.5").is_err());
+        assert!(parse_load_list("0:0.5").is_err());
+    }
+
+    #[test]
+    fn bad_typed_flag_is_reported() {
+        let a = p(&["x", "--seed", "abc"]).unwrap();
+        assert!(a.get_parsed("seed", 0u64).is_err());
+    }
+}

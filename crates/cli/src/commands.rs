@@ -1,0 +1,464 @@
+//! Subcommand implementations. Each returns the rendered output text.
+
+use crate::args::{parse_load_list, parse_node_list, Parsed};
+use crate::error::CliError;
+use cbes_cluster::load::LoadState;
+use cbes_cluster::{Cluster, NodeId};
+use cbes_core::eval::Evaluator;
+use cbes_core::mapping::Mapping;
+use cbes_core::snapshot::SystemSnapshot;
+use cbes_mpisim::{simulate as sim_run, SimConfig};
+use cbes_netmodel::calibrate::Calibrator;
+use cbes_sched::{
+    GaConfig, GeneticScheduler, GreedyScheduler, NcsScheduler, RandomScheduler, SaConfig,
+    SaScheduler, ScheduleRequest, Scheduler,
+};
+use cbes_trace::{extract_profile, AppProfile, TraceStats};
+use cbes_workloads::suite::{self, SuiteParams};
+use cbes_workloads::Workload;
+use std::fmt::Write as _;
+
+fn preset(name: &str) -> Result<Cluster, CliError> {
+    match name {
+        "centurion" => Ok(cbes_cluster::presets::centurion()),
+        "orange-grove" | "orangegrove" | "grove" => Ok(cbes_cluster::presets::orange_grove()),
+        "demo" => Ok(cbes_cluster::presets::two_switch_demo()),
+        // Anything ending in .json is a user-defined ClusterSpec file.
+        path if path.ends_with(".json") => {
+            let text = std::fs::read_to_string(path)?;
+            let spec = cbes_cluster::ClusterSpec::from_json(&text)?;
+            spec.build()
+                .map_err(|e| CliError::domain(format!("invalid cluster spec `{path}`: {e}")))
+        }
+        other => Err(CliError::usage(format!(
+            "unknown preset `{other}` (want centurion | orange-grove | demo, \
+             or a ClusterSpec .json file)"
+        ))),
+    }
+}
+
+/// `cbes export-cluster <preset> [--out FILE]` — dump a preset as an
+/// editable ClusterSpec JSON (the starting point for custom clusters).
+pub fn export_cluster(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let json = cbes_cluster::ClusterSpec::from_cluster(&c).to_json();
+    if let Some(path) = parsed.get("out") {
+        std::fs::write(path, &json)?;
+        Ok(format!("cluster spec written to {path}\n"))
+    } else {
+        Ok(json)
+    }
+}
+
+fn workload_from(parsed: &Parsed) -> Result<Workload, CliError> {
+    let name = parsed.require("workload")?;
+    let class = match parsed.get("class") {
+        None => cbes_workloads::npb::NpbClass::A,
+        Some(c) => suite::parse_class(c)
+            .ok_or_else(|| CliError::usage(format!("bad --class `{c}` (want S|A|B)")))?,
+    };
+    let params = SuiteParams {
+        ranks: parsed.get_parsed("ranks", 8usize)?,
+        class,
+        size: parsed.get_parsed("size", 10_000u64)?,
+    };
+    suite::by_name(name, params).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown workload `{name}` (run `cbes workloads` for the list)"
+        ))
+    })
+}
+
+fn load_from(parsed: &Parsed, cluster: &Cluster) -> Result<LoadState, CliError> {
+    let mut load = LoadState::idle(cluster.len());
+    if let Some(spec) = parsed.get("load") {
+        for (node, avail) in parse_load_list(spec)? {
+            if node.index() >= cluster.len() {
+                return Err(CliError::usage(format!("node {node} outside the cluster")));
+            }
+            load.set_cpu_avail(node, avail);
+        }
+    }
+    Ok(load)
+}
+
+fn read_profile(path: &str) -> Result<AppProfile, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(AppProfile::from_json(&text)?)
+}
+
+/// `cbes cluster <preset>`
+pub fn cluster(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cluster `{}`: {} nodes, {} switches, {} links",
+        c.name(),
+        c.len(),
+        c.switches().len(),
+        c.links().len()
+    );
+    for arch in cbes_cluster::Architecture::known() {
+        let nodes = c.nodes_by_arch(arch);
+        if nodes.is_empty() {
+            continue;
+        }
+        let speed = c.node(nodes[0]).speed;
+        let _ = writeln!(
+            out,
+            "  {:>18}: {:>3} nodes (relative speed {speed})",
+            arch.to_string(),
+            nodes.len()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "inter-node latency spread at 1 KiB: {:.1}%",
+        c.latency_spread(1024) * 100.0
+    );
+    Ok(out)
+}
+
+/// `cbes topology <preset> [--out FILE]` — Graphviz DOT of the cluster.
+pub fn topology(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let dot = c.to_dot();
+    if let Some(path) = parsed.get("out") {
+        std::fs::write(path, &dot)?;
+        Ok(format!("topology written to {path}\n"))
+    } else {
+        Ok(dot)
+    }
+}
+
+/// `cbes workloads`
+pub fn workloads(_parsed: &Parsed) -> Result<String, CliError> {
+    let mut out = String::from("available workload generators:\n");
+    for name in suite::names() {
+        let w = suite::by_name(
+            name,
+            SuiteParams {
+                ranks: 4,
+                class: cbes_workloads::npb::NpbClass::S,
+                size: 12,
+            },
+        )
+        .expect("listed names build");
+        let _ = writeln!(out, "  {name:<8} {}", w.description);
+    }
+    out.push_str("options: --ranks N, --class S|A|B (NPB), --size N (hpl, smg2000)\n");
+    Ok(out)
+}
+
+/// `cbes calibrate <preset> [--seed N] [--out FILE]`
+pub fn calibrate(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let seed = parsed.get_parsed("seed", 42u64)?;
+    let outcome = Calibrator::default().with_seed(seed).calibrate(&c);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "calibrated `{}`: {} measurements over {} clique rounds \
+         (serial cost {:.1}s, parallel {:.1}s, speedup {:.1}x)",
+        c.name(),
+        outcome.measurements,
+        outcome.rounds,
+        outcome.serial_cost,
+        outcome.parallel_cost,
+        outcome.clique_speedup()
+    );
+    if let Some(path) = parsed.get("out") {
+        let json = serde_json::to_string_pretty(&outcome.model)?;
+        std::fs::write(path, json)?;
+        let _ = writeln!(out, "model written to {path}");
+    }
+    Ok(out)
+}
+
+/// `cbes profile <preset> --workload W [...] [--out FILE]`
+pub fn profile(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let w = workload_from(parsed)?;
+    let seed = parsed.get_parsed("seed", 42u64)?;
+    let nodes: Vec<NodeId> = match parsed.get("nodes") {
+        Some(spec) => parse_node_list(spec)?,
+        None => (0..w.num_ranks() as u32).map(NodeId).collect(),
+    };
+    if nodes.len() != w.num_ranks() {
+        return Err(CliError::usage(format!(
+            "--nodes lists {} nodes but the workload has {} ranks",
+            nodes.len(),
+            w.num_ranks()
+        )));
+    }
+    let calib = Calibrator::default().with_seed(seed).calibrate(&c);
+    let run = sim_run(
+        &c,
+        &w.program,
+        &nodes,
+        &LoadState::idle(c.len()),
+        &SimConfig::default().with_seed(seed),
+    )
+    .map_err(|e| CliError::domain(format!("profiling run failed: {e}")))?;
+    let profile = extract_profile(&w.name, &run.trace, &c, &nodes, &calib.model);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profiled `{}` on {} ranks: wall {:.3}s, {:.0}% compute / {:.0}% communication",
+        profile.name,
+        profile.num_procs(),
+        run.wall_time,
+        profile.compute_fraction() * 100.0,
+        (1.0 - profile.compute_fraction()) * 100.0
+    );
+    if let Some(path) = parsed.get("out") {
+        std::fs::write(path, profile.to_json())?;
+        let _ = writeln!(out, "profile written to {path}");
+    }
+    Ok(out)
+}
+
+/// `cbes predict <preset> --profile F --mapping 0,1,..`
+pub fn predict(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let profile = read_profile(parsed.require("profile")?)?;
+    let mapping = Mapping::new(parse_node_list(parsed.require("mapping")?)?);
+    if mapping.len() != profile.num_procs() {
+        return Err(CliError::usage(format!(
+            "mapping lists {} nodes but the profile has {} processes",
+            mapping.len(),
+            profile.num_procs()
+        )));
+    }
+    let seed = parsed.get_parsed("seed", 42u64)?;
+    let calib = Calibrator::default().with_seed(seed).calibrate(&c);
+    let mut snap = SystemSnapshot::no_load(&c, &calib.model);
+    snap.set_load(load_from(parsed, &c)?);
+    let pred = Evaluator::new(&profile, &snap).predict(&mapping);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "predicted execution time: {:.4} s (bottleneck rank {})",
+        pred.time, pred.bottleneck
+    );
+    for (rank, cost) in pred.per_proc.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  rank {rank}: R = {:.4}s, C = {:.4}s on {}",
+            cost.r,
+            cost.c,
+            mapping.node(rank)
+        );
+    }
+    Ok(out)
+}
+
+/// `cbes schedule <preset> --profile F [--scheduler cs|ncs|rs|greedy|ga]`
+pub fn schedule(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let profile = read_profile(parsed.require("profile")?)?;
+    let seed = parsed.get_parsed("seed", 42u64)?;
+    let pool: Vec<NodeId> = match parsed.get("pool") {
+        Some(spec) => parse_node_list(spec)?,
+        None => c.node_ids().collect(),
+    };
+    let calib = Calibrator::default().with_seed(seed).calibrate(&c);
+    let mut snap = SystemSnapshot::no_load(&c, &calib.model);
+    snap.set_load(load_from(parsed, &c)?);
+    let req = ScheduleRequest::new(&profile, &snap, &pool);
+    let kind = parsed.get("scheduler").unwrap_or("cs");
+    let mut scheduler: Box<dyn Scheduler> = match kind {
+        "cs" => Box::new(SaScheduler::new(SaConfig::thorough(seed))),
+        "ncs" => Box::new(NcsScheduler::new(SaConfig::thorough(seed))),
+        "rs" => Box::new(RandomScheduler::new(seed)),
+        "greedy" => Box::new(GreedyScheduler::new()),
+        "ga" => Box::new(GeneticScheduler::new(GaConfig::fast(seed))),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown scheduler `{other}` (want cs|ncs|rs|greedy|ga)"
+            )))
+        }
+    };
+    let result = scheduler
+        .schedule(&req)
+        .map_err(|e| CliError::domain(format!("scheduling failed: {e}")))?;
+    Ok(format!(
+        "{} selected mapping {}\npredicted execution time: {:.4} s\n\
+         {} evaluations in {:?}\n",
+        scheduler.name(),
+        result.mapping,
+        result.predicted_time,
+        result.evaluations,
+        result.elapsed
+    ))
+}
+
+/// `cbes analyze <preset> --workload W --mapping 0,1,..` — trace one run
+/// and print the post-mortem statistics (utilisation, hot edges, matrix).
+pub fn analyze(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let mapping = parse_node_list(parsed.require("mapping")?)?;
+    let mut p2 = parsed.clone();
+    p2.flags
+        .entry("ranks".into())
+        .or_insert_with(|| mapping.len().to_string());
+    let w = workload_from(&p2)?;
+    let seed = parsed.get_parsed("seed", 42u64)?;
+    let load = load_from(parsed, &c)?;
+    let r = sim_run(
+        &c,
+        &w.program,
+        &mapping,
+        &load,
+        &SimConfig::default().with_seed(seed),
+    )
+    .map_err(|e| CliError::domain(format!("traced run failed: {e}")))?;
+    let stats = TraceStats::from_trace(&r.trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "`{}` wall time {:.4}s — {} messages, {} payload bytes, compute \
+         imbalance {:.2}x",
+        w.name,
+        stats.wall_time,
+        stats.total_messages(),
+        stats.total_bytes(),
+        stats.compute_imbalance()
+    );
+    let _ = writeln!(out, "\nper-rank utilisation (fractions of wall time):");
+    let _ = writeln!(out, "  rank | compute | overhead | blocked | tail idle");
+    for u in &stats.utilisation {
+        let _ = writeln!(
+            out,
+            "  {:>4} | {:>7.3} | {:>8.3} | {:>7.3} | {:>9.3}",
+            u.rank, u.compute, u.overhead, u.blocked, u.tail_idle
+        );
+    }
+    let _ = writeln!(out, "\nhottest communication edges:");
+    for (s_, d, b) in stats.hottest_pairs(5) {
+        let _ = writeln!(out, "  r{s_} -> r{d}: {b} bytes");
+    }
+    if stats.num_ranks() <= 12 {
+        let _ = writeln!(out, "\n{}", stats.render_matrix());
+    }
+    Ok(out)
+}
+
+/// `cbes simulate <preset> --workload W --mapping 0,1,..`
+pub fn simulate(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let mapping = parse_node_list(parsed.require("mapping")?)?;
+    let mut p2 = parsed.clone();
+    p2.flags
+        .entry("ranks".into())
+        .or_insert_with(|| mapping.len().to_string());
+    let w = workload_from(&p2)?;
+    let seed = parsed.get_parsed("seed", 42u64)?;
+    let load = load_from(parsed, &c)?;
+    let r = sim_run(
+        &c,
+        &w.program,
+        &mapping,
+        &load,
+        &SimConfig::default().with_seed(seed),
+    )
+    .map_err(|e| CliError::domain(format!("simulation failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "`{}` wall time: {:.4} s", w.name, r.wall_time);
+    for (rank, s) in r.stats.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  rank {rank} on {}: compute {:.3}s, overhead {:.3}s, blocked {:.3}s",
+            mapping[rank], s.x, s.o, s.b
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(v: &[&str]) -> Parsed {
+        Parsed::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn preset_lookup() {
+        assert!(preset("centurion").is_ok());
+        assert!(preset("orange-grove").is_ok());
+        assert!(preset("grove").is_ok());
+        assert!(preset("nope").is_err());
+    }
+
+    #[test]
+    fn cluster_command_reports_architectures() {
+        let out = cluster(&parsed(&["cluster", "orange-grove"])).unwrap();
+        assert!(out.contains("28 nodes"));
+        assert!(out.contains("Alpha"));
+        assert!(out.contains("SPARC"));
+        assert!(out.contains("latency spread"));
+    }
+
+    #[test]
+    fn topology_emits_dot() {
+        let out = topology(&parsed(&["topology", "demo"])).unwrap();
+        assert!(out.starts_with("graph"));
+        assert!(out.contains("sw0 -- sw1") || out.contains("sw1 -- sw0"));
+    }
+
+    #[test]
+    fn custom_cluster_spec_file_is_accepted() {
+        let dir = std::env::temp_dir().join(format!("cbes-spec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("my.json");
+        let ps = path.to_str().unwrap().to_string();
+        export_cluster(&parsed(&["export-cluster", "demo", "--out", &ps])).unwrap();
+        let out = cluster(&parsed(&["cluster", &ps])).unwrap();
+        assert!(out.contains("8 nodes"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn calibrate_reports_clique_rounds() {
+        let out = calibrate(&parsed(&["calibrate", "demo"])).unwrap();
+        assert!(out.contains("clique rounds"), "{out}");
+    }
+
+    #[test]
+    fn workload_from_validates_class_and_name() {
+        assert!(workload_from(&parsed(&["profile", "demo", "--workload", "lu"])).is_ok());
+        assert!(workload_from(&parsed(&["profile", "demo", "--workload", "lu", "--class", "Q"]))
+            .is_err());
+        assert!(workload_from(&parsed(&["profile", "demo", "--workload", "zz"])).is_err());
+    }
+
+    #[test]
+    fn simulate_fills_ranks_from_mapping() {
+        let out = simulate(&parsed(&[
+            "simulate", "demo", "--workload", "cg", "--class", "S", "--mapping", "0,1,2,3,4,5",
+        ]))
+        .unwrap();
+        assert!(out.contains("cg.S.6"), "{out}");
+    }
+
+    #[test]
+    fn schedule_rejects_unknown_scheduler() {
+        // Write a tiny profile first.
+        let dir = std::env::temp_dir().join(format!("cbes-cli-sched-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("p.json");
+        let ps = p.to_str().unwrap().to_string();
+        profile(&parsed(&[
+            "profile", "demo", "--workload", "ep", "--class", "S", "--ranks", "4", "--out", &ps,
+        ]))
+        .unwrap();
+        let err = schedule(&parsed(&[
+            "schedule", "demo", "--profile", &ps, "--scheduler", "quantum",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("quantum"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,64 @@
+//! CLI errors.
+
+use std::fmt;
+
+/// Errors surfaced to the command-line user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the message explains what and how.
+    Usage(String),
+    /// Filesystem problems reading/writing artifacts.
+    Io(std::io::Error),
+    /// Malformed JSON artifact.
+    Json(serde_json::Error),
+    /// A domain operation failed (simulation, scheduling, ...).
+    Domain(String),
+}
+
+impl CliError {
+    /// A usage error with context.
+    pub fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    /// A domain error with context.
+    pub fn domain(msg: impl Into<String>) -> Self {
+        CliError::Domain(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}\n(run `cbes help` for usage)"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Json(e) => write!(f, "malformed artifact: {e}"),
+            CliError::Domain(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_usage_hint() {
+        assert!(CliError::usage("bad").to_string().contains("cbes help"));
+        assert!(CliError::domain("x").to_string().contains('x'));
+    }
+}

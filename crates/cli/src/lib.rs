@@ -1,0 +1,172 @@
+//! The `cbes` command-line interface.
+//!
+//! Exposes the CBES life-cycle as subcommands over the modelled clusters:
+//!
+//! ```text
+//! cbes cluster <preset>                          inspect a cluster model
+//! cbes workloads                                 list workload generators
+//! cbes calibrate <preset> [--seed N] [--out F]   off-line latency model
+//! cbes profile <preset> --workload W [...]       trace + reduce a profile
+//! cbes predict <preset> --profile F --mapping M  evaluate one mapping
+//! cbes schedule <preset> --profile F [...]       run a scheduler
+//! cbes simulate <preset> --workload W --mapping M   one measured run
+//! ```
+//!
+//! The library half is the testable core: [`run`] takes an argument vector
+//! and returns the rendered output.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use error::CliError;
+
+use args::Parsed;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: cbes <command> [options]
+
+commands:
+  cluster <preset>            describe a cluster model (centurion | orange-grove | demo)
+  topology <preset>           emit the cluster topology as Graphviz DOT [--out FILE]
+  export-cluster <preset>     dump a preset as editable ClusterSpec JSON [--out FILE]
+                              (every <preset> argument also accepts a .json spec file)
+  workloads                   list available workload generators
+  calibrate <preset>          run the off-line calibration campaign
+      [--seed N] [--out FILE]
+  profile <preset>            profile a workload on a profiling mapping
+      --workload NAME [--class S|A|B] [--size N] [--ranks N]
+      [--nodes 0,1,..] [--seed N] [--out FILE]
+  predict <preset>            predict one mapping's execution time
+      --profile FILE --mapping 0,1,.. [--load NODE=AVAIL,..]
+  schedule <preset>           select a mapping with a scheduler
+      --profile FILE [--scheduler cs|ncs|rs|greedy|ga]
+      [--pool 0,1,..] [--seed N] [--load NODE=AVAIL,..]
+  simulate <preset>           one measured run of a workload on a mapping
+      --workload NAME [--class S|A|B] [--size N]
+      --mapping 0,1,.. [--seed N] [--load NODE=AVAIL,..]
+  analyze <preset>            trace a run and print post-mortem statistics
+      --workload NAME --mapping 0,1,.. [--seed N]
+";
+
+/// Parse and execute an argument vector; returns the output text.
+pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> {
+    let parsed = Parsed::parse(argv)?;
+    match parsed.command.as_str() {
+        "cluster" => commands::cluster(&parsed),
+        "topology" => commands::topology(&parsed),
+        "export-cluster" => commands::export_cluster(&parsed),
+        "workloads" => commands::workloads(&parsed),
+        "calibrate" => commands::calibrate(&parsed),
+        "profile" => commands::profile(&parsed),
+        "predict" => commands::predict(&parsed),
+        "schedule" => commands::schedule(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "analyze" => commands::analyze(&parsed),
+        "help" | "" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, CliError> {
+        run(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(call(&["help"]).unwrap().contains("usage: cbes"));
+        assert!(call(&[]).is_err() || call(&["help"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let e = call(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn cluster_and_workloads_roundtrip() {
+        let out = call(&["cluster", "demo"]).unwrap();
+        assert!(out.contains("demo"));
+        assert!(out.contains("8 nodes"));
+        let out = call(&["workloads"]).unwrap();
+        assert!(out.contains("lu"));
+        assert!(out.contains("aztec"));
+    }
+
+    #[test]
+    fn full_cli_lifecycle_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("cbes-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let profile_path = dir.join("p.json");
+        let profile_str = profile_path.to_str().unwrap();
+
+        // Profile a small LU on the demo cluster.
+        let out = call(&[
+            "profile", "demo", "--workload", "lu", "--class", "S", "--ranks", "4", "--out",
+            profile_str,
+        ])
+        .unwrap();
+        assert!(out.contains("profiled"), "{out}");
+        assert!(profile_path.exists());
+
+        // Predict an explicit mapping.
+        let out = call(&[
+            "predict", "demo", "--profile", profile_str, "--mapping", "0,1,4,5",
+        ])
+        .unwrap();
+        assert!(out.contains("predicted"), "{out}");
+
+        // Schedule with CS.
+        let out = call(&[
+            "schedule", "demo", "--profile", profile_str, "--scheduler", "cs", "--seed", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("selected mapping"), "{out}");
+
+        // Simulate a measured run.
+        let out = call(&[
+            "simulate", "demo", "--workload", "lu", "--class", "S", "--mapping", "0,1,2,3",
+        ])
+        .unwrap();
+        assert!(out.contains("wall time"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_respects_load_overrides() {
+        let dir = std::env::temp_dir().join(format!("cbes-cli-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("p.json");
+        let ps = p.to_str().unwrap();
+        call(&[
+            "profile", "demo", "--workload", "ep", "--class", "S", "--ranks", "4", "--out", ps,
+        ])
+        .unwrap();
+        let idle = call(&["predict", "demo", "--profile", ps, "--mapping", "0,1,2,3"]).unwrap();
+        let loaded = call(&[
+            "predict", "demo", "--profile", ps, "--mapping", "0,1,2,3", "--load", "0=0.5",
+        ])
+        .unwrap();
+        let t = |s: &str| -> f64 {
+            s.split("predicted execution time: ")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(t(&loaded) > t(&idle), "idle: {idle} loaded: {loaded}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! The `cbes` binary: thin wrapper over the library dispatcher.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let argv = if args.is_empty() {
+        vec!["help".to_string()]
+    } else {
+        args
+    };
+    match cbes_cli::run(argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Hardware architectures present in the modelled clusters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node hardware architecture.
+///
+/// The paper's clusters mix Alpha, SPARC and Intel Pentium-II nodes; `Other`
+/// leaves room for user-defined platforms without changing the enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// DEC Alpha (e.g. 533 MHz single-CPU nodes, Alpha Linux).
+    Alpha,
+    /// Intel Pentium II (e.g. dual 400 MHz nodes, x86 Linux).
+    IntelPII,
+    /// Sun SPARC (e.g. 500 MHz single-CPU nodes, Solaris).
+    Sparc,
+    /// Any other architecture, tagged with a small user-chosen id.
+    Other(u8),
+}
+
+impl Architecture {
+    /// Short human-readable label, matching the paper's A/I/S shorthand.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Architecture::Alpha => "A",
+            Architecture::IntelPII => "I",
+            Architecture::Sparc => "S",
+            Architecture::Other(_) => "O",
+        }
+    }
+
+    /// Full descriptive name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Architecture::Alpha => "Alpha",
+            Architecture::IntelPII => "Intel Pentium II",
+            Architecture::Sparc => "SPARC",
+            Architecture::Other(_) => "Other",
+        }
+    }
+
+    /// All well-known architectures (excludes `Other`).
+    pub fn known() -> [Architecture; 3] {
+        [
+            Architecture::Alpha,
+            Architecture::IntelPII,
+            Architecture::Sparc,
+        ]
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Architecture::Other(id) => write!(f, "Other({id})"),
+            a => f.write_str(a.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_for_known_archs() {
+        let labels: Vec<_> = Architecture::known().iter().map(|a| a.label()).collect();
+        assert_eq!(labels, vec!["A", "I", "S"]);
+    }
+
+    #[test]
+    fn display_includes_other_id() {
+        assert_eq!(Architecture::Other(3).to_string(), "Other(3)");
+        assert_eq!(Architecture::Alpha.to_string(), "Alpha");
+    }
+
+    #[test]
+    fn architectures_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<_> = [
+            Architecture::Sparc,
+            Architecture::Alpha,
+            Architecture::Alpha,
+            Architecture::Other(1),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! Heterogeneous cluster modelling for CBES.
+//!
+//! This crate is the bottom substrate of the CBES reproduction. It models a
+//! *federated cluster* in the sense of the paper: heterogeneous compute nodes
+//! (different architectures, clock rates, CPU counts) attached to a switched
+//! interconnect whose topology induces non-uniform inter-node latency.
+//!
+//! The two experimental platforms of the paper are provided as presets:
+//!
+//! * [`presets::centurion`] — the University of Virginia Centurion subset:
+//!   32 Alpha 533 MHz + 96 dual Pentium-II 400 MHz nodes over eight 24-port
+//!   100 Mb/s edge switches joined by a 1.2 Gb/s backbone.
+//! * [`presets::orange_grove`] — the rewired Syracuse Orange Grove: 8 Alpha +
+//!   8 SPARC + 12 dual-PII nodes over five 3Com and two DLink switches,
+//!   emulating a federation of two elementary clusters over a thin link.
+//!
+//! Ground-truth end-to-end no-load latency is computed from the topology
+//! ([`Cluster::no_load_latency`]); higher layers *calibrate* an empirical
+//! model against it ([`LatencyProvider`] is the shared abstraction).
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod builder;
+pub mod error;
+pub mod load;
+pub mod node;
+pub mod presets;
+pub mod spec;
+pub mod topology;
+
+pub use arch::Architecture;
+pub use builder::ClusterBuilder;
+pub use error::ClusterError;
+pub use node::{Node, NodeId};
+pub use spec::ClusterSpec;
+pub use topology::{Cluster, Link, PathInfo, Switch, SwitchId};
+
+/// A source of end-to-end latency estimates between two cluster nodes for a
+/// message of a given size, in seconds.
+///
+/// Implemented by [`Cluster`] itself (exact topological ground truth) and by
+/// the calibrated latency model in `cbes-netmodel` (empirical, interpolated,
+/// optionally load-adjusted). The CBES mapping-evaluation operation only ever
+/// sees this trait, which is what lets the prediction differ honestly from
+/// the simulated "measured" execution.
+pub trait LatencyProvider {
+    /// Estimated one-way end-to-end latency (seconds) for a `bytes`-byte
+    /// message from node `a` to node `b`.
+    fn latency(&self, a: NodeId, b: NodeId, bytes: u64) -> f64;
+}
+
+impl<T: LatencyProvider + ?Sized> LatencyProvider for &T {
+    fn latency(&self, a: NodeId, b: NodeId, bytes: u64) -> f64 {
+        (**self).latency(a, b, bytes)
+    }
+}

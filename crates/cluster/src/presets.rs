@@ -1,0 +1,223 @@
+//! Preset clusters reproducing the paper's two experimental platforms.
+//!
+//! Physical constants are tuned so the derived quantities the paper reports
+//! hold on the models:
+//!
+//! * Centurion inter-node latency spread up to **≈13 %** (we get ≈11 %),
+//! * Orange Grove spread up to **≈54 %** (we get ≈55 %),
+//! * three distinct node speed classes on Orange Grove
+//!   (Alpha 1.0 > Intel PII 0.85 > SPARC 0.65), producing the three LU
+//!   execution-time zones of Figure 6.
+
+use crate::arch::Architecture;
+use crate::builder::ClusterBuilder;
+use crate::topology::{Cluster, SwitchId};
+
+/// Fast-ethernet NIC bandwidth (100 Mb/s) in bytes/second.
+pub const FE_BW: f64 = 12.5e6;
+
+/// Latency scale factor. The workload generators compress the paper's
+/// minutes-long runs into a few *virtual seconds* by shrinking iteration
+/// counts; to keep the ratio of per-message latency to per-message compute
+/// interval — the quantity every mapping experiment exercises — faithful to
+/// the real testbeds, all fixed latency constants are scaled up by the same
+/// factor. Bandwidths are left physical. See DESIGN.md §2.
+pub const LAT_SCALE: f64 = 50.0;
+
+/// NIC endpoint latency in seconds (scaled).
+pub const NIC_LAT: f64 = 35e-6 * LAT_SCALE;
+/// 3Com 24-port switch forwarding latency (scaled).
+pub const COM3_HOP: f64 = 5e-6 * LAT_SCALE;
+
+/// Relative speed of an Alpha 533 MHz node (the reference).
+pub const ALPHA_SPEED: f64 = 1.0;
+/// Relative speed of a dual Pentium-II 400 MHz node (per CPU).
+pub const PII_SPEED: f64 = 0.85;
+/// Relative speed of a SPARC 500 MHz node.
+pub const SPARC_SPEED: f64 = 0.65;
+
+/// The experimental Centurion configuration (figure 3 of the paper):
+/// 128 MPI nodes — 32 Alpha 533 MHz and 96 dual Intel PII 400 MHz — spread
+/// over eight 24-port 100 Mb/s edge switches (16 nodes each) connected to a
+/// 1.2 Gb/s backbone switch.
+///
+/// Node layout: switches 0–1 carry the Alphas, switches 2–7 the Intels.
+pub fn centurion() -> Cluster {
+    let mut b = ClusterBuilder::new("centurion");
+    // Edge switches 0..8
+    for i in 0..8 {
+        b = b.switch(24, COM3_HOP, format!("3Com #{i:02}"));
+    }
+    // Backbone gigabit switch (id 8)
+    b = b.switch(12, 2e-6 * LAT_SCALE, "3Com gigabit #00");
+    for i in 0..8u32 {
+        b = b.link(SwitchId(i), SwitchId(8), 150e6, 2e-6 * LAT_SCALE);
+    }
+    // 32 Alpha nodes on edge switches 0-1.
+    for sw in 0..2u32 {
+        b = b.nodes(
+            16,
+            Architecture::Alpha,
+            533,
+            1,
+            ALPHA_SPEED,
+            SwitchId(sw),
+            FE_BW,
+            NIC_LAT,
+        );
+    }
+    // 96 dual-PII nodes on edge switches 2-7.
+    for sw in 2..8u32 {
+        b = b.nodes(
+            16,
+            Architecture::IntelPII,
+            400,
+            2,
+            PII_SPEED,
+            SwitchId(sw),
+            FE_BW,
+            NIC_LAT,
+        );
+    }
+    b.build().expect("centurion preset must be valid")
+}
+
+/// The rewired Orange Grove configuration (figure 4 of the paper): a highly
+/// heterogeneous 28-node cluster — 8 Alpha 533, 8 SPARC 500, 12 dual PII
+/// 400 — whose topology emulates a federation of two elementary clusters
+/// joined by a limited-capacity link.
+///
+/// Switch layout:
+/// * `sw0` — two stacked 3Com switches acting as one 48-port switch
+///   (sub-cluster 1 hub), carrying 4 Alpha and 6 Intel nodes,
+/// * `sw1` — 3Com 24-port, carrying the other 4 Alpha nodes,
+/// * `sw2` — 3Com 24-port, carrying the other 6 Intel nodes,
+/// * `sw3` — 3Com 24-port (sub-cluster 2 hub),
+/// * `sw4`, `sw5` — DLink 8-port switches, carrying 4 SPARC nodes each.
+///
+/// The `sw0 – sw3` federation link is the thin pipe (8.5 MB/s).
+pub fn orange_grove() -> Cluster {
+    ClusterBuilder::new("orange-grove")
+        .switch(48, 12e-6 * LAT_SCALE, "3Com stacked 00+01")
+        .switch(24, COM3_HOP, "3Com 02")
+        .switch(24, COM3_HOP, "3Com 03")
+        .switch(24, COM3_HOP, "3Com 04 (hub B)")
+        .switch(8, 8e-6 * LAT_SCALE, "DLink 10")
+        .switch(8, 8e-6 * LAT_SCALE, "DLink 12")
+        .link(SwitchId(1), SwitchId(0), FE_BW, 10e-6 * LAT_SCALE)
+        .link(SwitchId(2), SwitchId(0), FE_BW, 10e-6 * LAT_SCALE)
+        // Limited-capacity federation link.
+        .link(SwitchId(0), SwitchId(3), 8.5e6, 8e-6 * LAT_SCALE)
+        .link(SwitchId(3), SwitchId(4), FE_BW, 4e-6 * LAT_SCALE)
+        // DLink 12's uplink is a cheaper, slower cable (bandwidth
+        // asymmetry within sub-cluster 2: bulk transfers crossing it pay
+        // ~50% more serialisation, while small-message latency is equal).
+        .link(SwitchId(3), SwitchId(5), 8e6, 4e-6 * LAT_SCALE)
+        .nodes(4, Architecture::Alpha, 533, 1, ALPHA_SPEED, SwitchId(1), FE_BW, NIC_LAT)
+        .nodes(4, Architecture::Alpha, 533, 1, ALPHA_SPEED, SwitchId(0), FE_BW, NIC_LAT)
+        .nodes(6, Architecture::IntelPII, 400, 2, PII_SPEED, SwitchId(0), FE_BW, NIC_LAT)
+        .nodes(6, Architecture::IntelPII, 400, 2, PII_SPEED, SwitchId(2), FE_BW, NIC_LAT)
+        .nodes(4, Architecture::Sparc, 500, 1, SPARC_SPEED, SwitchId(4), FE_BW, NIC_LAT)
+        .nodes(4, Architecture::Sparc, 500, 1, SPARC_SPEED, SwitchId(5), FE_BW, NIC_LAT)
+        .build()
+        .expect("orange grove preset must be valid")
+}
+
+/// A small two-switch, eight-node demo cluster used by examples and tests.
+pub fn two_switch_demo() -> Cluster {
+    ClusterBuilder::new("demo")
+        .switch(24, COM3_HOP, "edge-0")
+        .switch(24, COM3_HOP, "edge-1")
+        .link(SwitchId(0), SwitchId(1), FE_BW, 4e-6 * LAT_SCALE)
+        .nodes(4, Architecture::Alpha, 533, 1, ALPHA_SPEED, SwitchId(0), FE_BW, NIC_LAT)
+        .nodes(4, Architecture::IntelPII, 400, 2, PII_SPEED, SwitchId(1), FE_BW, NIC_LAT)
+        .build()
+        .expect("demo preset must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    /// Representative message size for end-to-end latency benchmarks.
+    const PROBE: u64 = 1024;
+
+    #[test]
+    fn centurion_composition_matches_paper() {
+        let c = centurion();
+        assert_eq!(c.len(), 128);
+        assert_eq!(c.nodes_by_arch(Architecture::Alpha).len(), 32);
+        assert_eq!(c.nodes_by_arch(Architecture::IntelPII).len(), 96);
+        assert_eq!(c.switches().len(), 9);
+        assert_eq!(c.links().len(), 8);
+    }
+
+    #[test]
+    fn orange_grove_composition_matches_paper() {
+        let c = orange_grove();
+        assert_eq!(c.len(), 28);
+        assert_eq!(c.nodes_by_arch(Architecture::Alpha).len(), 8);
+        assert_eq!(c.nodes_by_arch(Architecture::Sparc).len(), 8);
+        assert_eq!(c.nodes_by_arch(Architecture::IntelPII).len(), 12);
+    }
+
+    #[test]
+    fn centurion_latency_spread_near_13_percent() {
+        let spread = centurion().latency_spread(PROBE);
+        assert!(
+            (0.08..=0.16).contains(&spread),
+            "centurion spread {spread} outside paper band (~13%)"
+        );
+    }
+
+    #[test]
+    fn orange_grove_latency_spread_near_54_percent() {
+        let spread = orange_grove().latency_spread(PROBE);
+        assert!(
+            (0.45..=0.65).contains(&spread),
+            "orange grove spread {spread} outside paper band (~54%)"
+        );
+    }
+
+    #[test]
+    fn orange_grove_has_three_speed_classes() {
+        let c = orange_grove();
+        let mut speeds: Vec<f64> = c.nodes().iter().map(|n| n.speed).collect();
+        speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        speeds.dedup();
+        assert_eq!(speeds, vec![SPARC_SPEED, PII_SPEED, ALPHA_SPEED]);
+    }
+
+    #[test]
+    fn federation_link_is_the_bottleneck() {
+        let c = orange_grove();
+        // Alpha node (sub-cluster 1) to SPARC node (sub-cluster 2).
+        let alpha = c.nodes_by_arch(Architecture::Alpha)[0];
+        let sparc = c.nodes_by_arch(Architecture::Sparc)[0];
+        let p = c.path(alpha, sparc);
+        assert!(p.bottleneck_bw < FE_BW, "thin link must limit bandwidth");
+        // Two Alphas talk at full fast-ethernet speed.
+        let alpha2 = c.nodes_by_arch(Architecture::Alpha)[1];
+        assert_eq!(c.path(alpha, alpha2).bottleneck_bw, FE_BW);
+    }
+
+    #[test]
+    fn centurion_same_switch_is_fastest() {
+        let c = centurion();
+        let same = c.no_load_latency(NodeId(0), NodeId(1), PROBE);
+        let cross = c.no_load_latency(NodeId(0), NodeId(16), PROBE);
+        assert!(same < cross);
+    }
+
+    #[test]
+    fn all_preset_pairs_have_finite_latency() {
+        for c in [centurion(), orange_grove(), two_switch_demo()] {
+            for a in c.node_ids() {
+                let b = NodeId((a.0 + 1) % c.len() as u32);
+                let l = c.no_load_latency(a, b, PROBE);
+                assert!(l.is_finite() && l > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Service-level errors.
+
+use std::fmt;
+
+/// Errors raised by [`crate::CbesService`] request handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No profile registered under the given application name.
+    UnknownApp(String),
+    /// A mapping's arity does not match the application's process count.
+    ArityMismatch {
+        /// Processes in the registered profile.
+        expected: usize,
+        /// Entries in the offending mapping.
+        got: usize,
+    },
+    /// A comparison request contained no mappings.
+    EmptyRequest,
+    /// A mapping referenced a node outside the cluster.
+    BadNode(u32),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownApp(name) => write!(f, "no profile registered for `{name}`"),
+            ServiceError::ArityMismatch { expected, got } => {
+                write!(f, "mapping has {got} entries but profile has {expected} processes")
+            }
+            ServiceError::EmptyRequest => write!(f, "mapping comparison request is empty"),
+            ServiceError::BadNode(n) => write!(f, "mapping references unknown node n{n}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(ServiceError::UnknownApp("lu".into())
+            .to_string()
+            .contains("`lu`"));
+        assert!(ServiceError::ArityMismatch {
+            expected: 8,
+            got: 4
+        }
+        .to_string()
+        .contains("8 processes"));
+    }
+}

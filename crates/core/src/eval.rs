@@ -1,0 +1,334 @@
+//! The mapping evaluation operation — paper §3, equations 4–8.
+
+use crate::mapping::Mapping;
+use crate::snapshot::SystemSnapshot;
+use cbes_trace::analyze::theta;
+use cbes_trace::{AppProfile, ProcessProfile};
+
+/// Cost breakdown for one process under an evaluated mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcCost {
+    /// Computation contribution `R_i` (eq. 5).
+    pub r: f64,
+    /// Communication contribution `C_i = λ_i · Θ_i^M` (eq. 8).
+    pub c: f64,
+}
+
+impl ProcCost {
+    /// `R_i + C_i`.
+    pub fn total(&self) -> f64 {
+        self.r + self.c
+    }
+}
+
+/// A full execution-time prediction for one mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted execution time `S_M` (eq. 4).
+    pub time: f64,
+    /// The rank `i_M` whose `R_i + C_i` attains the maximum.
+    pub bottleneck: usize,
+    /// Per-process cost breakdown, indexed by rank.
+    pub per_proc: Vec<ProcCost>,
+}
+
+/// Evaluates candidate mappings for one application against one system
+/// snapshot: the paper's core mapping-evaluation operation.
+pub struct Evaluator<'a> {
+    profile: &'a AppProfile,
+    snap: &'a SystemSnapshot<'a>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// An evaluator for `profile` under the conditions in `snap`.
+    pub fn new(profile: &'a AppProfile, snap: &'a SystemSnapshot<'a>) -> Self {
+        Evaluator { profile, snap }
+    }
+
+    /// The application profile being evaluated.
+    pub fn profile(&self) -> &AppProfile {
+        self.profile
+    }
+
+    /// Paper eq. 5: `R_i = (X_i + O_i) · (Speed_profile / Speed_j) / ACPU_j`,
+    /// extended with a CPU-sharing factor when the mapping co-locates more
+    /// ranks on a node than it has CPUs (the profiling side of eq. 5 assumes
+    /// a dedicated CPU; oversubscription divides the effective speed).
+    fn r_i(&self, p: &ProcessProfile, m: &Mapping, share: &[f64]) -> f64 {
+        let node = m.node(p.rank);
+        (p.x + p.o) * (p.profile_speed / (self.snap.speed(node) * share[p.rank]))
+            / self.snap.acpu(node)
+    }
+
+    /// Per-rank CPU share under `m`: `min(1, cpus / ranks_on_node)`.
+    fn cpu_shares(&self, m: &Mapping) -> Vec<f64> {
+        let mut per_node = std::collections::HashMap::new();
+        for (_, node) in m.iter() {
+            *per_node.entry(node).or_insert(0u32) += 1;
+        }
+        m.iter()
+            .map(|(_, node)| {
+                let ranks = per_node[&node] as f64;
+                (self.snap.cluster.node(node).cpus as f64 / ranks).min(1.0)
+            })
+            .collect()
+    }
+
+    /// Paper eq. 6+8: `C_i = λ_i · Θ_i^M` with `Θ` summed over message
+    /// groups at current load-adjusted latencies.
+    fn c_i(&self, p: &ProcessProfile, m: &Mapping) -> f64 {
+        if p.lambda == 0.0 || (p.sends.is_empty() && p.recvs.is_empty()) {
+            return 0.0;
+        }
+        p.lambda * theta(p.rank, &p.sends, &p.recvs, m.as_slice(), self.snap)
+    }
+
+    /// Predict the execution time of `mapping` (eq. 4), with the full
+    /// per-process breakdown.
+    ///
+    /// # Panics
+    /// Panics if the mapping arity differs from the profile's process count
+    /// (callers validate at the service boundary).
+    pub fn predict(&self, mapping: &Mapping) -> Prediction {
+        assert_eq!(
+            mapping.len(),
+            self.profile.num_procs(),
+            "mapping arity must match profile"
+        );
+        let shares = self.cpu_shares(mapping);
+        let mut per_proc = Vec::with_capacity(self.profile.num_procs());
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for p in &self.profile.procs {
+            let cost = ProcCost {
+                r: self.r_i(p, mapping, &shares),
+                c: self.c_i(p, mapping),
+            };
+            if cost.total() > best.1 {
+                best = (p.rank, cost.total());
+            }
+            per_proc.push(cost);
+        }
+        Prediction {
+            time: best.1.max(0.0),
+            bottleneck: best.0,
+            per_proc,
+        }
+    }
+
+    /// Fast path: only the predicted time (the SA scheduler's energy
+    /// function, called thousands of times per scheduling run).
+    pub fn predict_time(&self, mapping: &Mapping) -> f64 {
+        debug_assert_eq!(mapping.len(), self.profile.num_procs());
+        let shares = self.cpu_shares(mapping);
+        let mut max = 0.0f64;
+        for p in &self.profile.procs {
+            let t = self.r_i(p, mapping, &shares) + self.c_i(p, mapping);
+            if t > max {
+                max = t;
+            }
+        }
+        max
+    }
+
+    /// The NCS variant: eq. 4 with the communication term dropped. Scores
+    /// mappings by computation alone; **not** a time prediction (paper §6).
+    pub fn compute_only_score(&self, mapping: &Mapping) -> f64 {
+        debug_assert_eq!(mapping.len(), self.profile.num_procs());
+        let shares = self.cpu_shares(mapping);
+        let mut max = 0.0f64;
+        for p in &self.profile.procs {
+            let t = self.r_i(p, mapping, &shares);
+            if t > max {
+                max = t;
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::load::LoadState;
+    use cbes_cluster::presets::two_switch_demo;
+    use cbes_cluster::{Architecture, NodeId};
+    use cbes_netmodel::LoadAdjuster;
+    use cbes_trace::MessageGroup;
+    use std::collections::BTreeMap;
+
+    /// Two processes, 10 s compute each, exchanging 100×4 KiB in each
+    /// direction, profiled on Alpha nodes (speed 1.0), λ = 1.
+    fn profile() -> AppProfile {
+        let mk = |rank: usize| ProcessProfile {
+            rank,
+            x: 9.5,
+            o: 0.5,
+            b: 0.2,
+            sends: vec![MessageGroup {
+                peer: 1 - rank,
+                bytes: 4096,
+                count: 100,
+            }],
+            recvs: vec![MessageGroup {
+                peer: 1 - rank,
+                bytes: 4096,
+                count: 100,
+            }],
+            profile_speed: 1.0,
+            lambda: 1.0,
+        };
+        AppProfile {
+            name: "synthetic".into(),
+            procs: vec![mk(0), mk(1)],
+            arch_ratios: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn prediction_on_profiling_conditions_reproduces_profile_times() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = profile();
+        let ev = Evaluator::new(&p, &snap);
+        let m = Mapping::new(vec![NodeId(0), NodeId(1)]);
+        let pred = ev.predict(&m);
+        // R = 10 exactly; C = 200 messages × same-switch latency.
+        let lat = c.no_load_latency(NodeId(0), NodeId(1), 4096);
+        assert!((pred.per_proc[0].r - 10.0).abs() < 1e-9);
+        assert!((pred.per_proc[0].c - 200.0 * lat).abs() < 1e-9);
+        assert!((pred.time - (10.0 + 200.0 * lat)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slower_node_increases_r() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = profile();
+        let ev = Evaluator::new(&p, &snap);
+        // Node 4 is Intel at 0.85.
+        let m = Mapping::new(vec![NodeId(4), NodeId(1)]);
+        let pred = ev.predict(&m);
+        assert!((pred.per_proc[0].r - 10.0 / 0.85).abs() < 1e-9);
+        assert_eq!(pred.bottleneck, 0);
+    }
+
+    #[test]
+    fn cpu_load_divides_availability() {
+        let c = two_switch_demo();
+        let mut load = LoadState::idle(c.len());
+        load.set_cpu_avail(NodeId(0), 0.5);
+        let snap = SystemSnapshot::new(&c, &c, LoadAdjuster::default(), load);
+        let p = profile();
+        let ev = Evaluator::new(&p, &snap);
+        let m = Mapping::new(vec![NodeId(0), NodeId(1)]);
+        let pred = ev.predict(&m);
+        assert!((pred.per_proc[0].r - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_switch_mapping_predicts_longer_time() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = profile();
+        let ev = Evaluator::new(&p, &snap);
+        let near = ev.predict_time(&Mapping::new(vec![NodeId(0), NodeId(1)]));
+        let far = ev.predict_time(&Mapping::new(vec![NodeId(0), NodeId(4)]));
+        assert!(far > near);
+    }
+
+    #[test]
+    fn lambda_scales_communication_only() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let mut p = profile();
+        for pp in &mut p.procs {
+            pp.lambda = 0.5;
+        }
+        let half = Evaluator::new(&p, &snap);
+        let m = Mapping::new(vec![NodeId(0), NodeId(1)]);
+        let pred_half = half.predict(&m);
+        let p1 = profile();
+        let full = Evaluator::new(&p1, &snap);
+        let pred_full = full.predict(&m);
+        assert!((pred_half.per_proc[0].c * 2.0 - pred_full.per_proc[0].c).abs() < 1e-12);
+        assert_eq!(pred_half.per_proc[0].r, pred_full.per_proc[0].r);
+    }
+
+    #[test]
+    fn compute_only_score_ignores_communication() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = profile();
+        let ev = Evaluator::new(&p, &snap);
+        let near = ev.compute_only_score(&Mapping::new(vec![NodeId(0), NodeId(1)]));
+        let far = ev.compute_only_score(&Mapping::new(vec![NodeId(0), NodeId(4)]));
+        // Node 1 and node 4 differ only in speed for the compute term; the
+        // communication difference is invisible to NCS... but speeds differ
+        // (1.0 vs 0.85), so compare two same-speed nodes instead:
+        let same_arch = ev.compute_only_score(&Mapping::new(vec![NodeId(0), NodeId(2)]));
+        assert_eq!(near, same_arch);
+        assert!(far > near); // slower Intel node raises R
+    }
+
+    #[test]
+    fn bottleneck_is_argmax() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let mut p = profile();
+        p.procs[1].x = 20.0; // make rank 1 the straggler
+        let ev = Evaluator::new(&p, &snap);
+        let pred = ev.predict(&Mapping::new(vec![NodeId(0), NodeId(1)]));
+        assert_eq!(pred.bottleneck, 1);
+        assert!((pred.time - pred.per_proc[1].total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_time_agrees_with_predict() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = profile();
+        let ev = Evaluator::new(&p, &snap);
+        for nodes in [[0u32, 1], [0, 4], [4, 5], [2, 6]] {
+            let m = Mapping::new(nodes.iter().map(|&i| NodeId(i)).collect());
+            assert!((ev.predict(&m).time - ev.predict_time(&m)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = profile();
+        let ev = Evaluator::new(&p, &snap);
+        let _ = ev.predict(&Mapping::new(vec![NodeId(0)]));
+    }
+
+    #[test]
+    fn oversubscription_divides_effective_speed() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let mut p = profile();
+        for pp in &mut p.procs {
+            pp.sends.clear();
+            pp.recvs.clear();
+            pp.lambda = 0.0;
+        }
+        let ev = Evaluator::new(&p, &snap);
+        // Node 0 is a 1-CPU Alpha: both ranks there -> each at half speed.
+        let shared = ev.predict_time(&Mapping::new(vec![NodeId(0), NodeId(0)]));
+        let dedicated = ev.predict_time(&Mapping::new(vec![NodeId(0), NodeId(1)]));
+        assert!((shared / dedicated - 2.0).abs() < 1e-9, "{shared} vs {dedicated}");
+        // Node 4 is a 2-CPU Intel: two ranks share without slowdown.
+        let dual = ev.predict_time(&Mapping::new(vec![NodeId(4), NodeId(4)]));
+        let single = ev.predict_time(&Mapping::new(vec![NodeId(4), NodeId(5)]));
+        assert!((dual - single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arch_ratio_map_is_available_for_reporting() {
+        let mut p = profile();
+        p.arch_ratios.insert(Architecture::Sparc, 0.65);
+        assert_eq!(p.arch_ratio(Architecture::Sparc), 0.65);
+    }
+}

@@ -1,0 +1,211 @@
+//! The CBES service façade: accepts mapping-comparison requests from
+//! external clients (schedulers), combining the profile registry with the
+//! current system snapshot (paper figure 2).
+
+use crate::error::ServiceError;
+use crate::eval::{Evaluator, Prediction};
+use crate::mapping::Mapping;
+use crate::monitor::{ForecastKind, Monitor};
+use crate::registry::ProfileRegistry;
+use crate::snapshot::SystemSnapshot;
+use cbes_cluster::load::LoadState;
+use cbes_cluster::{Cluster, LatencyProvider};
+
+/// The core CBES module: owns the profile registry and the monitor, and
+/// serves mapping-comparison requests against the current snapshot.
+pub struct CbesService<'a> {
+    cluster: &'a Cluster,
+    no_load: &'a dyn LatencyProvider,
+    registry: ProfileRegistry,
+    monitor: Monitor,
+}
+
+impl<'a> CbesService<'a> {
+    /// A service over `cluster` with the given calibrated latency source and
+    /// monitoring strategy.
+    pub fn new(
+        cluster: &'a Cluster,
+        no_load: &'a dyn LatencyProvider,
+        forecast: ForecastKind,
+    ) -> Self {
+        CbesService {
+            cluster,
+            no_load,
+            registry: ProfileRegistry::new(),
+            monitor: Monitor::new(cluster.len(), forecast),
+        }
+    }
+
+    /// The application-profile registry.
+    pub fn registry(&self) -> &ProfileRegistry {
+        &self.registry
+    }
+
+    /// Feed a monitoring sweep (periodic load measurement).
+    pub fn observe_load(&mut self, measured: &LoadState) {
+        self.monitor.observe(measured);
+    }
+
+    /// The snapshot a request issued *now* would be evaluated against.
+    pub fn snapshot(&self) -> SystemSnapshot<'a> {
+        let mut s = SystemSnapshot::no_load(self.cluster, self.no_load);
+        s.set_load(self.monitor.forecast());
+        s
+    }
+
+    /// Compare candidate mappings for a registered application; returns one
+    /// prediction per mapping, in request order (the paper's mapping
+    /// comparison request).
+    pub fn compare(
+        &self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<Vec<Prediction>, ServiceError> {
+        if mappings.is_empty() {
+            return Err(ServiceError::EmptyRequest);
+        }
+        let profile = self
+            .registry
+            .get(app)
+            .ok_or_else(|| ServiceError::UnknownApp(app.to_string()))?;
+        for m in mappings {
+            if m.len() != profile.num_procs() {
+                return Err(ServiceError::ArityMismatch {
+                    expected: profile.num_procs(),
+                    got: m.len(),
+                });
+            }
+            for (_, node) in m.iter() {
+                if node.index() >= self.cluster.len() {
+                    return Err(ServiceError::BadNode(node.0));
+                }
+            }
+        }
+        let snap = self.snapshot();
+        let ev = Evaluator::new(&profile, &snap);
+        Ok(mappings.iter().map(|m| ev.predict(m)).collect())
+    }
+
+    /// The index and prediction of the fastest mapping among candidates.
+    pub fn best_of(
+        &self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(usize, Prediction), ServiceError> {
+        let preds = self.compare(app, mappings)?;
+        let (idx, best) = preds
+            .into_iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.time.partial_cmp(&b.time).expect("times are finite"))
+            .expect("compare rejects empty requests");
+        Ok((idx, best))
+    }
+}
+
+impl std::fmt::Debug for CbesService<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CbesService")
+            .field("cluster", &self.cluster.name())
+            .field("profiles", &self.registry.len())
+            .field("monitor", &self.monitor)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::presets::two_switch_demo;
+    use cbes_cluster::NodeId;
+    use cbes_trace::{AppProfile, MessageGroup, ProcessProfile};
+    use std::collections::BTreeMap;
+
+    fn profile() -> AppProfile {
+        let mk = |rank: usize| ProcessProfile {
+            rank,
+            x: 5.0,
+            o: 0.2,
+            b: 0.5,
+            sends: vec![MessageGroup {
+                peer: 1 - rank,
+                bytes: 8192,
+                count: 50,
+            }],
+            recvs: vec![MessageGroup {
+                peer: 1 - rank,
+                bytes: 8192,
+                count: 50,
+            }],
+            profile_speed: 1.0,
+            lambda: 1.0,
+        };
+        AppProfile {
+            name: "app".into(),
+            procs: vec![mk(0), mk(1)],
+            arch_ratios: BTreeMap::new(),
+        }
+    }
+
+    fn m(ids: &[u32]) -> Mapping {
+        Mapping::new(ids.iter().map(|&i| NodeId(i)).collect())
+    }
+
+    #[test]
+    fn compare_orders_predictions_by_request() {
+        let c = two_switch_demo();
+        let mut svc = CbesService::new(&c, &c, ForecastKind::LastValue);
+        svc.registry().insert(profile());
+        let preds = svc.compare("app", &[m(&[0, 1]), m(&[0, 4])]).unwrap();
+        assert_eq!(preds.len(), 2);
+        assert!(preds[0].time < preds[1].time, "same-switch must win");
+        let _ = &mut svc;
+    }
+
+    #[test]
+    fn best_of_picks_fastest() {
+        let c = two_switch_demo();
+        let svc = CbesService::new(&c, &c, ForecastKind::LastValue);
+        svc.registry().insert(profile());
+        let (idx, pred) = svc
+            .best_of("app", &[m(&[0, 4]), m(&[0, 1]), m(&[4, 5])])
+            .unwrap();
+        assert_eq!(idx, 1);
+        assert!(pred.time > 0.0);
+    }
+
+    #[test]
+    fn monitor_feeds_snapshot() {
+        let c = two_switch_demo();
+        let mut svc = CbesService::new(&c, &c, ForecastKind::LastValue);
+        svc.registry().insert(profile());
+        let idle_pred = svc.compare("app", &[m(&[0, 1])]).unwrap()[0].time;
+        let mut measured = LoadState::idle(c.len());
+        measured.set_cpu_avail(NodeId(0), 0.5);
+        svc.observe_load(&measured);
+        let loaded_pred = svc.compare("app", &[m(&[0, 1])]).unwrap()[0].time;
+        assert!(loaded_pred > idle_pred * 1.5);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let c = two_switch_demo();
+        let svc = CbesService::new(&c, &c, ForecastKind::LastValue);
+        assert_eq!(
+            svc.compare("nope", &[m(&[0, 1])]).unwrap_err(),
+            ServiceError::UnknownApp("nope".into())
+        );
+        svc.registry().insert(profile());
+        assert_eq!(
+            svc.compare("app", &[]).unwrap_err(),
+            ServiceError::EmptyRequest
+        );
+        assert!(matches!(
+            svc.compare("app", &[m(&[0])]).unwrap_err(),
+            ServiceError::ArityMismatch { expected: 2, got: 1 }
+        ));
+        assert_eq!(
+            svc.compare("app", &[m(&[0, 99])]).unwrap_err(),
+            ServiceError::BadNode(99)
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! On-demand snapshots of system state, combining the calibrated latency
+//! model with the monitor's current load estimates.
+
+use cbes_cluster::load::LoadState;
+use cbes_cluster::{Cluster, LatencyProvider, NodeId};
+use cbes_netmodel::LoadAdjuster;
+
+/// Everything the mapping evaluation needs to know about the computing
+/// system *right now*: topology-derived node data, the no-load latency
+/// model, and current per-node load (paper §2: "a snapshot of resource
+/// availability, system profile data").
+///
+/// The pairwise latency picture is derived in `O(1)` per queried pair from
+/// the no-load model plus the two endpoints' load — this is the paper's
+/// `O(N)`-monitoring approximation of the `O(N²)` resource picture.
+pub struct SystemSnapshot<'a> {
+    /// The cluster (node speeds, architectures).
+    pub cluster: &'a Cluster,
+    /// No-load end-to-end latency source (usually the calibrated
+    /// [`cbes_netmodel::LatencyModel`]).
+    no_load: &'a dyn LatencyProvider,
+    /// How endpoint load inflates latency.
+    pub adjuster: LoadAdjuster,
+    /// Current (or forecast) per-node load.
+    pub load: LoadState,
+}
+
+impl<'a> SystemSnapshot<'a> {
+    /// A snapshot with explicit load state.
+    pub fn new(
+        cluster: &'a Cluster,
+        no_load: &'a dyn LatencyProvider,
+        adjuster: LoadAdjuster,
+        load: LoadState,
+    ) -> Self {
+        assert!(
+            load.len() >= cluster.len(),
+            "load state must cover every node"
+        );
+        SystemSnapshot {
+            cluster,
+            no_load,
+            adjuster,
+            load,
+        }
+    }
+
+    /// A snapshot of an idle cluster (default adjuster, full availability).
+    pub fn no_load(cluster: &'a Cluster, no_load: &'a dyn LatencyProvider) -> Self {
+        SystemSnapshot::new(
+            cluster,
+            no_load,
+            LoadAdjuster::default(),
+            LoadState::idle(cluster.len()),
+        )
+    }
+
+    /// Current CPU availability of `node` (`ACPU_j`, paper eq. 5).
+    #[inline]
+    pub fn acpu(&self, node: NodeId) -> f64 {
+        self.load.cpu_avail(node)
+    }
+
+    /// Relative speed of `node` (`Speed_j`).
+    #[inline]
+    pub fn speed(&self, node: NodeId) -> f64 {
+        self.cluster.node(node).speed
+    }
+
+    /// Current load-adjusted latency `L_c` (paper eq. 6's latency term).
+    #[inline]
+    pub fn current_latency(&self, a: NodeId, b: NodeId, bytes: u64) -> f64 {
+        self.adjuster
+            .adjust(self.no_load.latency(a, b, bytes), &self.load, a, b)
+    }
+
+    /// Replace the load estimate (e.g. with a fresh monitor forecast).
+    pub fn set_load(&mut self, load: LoadState) {
+        assert!(load.len() >= self.cluster.len());
+        self.load = load;
+    }
+}
+
+impl LatencyProvider for SystemSnapshot<'_> {
+    fn latency(&self, a: NodeId, b: NodeId, bytes: u64) -> f64 {
+        self.current_latency(a, b, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::presets::two_switch_demo;
+
+    #[test]
+    fn no_load_snapshot_matches_model() {
+        let c = two_switch_demo();
+        let s = SystemSnapshot::no_load(&c, &c);
+        assert_eq!(
+            s.current_latency(NodeId(0), NodeId(4), 1024),
+            c.no_load_latency(NodeId(0), NodeId(4), 1024)
+        );
+        assert_eq!(s.acpu(NodeId(0)), 1.0);
+        assert_eq!(s.speed(NodeId(4)), 0.85);
+    }
+
+    #[test]
+    fn loaded_snapshot_inflates_latency() {
+        let c = two_switch_demo();
+        let mut load = LoadState::idle(c.len());
+        load.set_cpu_avail(NodeId(0), 0.5);
+        let s = SystemSnapshot::new(&c, &c, LoadAdjuster::default(), load);
+        assert!(
+            s.current_latency(NodeId(0), NodeId(4), 1024)
+                > c.no_load_latency(NodeId(0), NodeId(4), 1024)
+        );
+        assert_eq!(s.acpu(NodeId(0)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn short_load_state_is_rejected() {
+        let c = two_switch_demo();
+        let _ = SystemSnapshot::new(&c, &c, LoadAdjuster::default(), LoadState::idle(2));
+    }
+
+    #[test]
+    fn set_load_updates_view() {
+        let c = two_switch_demo();
+        let mut s = SystemSnapshot::no_load(&c, &c);
+        let before = s.current_latency(NodeId(0), NodeId(1), 64);
+        let mut load = LoadState::idle(c.len());
+        load.set_cpu_avail(NodeId(1), 0.4);
+        s.set_load(load);
+        assert!(s.current_latency(NodeId(0), NodeId(1), 64) > before);
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulator errors.
+
+use std::fmt;
+
+/// Errors raised by [`crate::simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The mapping length does not match the program's rank count.
+    MappingMismatch {
+        /// Ranks in the program.
+        ranks: usize,
+        /// Entries in the mapping.
+        mapping: usize,
+    },
+    /// The load state covers fewer nodes than the cluster.
+    LoadMismatch {
+        /// Nodes in the cluster.
+        nodes: usize,
+        /// Entries in the load state.
+        load: usize,
+    },
+    /// A mapping entry references a node outside the cluster.
+    BadNode(u32),
+    /// The program references an invalid peer (rank, op index).
+    BadProgram {
+        /// Offending rank.
+        rank: usize,
+        /// Offending op index within that rank's program.
+        op: usize,
+    },
+    /// Execution stalled: the listed ranks are blocked forever.
+    Deadlock {
+        /// Ranks that can never make progress.
+        blocked: Vec<usize>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MappingMismatch { ranks, mapping } => {
+                write!(f, "program has {ranks} ranks but mapping has {mapping} entries")
+            }
+            SimError::LoadMismatch { nodes, load } => {
+                write!(f, "cluster has {nodes} nodes but load state covers {load}")
+            }
+            SimError::BadNode(n) => write!(f, "mapping references unknown node n{n}"),
+            SimError::BadProgram { rank, op } => {
+                write!(f, "invalid op {op} in rank {rank}'s program")
+            }
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: ranks {blocked:?} blocked forever")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = SimError::Deadlock {
+            blocked: vec![1, 3],
+        };
+        assert!(e.to_string().contains("[1, 3]"));
+        assert!(SimError::BadNode(9).to_string().contains("n9"));
+        assert!(SimError::MappingMismatch { ranks: 4, mapping: 2 }
+            .to_string()
+            .contains("4 ranks"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Stochastic perturbation of simulated durations.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Draws multiplicative noise factors `max(0.2, 1 + σ·z)`, `z ~ N(0, 1)`,
+/// via Box–Muller (the floor keeps durations positive). With `σ = 0` the
+/// factor is exactly 1 and no random numbers are consumed, so noiseless runs
+/// are analytically exact.
+#[derive(Debug)]
+pub struct Noise {
+    sigma: f64,
+    /// Box–Muller produces pairs; cache the second draw.
+    spare: Option<f64>,
+}
+
+impl Noise {
+    /// A noise source with relative standard deviation `sigma`.
+    pub fn new(sigma: f64) -> Self {
+        Noise { sigma, spare: None }
+    }
+
+    /// Draw the next noise factor.
+    pub fn factor(&mut self, rng: &mut StdRng) -> f64 {
+        if self.sigma <= 0.0 {
+            return 1.0;
+        }
+        let z = if let Some(z) = self.spare.take() {
+            z
+        } else {
+            let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
+            self.spare = Some(r * s);
+            r * c
+        };
+        (1.0 + self.sigma * z).max(0.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_exactly_one_and_consumes_no_randomness() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut n = Noise::new(0.0);
+        for _ in 0..10 {
+            assert_eq!(n.factor(&mut rng1), 1.0);
+        }
+        // rng1 untouched: same next value as rng2.
+        let a: f64 = rng1.random_range(0.0..1.0);
+        let b: f64 = rng2.random_range(0.0..1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn factors_center_on_one() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut n = Noise::new(0.05);
+        let count = 40_000;
+        let mean: f64 = (0..count).map(|_| n.factor(&mut rng)).sum::<f64>() / count as f64;
+        assert!((mean - 1.0).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn factors_are_floored() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut n = Noise::new(3.0); // absurd sigma to hit the floor
+        for _ in 0..1000 {
+            assert!(n.factor(&mut rng) >= 0.2);
+        }
+    }
+
+    #[test]
+    fn spread_scales_with_sigma() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let spread = |sigma: f64, rng: &mut StdRng| {
+            let mut n = Noise::new(sigma);
+            let xs: Vec<f64> = (0..5000).map(|_| n.factor(rng)).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        let s1 = spread(0.01, &mut rng);
+        let s2 = spread(0.05, &mut rng);
+        assert!(s2 > 3.0 * s1, "s1={s1} s2={s2}");
+    }
+}

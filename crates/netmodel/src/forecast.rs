@@ -1,0 +1,328 @@
+//! Forecasters for monitored resource series (CPU availability, NIC load).
+//!
+//! The Centurion prototype used NWS, whose distinguishing feature is
+//! *next-period forecasting* from a family of simple predictors; the Orange
+//! Grove prototype simply considered "the latest measured load values as
+//! valid for the next time period". Both styles are provided, plus an
+//! NWS-like adaptive meta-forecaster that tracks which simple predictor has
+//! recently been most accurate.
+
+use std::collections::VecDeque;
+
+/// A one-step-ahead forecaster over a scalar measurement stream.
+pub trait Forecaster {
+    /// Feed one new measurement.
+    fn observe(&mut self, value: f64);
+    /// Predict the next value. Before any observation, returns `default`.
+    fn predict(&self) -> f64;
+    /// Reset to the unobserved state.
+    fn reset(&mut self);
+}
+
+/// The Orange Grove strategy: the last measured value is the forecast.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+    default: f64,
+}
+
+impl LastValue {
+    /// Forecaster returning `default` until the first observation.
+    pub fn new(default: f64) -> Self {
+        LastValue {
+            last: None,
+            default,
+        }
+    }
+}
+
+impl Forecaster for LastValue {
+    fn observe(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn predict(&self) -> f64 {
+        self.last.unwrap_or(self.default)
+    }
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Mean of the most recent `window` measurements.
+#[derive(Debug, Clone)]
+pub struct RunningMean {
+    window: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+    default: f64,
+}
+
+impl RunningMean {
+    /// A windowed mean forecaster. `window` must be ≥ 1.
+    pub fn new(window: usize, default: f64) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        RunningMean {
+            window,
+            buf: VecDeque::with_capacity(window),
+            sum: 0.0,
+            default,
+        }
+    }
+}
+
+impl Forecaster for RunningMean {
+    fn observe(&mut self, value: f64) {
+        if self.buf.len() == self.window {
+            if let Some(old) = self.buf.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.buf.push_back(value);
+        self.sum += value;
+    }
+    fn predict(&self) -> f64 {
+        if self.buf.is_empty() {
+            self.default
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Median of the most recent `window` measurements — robust to the short
+/// transient spikes the paper found harmless.
+#[derive(Debug, Clone)]
+pub struct SlidingMedian {
+    window: usize,
+    buf: VecDeque<f64>,
+    default: f64,
+}
+
+impl SlidingMedian {
+    /// A windowed median forecaster. `window` must be ≥ 1.
+    pub fn new(window: usize, default: f64) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        SlidingMedian {
+            window,
+            buf: VecDeque::with_capacity(window),
+            default,
+        }
+    }
+}
+
+impl Forecaster for SlidingMedian {
+    fn observe(&mut self, value: f64) {
+        if self.buf.len() == self.window {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(value);
+    }
+    fn predict(&self) -> f64 {
+        if self.buf.is_empty() {
+            return self.default;
+        }
+        let mut v: Vec<f64> = self.buf.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = v.len() / 2;
+        if v.len() % 2 == 1 {
+            v[mid]
+        } else {
+            0.5 * (v[mid - 1] + v[mid])
+        }
+    }
+    fn reset(&mut self) {
+        self.buf.clear();
+    }
+}
+
+/// NWS-style adaptive forecaster: runs last-value, windowed-mean and
+/// windowed-median side by side, tracks each predictor's recent mean absolute
+/// error, and answers with the currently best one.
+#[derive(Debug, Clone)]
+pub struct Adaptive {
+    candidates: Vec<Candidate>,
+    err_window: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    kind: Kind,
+    errors: VecDeque<f64>,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Last(LastValue),
+    Mean(RunningMean),
+    Median(SlidingMedian),
+}
+
+impl Kind {
+    fn observe(&mut self, v: f64) {
+        match self {
+            Kind::Last(f) => f.observe(v),
+            Kind::Mean(f) => f.observe(v),
+            Kind::Median(f) => f.observe(v),
+        }
+    }
+    fn predict(&self) -> f64 {
+        match self {
+            Kind::Last(f) => f.predict(),
+            Kind::Mean(f) => f.predict(),
+            Kind::Median(f) => f.predict(),
+        }
+    }
+    fn reset(&mut self) {
+        match self {
+            Kind::Last(f) => f.reset(),
+            Kind::Mean(f) => f.reset(),
+            Kind::Median(f) => f.reset(),
+        }
+    }
+}
+
+impl Adaptive {
+    /// Standard NWS-like ensemble with the given smoothing window.
+    pub fn new(window: usize, default: f64) -> Self {
+        Adaptive {
+            candidates: vec![
+                Candidate {
+                    kind: Kind::Last(LastValue::new(default)),
+                    errors: VecDeque::new(),
+                },
+                Candidate {
+                    kind: Kind::Mean(RunningMean::new(window, default)),
+                    errors: VecDeque::new(),
+                },
+                Candidate {
+                    kind: Kind::Median(SlidingMedian::new(window, default)),
+                    errors: VecDeque::new(),
+                },
+            ],
+            err_window: window.max(2) * 2,
+        }
+    }
+
+    fn best(&self) -> &Candidate {
+        self.candidates
+            .iter()
+            .min_by(|a, b| {
+                mean_err(&a.errors)
+                    .partial_cmp(&mean_err(&b.errors))
+                    .unwrap()
+            })
+            .expect("at least one candidate")
+    }
+}
+
+fn mean_err(errors: &VecDeque<f64>) -> f64 {
+    if errors.is_empty() {
+        f64::INFINITY
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    }
+}
+
+impl Forecaster for Adaptive {
+    fn observe(&mut self, value: f64) {
+        let err_window = self.err_window;
+        for c in &mut self.candidates {
+            let e = (c.kind.predict() - value).abs();
+            if c.errors.len() == err_window {
+                c.errors.pop_front();
+            }
+            c.errors.push_back(e);
+            c.kind.observe(value);
+        }
+    }
+    fn predict(&self) -> f64 {
+        // Before any error history exists, all are tied at infinity; the
+        // first candidate (last-value) wins, which is the sane default.
+        self.best().kind.predict()
+    }
+    fn reset(&mut self) {
+        for c in &mut self.candidates {
+            c.errors.clear();
+            c.kind.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_returns_default_then_last() {
+        let mut f = LastValue::new(1.0);
+        assert_eq!(f.predict(), 1.0);
+        f.observe(0.5);
+        f.observe(0.7);
+        assert_eq!(f.predict(), 0.7);
+        f.reset();
+        assert_eq!(f.predict(), 1.0);
+    }
+
+    #[test]
+    fn running_mean_windows_correctly() {
+        let mut f = RunningMean::new(3, 0.0);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            f.observe(v);
+        }
+        // Window holds [2, 3, 4].
+        assert!((f.predict() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_median_resists_spikes() {
+        let mut f = SlidingMedian::new(5, 1.0);
+        for v in [0.9, 0.9, 0.1, 0.9, 0.9] {
+            f.observe(v);
+        }
+        assert_eq!(f.predict(), 0.9);
+    }
+
+    #[test]
+    fn median_of_even_window_averages_middles() {
+        let mut f = SlidingMedian::new(4, 0.0);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            f.observe(v);
+        }
+        assert!((f.predict() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_tracks_stable_series_with_low_error() {
+        let mut f = Adaptive::new(5, 1.0);
+        for _ in 0..20 {
+            f.observe(0.8);
+        }
+        assert!((f.predict() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_prefers_median_under_spiky_load() {
+        let mut f = Adaptive::new(5, 1.0);
+        // Stable 0.9 with periodic one-sample spikes down to 0.1.
+        for i in 0..60 {
+            let v = if i % 7 == 0 { 0.1 } else { 0.9 };
+            f.observe(v);
+        }
+        // After a spike, last-value predicts 0.1 (bad); median stays 0.9.
+        let p = f.predict();
+        assert!(
+            (p - 0.9).abs() < 0.2,
+            "adaptive should resist spikes, got {p}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_mean_panics() {
+        let _ = RunningMean::new(0, 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! The CBES system-information substrate: an empirical end-to-end latency
+//! model, its off-line calibration procedure, the run-time load-adjustment
+//! rule, and NWS-style forecasters.
+//!
+//! The paper's key infrastructure idea (§2): measuring all `O(N²)` pairwise
+//! latencies continuously is infeasible, so CBES measures them **once**, at
+//! calibration time, on an unloaded cluster — parallelised into benchmark
+//! *cliques* so wall time is `O(N)` — and at query time *adjusts* the no-load
+//! value for the current CPU/NIC load of the two endpoints, which only needs
+//! the `O(N)` per-node monitor stream.
+//!
+//! * [`model::LatencyModel`] — no-load latency per node pair, piecewise-linear
+//!   in message size, fitted from calibration measurements.
+//! * [`calibrate::Calibrator`] — the off-line measurement campaign.
+//! * [`LoadAdjuster`] — no-load → current latency adjustment.
+//! * [`forecast`] — last-value / mean / median / adaptive forecasters for the
+//!   monitoring stream (NWS-style; the Centurion prototype used NWS, the
+//!   Orange Grove prototype used last-value).
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod forecast;
+pub mod model;
+
+pub use calibrate::{verify_model, CalibrationOutcome, Calibrator, StalenessReport};
+pub use model::LatencyModel;
+
+use cbes_cluster::load::LoadState;
+use cbes_cluster::{LatencyProvider, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Adjusts a no-load end-to-end latency for the current CPU and NIC load of
+/// the two endpoint nodes (paper §2, ref. \[12\]).
+///
+/// The adjusted latency is
+/// `L_c = L_0 · (1 + α·((1-ACPU_src) + (1-ACPU_dst)) + β·(NIC_src + NIC_dst))`:
+/// a busy CPU delays protocol processing, a busy NIC delays wire access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadAdjuster {
+    /// Sensitivity of latency to endpoint CPU load.
+    pub alpha_cpu: f64,
+    /// Sensitivity of latency to endpoint NIC load.
+    pub beta_nic: f64,
+}
+
+impl Default for LoadAdjuster {
+    fn default() -> Self {
+        LoadAdjuster {
+            alpha_cpu: 0.35,
+            beta_nic: 0.6,
+        }
+    }
+}
+
+impl LoadAdjuster {
+    /// Multiplicative load factor for a (src, dst) endpoint pair.
+    #[inline]
+    pub fn factor(&self, load: &LoadState, src: NodeId, dst: NodeId) -> f64 {
+        let cpu = (1.0 - load.cpu_avail(src)) + (1.0 - load.cpu_avail(dst));
+        let nic = load.nic_load(src) + load.nic_load(dst);
+        1.0 + self.alpha_cpu * cpu + self.beta_nic * nic
+    }
+
+    /// Adjust a no-load latency for current endpoint load.
+    #[inline]
+    pub fn adjust(&self, no_load: f64, load: &LoadState, src: NodeId, dst: NodeId) -> f64 {
+        no_load * self.factor(load, src, dst)
+    }
+}
+
+/// A [`LatencyProvider`] view that layers a [`LoadAdjuster`] and a
+/// [`LoadState`] over a base no-load provider. This is what the CBES mapping
+/// evaluation consumes: current latencies `L_c` derived in `O(1)` per query
+/// from the calibrated model plus the monitor's per-node load snapshot.
+#[derive(Debug, Clone)]
+pub struct AdjustedLatency<'a, P: LatencyProvider> {
+    base: &'a P,
+    adjuster: LoadAdjuster,
+    load: &'a LoadState,
+}
+
+impl<'a, P: LatencyProvider> AdjustedLatency<'a, P> {
+    /// Wrap `base` with the given adjuster and load snapshot.
+    pub fn new(base: &'a P, adjuster: LoadAdjuster, load: &'a LoadState) -> Self {
+        AdjustedLatency {
+            base,
+            adjuster,
+            load,
+        }
+    }
+}
+
+impl<P: LatencyProvider> LatencyProvider for AdjustedLatency<'_, P> {
+    fn latency(&self, a: NodeId, b: NodeId, bytes: u64) -> f64 {
+        self.adjuster
+            .adjust(self.base.latency(a, b, bytes), self.load, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::presets::two_switch_demo;
+
+    #[test]
+    fn idle_load_leaves_latency_unchanged() {
+        let adj = LoadAdjuster::default();
+        let load = LoadState::idle(4);
+        assert_eq!(adj.factor(&load, NodeId(0), NodeId(1)), 1.0);
+        assert_eq!(adj.adjust(1e-4, &load, NodeId(0), NodeId(1)), 1e-4);
+    }
+
+    #[test]
+    fn cpu_load_increases_latency() {
+        let adj = LoadAdjuster::default();
+        let mut load = LoadState::idle(4);
+        load.set_cpu_avail(NodeId(0), 0.5);
+        let f = adj.factor(&load, NodeId(0), NodeId(1));
+        assert!(f > 1.0);
+        assert!((f - (1.0 + 0.35 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nic_load_increases_latency() {
+        let adj = LoadAdjuster::default();
+        let mut load = LoadState::idle(4);
+        load.set_nic_load(NodeId(1), 0.4);
+        let f = adj.factor(&load, NodeId(0), NodeId(1));
+        assert!((f - (1.0 + 0.6 * 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_effects_add_across_endpoints() {
+        let adj = LoadAdjuster {
+            alpha_cpu: 1.0,
+            beta_nic: 0.0,
+        };
+        let mut load = LoadState::idle(4);
+        load.set_cpu_avail(NodeId(0), 0.8);
+        load.set_cpu_avail(NodeId(1), 0.7);
+        let f = adj.factor(&load, NodeId(0), NodeId(1));
+        assert!((f - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjusted_view_implements_latency_provider() {
+        let c = two_switch_demo();
+        let mut load = LoadState::idle(c.len());
+        load.set_cpu_avail(NodeId(0), 0.5);
+        let view = AdjustedLatency::new(&c, LoadAdjuster::default(), &load);
+        let raw = c.latency(NodeId(0), NodeId(1), 1024);
+        let adj = view.latency(NodeId(0), NodeId(1), 1024);
+        assert!(adj > raw);
+        // Pair not involving node 0 is unaffected.
+        assert_eq!(
+            view.latency(NodeId(1), NodeId(2), 1024),
+            c.latency(NodeId(1), NodeId(2), 1024)
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Orchestration errors.
+
+use cbes_mpisim::SimError;
+use cbes_sched::SchedError;
+use std::fmt;
+
+/// Errors raised by the run-time orchestrator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A phase execution failed in the simulator.
+    Sim(SimError),
+    /// Scheduling a (re)mapping failed.
+    Sched(SchedError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Sim(e) => write!(f, "phase execution failed: {e}"),
+            RuntimeError::Sched(e) => write!(f, "scheduling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Sim(e) => Some(e),
+            RuntimeError::Sched(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for RuntimeError {
+    fn from(e: SimError) -> Self {
+        RuntimeError::Sim(e)
+    }
+}
+
+impl From<SchedError> for RuntimeError {
+    fn from(e: SchedError) -> Self {
+        RuntimeError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RuntimeError = SchedError::EmptyProfile.into();
+        assert!(e.to_string().contains("scheduling failed"));
+        let e: RuntimeError = SimError::BadNode(3).into();
+        assert!(e.to_string().contains("n3"));
+    }
+}

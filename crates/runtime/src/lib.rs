@@ -1,0 +1,28 @@
+//! Run-time orchestration of CBES-scheduled applications.
+//!
+//! The paper's design (§2) calls for more than one-shot placement: "if
+//! system conditions, with regard to a running application, change, there
+//! should be the capability of generating a new mapping for that
+//! application ... taking into account the task remapping costs", and the
+//! future-work section (§8) names "application monitoring and remapping
+//! capabilities" as the next step. This crate implements that loop over the
+//! simulated testbed:
+//!
+//! 1. a [`PhasedApp`] executes phase by phase (the paper's LAM/MPI trace
+//!    *segments*),
+//! 2. between phases the [`Orchestrator`] feeds the monitor with the
+//!    current background load, re-schedules the *remaining* work under the
+//!    forecast conditions, and
+//! 3. a [`cbes_core::remap::RemapAnalysis`] decides whether migrating pays
+//!    for itself; if it does, the migration delay is charged and execution
+//!    continues on the new mapping.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod orchestrator;
+pub mod phased;
+
+pub use error::RuntimeError;
+pub use orchestrator::{Orchestrator, PhaseReport, RunReport, RuntimeConfig};
+pub use phased::PhasedApp;

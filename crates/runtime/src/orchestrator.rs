@@ -1,0 +1,331 @@
+//! The monitoring / scheduling / remapping loop.
+
+use crate::error::RuntimeError;
+use crate::phased::PhasedApp;
+use cbes_cluster::load::LoadTimeline;
+use cbes_cluster::{Cluster, LatencyProvider, NodeId};
+use cbes_core::eval::Evaluator;
+use cbes_core::mapping::Mapping;
+use cbes_core::monitor::{ForecastKind, Monitor};
+use cbes_core::remap::{RemapAnalysis, RemapDecision};
+use cbes_core::snapshot::SystemSnapshot;
+use cbes_mpisim::{simulate, SimConfig};
+use cbes_sched::{SaConfig, SaScheduler, ScheduleRequest, Scheduler};
+use cbes_trace::profile::merge_profiles;
+use cbes_trace::{extract_profile, AppProfile};
+
+/// Orchestrator configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Forecasting strategy of the monitor.
+    pub forecast: ForecastKind,
+    /// Remapping cost/benefit policy.
+    pub remap: RemapAnalysis,
+    /// Annealer configuration for (re)scheduling.
+    pub sa: SaConfig,
+    /// Simulator configuration for phase execution.
+    pub sim: SimConfig,
+    /// Monitoring sweeps taken at each phase boundary.
+    pub sweeps_per_boundary: u32,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            forecast: ForecastKind::Adaptive(8),
+            remap: RemapAnalysis::default(),
+            sa: SaConfig::thorough(1),
+            sim: SimConfig::default(),
+            sweeps_per_boundary: 3,
+        }
+    }
+}
+
+/// What happened in one executed phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase index.
+    pub phase: usize,
+    /// Mapping the phase ran on.
+    pub mapping: Mapping,
+    /// CBES prediction for this phase under the conditions at its start.
+    pub predicted: f64,
+    /// Simulated wall time of the phase.
+    pub wall: f64,
+    /// True when a remap happened *before* this phase.
+    pub remapped: bool,
+    /// Migration delay charged before the phase (0 when not remapped).
+    pub migration: f64,
+}
+
+/// The outcome of a full orchestrated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-phase outcomes, in order.
+    pub phases: Vec<PhaseReport>,
+    /// Total completion time including migration delays.
+    pub total: f64,
+    /// Number of remapping events taken.
+    pub remaps: usize,
+}
+
+impl RunReport {
+    /// Sum of migration delays paid.
+    pub fn migration_total(&self) -> f64 {
+        self.phases.iter().map(|p| p.migration).sum()
+    }
+}
+
+/// Drives a [`PhasedApp`] through execution on a cluster whose background
+/// load evolves over a [`LoadTimeline`], re-evaluating the mapping at every
+/// phase boundary.
+pub struct Orchestrator<'a> {
+    cluster: &'a Cluster,
+    latency: &'a dyn LatencyProvider,
+    config: RuntimeConfig,
+}
+
+impl<'a> Orchestrator<'a> {
+    /// An orchestrator over `cluster` with the given calibrated latency
+    /// source.
+    pub fn new(
+        cluster: &'a Cluster,
+        latency: &'a dyn LatencyProvider,
+        config: RuntimeConfig,
+    ) -> Self {
+        Orchestrator {
+            cluster,
+            latency,
+            config,
+        }
+    }
+
+    /// Profile each phase once on `profiling_nodes` (idle system).
+    fn profile_phases(
+        &self,
+        app: &PhasedApp,
+        profiling_nodes: &[NodeId],
+    ) -> Result<Vec<AppProfile>, RuntimeError> {
+        let idle = cbes_cluster::load::LoadState::idle(self.cluster.len());
+        app.phases
+            .iter()
+            .enumerate()
+            .map(|(i, program)| {
+                let run = simulate(self.cluster, program, profiling_nodes, &idle, &self.config.sim)?;
+                Ok(extract_profile(
+                    &format!("{}#{}", app.name, i),
+                    &run.trace,
+                    self.cluster,
+                    profiling_nodes,
+                    &self.latency,
+                ))
+            })
+            .collect()
+    }
+
+    /// Execute the application, re-considering the mapping at every phase
+    /// boundary against the load in `timeline`.
+    ///
+    /// `pool` is the candidate node set; phases are profiled on its first
+    /// `n` nodes. Returns the full per-phase report.
+    pub fn run(
+        &self,
+        app: &PhasedApp,
+        pool: &[NodeId],
+        timeline: &LoadTimeline,
+    ) -> Result<RunReport, RuntimeError> {
+        let n = app.num_ranks();
+        let profiles = self.profile_phases(app, &pool[..n])?;
+        let mut monitor = Monitor::new(self.cluster.len(), self.config.forecast);
+
+        // Remaining-work profile from phase k onward.
+        let remaining = |k: usize| {
+            let parts: Vec<&AppProfile> = profiles[k..].iter().collect();
+            merge_profiles(&format!("{}@{}", app.name, k), &parts)
+        };
+
+        let mut now = 0.0f64;
+        let mut mapping: Option<Mapping> = None;
+        let mut phases = Vec::with_capacity(app.num_phases());
+        let mut remaps = 0usize;
+
+        #[allow(clippy::needless_range_loop)] // k indexes phases AND profiles
+        for k in 0..app.num_phases() {
+            // Monitoring sweeps observe the recent ground truth, oldest
+            // first, ending at the current instant.
+            for s in (0..self.config.sweeps_per_boundary).rev() {
+                monitor.observe(&timeline.sample((now - s as f64).max(0.0)));
+            }
+            let forecast = monitor.forecast();
+            let mut snap = SystemSnapshot::no_load(self.cluster, self.latency);
+            snap.set_load(forecast);
+
+            let work_left = remaining(k);
+            let req = ScheduleRequest::new(&work_left, &snap, pool);
+            let fresh = SaScheduler::new(self.config.sa).schedule(&req)?;
+
+            let (chosen, remapped, migration) = match &mapping {
+                None => (fresh.mapping.clone(), false, 0.0),
+                Some(current) => {
+                    let ev = Evaluator::new(&work_left, &snap);
+                    match self.config.remap.decide(&ev, current, &fresh.mapping, 0.0) {
+                        RemapDecision::Remap { .. } => {
+                            let moved = current.moved_ranks(&fresh.mapping).len();
+                            remaps += 1;
+                            (fresh.mapping.clone(), true, self.config.remap.cost.total(moved))
+                        }
+                        RemapDecision::Stay { .. } => (current.clone(), false, 0.0),
+                    }
+                }
+            };
+            now += migration;
+
+            // Execute the phase against the *actual* load at this time.
+            let actual = timeline.sample(now);
+            let phase_profile = &profiles[k];
+            let snap_now = {
+                let mut s = SystemSnapshot::no_load(self.cluster, self.latency);
+                s.set_load(actual.clone());
+                s
+            };
+            let predicted = Evaluator::new(phase_profile, &snap_now).predict_time(&chosen);
+            let mut sim = self.config.sim.clone();
+            sim.seed = sim.seed.wrapping_add(k as u64 + 1);
+            sim.collect_trace = false;
+            let wall = simulate(self.cluster, &app.phases[k], chosen.as_slice(), &actual, &sim)?
+                .wall_time;
+            now += wall;
+            phases.push(PhaseReport {
+                phase: k,
+                mapping: chosen.clone(),
+                predicted,
+                wall,
+                remapped,
+                migration,
+            });
+            mapping = Some(chosen);
+        }
+
+        Ok(RunReport {
+            phases,
+            total: now,
+            remaps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::load::LoadPattern;
+    use cbes_cluster::presets::orange_grove;
+    use cbes_cluster::Architecture;
+    use cbes_core::remap::MigrationCost;
+    use cbes_mpisim::{Op, Program};
+    use cbes_workloads::npb::{lu, NpbClass};
+
+    fn two_phase_app(n: usize) -> PhasedApp {
+        // Two identical comm+compute phases so remapping mid-run is
+        // meaningful.
+        let w = lu(n, NpbClass::S);
+        PhasedApp::new("lu2", vec![w.program.clone(), w.program])
+    }
+
+    fn cheap_config() -> RuntimeConfig {
+        RuntimeConfig {
+            sa: SaConfig::fast(3),
+            remap: RemapAnalysis {
+                cost: MigrationCost {
+                    image_bytes: 1 << 20,
+                    transfer_bw: 12.5e6,
+                    restart_cost: 0.02,
+                    coordination_cost: 0.02,
+                },
+                threshold: 0.1,
+            },
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn stable_load_runs_without_remapping() {
+        let cluster = orange_grove();
+        let orch = Orchestrator::new(&cluster, &cluster, cheap_config());
+        let app = two_phase_app(8);
+        let pool: Vec<_> = cluster.nodes_by_arch(Architecture::Alpha);
+        let report = orch
+            .run(&app, &pool, &LoadTimeline::idle(cluster.len()))
+            .expect("run");
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.remaps, 0);
+        assert!(report.total > 0.0);
+        assert_eq!(report.migration_total(), 0.0);
+        // Both phases stayed on the same mapping.
+        assert_eq!(report.phases[0].mapping, report.phases[1].mapping);
+    }
+
+    #[test]
+    fn heavy_load_on_mapped_nodes_triggers_remap() {
+        let cluster = orange_grove();
+        let orch = Orchestrator::new(&cluster, &cluster, cheap_config());
+        let app = two_phase_app(8);
+        // Pool: the 8 Alphas plus 8 Intels; the initial schedule uses some
+        // Alphas (they are the fastest nodes).
+        let alphas = cluster.nodes_by_arch(Architecture::Alpha);
+        let mut pool = alphas.clone();
+        pool.extend(cluster.nodes_by_arch(Architecture::IntelPII));
+        // After phase 0 is underway, every Alpha gets hammered.
+        let mut timeline = LoadTimeline::idle(cluster.len());
+        for &node in &alphas {
+            timeline = timeline.with(
+                node,
+                LoadPattern::Step {
+                    at: 1.0,
+                    before: 1.0,
+                    after: 0.25,
+                },
+            );
+        }
+        let report = orch.run(&app, &pool, &timeline).expect("run");
+        assert_eq!(report.remaps, 1, "{report:?}");
+        assert!(report.phases[1].remapped);
+        assert!(report.phases[1].migration > 0.0);
+        // The remap must leave the hammered Alphas entirely.
+        for &bad in &alphas {
+            assert!(
+                !report.phases[1].mapping.as_slice().contains(&bad),
+                "remap should avoid loaded node {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_predictions_track_phase_walls() {
+        let cluster = orange_grove();
+        let orch = Orchestrator::new(&cluster, &cluster, cheap_config());
+        let app = two_phase_app(8);
+        let pool: Vec<_> = cluster.nodes_by_arch(Architecture::Alpha);
+        let report = orch
+            .run(&app, &pool, &LoadTimeline::idle(cluster.len()))
+            .expect("run");
+        for p in &report.phases {
+            let err = (p.predicted - p.wall).abs() / p.wall;
+            assert!(err < 0.10, "phase {} error {err}", p.phase);
+        }
+    }
+
+    #[test]
+    fn single_phase_app_degenerates_to_one_schedule() {
+        let cluster = orange_grove();
+        let orch = Orchestrator::new(&cluster, &cluster, cheap_config());
+        let mut p = Program::new(4);
+        p.push_all(Op::Compute { seconds: 0.1 });
+        let app = PhasedApp::new("one", vec![p]);
+        let pool: Vec<_> = cluster.nodes_by_arch(Architecture::Alpha);
+        let report = orch
+            .run(&app, &pool, &LoadTimeline::idle(cluster.len()))
+            .expect("run");
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.remaps, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! A genetic-algorithm scheduler — the paper's named future-work direction
+//! ("we further intend to investigate the suitability of other scheduling
+//! algorithms, e.g. genetic algorithms", §8).
+//!
+//! Individuals are injective mappings; fitness is the (negated) CBES
+//! prediction. Uniform crossover with injectivity repair, tournament
+//! selection, elitism, and the same swap/replace mutations the annealer
+//! uses.
+
+use crate::moves::SearchState;
+use crate::{ScheduleRequest, ScheduleResult, SchedError, Scheduler};
+use cbes_cluster::NodeId;
+use cbes_core::eval::Evaluator;
+use cbes_core::mapping::Mapping;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Genetic algorithm configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: u32,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-child probability of a mutation move.
+    pub mutation_prob: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elites: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaConfig {
+    /// A moderate configuration (~`population × generations` evaluations).
+    pub fn fast(seed: u64) -> Self {
+        GaConfig {
+            population: 40,
+            generations: 60,
+            tournament: 3,
+            mutation_prob: 0.4,
+            elites: 2,
+            seed,
+        }
+    }
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig::fast(1)
+    }
+}
+
+/// The genetic-algorithm scheduler.
+#[derive(Debug, Clone)]
+pub struct GeneticScheduler {
+    config: GaConfig,
+}
+
+struct Individual {
+    genes: Vec<NodeId>,
+    energy: f64,
+}
+
+impl GeneticScheduler {
+    /// A GA scheduler with the given configuration.
+    pub fn new(config: GaConfig) -> Self {
+        GeneticScheduler { config }
+    }
+
+    /// Uniform crossover with injectivity repair: each gene comes from a
+    /// random parent unless already used, in which case it is filled from
+    /// the unused pool nodes afterwards.
+    fn crossover(
+        a: &[NodeId],
+        b: &[NodeId],
+        pool: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Vec<NodeId> {
+        let n = a.len();
+        let mut child: Vec<Option<NodeId>> = vec![None; n];
+        let mut used: Vec<NodeId> = Vec::with_capacity(n);
+        for i in 0..n {
+            let gene = if rng.random_range(0.0..1.0) < 0.5 { a[i] } else { b[i] };
+            if !used.contains(&gene) {
+                used.push(gene);
+                child[i] = Some(gene);
+            }
+        }
+        // Repair holes with unused pool nodes, in shuffled order.
+        let mut free: Vec<NodeId> = pool.iter().copied().filter(|n| !used.contains(n)).collect();
+        for i in 0..free.len() {
+            let j = rng.random_range(i..free.len());
+            free.swap(i, j);
+        }
+        let mut fi = 0;
+        child
+            .into_iter()
+            .map(|g| {
+                g.unwrap_or_else(|| {
+                    let n = free[fi];
+                    fi += 1;
+                    n
+                })
+            })
+            .collect()
+    }
+
+    fn mutate(genes: &mut [NodeId], pool: &[NodeId], rng: &mut StdRng) {
+        let n = genes.len();
+        let free: Vec<NodeId> = pool
+            .iter()
+            .copied()
+            .filter(|p| !genes.contains(p))
+            .collect();
+        if !free.is_empty() && rng.random_range(0.0..1.0) < 0.5 {
+            let i = rng.random_range(0..n);
+            genes[i] = free[rng.random_range(0..free.len())];
+        } else if n >= 2 {
+            let i = rng.random_range(0..n);
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            genes.swap(i, j);
+        }
+    }
+
+    fn tournament<'p>(
+        &self,
+        pop: &'p [Individual],
+        rng: &mut StdRng,
+    ) -> &'p Individual {
+        let mut best: Option<&Individual> = None;
+        for _ in 0..self.config.tournament.max(1) {
+            let c = &pop[rng.random_range(0..pop.len())];
+            if best.is_none_or(|b| c.energy < b.energy) {
+                best = Some(c);
+            }
+        }
+        best.expect("tournament size >= 1")
+    }
+}
+
+impl Scheduler for GeneticScheduler {
+    fn name(&self) -> &'static str {
+        "GA"
+    }
+
+    fn schedule(&mut self, req: &ScheduleRequest<'_>) -> Result<ScheduleResult, SchedError> {
+        req.validate()?;
+        let start = Instant::now();
+        let ev: Evaluator<'_> = req.evaluator();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let n = req.num_procs();
+        let mut evals = 0u64;
+
+        let mut pop: Vec<Individual> = (0..self.config.population.max(2))
+            .map(|_| {
+                let genes = SearchState::random(req.pool, n, &mut rng).assigned().to_vec();
+                let energy = ev.predict_time(&Mapping::new(genes.clone()));
+                evals += 1;
+                Individual { genes, energy }
+            })
+            .collect();
+
+        for _ in 0..self.config.generations {
+            pop.sort_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite energies"));
+            let mut next: Vec<Individual> = pop
+                .iter()
+                .take(self.config.elites.min(pop.len()))
+                .map(|i| Individual {
+                    genes: i.genes.clone(),
+                    energy: i.energy,
+                })
+                .collect();
+            while next.len() < pop.len() {
+                let pa = self.tournament(&pop, &mut rng);
+                let pb = self.tournament(&pop, &mut rng);
+                let mut genes = Self::crossover(&pa.genes, &pb.genes, req.pool, &mut rng);
+                if rng.random_range(0.0..1.0) < self.config.mutation_prob {
+                    Self::mutate(&mut genes, req.pool, &mut rng);
+                }
+                let energy = ev.predict_time(&Mapping::new(genes.clone()));
+                evals += 1;
+                next.push(Individual { genes, energy });
+            }
+            pop = next;
+        }
+        pop.sort_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite energies"));
+        let best = &pop[0];
+        Ok(ScheduleResult {
+            mapping: Mapping::new(best.genes.clone()),
+            predicted_time: best.energy,
+            score: best.energy,
+            evaluations: evals,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use cbes_core::snapshot::SystemSnapshot;
+
+    #[test]
+    fn ga_finds_valid_good_mapping() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(4, 0.05, 500, 8192);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let r = GeneticScheduler::new(GaConfig::fast(2)).schedule(&req).unwrap();
+        assert!(r.mapping.is_injective());
+        // Must co-locate the communication-bound ring on one switch.
+        let m = r.mapping.as_slice();
+        let sw: Vec<_> = m.iter().map(|&n| c.node(n).switch).collect();
+        assert!(sw.iter().all(|&s| s == sw[0]), "got {:?}", r.mapping);
+    }
+
+    #[test]
+    fn crossover_preserves_injectivity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pool: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let a: Vec<NodeId> = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let b: Vec<NodeId> = vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)];
+        for _ in 0..100 {
+            let child = GeneticScheduler::crossover(&a, &b, &pool, &mut rng);
+            let mut sorted = child.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "child not injective: {child:?}");
+            assert!(child.iter().all(|n| pool.contains(n)));
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_injectivity() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pool: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let mut genes = vec![NodeId(0), NodeId(2), NodeId(4)];
+        for _ in 0..100 {
+            GeneticScheduler::mutate(&mut genes, &pool, &mut rng);
+            let mut sorted = genes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3);
+        }
+    }
+
+    #[test]
+    fn ga_is_deterministic_per_seed() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(4, 1.0, 50, 4096);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let a = GeneticScheduler::new(GaConfig::fast(3)).schedule(&req).unwrap();
+        let b = GeneticScheduler::new(GaConfig::fast(3)).schedule(&req).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+    }
+}

@@ -1,0 +1,69 @@
+//! The NCS baseline: the CS annealer with the communication term removed
+//! (paper §6). Its cost function "assigns an evaluation score to each
+//! mapping under consideration but cannot predict execution times".
+
+use crate::sa::{Objective, SaConfig, SaScheduler};
+use crate::{ScheduleRequest, ScheduleResult, SchedError, Scheduler};
+
+/// Simulated annealing over computation speeds and CPU loads only,
+/// ignoring communication latency effects.
+#[derive(Debug, Clone)]
+pub struct NcsScheduler {
+    inner: SaScheduler,
+}
+
+impl NcsScheduler {
+    /// An NCS scheduler with the given annealing configuration.
+    pub fn new(config: SaConfig) -> Self {
+        NcsScheduler {
+            inner: SaScheduler::with_objective(config, Objective::ComputeOnly),
+        }
+    }
+}
+
+impl Scheduler for NcsScheduler {
+    fn name(&self) -> &'static str {
+        "NCS"
+    }
+
+    fn schedule(&mut self, req: &ScheduleRequest<'_>) -> Result<ScheduleResult, SchedError> {
+        self.inner.schedule(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use cbes_core::snapshot::SystemSnapshot;
+
+    #[test]
+    fn ncs_ignores_communication_topology() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        // Pure-compute profile restricted to the 4 Alphas: every injective
+        // mapping has the same NCS score.
+        let p = ring_profile(2, 1.0, 300, 8192);
+        let pool: Vec<_> = c.node_ids().take(4).collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let r = NcsScheduler::new(SaConfig::fast(2)).schedule(&req).unwrap();
+        // Score is the compute-only term: exactly (x+o)/speed = 1.05.
+        assert!((r.score - 1.05).abs() < 1e-9, "score {}", r.score);
+        // But the *full* prediction exceeds the score (communication cost
+        // exists, NCS just can't see it).
+        assert!(r.predicted_time > r.score);
+    }
+
+    #[test]
+    fn ncs_still_avoids_slow_nodes() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(3, 10.0, 5, 128);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let r = NcsScheduler::new(SaConfig::fast(4)).schedule(&req).unwrap();
+        for (_, node) in r.mapping.iter() {
+            assert!(c.node(node).speed > 0.9, "NCS must pick Alphas");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The RS baseline: a uniformly random mapping from the pool (paper §6).
+//! "RS picks mappings at random from a pool of nodes considered equivalent.
+//! As such, RS requires a negligible amount of time to find a mapping
+//! solution."
+
+use crate::moves::SearchState;
+use crate::{ScheduleRequest, ScheduleResult, SchedError, Scheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Uniform random scheduler. Each call draws a fresh random injective
+/// mapping (successive calls use successive RNG states, so repeated
+/// scheduling yields the distribution the average-case experiments sample).
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// A random scheduler seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &'static str {
+        "RS"
+    }
+
+    fn schedule(&mut self, req: &ScheduleRequest<'_>) -> Result<ScheduleResult, SchedError> {
+        req.validate()?;
+        let start = Instant::now();
+        let state = SearchState::random(req.pool, req.num_procs(), &mut self.rng);
+        let mapping = state.mapping();
+        let ev = req.evaluator();
+        let predicted_time = ev.predict_time(&mapping);
+        Ok(ScheduleResult {
+            mapping,
+            predicted_time,
+            score: predicted_time,
+            evaluations: 1,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use cbes_core::snapshot::SystemSnapshot;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rs_returns_valid_injective_mappings() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(4, 1.0, 10, 1024);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let mut rs = RandomScheduler::new(9);
+        for _ in 0..20 {
+            let r = rs.schedule(&req).unwrap();
+            assert!(r.mapping.is_injective());
+            assert_eq!(r.mapping.len(), 4);
+            assert_eq!(r.evaluations, 1);
+            for (_, n) in r.mapping.iter() {
+                assert!(pool.contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn rs_samples_different_mappings_across_calls() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(4, 1.0, 10, 1024);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let mut rs = RandomScheduler::new(10);
+        let mappings: BTreeSet<String> = (0..20)
+            .map(|_| rs.schedule(&req).unwrap().mapping.to_string())
+            .collect();
+        assert!(mappings.len() > 5, "RS should vary: {mappings:?}");
+    }
+}

@@ -1,0 +1,303 @@
+//! The default CBES scheduler (CS): simulated annealing with the mapping
+//! evaluation operation as the energy function (paper §6, refs \[19\]\[20\]).
+
+use crate::moves::SearchState;
+use crate::{ScheduleRequest, ScheduleResult, SchedError, Scheduler};
+use cbes_core::eval::Evaluator;
+use cbes_core::mapping::Mapping;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Which objective the annealer minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Full CBES prediction `max_i (R_i + C_i)` — the CS scheduler.
+    FullPrediction,
+    /// Computation-only score `max_i R_i` — the NCS baseline (paper §6).
+    ComputeOnly,
+}
+
+/// Simulated-annealing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaConfig {
+    /// Iterations per restart.
+    pub iters: u32,
+    /// Independent restarts (best result wins).
+    pub restarts: u32,
+    /// Initial temperature as a fraction of the initial energy.
+    pub t0_frac: f64,
+    /// Final temperature as a fraction of the initial temperature; the
+    /// geometric cooling rate is derived from this and `iters`.
+    pub t_end_frac: f64,
+    /// Probability that a proposed move is a rank swap (vs. a node
+    /// replacement from the spare pool).
+    pub swap_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SaConfig {
+    /// A fast configuration for interactive scheduling (~2k evaluations).
+    pub fn fast(seed: u64) -> Self {
+        SaConfig {
+            iters: 2_000,
+            restarts: 1,
+            t0_frac: 0.05,
+            t_end_frac: 1e-4,
+            swap_prob: 0.5,
+            seed,
+        }
+    }
+
+    /// A thorough configuration (~20k evaluations over 2 restarts).
+    pub fn thorough(seed: u64) -> Self {
+        SaConfig {
+            iters: 10_000,
+            restarts: 2,
+            t0_frac: 0.08,
+            t_end_frac: 1e-5,
+            swap_prob: 0.5,
+            seed,
+        }
+    }
+
+    /// Geometric cooling factor per iteration.
+    fn cooling(&self) -> f64 {
+        if self.iters <= 1 {
+            return 1.0;
+        }
+        self.t_end_frac.powf(1.0 / (self.iters as f64 - 1.0))
+    }
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig::fast(1)
+    }
+}
+
+/// The simulated-annealing scheduler. With [`Objective::FullPrediction`]
+/// this is the paper's CS; `cbes-sched::NcsScheduler` wraps the same core
+/// with [`Objective::ComputeOnly`].
+#[derive(Debug, Clone)]
+pub struct SaScheduler {
+    config: SaConfig,
+    objective: Objective,
+}
+
+impl SaScheduler {
+    /// The CS scheduler with the given configuration.
+    pub fn new(config: SaConfig) -> Self {
+        SaScheduler {
+            config,
+            objective: Objective::FullPrediction,
+        }
+    }
+
+    /// An annealer with an explicit objective (used by NCS and ablations).
+    pub fn with_objective(config: SaConfig, objective: Objective) -> Self {
+        SaScheduler { config, objective }
+    }
+
+    /// The configured objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    fn energy(&self, ev: &Evaluator<'_>, m: &Mapping) -> f64 {
+        match self.objective {
+            Objective::FullPrediction => ev.predict_time(m),
+            Objective::ComputeOnly => ev.compute_only_score(m),
+        }
+    }
+
+    /// One annealing run from a random initial state; returns the best
+    /// mapping, its energy, and the number of evaluations.
+    fn anneal(
+        &self,
+        req: &ScheduleRequest<'_>,
+        ev: &Evaluator<'_>,
+        rng: &mut StdRng,
+    ) -> (Mapping, f64, u64) {
+        let n = req.num_procs();
+        let mut state = SearchState::random(req.pool, n, rng);
+        let mut current = self.energy(ev, &state.mapping());
+        let mut evals = 1u64;
+        let mut best = (state.mapping(), current);
+
+        let mut temp = (current * self.config.t0_frac).max(f64::MIN_POSITIVE);
+        let cooling = self.config.cooling();
+
+        for _ in 0..self.config.iters {
+            let mv = state.propose(self.config.swap_prob, rng);
+            state.apply(mv);
+            let cand = self.energy(ev, &state.mapping());
+            evals += 1;
+            let accept = cand <= current || {
+                let p = (-(cand - current) / temp).exp();
+                rng.random_range(0.0..1.0) < p
+            };
+            if accept {
+                current = cand;
+                if current < best.1 {
+                    best = (state.mapping(), current);
+                }
+            } else {
+                state.apply(mv); // undo
+            }
+            temp *= cooling;
+        }
+        (best.0, best.1, evals)
+    }
+}
+
+impl Scheduler for SaScheduler {
+    fn name(&self) -> &'static str {
+        match self.objective {
+            Objective::FullPrediction => "CS",
+            Objective::ComputeOnly => "NCS",
+        }
+    }
+
+    fn schedule(&mut self, req: &ScheduleRequest<'_>) -> Result<ScheduleResult, SchedError> {
+        req.validate()?;
+        let start = Instant::now();
+        let ev = req.evaluator();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut evals = 0u64;
+        let mut best: Option<(Mapping, f64)> = None;
+        for _ in 0..self.config.restarts.max(1) {
+            let (m, e, n) = self.anneal(req, &ev, &mut rng);
+            evals += n;
+            if best.as_ref().is_none_or(|(_, be)| e < *be) {
+                best = Some((m, e));
+            }
+        }
+        let (mapping, score) = best.expect("at least one restart runs");
+        // The tables report NCS mappings re-evaluated with the full
+        // operation ("normalised prediction"); for CS this is the score.
+        let predicted_time = ev.predict_time(&mapping);
+        Ok(ScheduleResult {
+            mapping,
+            predicted_time,
+            score,
+            evaluations: evals,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use cbes_core::snapshot::SystemSnapshot;
+
+    #[test]
+    fn cs_finds_same_switch_mapping_for_comm_heavy_ring() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        // Communication-dominated: many messages, small compute.
+        let p = ring_profile(4, 0.05, 500, 8192);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let mut cs = SaScheduler::new(SaConfig::fast(7));
+        let r = cs.schedule(&req).unwrap();
+        // All four ranks on one switch: pairwise same-switch.
+        let m = r.mapping.as_slice();
+        let sw: Vec<_> = m.iter().map(|&n| c.node(n).switch).collect();
+        assert!(
+            sw.iter().all(|&s| s == sw[0]),
+            "CS should co-locate the ring on one switch, got {:?}",
+            r.mapping
+        );
+        assert!(r.evaluations > 1000);
+        assert!(r.mapping.is_injective());
+    }
+
+    #[test]
+    fn cs_prefers_fast_nodes_for_compute_heavy_app() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        // Compute-dominated: Alphas (nodes 0-3, speed 1.0) must win over
+        // Intels (nodes 4-7, speed 0.85).
+        let p = ring_profile(3, 10.0, 5, 256);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let mut cs = SaScheduler::new(SaConfig::fast(11));
+        let r = cs.schedule(&req).unwrap();
+        for (_, node) in r.mapping.iter() {
+            assert!(
+                c.node(node).speed > 0.9,
+                "compute-heavy app must land on Alphas, got {:?}",
+                r.mapping
+            );
+        }
+    }
+
+    #[test]
+    fn sa_is_deterministic_per_seed() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(4, 1.0, 50, 4096);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let a = SaScheduler::new(SaConfig::fast(3)).schedule(&req).unwrap();
+        let b = SaScheduler::new(SaConfig::fast(3)).schedule(&req).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.predicted_time, b.predicted_time);
+    }
+
+    #[test]
+    fn restarts_never_hurt() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(4, 0.5, 100, 4096);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let single = SaScheduler::new(SaConfig {
+            restarts: 1,
+            ..SaConfig::fast(5)
+        })
+        .schedule(&req)
+        .unwrap();
+        let multi = SaScheduler::new(SaConfig {
+            restarts: 3,
+            ..SaConfig::fast(5)
+        })
+        .schedule(&req)
+        .unwrap();
+        assert!(multi.score <= single.score + 1e-12);
+    }
+
+    #[test]
+    fn cooling_reaches_configured_floor() {
+        let cfg = SaConfig::fast(1);
+        let c = cfg.cooling();
+        let end = c.powf(cfg.iters as f64 - 1.0);
+        assert!((end - cfg.t_end_frac).abs() / cfg.t_end_frac < 1e-6);
+    }
+
+    #[test]
+    fn pool_too_small_is_reported() {
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(4, 1.0, 10, 1024);
+        let pool: Vec<_> = c.node_ids().take(2).collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let err = SaScheduler::new(SaConfig::fast(1))
+            .schedule(&req)
+            .unwrap_err();
+        assert_eq!(err, SchedError::PoolTooSmall { need: 4, have: 2 });
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(SaScheduler::new(SaConfig::fast(1)).name(), "CS");
+        assert_eq!(
+            SaScheduler::with_objective(SaConfig::fast(1), Objective::ComputeOnly).name(),
+            "NCS"
+        );
+    }
+}

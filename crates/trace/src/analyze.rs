@@ -1,0 +1,310 @@
+//! Trace → profile reduction (the role of the paper's modified XMPI).
+
+use crate::event::TraceEvent;
+use crate::profile::{AppProfile, MessageGroup, ProcessProfile};
+use crate::Trace;
+use cbes_cluster::{Cluster, LatencyProvider, NodeId};
+use std::collections::BTreeMap;
+
+/// Reduce an execution trace into an [`AppProfile`].
+///
+/// * `mapping` — the node each rank ran on during the profiled run (the
+///   *profiling mapping*); used for `Speed_profile_j` and for computing
+///   `Θ_i^profile`, the denominator of `λ_i` (paper eq. 7).
+/// * `latency` — the no-load latency model used to evaluate eq. 6 for the
+///   profiling mapping. Using the same model here and at prediction time is
+///   what makes `λ` transferable across mappings.
+pub fn extract_profile(
+    name: &str,
+    trace: &Trace,
+    cluster: &Cluster,
+    mapping: &[NodeId],
+    latency: &impl LatencyProvider,
+) -> AppProfile {
+    assert_eq!(
+        trace.num_ranks(),
+        mapping.len(),
+        "mapping must cover every traced rank"
+    );
+    let procs = trace
+        .ranks
+        .iter()
+        .map(|rt| reduce_rank(rt.rank, &rt.events, cluster, mapping, latency))
+        .collect();
+    AppProfile {
+        name: name.to_string(),
+        procs,
+        arch_ratios: arch_ratios(cluster),
+    }
+}
+
+/// Reduce a trace into one profile per segment (phase markers inserted with
+/// `TraceEvent::Segment`, mirroring LAM/MPI's non-standard phase
+/// statements). Events before the first marker form segment 0.
+///
+/// Returned profiles are keyed by segment id and named `"{name}#{id}"`.
+pub fn extract_segment_profiles(
+    name: &str,
+    trace: &Trace,
+    cluster: &Cluster,
+    mapping: &[NodeId],
+    latency: &impl LatencyProvider,
+) -> BTreeMap<u32, AppProfile> {
+    assert_eq!(trace.num_ranks(), mapping.len());
+    // Split each rank's events by segment id.
+    let mut by_segment: BTreeMap<u32, Vec<Vec<TraceEvent>>> = BTreeMap::new();
+    for rt in &trace.ranks {
+        let mut current = 0u32;
+        for e in &rt.events {
+            if let TraceEvent::Segment { id, .. } = e {
+                current = *id;
+                continue;
+            }
+            let seg = by_segment
+                .entry(current)
+                .or_insert_with(|| vec![Vec::new(); trace.num_ranks()]);
+            seg[rt.rank].push(e.clone());
+        }
+    }
+    by_segment
+        .into_iter()
+        .map(|(id, rank_events)| {
+            let procs = rank_events
+                .iter()
+                .enumerate()
+                .map(|(rank, events)| reduce_rank(rank, events, cluster, mapping, latency))
+                .collect();
+            (
+                id,
+                AppProfile {
+                    name: format!("{name}#{id}"),
+                    procs,
+                    arch_ratios: arch_ratios(cluster),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Mean relative node speed per architecture present in the cluster — the
+/// "experimentally measured speed ratios for all cluster node architectures"
+/// stored in the paper's application profiles.
+fn arch_ratios(cluster: &Cluster) -> BTreeMap<cbes_cluster::Architecture, f64> {
+    let mut acc: BTreeMap<cbes_cluster::Architecture, (f64, u32)> = BTreeMap::new();
+    for n in cluster.nodes() {
+        let e = acc.entry(n.arch).or_insert((0.0, 0));
+        e.0 += n.speed;
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(a, (sum, cnt))| (a, sum / cnt as f64))
+        .collect()
+}
+
+fn reduce_rank(
+    rank: usize,
+    events: &[TraceEvent],
+    cluster: &Cluster,
+    mapping: &[NodeId],
+    latency: &impl LatencyProvider,
+) -> ProcessProfile {
+    let (mut x, mut o, mut b) = (0.0, 0.0, 0.0);
+    let mut sends: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+    let mut recvs: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+    for e in events {
+        match *e {
+            TraceEvent::Compute { dur, .. } => x += dur,
+            TraceEvent::Overhead { dur, .. } => o += dur,
+            TraceEvent::Blocked { dur, .. } => b += dur,
+            TraceEvent::Send { to, bytes, .. } => {
+                *sends.entry((to, bytes)).or_insert(0) += 1;
+            }
+            TraceEvent::Recv { from, bytes, .. } => {
+                *recvs.entry((from, bytes)).or_insert(0) += 1;
+            }
+            TraceEvent::Segment { .. } => {}
+        }
+    }
+    let to_groups = |m: &BTreeMap<(usize, u64), u64>| -> Vec<MessageGroup> {
+        m.iter()
+            .map(|(&(peer, bytes), &count)| MessageGroup { peer, bytes, count })
+            .collect()
+    };
+    let sends = to_groups(&sends);
+    let recvs = to_groups(&recvs);
+    let theta = theta(rank, &sends, &recvs, mapping, latency);
+    let lambda = if theta > 0.0 { b / theta } else { 1.0 };
+    ProcessProfile {
+        rank,
+        x,
+        o,
+        b,
+        sends,
+        recvs,
+        profile_speed: cluster.node(mapping[rank]).speed,
+        lambda,
+    }
+}
+
+/// Paper eq. 6: theoretical communication time of process `rank` under the
+/// given mapping — each received group contributes `mc · L(sender → me, ms)`
+/// and each sent group `mc · L(me → receiver, ms)`.
+pub fn theta(
+    rank: usize,
+    sends: &[MessageGroup],
+    recvs: &[MessageGroup],
+    mapping: &[NodeId],
+    latency: &impl LatencyProvider,
+) -> f64 {
+    let me = mapping[rank];
+    let mut t = 0.0;
+    for g in recvs {
+        t += g.count as f64 * latency.latency(mapping[g.peer], me, g.bytes);
+    }
+    for g in sends {
+        t += g.count as f64 * latency.latency(me, mapping[g.peer], g.bytes);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RankTrace;
+    use cbes_cluster::presets::two_switch_demo;
+
+    /// A hand-built two-rank trace: rank 0 computes 2 s then sends 10×1 KiB
+    /// to rank 1; rank 1 blocks for them.
+    fn sample_trace() -> Trace {
+        let mut r0 = RankTrace::new(0, NodeId(0));
+        r0.events.push(TraceEvent::Compute {
+            start: 0.0,
+            dur: 2.0,
+        });
+        for i in 0..10 {
+            r0.events.push(TraceEvent::Overhead {
+                start: 2.0 + i as f64 * 0.001,
+                dur: 0.0005,
+            });
+            r0.events.push(TraceEvent::Send {
+                t: 2.0 + i as f64 * 0.001,
+                to: 1,
+                bytes: 1024,
+            });
+        }
+        r0.end = 2.01;
+        let mut r1 = RankTrace::new(1, NodeId(1));
+        r1.events.push(TraceEvent::Blocked {
+            start: 0.0,
+            dur: 2.002,
+        });
+        for i in 0..10 {
+            r1.events.push(TraceEvent::Recv {
+                t: 2.0 + i as f64 * 0.001,
+                from: 0,
+                bytes: 1024,
+            });
+        }
+        r1.end = 2.01;
+        Trace {
+            ranks: vec![r0, r1],
+            wall_time: 2.01,
+        }
+    }
+
+    #[test]
+    fn extraction_groups_messages() {
+        let c = two_switch_demo();
+        let mapping = [NodeId(0), NodeId(1)];
+        let p = extract_profile("t", &sample_trace(), &c, &mapping, &c);
+        assert_eq!(p.procs[0].sends.len(), 1);
+        assert_eq!(p.procs[0].sends[0].count, 10);
+        assert_eq!(p.procs[0].sends[0].bytes, 1024);
+        assert_eq!(p.procs[0].sends[0].peer, 1);
+        assert_eq!(p.procs[1].recvs[0].count, 10);
+        assert!(p.procs[0].recvs.is_empty());
+    }
+
+    #[test]
+    fn extraction_accumulates_xob() {
+        let c = two_switch_demo();
+        let mapping = [NodeId(0), NodeId(1)];
+        let p = extract_profile("t", &sample_trace(), &c, &mapping, &c);
+        assert!((p.procs[0].x - 2.0).abs() < 1e-12);
+        assert!((p.procs[0].o - 0.005).abs() < 1e-12);
+        assert!((p.procs[1].b - 2.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_reflects_blocked_vs_theoretical() {
+        let c = two_switch_demo();
+        let mapping = [NodeId(0), NodeId(1)];
+        let p = extract_profile("t", &sample_trace(), &c, &mapping, &c);
+        // Rank 1 blocked ~2 s for ~tens of ms of theoretical latency: λ >> 1
+        // (communication time expanded because the sender started late).
+        assert!(p.procs[1].lambda > 10.0);
+        // Rank 0 never blocked: λ = 0.
+        assert_eq!(p.procs[0].lambda, 0.0);
+    }
+
+    #[test]
+    fn theta_uses_mapping_nodes() {
+        let c = two_switch_demo();
+        let sends = vec![MessageGroup {
+            peer: 1,
+            bytes: 1024,
+            count: 5,
+        }];
+        // Same-switch mapping vs cross-switch mapping.
+        let near = theta(0, &sends, &[], &[NodeId(0), NodeId(1)], &c);
+        let far = theta(0, &sends, &[], &[NodeId(0), NodeId(4)], &c);
+        assert!(far > near);
+        let per_msg = c.no_load_latency(NodeId(0), NodeId(4), 1024);
+        assert!((far - 5.0 * per_msg).abs() < 1e-15);
+    }
+
+    #[test]
+    fn profile_speed_comes_from_profiling_node() {
+        let c = two_switch_demo();
+        // Node 4 is an Intel node with speed 0.85.
+        let mapping = [NodeId(4), NodeId(1)];
+        let p = extract_profile("t", &sample_trace(), &c, &mapping, &c);
+        assert!((p.procs[0].profile_speed - 0.85).abs() < 1e-12);
+        assert!((p.procs[1].profile_speed - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_extraction_splits_events() {
+        let c = two_switch_demo();
+        let mapping = [NodeId(0)];
+        let mut r0 = RankTrace::new(0, NodeId(0));
+        r0.events = vec![
+            TraceEvent::Compute {
+                start: 0.0,
+                dur: 1.0,
+            },
+            TraceEvent::Segment { t: 1.0, id: 1 },
+            TraceEvent::Compute {
+                start: 1.0,
+                dur: 3.0,
+            },
+        ];
+        r0.end = 4.0;
+        let t = Trace {
+            ranks: vec![r0],
+            wall_time: 4.0,
+        };
+        let segs = extract_segment_profiles("app", &t, &c, &mapping, &c);
+        assert_eq!(segs.len(), 2);
+        assert!((segs[&0].procs[0].x - 1.0).abs() < 1e-12);
+        assert!((segs[&1].procs[0].x - 3.0).abs() < 1e-12);
+        assert_eq!(segs[&1].name, "app#1");
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping must cover")]
+    fn mismatched_mapping_panics() {
+        let c = two_switch_demo();
+        let _ = extract_profile("t", &sample_trace(), &c, &[NodeId(0)], &c);
+    }
+}

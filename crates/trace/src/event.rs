@@ -1,0 +1,171 @@
+//! Trace events, in the spirit of a LAM/MPI + XMPI execution trace.
+
+use cbes_cluster::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One event in a rank's execution trace.
+///
+/// Durations are already split into the three accounting classes the CBES
+/// formulation needs (paper §3.1): own-code computation (`X`), message
+/// passing library overhead (`O`), and blocked/waiting time (`B`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The rank executed its own application code.
+    Compute {
+        /// Start time (seconds).
+        start: f64,
+        /// Duration (seconds); accumulates into `X_i`.
+        dur: f64,
+    },
+    /// The rank executed message-passing library code.
+    Overhead {
+        /// Start time (seconds).
+        start: f64,
+        /// Duration (seconds); accumulates into `O_i`.
+        dur: f64,
+    },
+    /// The rank was blocked waiting for a message (or in a barrier).
+    Blocked {
+        /// Start time (seconds).
+        start: f64,
+        /// Duration (seconds); accumulates into `B_i`.
+        dur: f64,
+    },
+    /// The rank handed a message to the transport.
+    Send {
+        /// Time the message was submitted.
+        t: f64,
+        /// Destination rank.
+        to: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A message was delivered to this rank.
+    Recv {
+        /// Delivery completion time.
+        t: f64,
+        /// Source rank.
+        from: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// An application phase marker (LAM/MPI's non-standard trace segment
+    /// statements); separates the trace into independently profiled segments.
+    Segment {
+        /// Time of the marker.
+        t: f64,
+        /// Segment id that *starts* at this marker.
+        id: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp (start time for duration events).
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::Compute { start, .. }
+            | TraceEvent::Overhead { start, .. }
+            | TraceEvent::Blocked { start, .. } => start,
+            TraceEvent::Send { t, .. }
+            | TraceEvent::Recv { t, .. }
+            | TraceEvent::Segment { t, .. } => t,
+        }
+    }
+}
+
+/// The event stream of one rank, together with the node it executed on
+/// (needed to normalise profile times to the profiling node's speed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankTrace {
+    /// MPI rank.
+    pub rank: usize,
+    /// Node the rank was mapped to during the traced run.
+    pub node: NodeId,
+    /// Events in non-decreasing time order.
+    pub events: Vec<TraceEvent>,
+    /// Completion time of the rank.
+    pub end: f64,
+}
+
+impl RankTrace {
+    /// A new, empty rank trace.
+    pub fn new(rank: usize, node: NodeId) -> Self {
+        RankTrace {
+            rank,
+            node,
+            events: Vec::new(),
+            end: 0.0,
+        }
+    }
+
+    /// Total duration recorded in each accounting class `(X, O, B)`.
+    pub fn totals(&self) -> (f64, f64, f64) {
+        let (mut x, mut o, mut b) = (0.0, 0.0, 0.0);
+        for e in &self.events {
+            match *e {
+                TraceEvent::Compute { dur, .. } => x += dur,
+                TraceEvent::Overhead { dur, .. } => o += dur,
+                TraceEvent::Blocked { dur, .. } => b += dur,
+                _ => {}
+            }
+        }
+        (x, o, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_by_class() {
+        let mut rt = RankTrace::new(0, NodeId(0));
+        rt.events = vec![
+            TraceEvent::Compute {
+                start: 0.0,
+                dur: 1.0,
+            },
+            TraceEvent::Overhead {
+                start: 1.0,
+                dur: 0.25,
+            },
+            TraceEvent::Blocked {
+                start: 1.25,
+                dur: 0.5,
+            },
+            TraceEvent::Compute {
+                start: 1.75,
+                dur: 2.0,
+            },
+            TraceEvent::Send {
+                t: 3.75,
+                to: 1,
+                bytes: 8,
+            },
+        ];
+        let (x, o, b) = rt.totals();
+        assert_eq!((x, o, b), (3.0, 0.25, 0.5));
+    }
+
+    #[test]
+    fn event_time_extraction() {
+        assert_eq!(
+            TraceEvent::Compute {
+                start: 2.0,
+                dur: 1.0
+            }
+            .time(),
+            2.0
+        );
+        assert_eq!(
+            TraceEvent::Recv {
+                t: 4.0,
+                from: 0,
+                bytes: 1
+            }
+            .time(),
+            4.0
+        );
+        assert_eq!(TraceEvent::Segment { t: 5.0, id: 1 }.time(), 5.0);
+    }
+}

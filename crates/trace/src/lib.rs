@@ -1,0 +1,84 @@
+//! Execution traces and application profiles.
+//!
+//! The paper profiles applications by analysing LAM/MPI execution traces with
+//! a modified XMPI: the trace is reduced to *cumulative* per-process
+//! quantities — own-code execution time `X_i`, message-passing overhead
+//! `O_i`, blocked time `B_i` — plus, per peer, groups of same-size messages
+//! sent and received. This crate defines the trace representation our
+//! simulator emits ([`Trace`]) and the reduction into an [`AppProfile`]
+//! ([`extract_profile`]), including the correction factor
+//! `λ_i = B_i / Θ_i^profile` of paper eq. 7.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod event;
+pub mod profile;
+pub mod stats;
+
+pub use analyze::{extract_profile, extract_segment_profiles};
+pub use event::{RankTrace, TraceEvent};
+pub use profile::{merge_profiles, AppProfile, MessageGroup, ProcessProfile};
+pub use stats::TraceStats;
+
+use serde::{Deserialize, Serialize};
+
+/// A complete execution trace: one event stream per rank plus the measured
+/// wall time (the "actual execution time" of the paper's experiments).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Per-rank event streams, indexed by rank.
+    pub ranks: Vec<RankTrace>,
+    /// End-to-end wall time of the traced run, in seconds.
+    pub wall_time: f64,
+}
+
+impl Trace {
+    /// Number of ranks in the trace.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Serialise to JSON (durable profile/trace storage, as the paper's
+    /// database tables would).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialisation cannot fail")
+    }
+
+    /// Parse a trace back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::NodeId;
+
+    #[test]
+    fn trace_json_roundtrip() {
+        let t = Trace {
+            ranks: vec![RankTrace {
+                rank: 0,
+                node: NodeId(3),
+                events: vec![
+                    TraceEvent::Compute {
+                        start: 0.0,
+                        dur: 1.5,
+                    },
+                    TraceEvent::Send {
+                        t: 1.5,
+                        to: 1,
+                        bytes: 4096,
+                    },
+                ],
+                end: 1.6,
+            }],
+            wall_time: 1.6,
+        };
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.num_ranks(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Post-mortem trace statistics — the "examine application behaviour"
+//! side of the paper's XMPI-based tooling: communication matrices,
+//! utilisation breakdowns, and imbalance metrics.
+
+use crate::event::TraceEvent;
+use crate::Trace;
+
+/// Per-rank utilisation breakdown over the run's wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankUtilisation {
+    /// Rank.
+    pub rank: usize,
+    /// Fraction of wall time computing.
+    pub compute: f64,
+    /// Fraction of wall time in messaging overhead.
+    pub overhead: f64,
+    /// Fraction of wall time blocked.
+    pub blocked: f64,
+    /// Fraction of wall time idle after finishing.
+    pub tail_idle: f64,
+}
+
+/// Aggregate statistics over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Wall time of the run.
+    pub wall_time: f64,
+    /// Per-rank utilisation, indexed by rank.
+    pub utilisation: Vec<RankUtilisation>,
+    /// `matrix[src * n + dst]` = total bytes sent from `src` to `dst`.
+    pub bytes_matrix: Vec<u64>,
+    /// `counts[src * n + dst]` = messages sent from `src` to `dst`.
+    pub count_matrix: Vec<u64>,
+}
+
+impl TraceStats {
+    /// Compute statistics from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let n = trace.num_ranks();
+        let wall = trace.wall_time.max(f64::MIN_POSITIVE);
+        let mut bytes_matrix = vec![0u64; n * n];
+        let mut count_matrix = vec![0u64; n * n];
+        let mut utilisation = Vec::with_capacity(n);
+        for rt in &trace.ranks {
+            let (x, o, b) = rt.totals();
+            utilisation.push(RankUtilisation {
+                rank: rt.rank,
+                compute: x / wall,
+                overhead: o / wall,
+                blocked: b / wall,
+                tail_idle: (wall - rt.end).max(0.0) / wall,
+            });
+            for e in &rt.events {
+                if let TraceEvent::Send { to, bytes, .. } = e {
+                    bytes_matrix[rt.rank * n + to] += bytes;
+                    count_matrix[rt.rank * n + to] += 1;
+                }
+            }
+        }
+        TraceStats {
+            wall_time: trace.wall_time,
+            utilisation,
+            bytes_matrix,
+            count_matrix,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.utilisation.len()
+    }
+
+    /// Total payload bytes exchanged.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_matrix.iter().sum()
+    }
+
+    /// Total message count.
+    pub fn total_messages(&self) -> u64 {
+        self.count_matrix.iter().sum()
+    }
+
+    /// Computation-imbalance ratio: max over mean of per-rank compute time.
+    /// 1.0 = perfectly balanced.
+    pub fn compute_imbalance(&self) -> f64 {
+        let xs: Vec<f64> = self.utilisation.iter().map(|u| u.compute).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let max = xs.iter().copied().fold(0.0f64, f64::max);
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// The ordered rank pairs exchanging the most bytes (the "hot edges" a
+    /// good mapping co-locates), sorted descending, at most `k`.
+    pub fn hottest_pairs(&self, k: usize) -> Vec<(usize, usize, u64)> {
+        let n = self.num_ranks();
+        let mut pairs: Vec<(usize, usize, u64)> = (0..n)
+            .flat_map(|s| (0..n).map(move |d| (s, d)))
+            .filter(|&(s, d)| s != d)
+            .map(|(s, d)| (s, d, self.bytes_matrix[s * n + d]))
+            .filter(|&(_, _, b)| b > 0)
+            .collect();
+        pairs.sort_by_key(|&(_, _, b)| std::cmp::Reverse(b));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Render the byte matrix as a small text heat table.
+    pub fn render_matrix(&self) -> String {
+        let n = self.num_ranks();
+        let mut out = String::from("bytes sent (rows = src, cols = dst):\n      ");
+        for d in 0..n {
+            out.push_str(&format!("{d:>9}"));
+        }
+        out.push('\n');
+        for s in 0..n {
+            out.push_str(&format!("  r{s:<3}"));
+            for d in 0..n {
+                out.push_str(&format!("{:>9}", self.bytes_matrix[s * n + d]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RankTrace;
+    use cbes_cluster::NodeId;
+
+    fn sample() -> Trace {
+        let mut r0 = RankTrace::new(0, NodeId(0));
+        r0.events = vec![
+            TraceEvent::Compute { start: 0.0, dur: 6.0 },
+            TraceEvent::Send { t: 6.0, to: 1, bytes: 1000 },
+            TraceEvent::Send { t: 6.0, to: 1, bytes: 1000 },
+            TraceEvent::Send { t: 6.0, to: 2, bytes: 500 },
+        ];
+        r0.end = 6.1;
+        let mut r1 = RankTrace::new(1, NodeId(1));
+        r1.events = vec![
+            TraceEvent::Compute { start: 0.0, dur: 2.0 },
+            TraceEvent::Blocked { start: 2.0, dur: 4.0 },
+            TraceEvent::Recv { t: 6.0, from: 0, bytes: 1000 },
+            TraceEvent::Recv { t: 6.0, from: 0, bytes: 1000 },
+        ];
+        r1.end = 6.0;
+        let mut r2 = RankTrace::new(2, NodeId(2));
+        r2.events = vec![TraceEvent::Compute { start: 0.0, dur: 3.0 }];
+        r2.end = 3.0;
+        Trace {
+            ranks: vec![r0, r1, r2],
+            wall_time: 10.0,
+        }
+    }
+
+    #[test]
+    fn matrices_accumulate_per_pair() {
+        let s = TraceStats::from_trace(&sample());
+        assert_eq!(s.bytes_matrix[1], 2000); // 0 -> 1
+        assert_eq!(s.count_matrix[1], 2);
+        assert_eq!(s.bytes_matrix[2], 500); // 0 -> 2
+        assert_eq!(s.total_bytes(), 2500);
+        assert_eq!(s.total_messages(), 3);
+    }
+
+    #[test]
+    fn utilisation_fractions_are_sane() {
+        let s = TraceStats::from_trace(&sample());
+        let u0 = &s.utilisation[0];
+        assert!((u0.compute - 0.6).abs() < 1e-12);
+        assert!((u0.tail_idle - 0.39).abs() < 1e-12);
+        let u1 = &s.utilisation[1];
+        assert!((u1.blocked - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        let s = TraceStats::from_trace(&sample());
+        // Compute times 6, 2, 3 -> mean 3.667, max 6 -> ratio ~1.64.
+        assert!((s.compute_imbalance() - 6.0 / (11.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hottest_pairs_sorted() {
+        let s = TraceStats::from_trace(&sample());
+        let hot = s.hottest_pairs(2);
+        assert_eq!(hot[0], (0, 1, 2000));
+        assert_eq!(hot[1], (0, 2, 500));
+        assert_eq!(s.hottest_pairs(10).len(), 2);
+    }
+
+    #[test]
+    fn matrix_renders_all_rows() {
+        let s = TraceStats::from_trace(&sample());
+        let text = s.render_matrix();
+        // Title line + column-header line + one line per rank.
+        assert_eq!(text.lines().count(), 2 + 3);
+        assert!(text.contains("2000"));
+    }
+}

@@ -1,0 +1,297 @@
+//! ASCI purple benchmark stand-ins (paper §6, table 3/4 programs).
+
+use crate::patterns::{allreduce, compute_all, grid2d, halo2d};
+use crate::Workload;
+use cbes_mpisim::{Op, Program};
+
+/// sweep3d: 3-D particle-transport wavefront solver. The paper found its
+/// near-all-to-all aggregate pattern makes mapping benefits cancel
+/// ("uncertain speedup") — modelled as octant sweeps whose union touches
+/// all pairs, with frequent small exchanges.
+pub fn sweep3d(n: usize) -> Workload {
+    let iters = 30u32;
+    let mut p = Program::new(n);
+    for it in 0..iters {
+        compute_all(&mut p, 1.5 / iters as f64);
+        // Eight octant sweeps; their union of directions makes the
+        // aggregate pattern effectively all-to-all, with angle-dependent
+        // (pseudo-irregular) message sizes that scramble any per-round
+        // locality a mapping could exploit.
+        for s in 1..n {
+            for r in 0..n {
+                let to = (r + s) % n;
+                let from = (r + n - s) % n;
+                let bytes = 384 + ((r * 48271 + s * 16807 + it as usize * 31) % 1024) as u64;
+                p.push(r, Op::SendRecv { to, bytes, from });
+            }
+        }
+        // Occasional convergence check only; the sweeps dominate.
+        if it % 10 == 9 {
+            allreduce(&mut p, 32);
+        }
+    }
+    Workload::new(
+        format!("sweep3d.{n}"),
+        p,
+        "ASCI sweep3d: particle transport, near-all-to-all aggregate pattern",
+    )
+}
+
+/// smg2000: semicoarsening multigrid. Three paper cases by problem size:
+/// `12` (smg2000(1)), `50` (smg2000(2)), `60` (smg2000(3)). Computation
+/// scales with the cell count, halo traffic with face areas.
+pub fn smg2000(n: usize, size: u32) -> Workload {
+    let (px, py) = grid2d(n);
+    // Larger problems run more V-cycles (the real code's convergence work
+    // grows with the grid), which keeps the paper's case-time ratios.
+    let cycles = 8 + size / 2;
+    // size 60 -> ~8 reference-seconds total compute; cubic in size.
+    let total_comp = 24.0 * (size as f64 / 60.0).powi(3) + 3.0;
+    let face_bytes = ((size as u64 * size as u64 * 8) / n as u64).max(128);
+    let per_cycle = total_comp / cycles as f64 / n as f64;
+    // Bigger grids need more multigrid levels, so per-cycle communication
+    // volume grows with problem size (this is what makes the larger smg
+    // cases *more* mapping-sensitive, as in the paper's table 3).
+    let levels = (2 + size / 20).min(6);
+    let mut p = Program::new(n);
+    for _ in 0..cycles {
+        for level in 0..levels {
+            let b = (face_bytes >> (2 * level)).max(64);
+            compute_all(&mut p, per_cycle * 0.3 / 2f64.powi(level as i32));
+            halo2d(&mut p, px, py, b);
+        }
+        allreduce(&mut p, 64);
+    }
+    Workload::new(
+        format!("smg2000.{size}.{n}"),
+        p,
+        "ASCI smg2000: semicoarsening multigrid with level-scaled halos",
+    )
+}
+
+/// SAMRAI: structured AMR framework. Irregular refinement produces an
+/// effectively all-to-all, size-varying pattern — another "uncertain
+/// speedup" case in the paper.
+pub fn samrai(n: usize) -> Workload {
+    let iters = 18u32;
+    let mut p = Program::new(n);
+    for it in 0..iters {
+        compute_all(&mut p, 0.5 / iters as f64);
+        // Deterministic pseudo-irregular sizes per (round, pair).
+        for s in 1..n {
+            for r in 0..n {
+                let to = (r + s) % n;
+                let from = (r + n - s) % n;
+                let bytes = 256 + ((r * 2654435761 + s * 40503 + it as usize * 97) % 1792) as u64;
+                p.push(r, Op::SendRecv { to, bytes, from });
+            }
+        }
+    }
+    Workload::new(
+        format!("samrai.{n}"),
+        p,
+        "ASCI SAMRAI: adaptive mesh refinement, irregular all-to-all",
+    )
+}
+
+/// Towhee: Monte-Carlo molecular simulation — embarrassingly parallel with
+/// negligible communication (the paper's third "uncertain speedup" case).
+pub fn towhee(n: usize) -> Workload {
+    let mut p = Program::new(n);
+    for _ in 0..6 {
+        // Per-rank work is constant: more ranks = more samples, not faster.
+        compute_all(&mut p, 1.8 / 6.0);
+    }
+    allreduce(&mut p, 128);
+    Workload::new(
+        format!("towhee.{n}"),
+        p,
+        "ASCI Towhee: Monte Carlo molecular simulation, embarrassingly parallel",
+    )
+}
+
+/// Aztec: iterative sparse solver (Poisson problem) — many short halo
+/// exchanges plus a dot-product all-reduce per iteration. The paper's most
+/// communication-sensitive case (10.8 % best-vs-worst speedup).
+pub fn aztec(n: usize) -> Workload {
+    let (px, py) = grid2d(n);
+    let iters = 120u32;
+    let total_comp = 16.0;
+    let per_iter = total_comp / iters as f64 / n as f64;
+    let mut p = Program::new(n);
+    for _ in 0..iters {
+        compute_all(&mut p, per_iter);
+        halo2d(&mut p, px, py, 4096);
+        allreduce(&mut p, 8);
+    }
+    Workload::new(
+        format!("aztec.{n}"),
+        p,
+        "ASCI Aztec: iterative Poisson solver, halo + reduction per iteration",
+    )
+}
+
+/// An *irregular* application (the paper's closing future-work target:
+/// "applications with irregular computation and/or communication
+/// patterns"): per-rank computation is deterministically imbalanced and the
+/// sparse communication graph varies per rank — some ranks are hubs, some
+/// nearly silent.
+pub fn irregular(n: usize, seed: u64) -> Workload {
+    let iters = 24u32;
+    let mut p = Program::new(n);
+    // Cheap deterministic per-(rank, iter) hash, no RNG state needed.
+    let h = |a: u64, b: u64| -> u64 {
+        let mut x = a
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(b)
+            .wrapping_add(seed);
+        x ^= x >> 31;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^ (x >> 29)
+    };
+    for it in 0..iters as u64 {
+        // Imbalanced compute: rank r persistently does 1x..3x the base
+        // work, with small per-iteration jitter on top.
+        for r in 0..n {
+            let persistent = 1.0 + 2.0 * (h(r as u64, 0) % 1000) as f64 / 1000.0;
+            let jitter = 0.9 + 0.2 * (h(r as u64, it + 1) % 1000) as f64 / 1000.0;
+            let skew = persistent * jitter;
+            p.push(
+                r,
+                Op::Compute {
+                    seconds: 0.02 * skew / n as f64 * 8.0,
+                },
+            );
+        }
+        // Sparse exchanges: each rank talks to one hashed partner per
+        // iteration (symmetric pairing so sends match receives).
+        for r in 0..n {
+            let partner = (r + 1 + (h(it, r as u64) % (n as u64 - 1)) as usize) % n;
+            // Only the lexicographically smaller side initiates the
+            // symmetric exchange to avoid duplicate postings.
+            if r < partner {
+                let bytes = 256 + (h(r as u64 ^ it, partner as u64) % 8192);
+                p.push(r, Op::SendRecv { to: partner, bytes, from: partner });
+                p.push(partner, Op::SendRecv { to: r, bytes, from: r });
+            }
+        }
+        if it % 6 == 5 {
+            allreduce(&mut p, 64);
+        }
+    }
+    Workload::new(
+        format!("irregular.{seed}.{n}"),
+        p,
+        "irregular application: imbalanced compute, sparse shifting pattern",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::load::LoadState;
+    use cbes_cluster::presets::two_switch_demo;
+    use cbes_cluster::NodeId;
+    use cbes_mpisim::{simulate, SimConfig, SimResult};
+
+    fn run(w: &Workload) -> SimResult {
+        let c = two_switch_demo();
+        let mapping: Vec<NodeId> = (0..w.num_ranks() as u32).map(NodeId).collect();
+        simulate(
+            &c,
+            &w.program,
+            &mapping,
+            &LoadState::idle(c.len()),
+            &SimConfig::default().noiseless(),
+        )
+        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name))
+    }
+
+    fn comm_share(r: &SimResult) -> f64 {
+        let b: f64 = r.stats.iter().map(|s| s.b).sum();
+        let x: f64 = r.stats.iter().map(|s| s.x + s.o).sum();
+        b / (b + x)
+    }
+
+    #[test]
+    fn all_asci_codes_complete() {
+        for w in [
+            sweep3d(6),
+            smg2000(6, 12),
+            samrai(6),
+            towhee(6),
+            aztec(6),
+        ] {
+            assert!(run(&w).wall_time > 0.0, "{}", w.name);
+        }
+    }
+
+    /// Homogeneous mapping (Orange Grove Alphas): blocked time measures
+    /// communication, not architecture imbalance.
+    fn run_homogeneous(w: &Workload) -> SimResult {
+        let c = cbes_cluster::presets::orange_grove();
+        let mapping: Vec<NodeId> = (0..w.num_ranks() as u32).map(NodeId).collect();
+        simulate(
+            &c,
+            &w.program,
+            &mapping,
+            &LoadState::idle(c.len()),
+            &SimConfig::default().noiseless(),
+        )
+        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name))
+    }
+
+    #[test]
+    fn towhee_is_embarrassingly_parallel() {
+        let r = run_homogeneous(&towhee(8));
+        assert!(comm_share(&r) < 0.02, "towhee comm {}", comm_share(&r));
+    }
+
+    #[test]
+    fn aztec_is_communication_sensitive() {
+        let r = run_homogeneous(&aztec(8));
+        assert!(comm_share(&r) > 0.15, "aztec comm {}", comm_share(&r));
+    }
+
+    #[test]
+    fn smg_cases_scale_with_problem_size() {
+        let t12 = run(&smg2000(8, 12)).wall_time;
+        let t50 = run(&smg2000(8, 50)).wall_time;
+        let t60 = run(&smg2000(8, 60)).wall_time;
+        assert!(t12 < t50 && t50 < t60, "{t12} {t50} {t60}");
+        // Paper shape: 16.6 : 67 : 114 ≈ 1 : 4 : 6.9.
+        assert!(t60 / t12 > 3.0, "ratio {}", t60 / t12);
+    }
+
+    #[test]
+    fn irregular_runs_and_shows_imbalance() {
+        let w = irregular(8, 7);
+        let r = run_homogeneous(&w);
+        assert!(r.wall_time > 0.0);
+        // Computation is imbalanced across ranks by construction.
+        let xs: Vec<f64> = r.stats.iter().map(|s| s.x).collect();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(0.0f64, f64::max);
+        assert!(max > 1.2 * min, "imbalance expected: {xs:?}");
+    }
+
+    #[test]
+    fn irregular_varies_with_seed_but_is_deterministic() {
+        assert_eq!(irregular(6, 1), irregular(6, 1));
+        assert_ne!(irregular(6, 1).program, irregular(6, 2).program);
+    }
+
+    #[test]
+    fn samrai_touches_every_pair() {
+        let w = samrai(5);
+        let mut pairs = std::collections::BTreeSet::new();
+        for (r, ops) in w.program.procs.iter().enumerate() {
+            for op in ops {
+                if let Op::SendRecv { to, .. } = op {
+                    pairs.insert((r, *to));
+                }
+            }
+        }
+        assert_eq!(pairs.len(), 5 * 4, "all ordered pairs must communicate");
+    }
+}

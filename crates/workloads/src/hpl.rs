@@ -1,0 +1,120 @@
+//! High-Performance Linpack stand-in: right-looking LU factorisation with
+//! panel broadcasts and a trailing-matrix update that shrinks as the
+//! factorisation proceeds.
+
+use crate::patterns::{allreduce, bcast, compute_all, ring};
+use crate::Workload;
+use cbes_mpisim::Program;
+
+/// HPL with matrix dimension `size` on `n` ranks.
+///
+/// The paper's three cases: `hpl(n, 500)` (HPL(1) — so short that scheduling
+/// gains are uncertain), `hpl(n, 5_000)` (HPL(2)), `hpl(n, 10_000)` (HPL(3)).
+///
+/// Total computation scales as `size³`, panel traffic as `size²`; both are
+/// divided across ranks. 16 factorisation steps model the block loop.
+pub fn hpl(n: usize, size: u64) -> Workload {
+    let steps = 28u32;
+    // size = 10_000 -> ~12 reference-seconds of total compute.
+    let total_comp = 12.0 * (size as f64 / 10_000.0).powi(3);
+    let panel_bytes = ((size * 40) / n as u64).max(512);
+    let mut p = Program::new(n);
+    for k in 0..steps {
+        // Trailing update shrinks quadratically with progress.
+        let remain = 1.0 - k as f64 / steps as f64;
+        let step_comp = total_comp * remain * remain;
+        // Panel broadcast from the step's owner column.
+        let root = (k as usize) % n;
+        bcast(&mut p, root, panel_bytes);
+        // Row swaps circulate pivot rows.
+        ring(&mut p, (panel_bytes / 4).max(256));
+        // Divide by Σ r² (= norm·steps) so per-step weights sum to 1, then
+        // split across ranks.
+        compute_all(&mut p, step_comp / (norm(steps) * steps as f64) / n as f64);
+    }
+    allreduce(&mut p, 64); // final residual check
+    Workload::new(
+        format!("hpl.{size}.{n}"),
+        p,
+        "HPL: panel-broadcast LU factorisation with shrinking trailing update",
+    )
+}
+
+/// Normalisation so that the per-step quadratic weights sum to `steps`,
+/// keeping `total_comp` the actual total.
+fn norm(steps: u32) -> f64 {
+    let s: f64 = (0..steps)
+        .map(|k| {
+            let r = 1.0 - k as f64 / steps as f64;
+            r * r
+        })
+        .sum();
+    s / steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::load::LoadState;
+    use cbes_cluster::presets::two_switch_demo;
+    use cbes_cluster::NodeId;
+    use cbes_mpisim::{simulate, SimConfig};
+
+    fn wall(w: &Workload) -> f64 {
+        let c = two_switch_demo();
+        let mapping: Vec<NodeId> = (0..w.num_ranks() as u32).map(NodeId).collect();
+        simulate(
+            &c,
+            &w.program,
+            &mapping,
+            &LoadState::idle(c.len()),
+            &SimConfig::default().noiseless(),
+        )
+        .unwrap()
+        .wall_time
+    }
+
+    #[test]
+    fn problem_size_dominates_runtime() {
+        let small = wall(&hpl(8, 500));
+        let big = wall(&hpl(8, 10_000));
+        assert!(big > 10.0 * small, "small={small} big={big}");
+    }
+
+    #[test]
+    fn tiny_problem_is_communication_bound() {
+        let c = two_switch_demo();
+        let w = hpl(8, 500);
+        let mapping: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let r = simulate(
+            &c,
+            &w.program,
+            &mapping,
+            &LoadState::idle(c.len()),
+            &SimConfig::default().noiseless(),
+        )
+        .unwrap();
+        let b: f64 = r.stats.iter().map(|s| s.b).sum();
+        let x: f64 = r.stats.iter().map(|s| s.x).sum();
+        assert!(b > x, "HPL(500) should be comm-bound: b={b} x={x}");
+    }
+
+    #[test]
+    fn workload_names_encode_problem_size() {
+        assert_eq!(hpl(4, 5000).name, "hpl.5000.4");
+    }
+
+    #[test]
+    fn compute_normalisation_sums_to_total() {
+        // Sum of per-step compute = total_comp (within fp error).
+        let steps = 28u32;
+        let total = 12.0;
+        let per: f64 = (0..steps)
+            .map(|k| {
+                let r = 1.0 - k as f64 / steps as f64;
+                total * r * r / norm(steps) / steps as f64
+            })
+            .sum();
+        assert!((per - total).abs() < 1e-9, "per={per}");
+    }
+}

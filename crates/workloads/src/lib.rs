@@ -1,0 +1,75 @@
+//! Synthetic workload generators standing in for the paper's benchmark
+//! programs.
+//!
+//! Each generator produces a [`cbes_mpisim::Program`] whose *communication
+//! pattern*, *granularity* and *computation-to-communication ratio* match
+//! the documented character of the original code:
+//!
+//! | paper code | module | pattern |
+//! |---|---|---|
+//! | NPB 2.4 IS/EP/CG/MG/SP/BT/LU | [`npb`] | all-to-all, none, transpose+reductions, multigrid halos, fine/coarse multi-partition halos, wavefront pipeline |
+//! | HPL | [`hpl`] | panel broadcast + trailing update |
+//! | sweep3d, smg2000, SAMRAI, Towhee, Aztec | [`asci`] | near-all-to-all, multigrid halos, irregular all-to-all, embarrassingly parallel, 2-D halo + reductions |
+//! | phase-1 synthetic benchmark | [`synthetic`] | configurable overlap / granularity / duration |
+//!
+//! Simulated wall times are *virtual seconds* a couple of orders of
+//! magnitude below the paper's real runtimes (the time axis is scaled down
+//! so experiments run quickly); all ratios the experiments test are
+//! preserved. See DESIGN.md §2 for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod asci;
+pub mod hpl;
+pub mod npb;
+pub mod patterns;
+pub mod suite;
+pub mod synthetic;
+
+pub use synthetic::{SynthPattern, SyntheticSpec};
+
+use cbes_mpisim::Program;
+
+/// A named, ready-to-simulate application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Name, e.g. `"lu.A.8"`.
+    pub name: String,
+    /// The per-rank program.
+    pub program: Program,
+    /// One-line description of the pattern being modelled.
+    pub description: &'static str,
+}
+
+impl Workload {
+    /// Build a workload, asserting the program is well formed.
+    pub fn new(name: String, program: Program, description: &'static str) -> Self {
+        debug_assert_eq!(program.validate(), Ok(()), "workload {name} is malformed");
+        Workload {
+            name,
+            program,
+            description,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.program.num_ranks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_mpisim::Op;
+
+    #[test]
+    fn workload_carries_program() {
+        let mut p = Program::new(2);
+        p.push(0, Op::Compute { seconds: 1.0 });
+        p.push(1, Op::Compute { seconds: 1.0 });
+        let w = Workload::new("w".into(), p, "test");
+        assert_eq!(w.num_ranks(), 2);
+        assert_eq!(w.name, "w");
+    }
+}

@@ -1,0 +1,105 @@
+//! A name-indexed registry of every workload generator — used by the CLI
+//! and the experiment harness to construct workloads from strings.
+
+use crate::npb::NpbClass;
+use crate::{asci, hpl, npb, Workload};
+
+/// Parameters a named workload may take.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteParams {
+    /// Number of processes.
+    pub ranks: usize,
+    /// NPB class (defaults to A when unspecified).
+    pub class: NpbClass,
+    /// Problem size for HPL (matrix dimension) and smg2000 (grid edge).
+    pub size: u64,
+}
+
+impl Default for SuiteParams {
+    fn default() -> Self {
+        SuiteParams {
+            ranks: 8,
+            class: NpbClass::A,
+            size: 10_000,
+        }
+    }
+}
+
+/// The names [`by_name`] understands.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "is", "ep", "cg", "mg", "sp", "bt", "lu", "hpl", "sweep3d", "smg2000", "samrai",
+        "towhee", "aztec", "irregular",
+    ]
+}
+
+/// Build a workload by name. Returns `None` for unknown names.
+pub fn by_name(name: &str, p: SuiteParams) -> Option<Workload> {
+    let w = match name {
+        "is" => npb::is(p.ranks, p.class),
+        "ep" => npb::ep(p.ranks, p.class),
+        "cg" => npb::cg(p.ranks, p.class),
+        "mg" => npb::mg(p.ranks, p.class),
+        "sp" => npb::sp(p.ranks, p.class),
+        "bt" => npb::bt(p.ranks, p.class),
+        "lu" => npb::lu(p.ranks, p.class),
+        "hpl" => hpl::hpl(p.ranks, p.size),
+        "sweep3d" => asci::sweep3d(p.ranks),
+        "smg2000" => asci::smg2000(p.ranks, p.size.min(u32::MAX as u64) as u32),
+        "samrai" => asci::samrai(p.ranks),
+        "towhee" => asci::towhee(p.ranks),
+        "aztec" => asci::aztec(p.ranks),
+        "irregular" => asci::irregular(p.ranks, p.size),
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Parse an NPB class letter (`S`/`A`/`B`, case-insensitive).
+pub fn parse_class(s: &str) -> Option<NpbClass> {
+    match s.to_ascii_uppercase().as_str() {
+        "S" => Some(NpbClass::S),
+        "A" => Some(NpbClass::A),
+        "B" => Some(NpbClass::B),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_builds() {
+        let p = SuiteParams {
+            ranks: 4,
+            class: NpbClass::S,
+            size: 12,
+        };
+        for name in names() {
+            let w = by_name(name, p).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(w.num_ranks(), 4, "{name}");
+            assert_eq!(w.program.validate(), Ok(()), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("nope", SuiteParams::default()).is_none());
+    }
+
+    #[test]
+    fn class_parsing() {
+        assert_eq!(parse_class("a"), Some(NpbClass::A));
+        assert_eq!(parse_class("S"), Some(NpbClass::S));
+        assert_eq!(parse_class("b"), Some(NpbClass::B));
+        assert_eq!(parse_class("x"), None);
+    }
+
+    #[test]
+    fn hpl_uses_size_parameter() {
+        let small = by_name("hpl", SuiteParams { size: 500, ..Default::default() }).unwrap();
+        let big = by_name("hpl", SuiteParams { size: 10_000, ..Default::default() }).unwrap();
+        assert_ne!(small.name, big.name);
+    }
+}

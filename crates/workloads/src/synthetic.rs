@@ -1,0 +1,251 @@
+//! The configurable synthetic benchmark used by the paper's first
+//! experimental phase (§5): a program tunable in computation/communication
+//! overlap, communication granularity (CPU-bound vs. communication-bound),
+//! and duration.
+
+use crate::patterns;
+use crate::Workload;
+use cbes_mpisim::{Op, Program};
+
+/// Communication topology of the synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthPattern {
+    /// Ring neighbour exchange.
+    Ring,
+    /// Fixed pairs: rank `2k` ↔ rank `2k+1`.
+    Pairs,
+    /// Pairwise-exchange all-to-all.
+    AllToAll,
+}
+
+/// Parameters of one synthetic-benchmark instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Number of processes.
+    pub procs: usize,
+    /// Outer iterations (duration knob).
+    pub iters: u32,
+    /// Computation per rank per iteration, reference seconds (granularity
+    /// knob together with `msg_bytes`).
+    pub comp_per_iter: f64,
+    /// Messages each rank sends per iteration.
+    pub msgs_per_iter: u32,
+    /// Bytes per message.
+    pub msg_bytes: u64,
+    /// Fraction of per-iteration compute placed *between* posting sends and
+    /// receiving (0 = no overlap, communication fully exposed; 1 = all
+    /// compute overlaps the in-flight messages).
+    pub overlap: f64,
+    /// Communication topology.
+    pub pattern: SynthPattern,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec {
+            procs: 8,
+            iters: 20,
+            comp_per_iter: 0.01,
+            msgs_per_iter: 4,
+            msg_bytes: 4096,
+            overlap: 0.0,
+            pattern: SynthPattern::Ring,
+        }
+    }
+}
+
+impl SyntheticSpec {
+    /// Build the benchmark program.
+    ///
+    /// Per iteration each rank posts its sends, computes the overlap share,
+    /// receives, then computes the exposed share — so the `overlap` knob
+    /// directly controls how much of the theoretical communication time is
+    /// hidden (and therefore the profile's `λ`).
+    pub fn build(&self) -> Workload {
+        let n = self.procs;
+        let mut p = Program::new(n);
+        let overlap = self.overlap.clamp(0.0, 1.0);
+        let during = self.comp_per_iter * overlap;
+        let after = self.comp_per_iter * (1.0 - overlap);
+        for _ in 0..self.iters {
+            match self.pattern {
+                SynthPattern::Ring => {
+                    if n >= 2 {
+                        for r in 0..n {
+                            for _ in 0..self.msgs_per_iter {
+                                p.push(
+                                    r,
+                                    Op::Send {
+                                        to: (r + 1) % n,
+                                        bytes: self.msg_bytes,
+                                    },
+                                );
+                            }
+                        }
+                        if during > 0.0 {
+                            patterns::compute_all(&mut p, during);
+                        }
+                        for r in 0..n {
+                            for _ in 0..self.msgs_per_iter {
+                                p.push(r, Op::Recv { from: (r + n - 1) % n });
+                            }
+                        }
+                    } else if self.comp_per_iter > 0.0 {
+                        patterns::compute_all(&mut p, during);
+                    }
+                }
+                SynthPattern::Pairs => {
+                    for r in 0..n {
+                        let peer = if r % 2 == 0 { r + 1 } else { r - 1 };
+                        if peer < n {
+                            for _ in 0..self.msgs_per_iter {
+                                p.push(
+                                    r,
+                                    Op::Send {
+                                        to: peer,
+                                        bytes: self.msg_bytes,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    if during > 0.0 {
+                        patterns::compute_all(&mut p, during);
+                    }
+                    for r in 0..n {
+                        let peer = if r % 2 == 0 { r + 1 } else { r - 1 };
+                        if peer < n {
+                            for _ in 0..self.msgs_per_iter {
+                                p.push(r, Op::Recv { from: peer });
+                            }
+                        }
+                    }
+                }
+                SynthPattern::AllToAll => {
+                    for _ in 0..self.msgs_per_iter {
+                        patterns::alltoall(&mut p, self.msg_bytes);
+                    }
+                    if during > 0.0 {
+                        patterns::compute_all(&mut p, during);
+                    }
+                }
+            }
+            if after > 0.0 {
+                patterns::compute_all(&mut p, after);
+            }
+        }
+        let name = format!(
+            "synth.{:?}.n{}.i{}.m{}x{}.ov{:.2}",
+            self.pattern, n, self.iters, self.msgs_per_iter, self.msg_bytes, overlap
+        );
+        Workload::new(name, p, "configurable synthetic benchmark (paper §5 phase 1)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::load::LoadState;
+    use cbes_cluster::presets::two_switch_demo;
+    use cbes_cluster::NodeId;
+    use cbes_mpisim::{simulate, SimConfig};
+
+    fn wall(spec: &SyntheticSpec) -> f64 {
+        let c = two_switch_demo();
+        let w = spec.build();
+        let mapping: Vec<NodeId> = (0..spec.procs as u32).map(NodeId).collect();
+        simulate(
+            &c,
+            &w.program,
+            &mapping,
+            &LoadState::idle(c.len()),
+            &SimConfig::default().noiseless(),
+        )
+        .unwrap()
+        .wall_time
+    }
+
+    #[test]
+    fn all_patterns_complete() {
+        for pattern in [SynthPattern::Ring, SynthPattern::Pairs, SynthPattern::AllToAll] {
+            let spec = SyntheticSpec {
+                pattern,
+                iters: 3,
+                ..SyntheticSpec::default()
+            };
+            assert!(wall(&spec) > 0.0, "{pattern:?}");
+        }
+    }
+
+    #[test]
+    fn duration_scales_with_iterations() {
+        let short = wall(&SyntheticSpec {
+            iters: 5,
+            ..SyntheticSpec::default()
+        });
+        let long = wall(&SyntheticSpec {
+            iters: 20,
+            ..SyntheticSpec::default()
+        });
+        // Roughly 4x, minus pipeline warm-up amortisation.
+        let ratio = long / short;
+        assert!((3.0..5.0).contains(&ratio), "short {short} long {long}");
+    }
+
+    #[test]
+    fn overlap_reduces_wall_time_for_comm_heavy_runs() {
+        // Moderate message volume: in-flight time is comparable to the
+        // per-iteration compute, so hiding it behind compute pays off.
+        let base = SyntheticSpec {
+            procs: 4,
+            iters: 10,
+            comp_per_iter: 0.03,
+            msgs_per_iter: 8,
+            msg_bytes: 8 * 1024,
+            ..SyntheticSpec::default()
+        };
+        let exposed = wall(&SyntheticSpec { overlap: 0.0, ..base });
+        let hidden = wall(&SyntheticSpec { overlap: 1.0, ..base });
+        assert!(
+            hidden < exposed * 0.99,
+            "overlap should hide communication: {hidden} !< {exposed}"
+        );
+    }
+
+    #[test]
+    fn granularity_shifts_comm_share() {
+        // CPU-bound vs communication-bound instances, on the 4 homogeneous
+        // Alpha nodes so wall time tracks nominal compute exactly.
+        let cpu = SyntheticSpec {
+            procs: 4,
+            comp_per_iter: 0.1,
+            msgs_per_iter: 1,
+            msg_bytes: 256,
+            ..SyntheticSpec::default()
+        };
+        let comm = SyntheticSpec {
+            procs: 4,
+            comp_per_iter: 0.0001,
+            msgs_per_iter: 32,
+            msg_bytes: 64 * 1024,
+            ..SyntheticSpec::default()
+        };
+        // Wall time of the CPU-bound one tracks total compute; the
+        // comm-bound one greatly exceeds its tiny compute budget.
+        let wc = wall(&cpu);
+        assert!((wc - 0.1 * 20.0).abs() / (0.1 * 20.0) < 0.1, "wc={wc}");
+        let wm = wall(&comm);
+        assert!(wm > 10.0 * (0.0001 * 20.0), "wm={wm}");
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let spec = SyntheticSpec {
+            procs: 1,
+            iters: 2,
+            ..SyntheticSpec::default()
+        };
+        let w = spec.build();
+        assert_eq!(w.program.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,113 @@
+//! Inside the mapping-evaluation operation: profile an application, show
+//! the per-process quantities of paper §3.1 (X, O, B, message groups, λ),
+//! then walk one prediction (eq. 4–8) term by term and check it against a
+//! "measured" run — including per-segment profiles for phase-structured
+//! programs.
+//!
+//! ```text
+//! cargo run --release --example profile_and_predict
+//! ```
+
+use cbes::prelude::*;
+use cbes::trace::extract_segment_profiles;
+
+fn main() {
+    let cluster = cbes::cluster::presets::two_switch_demo();
+    let calib = Calibrator::default().calibrate(&cluster);
+
+    // A two-phase program: a chatty ring phase, then a compute phase.
+    let mut program = Program::new(4);
+    program.push_all(Op::Segment(1));
+    for _ in 0..40 {
+        for r in 0..4usize {
+            program.push(
+                r,
+                Op::SendRecv {
+                    to: (r + 1) % 4,
+                    bytes: 8 * 1024,
+                    from: (r + 3) % 4,
+                },
+            );
+        }
+        program.push_all(Op::Compute { seconds: 0.002 });
+    }
+    program.push_all(Op::Segment(2));
+    program.push_all(Op::Compute { seconds: 0.5 });
+
+    let prof_nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let run = simulate(
+        &cluster,
+        &program,
+        &prof_nodes,
+        &LoadState::idle(cluster.len()),
+        &SimConfig::default().with_seed(9),
+    )
+    .expect("profiling run");
+    let profile =
+        cbes::trace::extract_profile("two-phase", &run.trace, &cluster, &prof_nodes, &calib.model);
+
+    println!("per-process profile (paper §3.1):");
+    println!("  rank |    X_i |    O_i |    B_i |    λ_i | send groups");
+    for p in &profile.procs {
+        println!(
+            "  {:>4} | {:>6.3} | {:>6.3} | {:>6.3} | {:>6.2} | {:?}",
+            p.rank,
+            p.x,
+            p.o,
+            p.b,
+            p.lambda,
+            p.sends
+                .iter()
+                .map(|g| format!("{}x{}B->r{}", g.count, g.bytes, g.peer))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // Per-segment profiles (LAM/MPI phase markers).
+    let segments = extract_segment_profiles(
+        "two-phase",
+        &run.trace,
+        &cluster,
+        &prof_nodes,
+        &calib.model,
+    );
+    println!("\nper-segment character:");
+    for (id, seg) in &segments {
+        println!(
+            "  segment {id}: {:.0}% compute / {:.0}% communication",
+            seg.compute_fraction() * 100.0,
+            (1.0 - seg.compute_fraction()) * 100.0
+        );
+    }
+
+    // Predict a cross-switch mapping term by term.
+    let mapping = Mapping::new(vec![NodeId(0), NodeId(4), NodeId(1), NodeId(5)]);
+    let snapshot = SystemSnapshot::no_load(&cluster, &calib.model);
+    let ev = Evaluator::new(&profile, &snapshot);
+    let pred = ev.predict(&mapping);
+    println!("\nprediction for {mapping} (eq. 4-8):");
+    for (rank, cost) in pred.per_proc.iter().enumerate() {
+        println!(
+            "  rank {rank}: R = {:.3}s, C = λ·Θ = {:.3}s, total {:.3}s{}",
+            cost.r,
+            cost.c,
+            cost.total(),
+            if rank == pred.bottleneck { "   <- bottleneck i_M" } else { "" }
+        );
+    }
+    let measured = simulate(
+        &cluster,
+        &program,
+        mapping.as_slice(),
+        &LoadState::idle(cluster.len()),
+        &SimConfig::default().with_seed(77),
+    )
+    .expect("measured run")
+    .wall_time;
+    println!(
+        "\nS_M = {:.3}s predicted vs {:.3}s measured ({:+.2}% error)",
+        pred.time,
+        measured,
+        (pred.time - measured) / measured * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the full CBES life-cycle on the Orange Grove model in ~60
+//! lines — calibrate, profile, schedule, validate.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cbes::prelude::*;
+
+fn main() {
+    // ── 1. Off-line phase: model the cluster and calibrate its latency
+    //       model (the one-time O(N²) campaign, run as O(N) clique rounds).
+    let cluster = cbes::cluster::presets::orange_grove();
+    let calib = Calibrator::default().calibrate(&cluster);
+    println!(
+        "calibrated `{}`: {} nodes, {} measurements in {} clique rounds \
+         ({:.1}x speedup over serial)",
+        cluster.name(),
+        cluster.len(),
+        calib.measurements,
+        calib.rounds,
+        calib.clique_speedup()
+    );
+
+    // ── 2. Profile the application: trace one run on a profiling mapping
+    //       and reduce the trace to X/O/B + message groups + λ.
+    let app = npb::lu(8, NpbClass::A);
+    let alphas = cluster.nodes_by_arch(Architecture::Alpha);
+    let run = simulate(
+        &cluster,
+        &app.program,
+        &alphas,
+        &LoadState::idle(cluster.len()),
+        &SimConfig::default().with_seed(7),
+    )
+    .expect("profiling run");
+    let profile = cbes::trace::extract_profile(&app.name, &run.trace, &cluster, &alphas, &calib.model);
+    println!(
+        "profiled `{}`: {} processes, {:.0}% compute / {:.0}% communication, wall {:.2}s",
+        profile.name,
+        profile.num_procs(),
+        profile.compute_fraction() * 100.0,
+        (1.0 - profile.compute_fraction()) * 100.0,
+        run.wall_time
+    );
+
+    // ── 3. Schedule: ask the CS (simulated annealing) scheduler for a good
+    //       8-node mapping out of a 16-node candidate pool.
+    let mut pool = alphas[..4].to_vec();
+    pool.extend(cluster.nodes_by_arch(Architecture::IntelPII));
+    let snapshot = SystemSnapshot::no_load(&cluster, &calib.model);
+    let request = ScheduleRequest::new(&profile, &snapshot, &pool);
+    let result = SaScheduler::new(SaConfig::thorough(42))
+        .schedule(&request)
+        .expect("scheduling");
+    println!(
+        "CS selected {} — predicted {:.3}s after {} evaluations in {:?}",
+        result.mapping, result.predicted_time, result.evaluations, result.elapsed
+    );
+
+    // ── 4. Validate: "run" the application on the selected mapping and on
+    //       a random baseline, and compare.
+    let mut rs = RandomScheduler::new(1);
+    let random = rs.schedule(&request).expect("random mapping");
+    let idle = LoadState::idle(cluster.len());
+    let measure = |m: &Mapping, seed| {
+        simulate(&cluster, &app.program, m.as_slice(), &idle, &SimConfig::default().with_seed(seed))
+            .expect("measured run")
+            .wall_time
+    };
+    let cs_time = measure(&result.mapping, 100);
+    let rs_time = measure(&random.mapping, 101);
+    println!(
+        "measured: CS mapping {:.3}s vs random mapping {:.3}s ({:+.1}% speedup)\n\
+         prediction error on the CS mapping: {:.2}%",
+        cs_time,
+        rs_time,
+        (rs_time - cs_time) / rs_time * 100.0,
+        (result.predicted_time - cs_time).abs() / cs_time * 100.0
+    );
+}

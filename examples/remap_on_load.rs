@@ -1,0 +1,85 @@
+//! Run-time remapping: the cost/benefit decision CBES was designed around
+//! (paper §2 — "if system conditions, with regard to a running application,
+//! change, there should be the capability of generating a new mapping ...
+//! taking into account the task remapping costs").
+//!
+//! A long LU run is scheduled on an idle cluster; midway through, a heavy
+//! background job lands on two of its nodes. The monitor picks the change
+//! up, a fresh mapping is computed, and [`RemapAnalysis`] decides whether
+//! migrating pays off at several progress points.
+//!
+//! ```text
+//! cargo run --release --example remap_on_load
+//! ```
+
+use cbes::core::monitor::ForecastKind;
+use cbes::prelude::*;
+
+fn main() {
+    let cluster = cbes::cluster::presets::orange_grove();
+    let calib = Calibrator::default().calibrate(&cluster);
+    let alphas = cluster.nodes_by_arch(Architecture::Alpha);
+    let intels = cluster.nodes_by_arch(Architecture::IntelPII);
+    let mut pool = alphas.clone();
+    pool.extend_from_slice(&intels);
+
+    // Profile and schedule on the idle system.
+    let app = npb::lu(8, NpbClass::B);
+    let run = simulate(
+        &cluster,
+        &app.program,
+        &alphas,
+        &LoadState::idle(cluster.len()),
+        &SimConfig::default().with_seed(5),
+    )
+    .expect("profiling run");
+    let profile =
+        cbes::trace::extract_profile(&app.name, &run.trace, &cluster, &alphas, &calib.model);
+    let idle_snap = SystemSnapshot::no_load(&cluster, &calib.model);
+    let initial = SaScheduler::new(SaConfig::thorough(2))
+        .schedule(&ScheduleRequest::new(&profile, &idle_snap, &pool))
+        .expect("initial schedule");
+    println!(
+        "initial mapping {} — predicted {:.2}s on the idle system",
+        initial.mapping, initial.predicted_time
+    );
+
+    // Mid-run, a background job eats 60% of two mapped nodes' CPU.
+    let mut monitor = Monitor::new(cluster.len(), ForecastKind::Adaptive(8));
+    let mut measured = LoadState::idle(cluster.len());
+    measured.set_cpu_avail(initial.mapping.node(0), 0.4);
+    measured.set_cpu_avail(initial.mapping.node(1), 0.4);
+    for _ in 0..10 {
+        monitor.observe(&measured); // several monitoring sweeps see it
+    }
+    let mut loaded_snap = SystemSnapshot::no_load(&cluster, &calib.model);
+    loaded_snap.set_load(monitor.forecast());
+
+    // Re-schedule under the new conditions.
+    let fresh = SaScheduler::new(SaConfig::thorough(3))
+        .schedule(&ScheduleRequest::new(&profile, &loaded_snap, &pool))
+        .expect("re-schedule");
+    let ev = Evaluator::new(&profile, &loaded_snap);
+    println!(
+        "after the load hit: staying predicts {:.2}s, candidate {} predicts {:.2}s",
+        ev.predict_time(&initial.mapping),
+        fresh.mapping,
+        fresh.predicted_time
+    );
+
+    // Decide at several progress points.
+    let analysis = RemapAnalysis::default();
+    println!("\nremap decision vs progress (migration cost model: {:?}):", analysis.cost);
+    for progress in [0.1, 0.5, 0.9, 0.99] {
+        let decision = analysis.decide(&ev, &initial.mapping, &fresh.mapping, progress);
+        let verdict = match &decision {
+            RemapDecision::Remap { saving } => format!("REMAP  (saves {saving:.2}s net)"),
+            RemapDecision::Stay { deficit } => format!("stay   (would lose {deficit:.2}s)"),
+        };
+        println!("  {:>3.0}% done -> {verdict}", progress * 100.0);
+    }
+    println!(
+        "\nmoved processes if remapped: {:?}",
+        initial.mapping.moved_ranks(&fresh.mapping)
+    );
+}

@@ -1,0 +1,164 @@
+//! Integration tests pinning the prediction-accuracy claims (paper §5):
+//! errors stay in the few-percent band across workloads and mappings, and
+//! degrade as the paper describes when load changes under a prediction.
+
+use cbes::prelude::*;
+
+struct Bed {
+    cluster: cbes::cluster::Cluster,
+    model: LatencyModel,
+}
+
+fn bed() -> Bed {
+    let cluster = cbes::cluster::presets::orange_grove();
+    let model = Calibrator::default().calibrate(&cluster).model;
+    Bed { cluster, model }
+}
+
+fn profile_of(bed: &Bed, w: &Workload, nodes: &[NodeId], seed: u64) -> AppProfile {
+    let run = simulate(
+        &bed.cluster,
+        &w.program,
+        nodes,
+        &LoadState::idle(bed.cluster.len()),
+        &SimConfig::default().with_seed(seed),
+    )
+    .expect("profiling run");
+    cbes::trace::extract_profile(&w.name, &run.trace, &bed.cluster, nodes, &bed.model)
+}
+
+fn measure(bed: &Bed, w: &Workload, m: &[NodeId], load: &LoadState, seed: u64) -> f64 {
+    simulate(
+        &bed.cluster,
+        &w.program,
+        m,
+        load,
+        &SimConfig::default().with_seed(seed),
+    )
+    .expect("measured run")
+    .wall_time
+}
+
+/// Prediction on the profiling mapping itself reproduces the measured time
+/// almost exactly (only run noise differs).
+#[test]
+fn self_prediction_is_tight() {
+    let bed = bed();
+    let alphas = bed.cluster.nodes_by_arch(Architecture::Alpha);
+    for (w, seed) in [
+        (npb::lu(8, NpbClass::S), 11),
+        (npb::mg(8, NpbClass::S), 12),
+        (cbes::workloads::asci::aztec(8), 13),
+    ] {
+        let profile = profile_of(&bed, &w, &alphas, seed);
+        let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
+        let predicted =
+            Evaluator::new(&profile, &snap).predict_time(&Mapping::new(alphas.clone()));
+        let measured = measure(
+            &bed,
+            &w,
+            &alphas,
+            &LoadState::idle(bed.cluster.len()),
+            seed + 100,
+        );
+        let err = (predicted - measured).abs() / measured;
+        assert!(err < 0.04, "{}: self-prediction error {err}", w.name);
+    }
+}
+
+/// Cross-mapping prediction (the hard case) stays within ~10 % even when
+/// moving from the Alpha group to slower, differently-wired nodes.
+#[test]
+fn cross_mapping_prediction_is_sane() {
+    let bed = bed();
+    let alphas = bed.cluster.nodes_by_arch(Architecture::Alpha);
+    let sparcs = bed.cluster.nodes_by_arch(Architecture::Sparc);
+    for (w, seed) in [(npb::lu(8, NpbClass::S), 21), (npb::sp(8, NpbClass::S), 22)] {
+        let profile = profile_of(&bed, &w, &alphas, seed);
+        let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
+        let predicted =
+            Evaluator::new(&profile, &snap).predict_time(&Mapping::new(sparcs.clone()));
+        let measured = measure(
+            &bed,
+            &w,
+            &sparcs,
+            &LoadState::idle(bed.cluster.len()),
+            seed + 100,
+        );
+        let err = (predicted - measured).abs() / measured;
+        assert!(err < 0.12, "{}: cross-mapping error {err}", w.name);
+        // The speed change itself must be reflected: SPARCs are ~35% slower.
+        let self_pred =
+            Evaluator::new(&profile, &snap).predict_time(&Mapping::new(alphas.clone()));
+        assert!(predicted > self_pred * 1.2, "{}: speed shift missing", w.name);
+    }
+}
+
+/// The paper's phase-3 cliff: a stale (idle-load) prediction degrades past
+/// the ~4 % band once a mapped node loses ≥10 % CPU, while a light 2 % loss
+/// stays tolerable.
+#[test]
+fn stale_predictions_break_at_ten_percent_load() {
+    let bed = bed();
+    let alphas = bed.cluster.nodes_by_arch(Architecture::Alpha);
+    let w = npb::lu(8, NpbClass::S);
+    let profile = profile_of(&bed, &w, &alphas, 31);
+    let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
+    let stale = Evaluator::new(&profile, &snap).predict_time(&Mapping::new(alphas.clone()));
+
+    let err_at = |loss: f64| {
+        let mut load = LoadState::idle(bed.cluster.len());
+        load.set_cpu_avail(alphas[0], 1.0 - loss);
+        let m = measure(&bed, &w, &alphas, &load, 400);
+        (stale - m).abs() / m * 100.0
+    };
+    assert!(err_at(0.02) < 4.0, "2% loss should be tolerable");
+    assert!(err_at(0.10) > 3.0, "10% loss must push the error up");
+    assert!(err_at(0.30) > err_at(0.10), "error grows with load");
+}
+
+/// A load-aware prediction (fresh snapshot) stays accurate where the stale
+/// one fails — the reason CBES monitors continuously.
+#[test]
+fn load_aware_prediction_recovers_accuracy() {
+    let bed = bed();
+    let alphas = bed.cluster.nodes_by_arch(Architecture::Alpha);
+    let w = npb::lu(8, NpbClass::S);
+    let profile = profile_of(&bed, &w, &alphas, 41);
+
+    let mut load = LoadState::idle(bed.cluster.len());
+    load.set_cpu_avail(alphas[0], 0.7);
+    let mut snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
+    snap.set_load(load.clone());
+    let aware = Evaluator::new(&profile, &snap).predict_time(&Mapping::new(alphas.clone()));
+    let measured = measure(&bed, &w, &alphas, &load, 500);
+    let err = (aware - measured).abs() / measured * 100.0;
+    assert!(err < 6.0, "load-aware prediction error {err}%");
+}
+
+/// Profiles survive a JSON round-trip and still predict identically (the
+/// paper's database tables are durable).
+#[test]
+fn profile_persistence_roundtrip() {
+    let bed = bed();
+    let alphas = bed.cluster.nodes_by_arch(Architecture::Alpha);
+    let w = npb::cg(8, NpbClass::S);
+    let profile = profile_of(&bed, &w, &alphas, 51);
+    let restored = AppProfile::from_json(&profile.to_json()).expect("roundtrip");
+    // Float text formatting may shift the last ULP; a second round-trip must
+    // be a fixpoint, and the structural content identical.
+    assert_eq!(restored.to_json(), restored.clone().to_json());
+    assert_eq!(restored.name, profile.name);
+    assert_eq!(restored.num_procs(), profile.num_procs());
+    for (a, b) in restored.procs.iter().zip(&profile.procs) {
+        assert_eq!(a.sends, b.sends);
+        assert_eq!(a.recvs, b.recvs);
+        assert!((a.lambda - b.lambda).abs() < 1e-12);
+        assert!((a.x - b.x).abs() < 1e-12);
+    }
+    let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
+    let m = Mapping::new(alphas);
+    let p1 = Evaluator::new(&profile, &snap).predict_time(&m);
+    let p2 = Evaluator::new(&restored, &snap).predict_time(&m);
+    assert!((p1 - p2).abs() < 1e-9 * p1.max(1.0));
+}

@@ -1,0 +1,95 @@
+//! Integration test of the run-time orchestration loop through the facade:
+//! phase execution, monitoring, remap decisions and migration accounting.
+
+use cbes::cluster::load::{LoadPattern, LoadTimeline};
+use cbes::core::remap::{MigrationCost, RemapAnalysis};
+use cbes::prelude::*;
+
+fn cheap_runtime() -> RuntimeConfig {
+    RuntimeConfig {
+        sa: SaConfig::fast(5),
+        remap: RemapAnalysis {
+            cost: MigrationCost {
+                image_bytes: 1 << 20,
+                transfer_bw: 12.5e6,
+                restart_cost: 0.05,
+                coordination_cost: 0.05,
+            },
+            threshold: 0.2,
+        },
+        ..RuntimeConfig::default()
+    }
+}
+
+#[test]
+fn orchestrator_completes_multi_phase_apps() {
+    let cluster = cbes::cluster::presets::orange_grove();
+    let calib = Calibrator::default().calibrate(&cluster);
+    let phase = npb::cg(8, NpbClass::S).program;
+    let app = PhasedApp::new("cg3", vec![phase.clone(), phase.clone(), phase]);
+    let pool = cluster.nodes_by_arch(Architecture::Alpha);
+    let orch = Orchestrator::new(&cluster, &calib.model, cheap_runtime());
+    let report = orch
+        .run(&app, &pool, &LoadTimeline::idle(cluster.len()))
+        .expect("orchestrated run");
+    assert_eq!(report.phases.len(), 3);
+    // Total equals the sum of phase walls plus migrations.
+    let sum: f64 = report.phases.iter().map(|p| p.wall + p.migration).sum();
+    assert!((report.total - sum).abs() < 1e-9);
+}
+
+#[test]
+fn remap_only_happens_when_it_pays() {
+    let cluster = cbes::cluster::presets::orange_grove();
+    let calib = Calibrator::default().calibrate(&cluster);
+    let phase = npb::lu(8, NpbClass::S).program;
+    let app = PhasedApp::new("lu2", vec![phase.clone(), phase]);
+    let alphas = cluster.nodes_by_arch(Architecture::Alpha);
+    let mut pool = alphas.clone();
+    pool.extend(cluster.nodes_by_arch(Architecture::IntelPII));
+
+    // Load arrives on every Alpha after phase 0.
+    let mut timeline = LoadTimeline::idle(cluster.len());
+    for &node in &alphas {
+        timeline = timeline.with(
+            node,
+            LoadPattern::Step {
+                at: 1.0,
+                before: 1.0,
+                after: 0.3,
+            },
+        );
+    }
+
+    // With cheap migration: remap.
+    let orch = Orchestrator::new(&cluster, &calib.model, cheap_runtime());
+    let cheap = orch.run(&app, &pool, &timeline).expect("cheap run");
+    assert_eq!(cheap.remaps, 1, "{cheap:?}");
+
+    // With prohibitively expensive migration: stay put.
+    let mut expensive = cheap_runtime();
+    expensive.remap.cost.restart_cost = 1e6;
+    let orch = Orchestrator::new(&cluster, &calib.model, expensive);
+    let stay = orch.run(&app, &pool, &timeline).expect("expensive run");
+    assert_eq!(stay.remaps, 0, "{stay:?}");
+    // And staying under load is slower end to end.
+    assert!(stay.total > cheap.total);
+}
+
+#[test]
+fn phased_app_from_segment_markers_runs() {
+    let cluster = cbes::cluster::presets::two_switch_demo();
+    let calib = Calibrator::default().calibrate(&cluster);
+    let mut program = Program::new(4);
+    program.push_all(Op::Compute { seconds: 0.05 });
+    program.push_all(Op::Segment(1));
+    program.push_all(Op::Compute { seconds: 0.05 });
+    let app = PhasedApp::from_segmented("seg", &program);
+    assert_eq!(app.num_phases(), 2);
+    let pool: Vec<NodeId> = cluster.node_ids().collect();
+    let orch = Orchestrator::new(&cluster, &calib.model, cheap_runtime());
+    let report = orch
+        .run(&app, &pool, &LoadTimeline::idle(cluster.len()))
+        .expect("segmented run");
+    assert_eq!(report.phases.len(), 2);
+}

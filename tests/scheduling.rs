@@ -1,0 +1,154 @@
+//! Integration tests of the scheduling results the paper's evaluation rests
+//! on: CS exploits both speed and topology; NCS only speed; RS neither.
+
+use cbes::prelude::*;
+
+struct Bed {
+    cluster: cbes::cluster::Cluster,
+    model: LatencyModel,
+}
+
+fn orange_grove() -> Bed {
+    let cluster = cbes::cluster::presets::orange_grove();
+    let model = Calibrator::default().calibrate(&cluster).model;
+    Bed { cluster, model }
+}
+
+fn profile_on(bed: &Bed, w: &Workload, nodes: &[NodeId], seed: u64) -> AppProfile {
+    let run = simulate(
+        &bed.cluster,
+        &w.program,
+        nodes,
+        &LoadState::idle(bed.cluster.len()),
+        &SimConfig::default().with_seed(seed),
+    )
+    .expect("profiling run");
+    cbes::trace::extract_profile(&w.name, &run.trace, &bed.cluster, nodes, &bed.model)
+}
+
+fn measure(bed: &Bed, w: &Workload, m: &Mapping, seed: u64) -> f64 {
+    simulate(
+        &bed.cluster,
+        &w.program,
+        m.as_slice(),
+        &LoadState::idle(bed.cluster.len()),
+        &SimConfig::default().with_seed(seed),
+    )
+    .expect("measured run")
+    .wall_time
+}
+
+/// On the heterogeneous pool, CS beats the average of random mappings.
+#[test]
+fn cs_beats_random_on_heterogeneous_pool() {
+    let bed = orange_grove();
+    let w = npb::lu(8, NpbClass::S);
+    let alphas = bed.cluster.nodes_by_arch(Architecture::Alpha);
+    let profile = profile_on(&bed, &w, &alphas, 1);
+    let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
+    let pool: Vec<NodeId> = bed.cluster.node_ids().collect();
+    let req = ScheduleRequest::new(&profile, &snap, &pool);
+
+    let cs = SaScheduler::new(SaConfig::fast(7)).schedule(&req).unwrap();
+    let cs_time = measure(&bed, &w, &cs.mapping, 50);
+
+    let mut rs = RandomScheduler::new(3);
+    let rs_times: Vec<f64> = (0..8)
+        .map(|i| {
+            let r = rs.schedule(&req).unwrap();
+            measure(&bed, &w, &r.mapping, 60 + i)
+        })
+        .collect();
+    let rs_mean = rs_times.iter().sum::<f64>() / rs_times.len() as f64;
+    assert!(
+        cs_time < rs_mean * 0.95,
+        "CS {cs_time} must beat random average {rs_mean} by >5%"
+    );
+}
+
+/// Within a compute-homogeneous pool, only the communication term separates
+/// CS from NCS — and CS must win on a communication-sensitive code.
+#[test]
+fn cs_beats_ncs_via_communication_alone() {
+    let bed = orange_grove();
+    let w = cbes::workloads::asci::aztec(8);
+    let sparcs = bed.cluster.nodes_by_arch(Architecture::Sparc);
+    let profile = profile_on(&bed, &w, &sparcs, 2);
+    let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
+    let req = ScheduleRequest::new(&profile, &snap, &sparcs);
+
+    let cs = SaScheduler::new(SaConfig::thorough(1)).schedule(&req).unwrap();
+    // NCS cannot separate the compute-identical mappings: average several.
+    let ncs_times: Vec<f64> = (0..5)
+        .map(|i| {
+            let r = NcsScheduler::new(SaConfig::fast(100 + i))
+                .schedule(&req)
+                .unwrap();
+            measure(&bed, &w, &r.mapping, 200 + i)
+        })
+        .collect();
+    let ncs_mean = ncs_times.iter().sum::<f64>() / ncs_times.len() as f64;
+    let cs_time = measure(&bed, &w, &cs.mapping, 300);
+    assert!(
+        cs_time < ncs_mean,
+        "CS {cs_time} must beat NCS average {ncs_mean} on comm alone"
+    );
+}
+
+/// The three LU speed zones are ordered: Alpha < Alpha+Intel < with-SPARC
+/// (figure 6's structure).
+#[test]
+fn lu_zones_are_ordered_by_bottleneck_speed() {
+    let bed = orange_grove();
+    let w = npb::lu(8, NpbClass::S);
+    let a = bed.cluster.nodes_by_arch(Architecture::Alpha);
+    let i = bed.cluster.nodes_by_arch(Architecture::IntelPII);
+    let s = bed.cluster.nodes_by_arch(Architecture::Sparc);
+
+    let high = Mapping::new(a.clone());
+    let mut mix_ai = a[..4].to_vec();
+    mix_ai.extend_from_slice(&i[..4]);
+    let medium = Mapping::new(mix_ai);
+    let mut mix_ais = a[..2].to_vec();
+    mix_ais.extend_from_slice(&i[..2]);
+    mix_ais.extend_from_slice(&s[..4]);
+    let low = Mapping::new(mix_ais);
+
+    let th = measure(&bed, &w, &high, 10);
+    let tm = measure(&bed, &w, &medium, 11);
+    let tl = measure(&bed, &w, &low, 12);
+    assert!(th < tm && tm < tl, "zones must order: {th} {tm} {tl}");
+    // Zone ratios roughly track bottleneck speeds (damped by comm share).
+    assert!(tm / th > 1.05 && tm / th < 1.25, "medium/high {}", tm / th);
+    assert!(tl / th > 1.2 && tl / th < 1.7, "low/high {}", tl / th);
+}
+
+/// Genetic and greedy schedulers return valid, competitive mappings.
+#[test]
+fn alternative_schedulers_are_competitive() {
+    let bed = orange_grove();
+    let w = npb::cg(8, NpbClass::S);
+    let alphas = bed.cluster.nodes_by_arch(Architecture::Alpha);
+    let profile = profile_on(&bed, &w, &alphas, 3);
+    let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
+    let pool: Vec<NodeId> = bed.cluster.node_ids().collect();
+    let req = ScheduleRequest::new(&profile, &snap, &pool);
+
+    let cs = SaScheduler::new(SaConfig::fast(5)).schedule(&req).unwrap();
+    let ga = GeneticScheduler::new(cbes::sched::GaConfig::fast(5))
+        .schedule(&req)
+        .unwrap();
+    let greedy = GreedyScheduler::new().schedule(&req).unwrap();
+    let mut rs = RandomScheduler::new(5);
+    let random = rs.schedule(&req).unwrap();
+
+    for r in [&cs, &ga, &greedy, &random] {
+        assert!(r.mapping.is_injective());
+        assert_eq!(r.mapping.len(), 8);
+    }
+    // Search-based schedulers should not lose to a single random draw.
+    assert!(cs.predicted_time <= random.predicted_time);
+    assert!(ga.predicted_time <= random.predicted_time);
+    // Greedy should be the cheapest search by evaluations.
+    assert!(greedy.evaluations < cs.evaluations);
+}
