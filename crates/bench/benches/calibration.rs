@@ -10,8 +10,10 @@ use std::hint::black_box;
 fn bench_calibration(c: &mut Criterion) {
     let mut group = c.benchmark_group("calibrate");
     group.sample_size(10);
-    for (label, cluster) in [("orange-grove/28", orange_grove()), ("centurion/128", centurion())]
-    {
+    for (label, cluster) in [
+        ("orange-grove/28", orange_grove()),
+        ("centurion/128", centurion()),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &cluster, |b, cl| {
             b.iter(|| black_box(Calibrator::default().calibrate(cl).measurements))
         });

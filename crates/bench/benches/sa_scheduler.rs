@@ -67,7 +67,12 @@ fn bench_schedulers(c: &mut Criterion) {
         b.iter(|| {
             let snap = tb.snapshot();
             let req = ScheduleRequest::new(&setup.profile, &snap, &zones[1].pool);
-            black_box(GreedyScheduler::new().schedule(&req).unwrap().predicted_time)
+            black_box(
+                GreedyScheduler::new()
+                    .schedule(&req)
+                    .unwrap()
+                    .predicted_time,
+            )
         })
     });
 }

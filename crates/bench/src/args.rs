@@ -61,7 +61,8 @@ impl ExpArgs {
     /// The effective repetition count: `runs` override, else `full_n` when
     /// `--full`, else `default_n`.
     pub fn reps(&self, default_n: usize, full_n: usize) -> usize {
-        self.runs.unwrap_or(if self.full { full_n } else { default_n })
+        self.runs
+            .unwrap_or(if self.full { full_n } else { default_n })
     }
 }
 

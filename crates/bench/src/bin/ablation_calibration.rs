@@ -51,10 +51,12 @@ fn main() {
         .map(|(i, m)| tb.measure(&w, m, &idle, args.seed + 900 + i as u64))
         .collect();
 
-    let eval_with = |label: &str, noise_label: &str, snap: &SystemSnapshot<'_>,
-                         profile: &cbes_trace::AppProfile,
-                         rows: &mut Vec<serde_json::Value>,
-                         table: &mut Table| {
+    let eval_with = |label: &str,
+                     noise_label: &str,
+                     snap: &SystemSnapshot<'_>,
+                     profile: &cbes_trace::AppProfile,
+                     rows: &mut Vec<serde_json::Value>,
+                     table: &mut Table| {
         let ev = Evaluator::new(profile, snap);
         let errs: Vec<f64> = mappings
             .iter()
@@ -83,9 +85,22 @@ fn main() {
             &cbes_mpisim::SimConfig::default().with_seed(0x1111),
         )
         .expect("profiling run");
-        let profile = extract_profile(&w.name, &run.trace, &tb.cluster, &zones[0].pool, &tb.cluster);
+        let profile = extract_profile(
+            &w.name,
+            &run.trace,
+            &tb.cluster,
+            &zones[0].pool,
+            &tb.cluster,
+        );
         let snap = SystemSnapshot::no_load(&tb.cluster, &tb.cluster);
-        eval_with("topology (exact)", "-", &snap, &profile, &mut rows_json, &mut t);
+        eval_with(
+            "topology (exact)",
+            "-",
+            &snap,
+            &profile,
+            &mut rows_json,
+            &mut t,
+        );
     }
 
     // (b) Calibrated models at increasing measurement noise.
@@ -104,8 +119,13 @@ fn main() {
             &cbes_mpisim::SimConfig::default().with_seed(0x1111),
         )
         .expect("profiling run");
-        let profile =
-            extract_profile(&w.name, &run.trace, &tb.cluster, &zones[0].pool, &outcome.model);
+        let profile = extract_profile(
+            &w.name,
+            &run.trace,
+            &tb.cluster,
+            &zones[0].pool,
+            &outcome.model,
+        );
         let snap = SystemSnapshot::no_load(&tb.cluster, &outcome.model);
         eval_with(
             "calibrated model",
@@ -123,5 +143,8 @@ fn main() {
          from exact topology\nknowledge; prediction quality only degrades \
          once per-measurement noise grows to ~15%."
     );
-    save_json("ablation_calibration", &serde_json::json!({ "rows": rows_json }));
+    save_json(
+        "ablation_calibration",
+        &serde_json::json!({ "rows": rows_json }),
+    );
 }

@@ -85,7 +85,13 @@ fn main() {
         steps
     );
 
-    let mut t = Table::new(&["scenario", "last-value", "mean(8)", "median(8)", "adaptive(8)"]);
+    let mut t = Table::new(&[
+        "scenario",
+        "last-value",
+        "mean(8)",
+        "median(8)",
+        "adaptive(8)",
+    ]);
     let mut rows_json = Vec::new();
     for (sname, timeline) in &scenarios {
         let errs: Vec<f64> = kinds
@@ -112,5 +118,8 @@ fn main() {
          monitor (Orange Grove prototype) under bursty load"
     );
 
-    save_json("ablation_forecast", &serde_json::json!({ "rows": rows_json }));
+    save_json(
+        "ablation_forecast",
+        &serde_json::json!({ "rows": rows_json }),
+    );
 }

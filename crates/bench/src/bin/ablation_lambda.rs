@@ -42,12 +42,7 @@ fn main() {
         mappings_per_case
     );
 
-    let mut t = Table::new(&[
-        "workload",
-        "mean λ",
-        "err with λ %",
-        "err with λ=1 %",
-    ]);
+    let mut t = Table::new(&["workload", "mean λ", "err with λ %", "err with λ=1 %"]);
     let mut rows_json = Vec::new();
     for w in &cases {
         let profile = tb.profile(w, &profiling_pool[..8], args.seed + 3);

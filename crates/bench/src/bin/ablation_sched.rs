@@ -58,8 +58,14 @@ fn main() {
         let mut rows_json = Vec::new();
         type Mk = Box<dyn Fn(u64) -> Box<dyn Scheduler>>;
         let mks: Vec<(&str, Mk)> = vec![
-            ("CS (SA)", Box::new(|s| Box::new(SaScheduler::new(SaConfig::fast(s))))),
-            ("GA", Box::new(|s| Box::new(GeneticScheduler::new(GaConfig::fast(s))))),
+            (
+                "CS (SA)",
+                Box::new(|s| Box::new(SaScheduler::new(SaConfig::fast(s)))),
+            ),
+            (
+                "GA",
+                Box::new(|s| Box::new(GeneticScheduler::new(GaConfig::fast(s)))),
+            ),
             ("Greedy", Box::new(|_| Box::new(GreedyScheduler::new()))),
             ("RS", Box::new(|s| Box::new(RandomScheduler::new(s)))),
         ];

@@ -17,7 +17,11 @@ use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};
 use cbes_cluster::load::LoadState;
 use cbes_mpisim::{simulate, SimConfig};
 
-fn comm_time(tb: &Testbed, w: &cbes_workloads::Workload, m: &cbes_core::mapping::Mapping) -> (f64, f64) {
+fn comm_time(
+    tb: &Testbed,
+    w: &cbes_workloads::Workload,
+    m: &cbes_core::mapping::Mapping,
+) -> (f64, f64) {
     let cfg = SimConfig::default().with_seed(0xE10);
     let r = simulate(
         &tb.cluster,
@@ -59,10 +63,21 @@ fn main() {
     let setup = prepare_lu(&tb, &zones);
     let medium = &zones[1];
     let cs = run_scheduler(
-        &tb, &setup.profile, &setup.workload, &medium.pool, Driver::Cs, runs, args.seed,
+        &tb,
+        &setup.profile,
+        &setup.workload,
+        &medium.pool,
+        Driver::Cs,
+        runs,
+        args.seed,
     );
     let ncs = run_scheduler(
-        &tb, &setup.profile, &setup.workload, &medium.pool, Driver::Ncs, runs,
+        &tb,
+        &setup.profile,
+        &setup.workload,
+        &medium.pool,
+        Driver::Ncs,
+        runs,
         args.seed + 500,
     );
     let best = cs

@@ -50,10 +50,22 @@ fn main() {
 
         // (b) CS vs RS over the mixed medium pool.
         let cs = run_scheduler(
-            &tb, &profile, &w, &zones[1].pool, Driver::Cs, runs, args.seed + 100,
+            &tb,
+            &profile,
+            &w,
+            &zones[1].pool,
+            Driver::Cs,
+            runs,
+            args.seed + 100,
         );
         let rs = run_scheduler(
-            &tb, &profile, &w, &zones[1].pool, Driver::Rs, runs, args.seed + 200,
+            &tb,
+            &profile,
+            &w,
+            &zones[1].pool,
+            Driver::Rs,
+            runs,
+            args.seed + 200,
         );
         let cs_best = stats::min(&cs.iter().map(|o| o.measured).collect::<Vec<_>>());
         let rs_mean = stats::mean(&rs.iter().map(|o| o.measured).collect::<Vec<_>>());

@@ -77,19 +77,84 @@ struct Case {
 fn cases(full: bool) -> Vec<Case> {
     let big = |n: usize| if full { n } else { n.min(32) };
     vec![
-        Case { label: "IS-A", nodes_label: "16", workload: is(16, NpbClass::A), dual: false },
-        Case { label: "EP-B", nodes_label: "16(2)", workload: ep(16, NpbClass::B), dual: true },
-        Case { label: "SP-A", nodes_label: "64", workload: sp(big(64), NpbClass::A), dual: false },
-        Case { label: "SP-B", nodes_label: "121", workload: sp(big(121), NpbClass::B), dual: false },
-        Case { label: "MG-A", nodes_label: "64", workload: mg(big(64), NpbClass::A), dual: false },
-        Case { label: "MG-B", nodes_label: "128", workload: mg(big(128), NpbClass::B), dual: false },
-        Case { label: "CG-A", nodes_label: "64", workload: cg(big(64), NpbClass::A), dual: false },
-        Case { label: "BT-S", nodes_label: "16", workload: bt(16, NpbClass::S), dual: false },
-        Case { label: "BT-A", nodes_label: "64", workload: bt(big(64), NpbClass::A), dual: false },
-        Case { label: "BT-B", nodes_label: "121", workload: bt(big(121), NpbClass::B), dual: false },
-        Case { label: "LU-A", nodes_label: "64", workload: lu(big(64), NpbClass::A), dual: false },
-        Case { label: "LU-B", nodes_label: "128", workload: lu(big(128), NpbClass::B), dual: false },
-        Case { label: "HPL", nodes_label: "64", workload: hpl::hpl(big(64), 10_000), dual: false },
+        Case {
+            label: "IS-A",
+            nodes_label: "16",
+            workload: is(16, NpbClass::A),
+            dual: false,
+        },
+        Case {
+            label: "EP-B",
+            nodes_label: "16(2)",
+            workload: ep(16, NpbClass::B),
+            dual: true,
+        },
+        Case {
+            label: "SP-A",
+            nodes_label: "64",
+            workload: sp(big(64), NpbClass::A),
+            dual: false,
+        },
+        Case {
+            label: "SP-B",
+            nodes_label: "121",
+            workload: sp(big(121), NpbClass::B),
+            dual: false,
+        },
+        Case {
+            label: "MG-A",
+            nodes_label: "64",
+            workload: mg(big(64), NpbClass::A),
+            dual: false,
+        },
+        Case {
+            label: "MG-B",
+            nodes_label: "128",
+            workload: mg(big(128), NpbClass::B),
+            dual: false,
+        },
+        Case {
+            label: "CG-A",
+            nodes_label: "64",
+            workload: cg(big(64), NpbClass::A),
+            dual: false,
+        },
+        Case {
+            label: "BT-S",
+            nodes_label: "16",
+            workload: bt(16, NpbClass::S),
+            dual: false,
+        },
+        Case {
+            label: "BT-A",
+            nodes_label: "64",
+            workload: bt(big(64), NpbClass::A),
+            dual: false,
+        },
+        Case {
+            label: "BT-B",
+            nodes_label: "121",
+            workload: bt(big(121), NpbClass::B),
+            dual: false,
+        },
+        Case {
+            label: "LU-A",
+            nodes_label: "64",
+            workload: lu(big(64), NpbClass::A),
+            dual: false,
+        },
+        Case {
+            label: "LU-B",
+            nodes_label: "128",
+            workload: lu(big(128), NpbClass::B),
+            dual: false,
+        },
+        Case {
+            label: "HPL",
+            nodes_label: "64",
+            workload: hpl::hpl(big(64), 10_000),
+            dual: false,
+        },
     ]
 }
 
@@ -103,7 +168,11 @@ fn main() {
         "Figure 5 — prediction error, NPB 2.4 suite + HPL on Centurion \
          ({} runs per case{})",
         runs,
-        if args.full { "" } else { "; node counts capped at 32, use --full for paper sizes" }
+        if args.full {
+            ""
+        } else {
+            "; node counts capped at 32, use --full for paper sizes"
+        }
     );
 
     let mut t = Table::new(&[
@@ -154,5 +223,8 @@ fn main() {
         stats::max(&errors)
     );
 
-    save_json("fig5_prediction_error", &serde_json::json!({ "rows": rows_json }));
+    save_json(
+        "fig5_prediction_error",
+        &serde_json::json!({ "rows": rows_json }),
+    );
 }

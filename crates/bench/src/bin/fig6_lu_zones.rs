@@ -24,7 +24,13 @@ fn main() {
         per_zone, setup.workload.name
     );
 
-    let mut t = Table::new(&["architecture mix", "min (s)", "mean (s)", "max (s)", "range %"]);
+    let mut t = Table::new(&[
+        "architecture mix",
+        "min (s)",
+        "mean (s)",
+        "max (s)",
+        "range %",
+    ]);
     let mut all_times: Vec<f64> = Vec::new();
     let mut zone_json = Vec::new();
     for zone in &zones {

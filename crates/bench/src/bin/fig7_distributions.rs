@@ -38,10 +38,21 @@ fn main() {
     );
 
     let cs = run_scheduler(
-        &tb, &setup.profile, &setup.workload, &low.pool, Driver::Cs, runs, args.seed,
+        &tb,
+        &setup.profile,
+        &setup.workload,
+        &low.pool,
+        Driver::Cs,
+        runs,
+        args.seed,
     );
     let ncs = run_scheduler(
-        &tb, &setup.profile, &setup.workload, &low.pool, Driver::Ncs, runs,
+        &tb,
+        &setup.profile,
+        &setup.workload,
+        &low.pool,
+        Driver::Ncs,
+        runs,
         args.seed + 1000,
     );
     let cs_pred: Vec<f64> = cs.iter().map(|o| o.predicted).collect();

@@ -40,7 +40,11 @@ fn mapping_mixes(cluster: &Cluster, n: usize) -> Vec<(&'static str, Mapping)> {
             })
             .collect(),
     );
-    vec![("colocated", colocated), ("spread", spread), ("hetero", hetero)]
+    vec![
+        ("colocated", colocated),
+        ("spread", spread),
+        ("hetero", hetero),
+    ]
 }
 
 struct CaseResult {
@@ -68,7 +72,11 @@ fn main() {
             vec![1, 4, 12],
             vec![512, 4 * 1024, 32 * 1024],
             vec![5, 15, 40],
-            vec![SynthPattern::Ring, SynthPattern::Pairs, SynthPattern::AllToAll],
+            vec![
+                SynthPattern::Ring,
+                SynthPattern::Pairs,
+                SynthPattern::AllToAll,
+            ],
         )
     } else {
         (
@@ -172,7 +180,11 @@ fn main() {
             .filter(|r| r.cluster == cl)
             .map(|r| r.err_pct)
             .collect();
-        println!("  {cl}: mean {:.2}%, max {:.2}%", stats::mean(&e), stats::max(&e));
+        println!(
+            "  {cl}: mean {:.2}%, max {:.2}%",
+            stats::mean(&e),
+            stats::max(&e)
+        );
     }
 
     save_json(

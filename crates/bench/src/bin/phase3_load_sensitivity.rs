@@ -35,11 +35,7 @@ fn main() {
         runs
     );
 
-    let cases: Vec<Workload> = vec![
-        lu(8, NpbClass::A),
-        sp(8, NpbClass::A),
-        bt(8, NpbClass::A),
-    ];
+    let cases: Vec<Workload> = vec![lu(8, NpbClass::A), sp(8, NpbClass::A), bt(8, NpbClass::A)];
 
     let mut t = Table::new(&[
         "benchmark",
@@ -85,5 +81,8 @@ fn main() {
          column shows why CBES\nre-snapshots load before every evaluation."
     );
 
-    save_json("phase3_load_sensitivity", &serde_json::json!({ "rows": rows_json }));
+    save_json(
+        "phase3_load_sensitivity",
+        &serde_json::json!({ "rows": rows_json }),
+    );
 }

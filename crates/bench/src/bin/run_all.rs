@@ -68,7 +68,10 @@ fn main() {
         failures.push("make_report");
     }
     if failures.is_empty() {
-        println!("all {} experiments complete; see results/REPORT.md", EXPERIMENTS.len());
+        println!(
+            "all {} experiments complete; see results/REPORT.md",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("failed: {failures:?}");
         std::process::exit(1);

@@ -1,0 +1,188 @@
+//! Load generator for the CBES daemon: concurrent clients hammering a
+//! Centurion-preset server with `Compare` requests over real loopback
+//! sockets, reporting sustained throughput and latency percentiles.
+//!
+//! Acceptance: ≥10k Compare req/s with 8 workers, zero dropped replies,
+//! and a clean drain on `Shutdown`. Artifact: `results/server_loadgen.json`.
+//!
+//! ```text
+//! cargo run --release --bin server_loadgen [--full] [--runs REQS_PER_CLIENT] [--seed S]
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cbes_bench::args::ExpArgs;
+use cbes_bench::save_json;
+use cbes_cluster::{presets, NodeId};
+use cbes_core::mapping::Mapping;
+use cbes_core::monitor::ForecastKind;
+use cbes_core::CbesService;
+use cbes_server::{Client, Server, ServerConfig};
+use cbes_trace::{AppProfile, MessageGroup, ProcessProfile};
+
+const WORKERS: usize = 8;
+const CLIENTS: usize = 8;
+
+/// An 8-rank ring exchange, the shape of the paper's communication-bound
+/// kernels.
+fn ring_profile(procs: usize) -> AppProfile {
+    let mk = |rank: usize| ProcessProfile {
+        rank,
+        x: 5.0,
+        o: 0.2,
+        b: 0.5,
+        sends: vec![MessageGroup {
+            peer: (rank + 1) % procs,
+            bytes: 8192,
+            count: 50,
+        }],
+        recvs: vec![MessageGroup {
+            peer: (rank + procs - 1) % procs,
+            bytes: 8192,
+            count: 50,
+        }],
+        profile_speed: 1.0,
+        lambda: 1.0,
+    };
+    AppProfile {
+        name: "ring".to_string(),
+        procs: (0..procs).map(mk).collect(),
+        arch_ratios: BTreeMap::new(),
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let per_client = args.runs.unwrap_or(if args.full { 10_000 } else { 2_500 });
+    let total = per_client * CLIENTS;
+
+    let service = Arc::new(CbesService::self_calibrated(
+        Arc::new(presets::centurion()),
+        ForecastKind::Adaptive(8),
+    ));
+    service.registry().insert(ring_profile(8));
+    let handle = Server::start(
+        service,
+        ServerConfig {
+            workers: WORKERS,
+            queue_capacity: 4096,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    println!(
+        "server_loadgen: centurion daemon on {addr}, {WORKERS} workers, \
+         {CLIENTS} clients x {per_client} Compare requests"
+    );
+
+    // Each client compares three 8-rank candidates: same-switch, split,
+    // and scattered — the paper's typical mapping-comparison request.
+    let candidates = vec![
+        Mapping::new((0..8).map(NodeId).collect()),
+        Mapping::new((60..68).map(NodeId).collect()),
+        Mapping::new((0..8).map(|i| NodeId(i * 16)).collect()),
+    ];
+
+    let start = Instant::now();
+    let per_client_results: Vec<(Vec<Duration>, usize)> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let candidates = &candidates;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut errors = 0usize;
+                    for _ in 0..per_client {
+                        let t0 = Instant::now();
+                        match client.compare("ring", candidates) {
+                            Ok((_, preds)) => assert_eq!(preds.len(), 3),
+                            Err(e) => {
+                                errors += 1;
+                                eprintln!("request failed: {e}");
+                            }
+                        }
+                        latencies.push(t0.elapsed());
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total);
+    let mut errors = 0usize;
+    for (lat, err) in per_client_results {
+        latencies.extend(lat);
+        errors += err;
+    }
+    let dropped = total - latencies.len();
+    latencies.sort_unstable();
+    let req_per_s = total as f64 / elapsed.as_secs_f64();
+    let p50 = percentile(&latencies, 0.50);
+    let p90 = percentile(&latencies, 0.90);
+    let p99 = percentile(&latencies, 0.99);
+    let max = *latencies.last().expect("at least one request");
+
+    // Clean drain: every admitted request must be answered before join
+    // returns.
+    let mut control = Client::connect(addr).expect("connect control");
+    let stats = control.stats().expect("stats");
+    control.shutdown().expect("shutdown ack");
+    let (served, served_errors) = handle.join();
+
+    println!("\n  elapsed          {:>10.3} s", elapsed.as_secs_f64());
+    println!("  throughput       {req_per_s:>10.0} req/s");
+    println!("  latency p50      {:>10.1} us", p50.as_secs_f64() * 1e6);
+    println!("  latency p90      {:>10.1} us", p90.as_secs_f64() * 1e6);
+    println!("  latency p99      {:>10.1} us", p99.as_secs_f64() * 1e6);
+    println!("  latency max      {:>10.1} us", max.as_secs_f64() * 1e6);
+    println!("  dropped replies  {dropped:>10}");
+    println!("  client errors    {errors:>10}");
+    println!(
+        "  server           {} served, {} errors, drained cleanly",
+        served, served_errors
+    );
+
+    let ok = dropped == 0 && errors == 0 && req_per_s >= 10_000.0;
+    save_json(
+        "server_loadgen",
+        &serde_json::json!({
+            "cluster": "centurion",
+            "workers": WORKERS,
+            "clients": CLIENTS,
+            "requests": total,
+            "mappings_per_request": candidates.len(),
+            "elapsed_s": elapsed.as_secs_f64(),
+            "req_per_s": req_per_s,
+            "latency_us": {
+                "p50": p50.as_secs_f64() * 1e6,
+                "p90": p90.as_secs_f64() * 1e6,
+                "p99": p99.as_secs_f64() * 1e6,
+                "max": max.as_secs_f64() * 1e6,
+            },
+            "dropped_replies": dropped,
+            "client_errors": errors,
+            "served": served,
+            "server_errors": served_errors,
+            "queue_depth_at_stats": stats.queue_depth,
+            "clean_drain": true,
+            "target_req_per_s": 10_000.0,
+            "pass": ok,
+        }),
+    );
+    if !ok {
+        eprintln!("FAIL: target is >=10k req/s with zero dropped replies");
+        std::process::exit(1);
+    }
+    println!("\nPASS: sustained {req_per_s:.0} req/s with zero dropped replies");
+}

@@ -39,10 +39,21 @@ fn main() {
     let mut global_worst: f64 = 0.0;
     for zone in &zones {
         let ncs = run_scheduler(
-            &tb, &setup.profile, &setup.workload, &zone.pool, Driver::Ncs, runs, args.seed,
+            &tb,
+            &setup.profile,
+            &setup.workload,
+            &zone.pool,
+            Driver::Ncs,
+            runs,
+            args.seed,
         );
         let cs = run_scheduler(
-            &tb, &setup.profile, &setup.workload, &zone.pool, Driver::Cs, runs,
+            &tb,
+            &setup.profile,
+            &setup.workload,
+            &zone.pool,
+            Driver::Cs,
+            runs,
             args.seed + 1000,
         );
         let worst = stats::max(&ncs.iter().map(|o| o.measured).collect::<Vec<_>>());

@@ -47,10 +47,21 @@ fn main() {
     let mut rows_json = Vec::new();
     for zone in &zones {
         let ncs = run_scheduler(
-            &tb, &setup.profile, &setup.workload, &zone.pool, Driver::Ncs, runs, args.seed,
+            &tb,
+            &setup.profile,
+            &setup.workload,
+            &zone.pool,
+            Driver::Ncs,
+            runs,
+            args.seed,
         );
         let cs = run_scheduler(
-            &tb, &setup.profile, &setup.workload, &zone.pool, Driver::Cs, runs,
+            &tb,
+            &setup.profile,
+            &setup.workload,
+            &zone.pool,
+            Driver::Cs,
+            runs,
             args.seed + 1000,
         );
         let (ncs_pred, ncs_meas) = collect(&ncs);
@@ -86,9 +97,10 @@ fn main() {
         }));
     }
     t.print("LU: average case scenario (paper table 2)");
-    println!(
-        "paper reference: CS ≈ 90% hits / NCS < 3% hits; measured speedups 4.8 / 8.7 / 5.5 %"
-    );
+    println!("paper reference: CS ≈ 90% hits / NCS < 3% hits; measured speedups 4.8 / 8.7 / 5.5 %");
 
-    save_json("table2_lu_average", &serde_json::json!({ "rows": rows_json }));
+    save_json(
+        "table2_lu_average",
+        &serde_json::json!({ "rows": rows_json }),
+    );
 }

@@ -25,7 +25,10 @@ fn cases() -> Vec<(Workload, &'static str)> {
         (asci::smg2000(8, 50), "50x50x50 problem size"),
         (asci::smg2000(8, 60), "60x60x60 problem size"),
         (asci::samrai(8), "uncertain speedup (irregular all-to-all)"),
-        (asci::towhee(8), "uncertain speedup (embarrassingly parallel)"),
+        (
+            asci::towhee(8),
+            "uncertain speedup (embarrassingly parallel)",
+        ),
         (asci::aztec(8), "Poisson solver"),
     ]
 }
@@ -79,5 +82,8 @@ fn main() {
          sweep3d, SAMRAI, Towhee and HPL(500) show uncertain speedup"
     );
 
-    save_json("table3_other_worst_best", &serde_json::json!({ "rows": rows_json }));
+    save_json(
+        "table3_other_worst_best",
+        &serde_json::json!({ "rows": rows_json }),
+    );
 }

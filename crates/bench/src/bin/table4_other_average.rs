@@ -89,5 +89,8 @@ fn main() {
     t.print("Other tests: average case scenario (paper table 4)");
     println!("paper reference: average speedups 5.2–10.3%, CS hit rates 85–98%");
 
-    save_json("table4_other_average", &serde_json::json!({ "rows": rows_json }));
+    save_json(
+        "table4_other_average",
+        &serde_json::json!({ "rows": rows_json }),
+    );
 }

@@ -170,15 +170,12 @@ mod tests {
         let profile = tb.profile(&w, &alphas, 11);
         let mapping = Mapping::new(alphas);
         let predicted = tb.predict(&profile, &mapping);
-        let measured = tb.measure_n(
-            &w,
-            &mapping,
-            &LoadState::idle(tb.cluster.len()),
-            100,
-            5,
-        );
+        let measured = tb.measure_n(&w, &mapping, &LoadState::idle(tb.cluster.len()), 100, 5);
         let m = crate::stats::mean(&measured);
         let err = (predicted - m).abs() / m * 100.0;
-        assert!(err < 6.0, "prediction error {err}% (pred {predicted}, meas {m})");
+        assert!(
+            err < 6.0,
+            "prediction error {err}% (pred {predicted}, meas {m})"
+        );
     }
 }

@@ -84,12 +84,7 @@ pub fn run_scheduler(
 
 /// Measure every mapping in `mappings` once (parallel). Returns measured
 /// times in order.
-pub fn measure_all(
-    tb: &Testbed,
-    w: &Workload,
-    mappings: &[Mapping],
-    base_seed: u64,
-) -> Vec<f64> {
+pub fn measure_all(tb: &Testbed, w: &Workload, mappings: &[Mapping], base_seed: u64) -> Vec<f64> {
     let idle = LoadState::idle(tb.cluster.len());
     parallel_map(mappings.to_vec(), |m| {
         // Hash the mapping into the seed so distinct mappings get distinct
@@ -123,7 +118,11 @@ pub fn mean_sched_secs(outcomes: &[RunOutcome]) -> f64 {
     if outcomes.is_empty() {
         return 0.0;
     }
-    outcomes.iter().map(|o| o.elapsed.as_secs_f64()).sum::<f64>() / outcomes.len() as f64
+    outcomes
+        .iter()
+        .map(|o| o.elapsed.as_secs_f64())
+        .sum::<f64>()
+        / outcomes.len() as f64
 }
 
 /// The LU workload and its profile on a zone testbed, profiled once on the

@@ -31,9 +31,9 @@ pub fn ci95(xs: &[f64]) -> f64 {
 /// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
 fn t95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -109,7 +109,11 @@ mod tests {
     fn ci95_uses_t_distribution_for_small_n() {
         // 5 samples with stddev 1.0: CI = 2.776 / sqrt(5).
         let xs = [
-            -1.26490646, -0.63245323, 0.0, 0.63245323, 1.26490646, // stddev = 1
+            -1.26490646,
+            -0.63245323,
+            0.0,
+            0.63245323,
+            1.26490646, // stddev = 1
         ];
         let ci = ci95(&xs);
         assert!((ci - 2.776 / 5f64.sqrt()).abs() < 1e-4, "ci={ci}");

@@ -30,7 +30,10 @@ pub fn lu_zones(cluster: &Cluster) -> [Zone; 3] {
     let a = cluster.nodes_by_arch(Architecture::Alpha);
     let i = cluster.nodes_by_arch(Architecture::IntelPII);
     let s = cluster.nodes_by_arch(Architecture::Sparc);
-    assert!(a.len() >= 8 && i.len() >= 12 && s.len() >= 8, "orange grove expected");
+    assert!(
+        a.len() >= 8 && i.len() >= 12 && s.len() >= 8,
+        "orange grove expected"
+    );
     let mut medium = a[..4].to_vec();
     medium.extend_from_slice(&i);
     let mut low = a[..2].to_vec();
@@ -85,7 +88,10 @@ mod tests {
         let c = orange_grove();
         let [high, medium, low] = lu_zones(&c);
         assert_eq!(high.pool.len(), 8);
-        assert!(high.pool.iter().all(|&n| c.node(n).arch == Architecture::Alpha));
+        assert!(high
+            .pool
+            .iter()
+            .all(|&n| c.node(n).arch == Architecture::Alpha));
         // Medium: at most 4 Alphas -> any 8-mapping includes >= 4 Intels.
         let alphas = medium
             .pool
@@ -125,8 +131,7 @@ mod tests {
         assert_eq!(pool.len(), 8);
         assert!(pool.iter().all(|&n| c.node(n).arch == Architecture::Sparc));
         // Spread over exactly two identical switches.
-        let sw: std::collections::BTreeSet<_> =
-            pool.iter().map(|&n| c.node(n).switch).collect();
+        let sw: std::collections::BTreeSet<_> = pool.iter().map(|&n| c.node(n).switch).collect();
         assert_eq!(sw.len(), 2);
     }
 }

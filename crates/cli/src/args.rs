@@ -87,9 +87,9 @@ pub fn parse_node_list(s: &str) -> Result<Vec<cbes_cluster::NodeId>, CliError> {
 pub fn parse_load_list(s: &str) -> Result<Vec<(cbes_cluster::NodeId, f64)>, CliError> {
     s.split(',')
         .map(|tok| {
-            let (n, a) = tok
-                .split_once('=')
-                .ok_or_else(|| CliError::usage(format!("bad load entry `{tok}` (want NODE=AVAIL)")))?;
+            let (n, a) = tok.split_once('=').ok_or_else(|| {
+                CliError::usage(format!("bad load entry `{tok}` (want NODE=AVAIL)"))
+            })?;
             let node = n
                 .trim()
                 .parse::<u32>()

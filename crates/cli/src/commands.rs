@@ -376,6 +376,173 @@ pub fn simulate(parsed: &Parsed) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `cbes serve <preset>` — run the CBES daemon until a `Shutdown`
+/// request arrives, then drain and report counters.
+pub fn serve(parsed: &Parsed) -> Result<String, CliError> {
+    let c = preset(parsed.positional0()?)?;
+    let seed = parsed.get_parsed("seed", 42u64)?;
+    let config = cbes_server::ServerConfig {
+        addr: parsed.get("addr").unwrap_or("127.0.0.1:9077").to_string(),
+        workers: parsed.get_parsed("workers", 4usize)?,
+        queue_capacity: parsed.get_parsed("queue", 1024usize)?,
+        request_timeout: std::time::Duration::from_millis(
+            parsed.get_parsed("timeout-ms", 10_000u64)?,
+        ),
+    };
+    let forecast = match parsed.get("forecast").unwrap_or("adaptive") {
+        "last" => cbes_core::monitor::ForecastKind::LastValue,
+        "mean" => cbes_core::monitor::ForecastKind::Mean(8),
+        "median" => cbes_core::monitor::ForecastKind::Median(8),
+        "adaptive" => cbes_core::monitor::ForecastKind::Adaptive(8),
+        other => {
+            return Err(CliError::usage(format!(
+                "bad --forecast `{other}` (want last | mean | median | adaptive)"
+            )))
+        }
+    };
+
+    // Off-line calibration at start-up, as the paper's service does at
+    // installation time.
+    let name = c.name().to_string();
+    let nodes = c.len();
+    let outcome = Calibrator::default().with_seed(seed).calibrate(&c);
+    let service = std::sync::Arc::new(cbes_core::CbesService::new(
+        std::sync::Arc::new(c),
+        std::sync::Arc::new(outcome.model),
+        forecast,
+    ));
+    if let Some(dir) = parsed.get("profiles") {
+        let loaded = cbes_core::registry::ProfileRegistry::load_dir(std::path::Path::new(dir))?;
+        for app in loaded.names() {
+            if let Some(p) = loaded.get(&app) {
+                service.registry().insert(p);
+            }
+        }
+    }
+
+    let workers = config.workers;
+    let handle = cbes_server::Server::start(service, config)?;
+    let addr = handle.addr();
+    // The daemon blocks in join() until a Shutdown request, so report
+    // liveness on stderr where it is visible immediately.
+    eprintln!("cbes-server: serving `{name}` ({nodes} nodes) on {addr} with {workers} workers");
+    if let Some(path) = parsed.get("addr-file") {
+        std::fs::write(path, addr.to_string())?;
+    }
+    let (served, errors) = handle.join();
+    Ok(format!(
+        "cbes-server on {addr} drained: {served} requests served, {errors} errors\n"
+    ))
+}
+
+/// `cbes request <addr> <action>` — issue one request to a running
+/// daemon and print the reply.
+pub fn request(parsed: &Parsed) -> Result<String, CliError> {
+    let addr = parsed.positional0()?;
+    let action = parsed
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| {
+            CliError::usage(
+                "`request` needs an action \
+             (stats | shutdown | register | compare | best-of | schedule | observe)",
+            )
+        })?;
+    let mut client = cbes_server::Client::connect(addr)
+        .map_err(|e| CliError::domain(format!("cannot reach daemon at {addr}: {e}")))?;
+    let err = |e: cbes_server::client::ClientError| CliError::domain(e.to_string());
+
+    let mut out = String::new();
+    match action {
+        "stats" => {
+            let s = client.stats().map_err(err)?;
+            let _ = writeln!(
+                out,
+                "served {} (errors {}, overloaded {}, timeouts {}) over {} connections",
+                s.served, s.errors, s.overloaded, s.timeouts, s.connections
+            );
+            let _ = writeln!(
+                out,
+                "epoch {}, {} profiles, {} observations, {} workers, queue depth {}",
+                s.epoch, s.profiles, s.observations, s.workers, s.queue_depth
+            );
+        }
+        "shutdown" => {
+            client.shutdown().map_err(err)?;
+            let _ = writeln!(out, "daemon at {addr} is draining");
+        }
+        "register" => {
+            let profile = read_profile(parsed.require("profile")?)?;
+            let name = profile.name.clone();
+            let procs = profile.num_procs();
+            client.register_profile(profile).map_err(err)?;
+            let _ = writeln!(out, "registered `{name}` ({procs} processes)");
+        }
+        "compare" | "best-of" => {
+            let app = parsed.require("app")?;
+            let mappings = parse_mapping_list(parsed.require("mappings")?)?;
+            if action == "compare" {
+                let (epoch, preds) = client.compare(app, &mappings).map_err(err)?;
+                let _ = writeln!(out, "epoch {epoch}:");
+                for (m, p) in mappings.iter().zip(&preds) {
+                    let _ = writeln!(out, "  {m}: {:.4} s (bottleneck r{})", p.time, p.bottleneck);
+                }
+            } else {
+                let (epoch, index, p) = client.best_of(app, &mappings).map_err(err)?;
+                let _ = writeln!(
+                    out,
+                    "epoch {epoch}: best is #{index} {}: {:.4} s",
+                    mappings[index], p.time
+                );
+            }
+        }
+        "schedule" => {
+            let app = parsed.require("app")?;
+            let pool: Vec<u32> = parse_node_list(parsed.require("pool")?)?
+                .into_iter()
+                .map(|n| n.0)
+                .collect();
+            let iters = parsed.get_parsed("iters", 0u32)?;
+            let seed = parsed.get_parsed("seed", 42u64)?;
+            let (epoch, mapping, time) = client.schedule(app, &pool, iters, seed).map_err(err)?;
+            let _ = writeln!(out, "epoch {epoch}: {mapping} predicted {time:.4} s");
+        }
+        "observe" => {
+            let nodes = parsed.get_parsed("nodes", 0usize)?;
+            if nodes == 0 {
+                return Err(CliError::usage("`observe` requires --nodes (cluster size)"));
+            }
+            let mut load = LoadState::idle(nodes);
+            for (node, avail) in parse_load_list(parsed.require("load")?)? {
+                if node.index() >= nodes {
+                    return Err(CliError::usage(format!(
+                        "load entry {node} is outside the {nodes}-node cluster"
+                    )));
+                }
+                load.set_cpu_avail(node, avail);
+            }
+            let epoch = client.observe_load(&load).map_err(err)?;
+            let _ = writeln!(out, "observed; epoch is now {epoch}");
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown request action `{other}` \
+                 (want stats | shutdown | register | compare | best-of | schedule | observe)"
+            )))
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a semicolon-separated list of comma-separated mappings,
+/// e.g. `"0,1;4,5"`.
+fn parse_mapping_list(s: &str) -> Result<Vec<Mapping>, CliError> {
+    s.split(';')
+        .map(|m| parse_node_list(m).map(Mapping::new))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,18 +596,103 @@ mod tests {
     #[test]
     fn workload_from_validates_class_and_name() {
         assert!(workload_from(&parsed(&["profile", "demo", "--workload", "lu"])).is_ok());
-        assert!(workload_from(&parsed(&["profile", "demo", "--workload", "lu", "--class", "Q"]))
-            .is_err());
+        assert!(workload_from(&parsed(&[
+            "profile",
+            "demo",
+            "--workload",
+            "lu",
+            "--class",
+            "Q"
+        ]))
+        .is_err());
         assert!(workload_from(&parsed(&["profile", "demo", "--workload", "zz"])).is_err());
     }
 
     #[test]
     fn simulate_fills_ranks_from_mapping() {
         let out = simulate(&parsed(&[
-            "simulate", "demo", "--workload", "cg", "--class", "S", "--mapping", "0,1,2,3,4,5",
+            "simulate",
+            "demo",
+            "--workload",
+            "cg",
+            "--class",
+            "S",
+            "--mapping",
+            "0,1,2,3,4,5",
         ]))
         .unwrap();
         assert!(out.contains("cg.S.6"), "{out}");
+    }
+
+    #[test]
+    fn serve_and_request_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cbes-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let af = addr_file.to_str().unwrap().to_string();
+        let profile_path = dir.join("p.json");
+        let ps = profile_path.to_str().unwrap().to_string();
+        profile(&parsed(&[
+            "profile",
+            "demo",
+            "--workload",
+            "ep",
+            "--class",
+            "S",
+            "--ranks",
+            "2",
+            "--out",
+            &ps,
+        ]))
+        .unwrap();
+
+        let server = std::thread::spawn(move || {
+            serve(&parsed(&[
+                "serve",
+                "demo",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--addr-file",
+                &af,
+            ]))
+        });
+        let addr = loop {
+            if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let out = request(&parsed(&["request", &addr, "register", "--profile", &ps])).unwrap();
+        assert!(out.contains("registered"), "{out}");
+        let out = request(&parsed(&[
+            "request",
+            &addr,
+            "compare",
+            "--app",
+            "ep.S.2",
+            "--mappings",
+            "0,1;0,4",
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch 0"), "{out}");
+        let out = request(&parsed(&[
+            "request", &addr, "observe", "--nodes", "8", "--load", "0=0.5",
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch is now 1"), "{out}");
+        let out = request(&parsed(&["request", &addr, "stats"])).unwrap();
+        assert!(out.contains("epoch 1, 1 profiles"), "{out}");
+        let out = request(&parsed(&["request", &addr, "shutdown"])).unwrap();
+        assert!(out.contains("draining"), "{out}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("drained"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -451,11 +703,25 @@ mod tests {
         let p = dir.join("p.json");
         let ps = p.to_str().unwrap().to_string();
         profile(&parsed(&[
-            "profile", "demo", "--workload", "ep", "--class", "S", "--ranks", "4", "--out", &ps,
+            "profile",
+            "demo",
+            "--workload",
+            "ep",
+            "--class",
+            "S",
+            "--ranks",
+            "4",
+            "--out",
+            &ps,
         ]))
         .unwrap();
         let err = schedule(&parsed(&[
-            "schedule", "demo", "--profile", &ps, "--scheduler", "quantum",
+            "schedule",
+            "demo",
+            "--profile",
+            &ps,
+            "--scheduler",
+            "quantum",
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("quantum"));

@@ -50,6 +50,17 @@ commands:
       --mapping 0,1,.. [--seed N] [--load NODE=AVAIL,..]
   analyze <preset>            trace a run and print post-mortem statistics
       --workload NAME --mapping 0,1,.. [--seed N]
+  serve <preset>              run the CBES daemon (blocks until shutdown)
+      [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
+      [--forecast last|mean|median|adaptive] [--profiles DIR]
+      [--seed N] [--addr-file FILE]
+  request <addr> <action>     issue one request to a running daemon
+      stats | shutdown
+      register --profile FILE
+      compare  --app NAME --mappings 0,1;4,5
+      best-of  --app NAME --mappings 0,1;4,5
+      schedule --app NAME --pool 0,1,.. [--iters N] [--seed N]
+      observe  --nodes N --load NODE=AVAIL,..
 ";
 
 /// Parse and execute an argument vector; returns the output text.
@@ -66,6 +77,8 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         "schedule" => commands::schedule(&parsed),
         "simulate" => commands::simulate(&parsed),
         "analyze" => commands::analyze(&parsed),
+        "serve" => commands::serve(&parsed),
+        "request" => commands::request(&parsed),
         "help" | "" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),
     }
@@ -110,7 +123,15 @@ mod tests {
 
         // Profile a small LU on the demo cluster.
         let out = call(&[
-            "profile", "demo", "--workload", "lu", "--class", "S", "--ranks", "4", "--out",
+            "profile",
+            "demo",
+            "--workload",
+            "lu",
+            "--class",
+            "S",
+            "--ranks",
+            "4",
+            "--out",
             profile_str,
         ])
         .unwrap();
@@ -119,21 +140,40 @@ mod tests {
 
         // Predict an explicit mapping.
         let out = call(&[
-            "predict", "demo", "--profile", profile_str, "--mapping", "0,1,4,5",
+            "predict",
+            "demo",
+            "--profile",
+            profile_str,
+            "--mapping",
+            "0,1,4,5",
         ])
         .unwrap();
         assert!(out.contains("predicted"), "{out}");
 
         // Schedule with CS.
         let out = call(&[
-            "schedule", "demo", "--profile", profile_str, "--scheduler", "cs", "--seed", "3",
+            "schedule",
+            "demo",
+            "--profile",
+            profile_str,
+            "--scheduler",
+            "cs",
+            "--seed",
+            "3",
         ])
         .unwrap();
         assert!(out.contains("selected mapping"), "{out}");
 
         // Simulate a measured run.
         let out = call(&[
-            "simulate", "demo", "--workload", "lu", "--class", "S", "--mapping", "0,1,2,3",
+            "simulate",
+            "demo",
+            "--workload",
+            "lu",
+            "--class",
+            "S",
+            "--mapping",
+            "0,1,2,3",
         ])
         .unwrap();
         assert!(out.contains("wall time"), "{out}");
@@ -148,12 +188,28 @@ mod tests {
         let p = dir.join("p.json");
         let ps = p.to_str().unwrap();
         call(&[
-            "profile", "demo", "--workload", "ep", "--class", "S", "--ranks", "4", "--out", ps,
+            "profile",
+            "demo",
+            "--workload",
+            "ep",
+            "--class",
+            "S",
+            "--ranks",
+            "4",
+            "--out",
+            ps,
         ])
         .unwrap();
         let idle = call(&["predict", "demo", "--profile", ps, "--mapping", "0,1,2,3"]).unwrap();
         let loaded = call(&[
-            "predict", "demo", "--profile", ps, "--mapping", "0,1,2,3", "--load", "0=0.5",
+            "predict",
+            "demo",
+            "--profile",
+            ps,
+            "--mapping",
+            "0,1,2,3",
+            "--load",
+            "0=0.5",
         ])
         .unwrap();
         let t = |s: &str| -> f64 {

@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn empty_cluster_is_rejected() {
         assert_eq!(
-            ClusterBuilder::new("e").switch(8, 1e-6, "s").build().unwrap_err(),
+            ClusterBuilder::new("e")
+                .switch(8, 1e-6, "s")
+                .build()
+                .unwrap_err(),
             ClusterError::Empty
         );
     }
@@ -182,7 +185,16 @@ mod tests {
     fn single_switch_cluster_builds() {
         let c = ClusterBuilder::new("one")
             .switch(24, 5e-6, "only")
-            .nodes(3, Architecture::Sparc, 500, 1, 0.65, SwitchId(0), 12.5e6, 35e-6)
+            .nodes(
+                3,
+                Architecture::Sparc,
+                500,
+                1,
+                0.65,
+                SwitchId(0),
+                12.5e6,
+                35e-6,
+            )
             .build()
             .unwrap();
         assert_eq!(c.len(), 3);
@@ -194,7 +206,16 @@ mod tests {
     fn ids_are_dense_and_ordered() {
         let c = ClusterBuilder::new("d")
             .switch(24, 5e-6, "s")
-            .nodes(5, Architecture::Alpha, 533, 1, 1.0, SwitchId(0), 12.5e6, 35e-6)
+            .nodes(
+                5,
+                Architecture::Alpha,
+                533,
+                1,
+                1.0,
+                SwitchId(0),
+                12.5e6,
+                35e-6,
+            )
             .build()
             .unwrap();
         for (i, n) in c.nodes().iter().enumerate() {

@@ -113,12 +113,66 @@ pub fn orange_grove() -> Cluster {
         // asymmetry within sub-cluster 2: bulk transfers crossing it pay
         // ~50% more serialisation, while small-message latency is equal).
         .link(SwitchId(3), SwitchId(5), 8e6, 4e-6 * LAT_SCALE)
-        .nodes(4, Architecture::Alpha, 533, 1, ALPHA_SPEED, SwitchId(1), FE_BW, NIC_LAT)
-        .nodes(4, Architecture::Alpha, 533, 1, ALPHA_SPEED, SwitchId(0), FE_BW, NIC_LAT)
-        .nodes(6, Architecture::IntelPII, 400, 2, PII_SPEED, SwitchId(0), FE_BW, NIC_LAT)
-        .nodes(6, Architecture::IntelPII, 400, 2, PII_SPEED, SwitchId(2), FE_BW, NIC_LAT)
-        .nodes(4, Architecture::Sparc, 500, 1, SPARC_SPEED, SwitchId(4), FE_BW, NIC_LAT)
-        .nodes(4, Architecture::Sparc, 500, 1, SPARC_SPEED, SwitchId(5), FE_BW, NIC_LAT)
+        .nodes(
+            4,
+            Architecture::Alpha,
+            533,
+            1,
+            ALPHA_SPEED,
+            SwitchId(1),
+            FE_BW,
+            NIC_LAT,
+        )
+        .nodes(
+            4,
+            Architecture::Alpha,
+            533,
+            1,
+            ALPHA_SPEED,
+            SwitchId(0),
+            FE_BW,
+            NIC_LAT,
+        )
+        .nodes(
+            6,
+            Architecture::IntelPII,
+            400,
+            2,
+            PII_SPEED,
+            SwitchId(0),
+            FE_BW,
+            NIC_LAT,
+        )
+        .nodes(
+            6,
+            Architecture::IntelPII,
+            400,
+            2,
+            PII_SPEED,
+            SwitchId(2),
+            FE_BW,
+            NIC_LAT,
+        )
+        .nodes(
+            4,
+            Architecture::Sparc,
+            500,
+            1,
+            SPARC_SPEED,
+            SwitchId(4),
+            FE_BW,
+            NIC_LAT,
+        )
+        .nodes(
+            4,
+            Architecture::Sparc,
+            500,
+            1,
+            SPARC_SPEED,
+            SwitchId(5),
+            FE_BW,
+            NIC_LAT,
+        )
         .build()
         .expect("orange grove preset must be valid")
 }
@@ -129,8 +183,26 @@ pub fn two_switch_demo() -> Cluster {
         .switch(24, COM3_HOP, "edge-0")
         .switch(24, COM3_HOP, "edge-1")
         .link(SwitchId(0), SwitchId(1), FE_BW, 4e-6 * LAT_SCALE)
-        .nodes(4, Architecture::Alpha, 533, 1, ALPHA_SPEED, SwitchId(0), FE_BW, NIC_LAT)
-        .nodes(4, Architecture::IntelPII, 400, 2, PII_SPEED, SwitchId(1), FE_BW, NIC_LAT)
+        .nodes(
+            4,
+            Architecture::Alpha,
+            533,
+            1,
+            ALPHA_SPEED,
+            SwitchId(0),
+            FE_BW,
+            NIC_LAT,
+        )
+        .nodes(
+            4,
+            Architecture::IntelPII,
+            400,
+            2,
+            PII_SPEED,
+            SwitchId(1),
+            FE_BW,
+            NIC_LAT,
+        )
         .build()
         .expect("demo preset must be valid")
 }

@@ -161,8 +161,8 @@ impl ClusterSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::presets::{centurion, orange_grove, two_switch_demo};
     use crate::node::NodeId;
+    use crate::presets::{centurion, orange_grove, two_switch_demo};
 
     #[test]
     fn spec_roundtrips_every_preset() {
@@ -192,7 +192,10 @@ mod tests {
         let back = ClusterSpec::from_json(&spec.to_json()).unwrap();
         // Float text formatting may shift the last ULP; require a
         // serialisation fixpoint and semantically equivalent topology.
-        assert_eq!(back.to_json(), ClusterSpec::from_json(&back.to_json()).unwrap().to_json());
+        assert_eq!(
+            back.to_json(),
+            ClusterSpec::from_json(&back.to_json()).unwrap().to_json()
+        );
         assert_eq!(back.name, spec.name);
         assert_eq!(back.switches.len(), spec.switches.len());
         assert_eq!(back.groups, spec.groups);

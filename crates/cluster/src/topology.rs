@@ -246,11 +246,7 @@ impl Cluster {
         let _ = writeln!(out, "graph \"{}\" {{", self.name);
         let _ = writeln!(out, "  layout=neato; overlap=false;");
         for sw in &self.switches {
-            let _ = writeln!(
-                out,
-                "  sw{} [shape=box,label=\"{}\"];",
-                sw.id.0, sw.label
-            );
+            let _ = writeln!(out, "  sw{} [shape=box,label=\"{}\"];", sw.id.0, sw.label);
         }
         for n in &self.nodes {
             let _ = writeln!(
@@ -347,8 +343,26 @@ mod tests {
             .switch(24, 5e-6, "s0")
             .switch(24, 5e-6, "s1")
             .link(SwitchId(0), SwitchId(1), 12.5e6, 4e-6)
-            .nodes(2, Architecture::Alpha, 533, 1, 1.0, SwitchId(0), 12.5e6, 35e-6)
-            .nodes(2, Architecture::IntelPII, 400, 2, 0.85, SwitchId(1), 12.5e6, 35e-6)
+            .nodes(
+                2,
+                Architecture::Alpha,
+                533,
+                1,
+                1.0,
+                SwitchId(0),
+                12.5e6,
+                35e-6,
+            )
+            .nodes(
+                2,
+                Architecture::IntelPII,
+                400,
+                2,
+                0.85,
+                SwitchId(1),
+                12.5e6,
+                35e-6,
+            )
             .build()
             .unwrap()
     }
@@ -416,8 +430,26 @@ mod tests {
         let err = ClusterBuilder::new("d")
             .switch(8, 5e-6, "a")
             .switch(8, 5e-6, "b")
-            .nodes(1, Architecture::Alpha, 533, 1, 1.0, SwitchId(0), 12.5e6, 35e-6)
-            .nodes(1, Architecture::Alpha, 533, 1, 1.0, SwitchId(1), 12.5e6, 35e-6)
+            .nodes(
+                1,
+                Architecture::Alpha,
+                533,
+                1,
+                1.0,
+                SwitchId(0),
+                12.5e6,
+                35e-6,
+            )
+            .nodes(
+                1,
+                Architecture::Alpha,
+                533,
+                1,
+                1.0,
+                SwitchId(1),
+                12.5e6,
+                35e-6,
+            )
             .build()
             .unwrap_err();
         assert!(matches!(err, ClusterError::Unreachable { .. }));

@@ -18,6 +18,23 @@ pub enum ServiceError {
     EmptyRequest,
     /// A mapping referenced a node outside the cluster.
     BadNode(u32),
+    /// A mapping placed more ranks on a node than it has CPUs.
+    Oversubscribed {
+        /// The oversubscribed node.
+        node: u32,
+        /// Ranks the mapping placed there.
+        ranks: usize,
+        /// CPUs the node actually has.
+        cpus: u32,
+    },
+    /// A load observation covered a different number of nodes than the
+    /// cluster has.
+    LoadArityMismatch {
+        /// Nodes in the cluster.
+        expected: usize,
+        /// Nodes in the offending measurement sweep.
+        got: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -25,10 +42,25 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownApp(name) => write!(f, "no profile registered for `{name}`"),
             ServiceError::ArityMismatch { expected, got } => {
-                write!(f, "mapping has {got} entries but profile has {expected} processes")
+                write!(
+                    f,
+                    "mapping has {got} entries but profile has {expected} processes"
+                )
             }
             ServiceError::EmptyRequest => write!(f, "mapping comparison request is empty"),
             ServiceError::BadNode(n) => write!(f, "mapping references unknown node n{n}"),
+            ServiceError::Oversubscribed { node, ranks, cpus } => {
+                write!(
+                    f,
+                    "mapping places {ranks} ranks on node n{node} which has {cpus} CPUs"
+                )
+            }
+            ServiceError::LoadArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "load observation covers {got} nodes but the cluster has {expected}"
+                )
+            }
         }
     }
 }

@@ -4,9 +4,10 @@ use crate::mapping::Mapping;
 use crate::snapshot::SystemSnapshot;
 use cbes_trace::analyze::theta;
 use cbes_trace::{AppProfile, ProcessProfile};
+use serde::{Deserialize, Serialize};
 
 /// Cost breakdown for one process under an evaluated mapping.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProcCost {
     /// Computation contribution `R_i` (eq. 5).
     pub r: f64,
@@ -22,7 +23,7 @@ impl ProcCost {
 }
 
 /// A full execution-time prediction for one mapping.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Prediction {
     /// Predicted execution time `S_M` (eq. 4).
     pub time: f64,
@@ -318,7 +319,10 @@ mod tests {
         // Node 0 is a 1-CPU Alpha: both ranks there -> each at half speed.
         let shared = ev.predict_time(&Mapping::new(vec![NodeId(0), NodeId(0)]));
         let dedicated = ev.predict_time(&Mapping::new(vec![NodeId(0), NodeId(1)]));
-        assert!((shared / dedicated - 2.0).abs() < 1e-9, "{shared} vs {dedicated}");
+        assert!(
+            (shared / dedicated - 2.0).abs() < 1e-9,
+            "{shared} vs {dedicated}"
+        );
         // Node 4 is a 2-CPU Intel: two ranks share without slowdown.
         let dual = ev.predict_time(&Mapping::new(vec![NodeId(4), NodeId(4)]));
         let single = ev.predict_time(&Mapping::new(vec![NodeId(4), NodeId(5)]));

@@ -22,7 +22,7 @@ pub enum ForecastKind {
     Adaptive(usize),
 }
 
-fn make(kind: ForecastKind, default: f64) -> Box<dyn Forecaster + Send> {
+fn make(kind: ForecastKind, default: f64) -> Box<dyn Forecaster + Send + Sync> {
     match kind {
         ForecastKind::LastValue => Box::new(LastValue::new(default)),
         ForecastKind::Mean(w) => Box::new(RunningMean::new(w, default)),
@@ -36,8 +36,8 @@ fn make(kind: ForecastKind, default: f64) -> Box<dyn Forecaster + Send> {
 /// Feed it measurement sweeps with [`Monitor::observe`]; read the current
 /// forecast with [`Monitor::forecast`].
 pub struct Monitor {
-    cpu: Vec<Box<dyn Forecaster + Send>>,
-    nic: Vec<Box<dyn Forecaster + Send>>,
+    cpu: Vec<Box<dyn Forecaster + Send + Sync>>,
+    nic: Vec<Box<dyn Forecaster + Send + Sync>>,
     observations: u64,
 }
 

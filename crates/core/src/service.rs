@@ -1,6 +1,17 @@
 //! The CBES service façade: accepts mapping-comparison requests from
 //! external clients (schedulers), combining the profile registry with the
 //! current system snapshot (paper figure 2).
+//!
+//! The service is shareable across threads (`Arc<CbesService>`): the
+//! monitor sits behind a write lock, while readers evaluate against an
+//! epoch-stamped load forecast cached in an `Arc` — a `Compare` request
+//! clones that `Arc` under a brief read lock and then runs entirely
+//! lock-free. Each `observe_load` bumps the epoch and replaces the cached
+//! forecast, so predictions are bit-identical within an epoch and change
+//! deterministically across epochs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::ServiceError;
 use crate::eval::{Evaluator, Prediction};
@@ -10,30 +21,64 @@ use crate::registry::ProfileRegistry;
 use crate::snapshot::SystemSnapshot;
 use cbes_cluster::load::LoadState;
 use cbes_cluster::{Cluster, LatencyProvider};
+use parking_lot::RwLock;
+
+/// A load forecast stamped with the observation epoch that produced it.
+#[derive(Debug, Clone)]
+pub struct EpochLoad {
+    /// Monotone counter: 0 before any observation, +1 per `observe_load`.
+    pub epoch: u64,
+    /// The monitor's forecast as of that epoch.
+    pub load: LoadState,
+}
 
 /// The core CBES module: owns the profile registry and the monitor, and
 /// serves mapping-comparison requests against the current snapshot.
-pub struct CbesService<'a> {
-    cluster: &'a Cluster,
-    no_load: &'a dyn LatencyProvider,
+pub struct CbesService {
+    cluster: Arc<Cluster>,
+    no_load: Arc<dyn LatencyProvider + Send + Sync>,
     registry: ProfileRegistry,
-    monitor: Monitor,
+    monitor: RwLock<Monitor>,
+    /// Epoch of the cached forecast, readable without any lock.
+    epoch: AtomicU64,
+    /// Latest forecast; replaced wholesale on observation, so readers
+    /// hold the lock only long enough to clone the `Arc`.
+    cached: RwLock<Arc<EpochLoad>>,
 }
 
-impl<'a> CbesService<'a> {
-    /// A service over `cluster` with the given calibrated latency source and
-    /// monitoring strategy.
+impl CbesService {
+    /// A service over `cluster` with the given calibrated latency source
+    /// and monitoring strategy.
     pub fn new(
-        cluster: &'a Cluster,
-        no_load: &'a dyn LatencyProvider,
+        cluster: Arc<Cluster>,
+        no_load: Arc<dyn LatencyProvider + Send + Sync>,
         forecast: ForecastKind,
     ) -> Self {
+        let n = cluster.len();
+        let initial = Arc::new(EpochLoad {
+            epoch: 0,
+            load: LoadState::idle(n),
+        });
         CbesService {
             cluster,
             no_load,
             registry: ProfileRegistry::new(),
-            monitor: Monitor::new(cluster.len(), forecast),
+            monitor: RwLock::new(Monitor::new(n, forecast)),
+            epoch: AtomicU64::new(0),
+            cached: RwLock::new(initial),
         }
+    }
+
+    /// A service whose no-load latencies come from the cluster's own
+    /// analytic topology model (no separate calibration).
+    pub fn self_calibrated(cluster: Arc<Cluster>, forecast: ForecastKind) -> Self {
+        let no_load: Arc<dyn LatencyProvider + Send + Sync> = cluster.clone();
+        CbesService::new(cluster, no_load, forecast)
+    }
+
+    /// The cluster this service evaluates against.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
     }
 
     /// The application-profile registry.
@@ -41,16 +86,92 @@ impl<'a> CbesService<'a> {
         &self.registry
     }
 
-    /// Feed a monitoring sweep (periodic load measurement).
-    pub fn observe_load(&mut self, measured: &LoadState) {
-        self.monitor.observe(measured);
+    /// Epoch of the forecast requests are currently evaluated against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of measurement sweeps observed so far.
+    pub fn observations(&self) -> u64 {
+        self.monitor.read().observations()
+    }
+
+    /// Feed a monitoring sweep (periodic load measurement). Bumps the
+    /// snapshot epoch and refreshes the cached forecast; returns the new
+    /// epoch. Concurrent observers are serialised; readers are never
+    /// blocked for longer than an `Arc` swap.
+    pub fn observe_load(&self, measured: &LoadState) -> Result<u64, ServiceError> {
+        if measured.len() != self.cluster.len() {
+            return Err(ServiceError::LoadArityMismatch {
+                expected: self.cluster.len(),
+                got: measured.len(),
+            });
+        }
+        let mut monitor = self.monitor.write();
+        monitor.observe(measured);
+        let load = monitor.forecast();
+        // Epoch bump and cache swap stay under the monitor lock so two
+        // concurrent observers cannot publish forecasts out of order.
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        *self.cached.write() = Arc::new(EpochLoad { epoch, load });
+        Ok(epoch)
+    }
+
+    /// The epoch-stamped forecast requests are evaluated against.
+    pub fn current_load(&self) -> Arc<EpochLoad> {
+        self.cached.read().clone()
     }
 
     /// The snapshot a request issued *now* would be evaluated against.
-    pub fn snapshot(&self) -> SystemSnapshot<'a> {
-        let mut s = SystemSnapshot::no_load(self.cluster, self.no_load);
-        s.set_load(self.monitor.forecast());
-        s
+    pub fn snapshot(&self) -> SystemSnapshot<'_> {
+        self.snapshot_stamped().1
+    }
+
+    /// Like [`CbesService::snapshot`], also reporting the snapshot epoch.
+    pub fn snapshot_stamped(&self) -> (u64, SystemSnapshot<'_>) {
+        let cached = self.current_load();
+        let mut s = SystemSnapshot::no_load(&self.cluster, &*self.no_load);
+        s.set_load(cached.load.clone());
+        (cached.epoch, s)
+    }
+
+    /// Validate `mappings` against `profile_procs` and the cluster:
+    /// non-empty, correct arity, known nodes, and no node oversubscribed
+    /// beyond its CPU count (the same census `Evaluator` uses for CPU
+    /// shares, surfaced as a typed error at the service boundary).
+    fn validate(&self, profile_procs: usize, mappings: &[Mapping]) -> Result<(), ServiceError> {
+        if mappings.is_empty() {
+            return Err(ServiceError::EmptyRequest);
+        }
+        let mut ranks_on = vec![0usize; self.cluster.len()];
+        for m in mappings {
+            if m.len() != profile_procs {
+                return Err(ServiceError::ArityMismatch {
+                    expected: profile_procs,
+                    got: m.len(),
+                });
+            }
+            for (_, node) in m.iter() {
+                if node.index() >= self.cluster.len() {
+                    return Err(ServiceError::BadNode(node.0));
+                }
+            }
+            ranks_on.iter_mut().for_each(|c| *c = 0);
+            for (_, node) in m.iter() {
+                ranks_on[node.index()] += 1;
+            }
+            for (i, &ranks) in ranks_on.iter().enumerate() {
+                let cpus = self.cluster.node(cbes_cluster::NodeId(i as u32)).cpus;
+                if ranks > cpus as usize {
+                    return Err(ServiceError::Oversubscribed {
+                        node: i as u32,
+                        ranks,
+                        cpus,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Compare candidate mappings for a registered application; returns one
@@ -61,29 +182,24 @@ impl<'a> CbesService<'a> {
         app: &str,
         mappings: &[Mapping],
     ) -> Result<Vec<Prediction>, ServiceError> {
-        if mappings.is_empty() {
-            return Err(ServiceError::EmptyRequest);
-        }
+        self.compare_stamped(app, mappings).map(|(_, preds)| preds)
+    }
+
+    /// Like [`CbesService::compare`], also reporting the snapshot epoch
+    /// the predictions were computed against.
+    pub fn compare_stamped(
+        &self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, Vec<Prediction>), ServiceError> {
         let profile = self
             .registry
             .get(app)
             .ok_or_else(|| ServiceError::UnknownApp(app.to_string()))?;
-        for m in mappings {
-            if m.len() != profile.num_procs() {
-                return Err(ServiceError::ArityMismatch {
-                    expected: profile.num_procs(),
-                    got: m.len(),
-                });
-            }
-            for (_, node) in m.iter() {
-                if node.index() >= self.cluster.len() {
-                    return Err(ServiceError::BadNode(node.0));
-                }
-            }
-        }
-        let snap = self.snapshot();
+        self.validate(profile.num_procs(), mappings)?;
+        let (epoch, snap) = self.snapshot_stamped();
         let ev = Evaluator::new(&profile, &snap);
-        Ok(mappings.iter().map(|m| ev.predict(m)).collect())
+        Ok((epoch, mappings.iter().map(|m| ev.predict(m)).collect()))
     }
 
     /// The index and prediction of the fastest mapping among candidates.
@@ -102,12 +218,13 @@ impl<'a> CbesService<'a> {
     }
 }
 
-impl std::fmt::Debug for CbesService<'_> {
+impl std::fmt::Debug for CbesService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CbesService")
             .field("cluster", &self.cluster.name())
             .field("profiles", &self.registry.len())
-            .field("monitor", &self.monitor)
+            .field("epoch", &self.epoch())
+            .field("monitor", &*self.monitor.read())
             .finish()
     }
 }
@@ -150,22 +267,24 @@ mod tests {
         Mapping::new(ids.iter().map(|&i| NodeId(i)).collect())
     }
 
+    fn demo_service() -> CbesService {
+        let svc =
+            CbesService::self_calibrated(Arc::new(two_switch_demo()), ForecastKind::LastValue);
+        svc.registry().insert(profile());
+        svc
+    }
+
     #[test]
     fn compare_orders_predictions_by_request() {
-        let c = two_switch_demo();
-        let mut svc = CbesService::new(&c, &c, ForecastKind::LastValue);
-        svc.registry().insert(profile());
+        let svc = demo_service();
         let preds = svc.compare("app", &[m(&[0, 1]), m(&[0, 4])]).unwrap();
         assert_eq!(preds.len(), 2);
         assert!(preds[0].time < preds[1].time, "same-switch must win");
-        let _ = &mut svc;
     }
 
     #[test]
     fn best_of_picks_fastest() {
-        let c = two_switch_demo();
-        let svc = CbesService::new(&c, &c, ForecastKind::LastValue);
-        svc.registry().insert(profile());
+        let svc = demo_service();
         let (idx, pred) = svc
             .best_of("app", &[m(&[0, 4]), m(&[0, 1]), m(&[4, 5])])
             .unwrap();
@@ -174,38 +293,85 @@ mod tests {
     }
 
     #[test]
-    fn monitor_feeds_snapshot() {
-        let c = two_switch_demo();
-        let mut svc = CbesService::new(&c, &c, ForecastKind::LastValue);
-        svc.registry().insert(profile());
+    fn monitor_feeds_snapshot_and_bumps_epoch() {
+        let svc = demo_service();
+        assert_eq!(svc.epoch(), 0);
         let idle_pred = svc.compare("app", &[m(&[0, 1])]).unwrap()[0].time;
-        let mut measured = LoadState::idle(c.len());
+        let mut measured = LoadState::idle(svc.cluster().len());
         measured.set_cpu_avail(NodeId(0), 0.5);
-        svc.observe_load(&measured);
-        let loaded_pred = svc.compare("app", &[m(&[0, 1])]).unwrap()[0].time;
-        assert!(loaded_pred > idle_pred * 1.5);
+        assert_eq!(svc.observe_load(&measured).unwrap(), 1);
+        assert_eq!(svc.epoch(), 1);
+        let (epoch, preds) = svc.compare_stamped("app", &[m(&[0, 1])]).unwrap();
+        assert_eq!(epoch, 1);
+        assert!(preds[0].time > idle_pred * 1.5);
     }
 
     #[test]
     fn errors_are_reported() {
-        let c = two_switch_demo();
-        let svc = CbesService::new(&c, &c, ForecastKind::LastValue);
+        let svc = demo_service();
         assert_eq!(
             svc.compare("nope", &[m(&[0, 1])]).unwrap_err(),
             ServiceError::UnknownApp("nope".into())
         );
-        svc.registry().insert(profile());
         assert_eq!(
             svc.compare("app", &[]).unwrap_err(),
             ServiceError::EmptyRequest
         );
         assert!(matches!(
             svc.compare("app", &[m(&[0])]).unwrap_err(),
-            ServiceError::ArityMismatch { expected: 2, got: 1 }
+            ServiceError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
         ));
         assert_eq!(
             svc.compare("app", &[m(&[0, 99])]).unwrap_err(),
             ServiceError::BadNode(99)
         );
+    }
+
+    #[test]
+    fn oversubscribed_mapping_is_rejected_at_the_boundary() {
+        let svc = demo_service();
+        // Node 0 is a 1-CPU Alpha: two ranks there must be refused.
+        assert_eq!(
+            svc.compare("app", &[m(&[0, 0])]).unwrap_err(),
+            ServiceError::Oversubscribed {
+                node: 0,
+                ranks: 2,
+                cpus: 1
+            }
+        );
+        // Node 4 is a 2-CPU Intel: two ranks there are fine.
+        assert!(svc.compare("app", &[m(&[4, 4])]).is_ok());
+    }
+
+    #[test]
+    fn short_load_sweep_is_a_typed_error() {
+        let svc = demo_service();
+        let n = svc.cluster().len();
+        assert_eq!(
+            svc.observe_load(&LoadState::idle(2)).unwrap_err(),
+            ServiceError::LoadArityMismatch {
+                expected: n,
+                got: 2
+            }
+        );
+        assert_eq!(svc.epoch(), 0, "failed observation must not bump epoch");
+    }
+
+    #[test]
+    fn service_is_shareable_across_threads() {
+        let svc = Arc::new(demo_service());
+        let baseline = svc.compare("app", &[m(&[0, 1])]).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = svc.clone();
+                std::thread::spawn(move || svc.compare("app", &[m(&[0, 1])]).unwrap())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), baseline);
+        }
     }
 }

@@ -46,9 +46,14 @@ enum Status {
     Ready,
     /// Receive posted, waiting for a matching message; `since` is the time
     /// the wait started (overhead already paid).
-    WaitRecv { from: usize, since: f64 },
+    WaitRecv {
+        from: usize,
+        since: f64,
+    },
     /// Arrived at a barrier at time `since`.
-    WaitBarrier { since: f64 },
+    WaitBarrier {
+        since: f64,
+    },
     Done,
 }
 
@@ -520,7 +525,14 @@ mod tests {
     #[test]
     fn receiver_blocks_until_message_arrives() {
         let c = two_switch_demo();
-        let r = simulate(&c, &ping(1024, 1.0), &[NodeId(0), NodeId(1)], &idle(&c), &cfg()).unwrap();
+        let r = simulate(
+            &c,
+            &ping(1024, 1.0),
+            &[NodeId(0), NodeId(1)],
+            &idle(&c),
+            &cfg(),
+        )
+        .unwrap();
         // Rank 1 spent ~1 s blocked (sender computed first).
         assert!(r.stats[1].b > 0.9, "b = {}", r.stats[1].b);
         assert!(r.wall_time > 1.0);
@@ -681,8 +693,20 @@ mod tests {
         let c = two_switch_demo();
         // Two big simultaneous transfers into the same destination NIC.
         let mut p = Program::new(3);
-        p.push(0, Op::Send { to: 2, bytes: 1_000_000 });
-        p.push(1, Op::Send { to: 2, bytes: 1_000_000 });
+        p.push(
+            0,
+            Op::Send {
+                to: 2,
+                bytes: 1_000_000,
+            },
+        );
+        p.push(
+            1,
+            Op::Send {
+                to: 2,
+                bytes: 1_000_000,
+            },
+        );
         p.push(2, Op::Recv { from: 0 });
         p.push(2, Op::Recv { from: 1 });
         let with = simulate(
@@ -742,7 +766,14 @@ mod tests {
         let c = two_switch_demo();
         let mut cfg2 = cfg();
         cfg2.collect_trace = false;
-        let r = simulate(&c, &ping(1024, 0.1), &[NodeId(0), NodeId(1)], &idle(&c), &cfg2).unwrap();
+        let r = simulate(
+            &c,
+            &ping(1024, 0.1),
+            &[NodeId(0), NodeId(1)],
+            &idle(&c),
+            &cfg2,
+        )
+        .unwrap();
         assert!(r.trace.ranks.iter().all(|rt| rt.events.is_empty()));
         assert!(r.wall_time > 0.0);
         assert!(r.stats[0].x > 0.0);
@@ -754,8 +785,14 @@ mod tests {
         let mut p = Program::new(2);
         // Two differently-sized messages on the same channel; the receiver
         // must see them in send order regardless of transfer times.
-        p.push(0, Op::Send { to: 1, bytes: 500_000 }); // slow transfer
-        p.push(0, Op::Send { to: 1, bytes: 8 });       // fast transfer
+        p.push(
+            0,
+            Op::Send {
+                to: 1,
+                bytes: 500_000,
+            },
+        ); // slow transfer
+        p.push(0, Op::Send { to: 1, bytes: 8 }); // fast transfer
         p.push(1, Op::Recv { from: 0 });
         p.push(1, Op::Recv { from: 0 });
         let r = simulate(&c, &p, &[NodeId(0), NodeId(1)], &idle(&c), &cfg()).unwrap();
@@ -808,14 +845,8 @@ mod tests {
     fn load_state_too_small_is_rejected() {
         let c = two_switch_demo();
         let p = ping(8, 0.0);
-        let err = simulate(
-            &c,
-            &p,
-            &[NodeId(0), NodeId(1)],
-            &LoadState::idle(2),
-            &cfg(),
-        )
-        .unwrap_err();
+        let err =
+            simulate(&c, &p, &[NodeId(0), NodeId(1)], &LoadState::idle(2), &cfg()).unwrap_err();
         assert!(matches!(err, SimError::LoadMismatch { .. }));
     }
 

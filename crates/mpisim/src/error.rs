@@ -39,7 +39,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MappingMismatch { ranks, mapping } => {
-                write!(f, "program has {ranks} ranks but mapping has {mapping} entries")
+                write!(
+                    f,
+                    "program has {ranks} ranks but mapping has {mapping} entries"
+                )
             }
             SimError::LoadMismatch { nodes, load } => {
                 write!(f, "cluster has {nodes} nodes but load state covers {load}")
@@ -68,8 +71,11 @@ mod tests {
         };
         assert!(e.to_string().contains("[1, 3]"));
         assert!(SimError::BadNode(9).to_string().contains("n9"));
-        assert!(SimError::MappingMismatch { ranks: 4, mapping: 2 }
-            .to_string()
-            .contains("4 ranks"));
+        assert!(SimError::MappingMismatch {
+            ranks: 4,
+            mapping: 2
+        }
+        .to_string()
+        .contains("4 ranks"));
     }
 }

@@ -179,8 +179,8 @@ pub fn verify_model(
         let size = *[512u64, 4096, 65536]
             .get(rng.random_range(0..3usize))
             .expect("index in range");
-        let fresh = cluster.no_load_latency(NodeId(a), NodeId(b), size)
-            * gauss_factor(&mut rng, 0.01);
+        let fresh =
+            cluster.no_load_latency(NodeId(a), NodeId(b), size) * gauss_factor(&mut rng, 0.01);
         let predicted = model.no_load(NodeId(a), NodeId(b), size);
         devs.push(((predicted - fresh) / fresh).abs());
     }
@@ -288,8 +288,8 @@ mod tests {
         let c = orange_grove();
         let out = Calibrator::default().calibrate(&c);
         assert_eq!(out.rounds, 27); // n=28 -> 27 rounds
-        // 28 nodes: 378 pairs serially vs 27 rounds of up to 14 parallel
-        // pairs — speedup should approach 14x (bounded by round stragglers).
+                                    // 28 nodes: 378 pairs serially vs 27 rounds of up to 14 parallel
+                                    // pairs — speedup should approach 14x (bounded by round stragglers).
         assert!(
             out.clique_speedup() > 6.0,
             "speedup {}",
@@ -339,10 +339,26 @@ mod tests {
                 12.5e6,
                 400e-6 * 50.0, // 100x the original link latency
             )
-            .nodes(4, cbes_cluster::Architecture::Alpha, 533, 1, 1.0,
-                   cbes_cluster::SwitchId(0), 12.5e6, 35e-6 * 50.0)
-            .nodes(4, cbes_cluster::Architecture::IntelPII, 400, 2, 0.85,
-                   cbes_cluster::SwitchId(1), 12.5e6, 35e-6 * 50.0)
+            .nodes(
+                4,
+                cbes_cluster::Architecture::Alpha,
+                533,
+                1,
+                1.0,
+                cbes_cluster::SwitchId(0),
+                12.5e6,
+                35e-6 * 50.0,
+            )
+            .nodes(
+                4,
+                cbes_cluster::Architecture::IntelPII,
+                400,
+                2,
+                0.85,
+                cbes_cluster::SwitchId(1),
+                12.5e6,
+                35e-6 * 50.0,
+            )
             .build()
             .unwrap();
         let report = verify_model(&after, &out.model, 100, 10);

@@ -111,7 +111,13 @@ impl<'a> Orchestrator<'a> {
             .iter()
             .enumerate()
             .map(|(i, program)| {
-                let run = simulate(self.cluster, program, profiling_nodes, &idle, &self.config.sim)?;
+                let run = simulate(
+                    self.cluster,
+                    program,
+                    profiling_nodes,
+                    &idle,
+                    &self.config.sim,
+                )?;
                 Ok(extract_profile(
                     &format!("{}#{}", app.name, i),
                     &run.trace,
@@ -172,7 +178,11 @@ impl<'a> Orchestrator<'a> {
                         RemapDecision::Remap { .. } => {
                             let moved = current.moved_ranks(&fresh.mapping).len();
                             remaps += 1;
-                            (fresh.mapping.clone(), true, self.config.remap.cost.total(moved))
+                            (
+                                fresh.mapping.clone(),
+                                true,
+                                self.config.remap.cost.total(moved),
+                            )
                         }
                         RemapDecision::Stay { .. } => (current.clone(), false, 0.0),
                     }
@@ -192,8 +202,14 @@ impl<'a> Orchestrator<'a> {
             let mut sim = self.config.sim.clone();
             sim.seed = sim.seed.wrapping_add(k as u64 + 1);
             sim.collect_trace = false;
-            let wall = simulate(self.cluster, &app.phases[k], chosen.as_slice(), &actual, &sim)?
-                .wall_time;
+            let wall = simulate(
+                self.cluster,
+                &app.phases[k],
+                chosen.as_slice(),
+                &actual,
+                &sim,
+            )?
+            .wall_time;
             now += wall;
             phases.push(PhaseReport {
                 phase: k,

@@ -20,7 +20,10 @@ impl PhasedApp {
     /// # Panics
     /// Panics if there are no phases or rank counts differ between phases.
     pub fn new(name: impl Into<String>, phases: Vec<Program>) -> Self {
-        assert!(!phases.is_empty(), "an application needs at least one phase");
+        assert!(
+            !phases.is_empty(),
+            "an application needs at least one phase"
+        );
         let n = phases[0].num_ranks();
         assert!(
             phases.iter().all(|p| p.num_ranks() == n),

@@ -8,7 +8,7 @@
 //! uses.
 
 use crate::moves::SearchState;
-use crate::{ScheduleRequest, ScheduleResult, SchedError, Scheduler};
+use crate::{SchedError, ScheduleRequest, ScheduleResult, Scheduler};
 use cbes_cluster::NodeId;
 use cbes_core::eval::Evaluator;
 use cbes_core::mapping::Mapping;
@@ -73,17 +73,16 @@ impl GeneticScheduler {
     /// Uniform crossover with injectivity repair: each gene comes from a
     /// random parent unless already used, in which case it is filled from
     /// the unused pool nodes afterwards.
-    fn crossover(
-        a: &[NodeId],
-        b: &[NodeId],
-        pool: &[NodeId],
-        rng: &mut StdRng,
-    ) -> Vec<NodeId> {
+    fn crossover(a: &[NodeId], b: &[NodeId], pool: &[NodeId], rng: &mut StdRng) -> Vec<NodeId> {
         let n = a.len();
         let mut child: Vec<Option<NodeId>> = vec![None; n];
         let mut used: Vec<NodeId> = Vec::with_capacity(n);
         for i in 0..n {
-            let gene = if rng.random_range(0.0..1.0) < 0.5 { a[i] } else { b[i] };
+            let gene = if rng.random_range(0.0..1.0) < 0.5 {
+                a[i]
+            } else {
+                b[i]
+            };
             if !used.contains(&gene) {
                 used.push(gene);
                 child[i] = Some(gene);
@@ -128,11 +127,7 @@ impl GeneticScheduler {
         }
     }
 
-    fn tournament<'p>(
-        &self,
-        pop: &'p [Individual],
-        rng: &mut StdRng,
-    ) -> &'p Individual {
+    fn tournament<'p>(&self, pop: &'p [Individual], rng: &mut StdRng) -> &'p Individual {
         let mut best: Option<&Individual> = None;
         for _ in 0..self.config.tournament.max(1) {
             let c = &pop[rng.random_range(0..pop.len())];
@@ -159,7 +154,9 @@ impl Scheduler for GeneticScheduler {
 
         let mut pop: Vec<Individual> = (0..self.config.population.max(2))
             .map(|_| {
-                let genes = SearchState::random(req.pool, n, &mut rng).assigned().to_vec();
+                let genes = SearchState::random(req.pool, n, &mut rng)
+                    .assigned()
+                    .to_vec();
                 let energy = ev.predict_time(&Mapping::new(genes.clone()));
                 evals += 1;
                 Individual { genes, energy }
@@ -214,7 +211,9 @@ mod tests {
         let p = ring_profile(4, 0.05, 500, 8192);
         let pool: Vec<_> = c.node_ids().collect();
         let req = ScheduleRequest::new(&p, &snap, &pool);
-        let r = GeneticScheduler::new(GaConfig::fast(2)).schedule(&req).unwrap();
+        let r = GeneticScheduler::new(GaConfig::fast(2))
+            .schedule(&req)
+            .unwrap();
         assert!(r.mapping.is_injective());
         // Must co-locate the communication-bound ring on one switch.
         let m = r.mapping.as_slice();
@@ -259,8 +258,12 @@ mod tests {
         let p = ring_profile(4, 1.0, 50, 4096);
         let pool: Vec<_> = c.node_ids().collect();
         let req = ScheduleRequest::new(&p, &snap, &pool);
-        let a = GeneticScheduler::new(GaConfig::fast(3)).schedule(&req).unwrap();
-        let b = GeneticScheduler::new(GaConfig::fast(3)).schedule(&req).unwrap();
+        let a = GeneticScheduler::new(GaConfig::fast(3))
+            .schedule(&req)
+            .unwrap();
+        let b = GeneticScheduler::new(GaConfig::fast(3))
+            .schedule(&req)
+            .unwrap();
         assert_eq!(a.mapping, b.mapping);
     }
 }

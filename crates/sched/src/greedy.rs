@@ -7,7 +7,7 @@
 //! (`O(n_procs × pool)` evaluations of partial costs), but with no global
 //! view — simulated annealing should beat it on communication-bound apps.
 
-use crate::{ScheduleRequest, ScheduleResult, SchedError, Scheduler};
+use crate::{SchedError, ScheduleRequest, ScheduleResult, Scheduler};
 use cbes_cluster::NodeId;
 use cbes_core::mapping::Mapping;
 use std::time::Instant;

@@ -123,7 +123,10 @@ impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchedError::PoolTooSmall { need, have } => {
-                write!(f, "pool has {have} nodes but {need} processes must be placed")
+                write!(
+                    f,
+                    "pool has {have} nodes but {need} processes must be placed"
+                )
             }
             SchedError::EmptyProfile => write!(f, "profile has no processes"),
         }

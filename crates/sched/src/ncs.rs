@@ -3,7 +3,7 @@
 //! mapping under consideration but cannot predict execution times".
 
 use crate::sa::{Objective, SaConfig, SaScheduler};
-use crate::{ScheduleRequest, ScheduleResult, SchedError, Scheduler};
+use crate::{SchedError, ScheduleRequest, ScheduleResult, Scheduler};
 
 /// Simulated annealing over computation speeds and CPU loads only,
 /// ignoring communication latency effects.

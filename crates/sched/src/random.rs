@@ -4,7 +4,7 @@
 //! solution."
 
 use crate::moves::SearchState;
-use crate::{ScheduleRequest, ScheduleResult, SchedError, Scheduler};
+use crate::{SchedError, ScheduleRequest, ScheduleResult, Scheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;

@@ -2,7 +2,7 @@
 //! evaluation operation as the energy function (paper §6, refs \[19\]\[20\]).
 
 use crate::moves::SearchState;
-use crate::{ScheduleRequest, ScheduleResult, SchedError, Scheduler};
+use crate::{SchedError, ScheduleRequest, ScheduleResult, Scheduler};
 use cbes_core::eval::Evaluator;
 use cbes_core::mapping::Mapping;
 use rand::rngs::StdRng;
@@ -202,7 +202,12 @@ mod tests {
         let p = ring_profile(4, 0.05, 500, 8192);
         let pool: Vec<_> = c.node_ids().collect();
         let req = ScheduleRequest::new(&p, &snap, &pool);
-        let mut cs = SaScheduler::new(SaConfig::fast(7));
+        // Restarts make the stochastic search robust to the RNG stream
+        // (a single fast() run can stall in a cross-switch local optimum).
+        let mut cs = SaScheduler::new(SaConfig {
+            restarts: 4,
+            ..SaConfig::fast(7)
+        });
         let r = cs.schedule(&req).unwrap();
         // All four ranks on one switch: pairwise same-switch.
         let m = r.mapping.as_slice();

@@ -1,0 +1,206 @@
+//! Blocking client for the CBES daemon: one request, one reply, over
+//! newline-delimited JSON.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use cbes_cluster::load::LoadState;
+use cbes_core::eval::Prediction;
+use cbes_core::mapping::Mapping;
+use cbes_trace::AppProfile;
+
+use crate::protocol::{encode, Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport};
+
+/// A client-side failure: transport, protocol, or a server error reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or dropped.
+    Io(std::io::Error),
+    /// The server sent something that is not a valid reply, or a reply
+    /// of an unexpected shape for the request.
+    Protocol(String),
+    /// The server answered with [`Response::Error`].
+    Server {
+        /// Machine-readable error class (see [`crate::protocol::error_kind`]).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server { kind, message } => write!(f, "server error ({kind}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a CBES daemon. Requests are issued one at a
+/// time; ids are assigned internally and checked against replies.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            next_id: 1,
+        })
+    }
+
+    /// Send one request and wait for its reply envelope. Error replies
+    /// are returned as envelopes, not `Err` — use the typed helpers for
+    /// automatic error conversion.
+    pub fn request(&mut self, request: Request) -> Result<ResponseEnvelope, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = encode(&RequestEnvelope { id, request });
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let envelope: ResponseEnvelope = serde_json::from_str(reply.trim())
+            .map_err(|e| ClientError::Protocol(format!("bad reply: {e}")))?;
+        if envelope.id != id && envelope.id != 0 {
+            return Err(ClientError::Protocol(format!(
+                "reply id {} does not match request id {id}",
+                envelope.id
+            )));
+        }
+        Ok(envelope)
+    }
+
+    /// Send a request and surface error replies as [`ClientError::Server`].
+    fn expect(&mut self, request: Request) -> Result<Response, ClientError> {
+        match self.request(request)?.response {
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Register (or replace) an application profile.
+    pub fn register_profile(&mut self, profile: AppProfile) -> Result<(), ClientError> {
+        match self.expect(Request::RegisterProfile { profile })? {
+            Response::Registered { .. } => Ok(()),
+            other => Err(unexpected("Registered", &other)),
+        }
+    }
+
+    /// Predict execution times for candidate mappings; returns the
+    /// snapshot epoch and one prediction per mapping, in request order.
+    pub fn compare(
+        &mut self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, Vec<Prediction>), ClientError> {
+        let request = Request::Compare {
+            app: app.to_string(),
+            mappings: mappings.to_vec(),
+        };
+        match self.expect(request)? {
+            Response::Predictions { epoch, predictions } => Ok((epoch, predictions)),
+            other => Err(unexpected("Predictions", &other)),
+        }
+    }
+
+    /// The index and prediction of the fastest candidate mapping.
+    pub fn best_of(
+        &mut self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, usize, Prediction), ClientError> {
+        let request = Request::BestOf {
+            app: app.to_string(),
+            mappings: mappings.to_vec(),
+        };
+        match self.expect(request)? {
+            Response::Best {
+                epoch,
+                index,
+                prediction,
+            } => Ok((epoch, index, prediction)),
+            other => Err(unexpected("Best", &other)),
+        }
+    }
+
+    /// Run the server-side scheduler over a node pool; returns the epoch,
+    /// the chosen mapping, and its predicted time.
+    pub fn schedule(
+        &mut self,
+        app: &str,
+        pool: &[u32],
+        iters: u32,
+        seed: u64,
+    ) -> Result<(u64, Mapping, f64), ClientError> {
+        let request = Request::Schedule {
+            app: app.to_string(),
+            pool: pool.to_vec(),
+            iters,
+            seed,
+        };
+        match self.expect(request)? {
+            Response::Scheduled {
+                epoch,
+                mapping,
+                predicted_time,
+                ..
+            } => Ok((epoch, mapping, predicted_time)),
+            other => Err(unexpected("Scheduled", &other)),
+        }
+    }
+
+    /// Feed one monitoring sweep; returns the new snapshot epoch.
+    pub fn observe_load(&mut self, load: &LoadState) -> Result<u64, ClientError> {
+        let request = Request::ObserveLoad { load: load.clone() };
+        match self.expect(request)? {
+            Response::LoadObserved { epoch } => Ok(epoch),
+            other => Err(unexpected("LoadObserved", &other)),
+        }
+    }
+
+    /// Read the server's counters.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.expect(Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Ask the server to drain and exit. The acknowledgement arrives
+    /// before the drain completes.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.expect(Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted} reply, got {got:?}"))
+}

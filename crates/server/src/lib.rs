@@ -1,0 +1,10 @@
+//! CBES serving layer: a concurrent TCP daemon answering
+//! mapping-evaluation requests over newline-delimited JSON.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{Request, RequestEnvelope, Response, ResponseEnvelope};
+pub use server::{Server, ServerConfig, ServerHandle};

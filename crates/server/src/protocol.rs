@@ -1,0 +1,253 @@
+//! The CBES wire protocol: one JSON object per line in each direction.
+//!
+//! A client sends a [`RequestEnvelope`] (`{"id": n, "request": ...}`) and
+//! receives exactly one [`ResponseEnvelope`] whose `id` echoes the
+//! request's, so clients may correlate replies however they like. Errors
+//! — including overload rejections and timeouts — are ordinary
+//! [`Response::Error`] replies with a machine-readable `kind` from
+//! [`error_kind`].
+
+use cbes_cluster::load::LoadState;
+use cbes_core::eval::Prediction;
+use cbes_core::mapping::Mapping;
+use cbes_core::ServiceError;
+use cbes_trace::AppProfile;
+use serde::{Deserialize, Serialize};
+
+/// Machine-readable `kind` values carried by [`Response::Error`].
+pub mod error_kind {
+    /// The request line was not a valid request object.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The admission queue was full; retry later.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request was admitted but no worker finished it in time.
+    pub const TIMEOUT: &str = "timeout";
+    /// The service rejected the request (unknown app, bad mapping, ...).
+    pub const SERVICE: &str = "service";
+    /// The scheduler rejected the request (pool too small, ...).
+    pub const SCHED: &str = "sched";
+    /// The server is draining and no longer admits requests.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Insert (or replace) an application profile in the registry.
+    RegisterProfile {
+        /// The profile to register, keyed by its `name`.
+        profile: AppProfile,
+    },
+    /// Predict execution times for candidate mappings of `app`.
+    Compare {
+        /// Registered application name.
+        app: String,
+        /// Candidate mappings, arity matching the profile.
+        mappings: Vec<Mapping>,
+    },
+    /// Like `Compare`, but reply only with the fastest candidate.
+    BestOf {
+        /// Registered application name.
+        app: String,
+        /// Candidate mappings.
+        mappings: Vec<Mapping>,
+    },
+    /// Run the CS simulated-annealing scheduler for `app` over a pool.
+    Schedule {
+        /// Registered application name.
+        app: String,
+        /// Candidate node ids.
+        pool: Vec<u32>,
+        /// Annealing iterations (0 picks the fast default).
+        iters: u32,
+        /// Scheduler seed, for reproducible placements.
+        seed: u64,
+    },
+    /// Feed one monitoring sweep; bumps the snapshot epoch.
+    ObserveLoad {
+        /// Measured per-node load; must cover every node.
+        load: LoadState,
+    },
+    /// Read the server's counters.
+    Stats,
+    /// Stop admitting requests, drain in-flight work, exit.
+    Shutdown,
+}
+
+/// One server reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Profile accepted.
+    Registered {
+        /// Application name it was stored under.
+        app: String,
+        /// Number of processes in the profile.
+        procs: usize,
+    },
+    /// Predictions for a `Compare`, in request order.
+    Predictions {
+        /// Snapshot epoch the predictions were computed against.
+        epoch: u64,
+        /// One prediction per requested mapping.
+        predictions: Vec<Prediction>,
+    },
+    /// The fastest candidate for a `BestOf`.
+    Best {
+        /// Snapshot epoch.
+        epoch: u64,
+        /// Index of the winning mapping in the request.
+        index: usize,
+        /// Its prediction.
+        prediction: Prediction,
+    },
+    /// Scheduler outcome for a `Schedule`.
+    Scheduled {
+        /// Snapshot epoch the search ran against.
+        epoch: u64,
+        /// The selected mapping.
+        mapping: Mapping,
+        /// Predicted execution time of that mapping (seconds).
+        predicted_time: f64,
+        /// Mapping evaluations the search performed.
+        evaluations: u64,
+    },
+    /// Load sweep accepted.
+    LoadObserved {
+        /// The new snapshot epoch.
+        epoch: u64,
+    },
+    /// Server counters.
+    Stats {
+        /// The counters at reply time.
+        stats: StatsReport,
+    },
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown,
+    /// The request failed; `kind` is one of [`error_kind`].
+    Error {
+        /// Machine-readable error class.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The standard reply for a [`ServiceError`].
+    pub fn service_error(err: &ServiceError) -> Response {
+        Response::Error {
+            kind: error_kind::SERVICE.to_string(),
+            message: err.to_string(),
+        }
+    }
+
+    /// An error reply with the given kind.
+    pub fn error(kind: &str, message: impl Into<String>) -> Response {
+        Response::Error {
+            kind: kind.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Server counters, as reported by [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Requests answered (all kinds, including error replies from
+    /// workers).
+    pub served: u64,
+    /// Requests answered with an error reply.
+    pub errors: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub overloaded: u64,
+    /// Admitted requests whose reply timed out.
+    pub timeouts: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Jobs waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Current snapshot epoch.
+    pub epoch: u64,
+    /// Profiles currently registered.
+    pub profiles: usize,
+    /// Monitoring sweeps observed.
+    pub observations: u64,
+}
+
+/// A request with its correlation id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-chosen id, echoed verbatim in the reply.
+    pub id: u64,
+    /// The request.
+    pub request: Request,
+}
+
+/// A reply with the id of the request it answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// The originating request's id (0 when the line was unparseable).
+    pub id: u64,
+    /// The reply.
+    pub response: Response,
+}
+
+/// Encode an envelope as one protocol line (no trailing newline).
+pub fn encode<T: Serialize>(envelope: &T) -> String {
+    serde_json::to_string(envelope).expect("protocol types always serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::NodeId;
+
+    #[test]
+    fn request_round_trips() {
+        let env = RequestEnvelope {
+            id: 42,
+            request: Request::Compare {
+                app: "lu".into(),
+                mappings: vec![Mapping::new(vec![NodeId(0), NodeId(3)])],
+            },
+        };
+        let line = encode(&env);
+        assert!(!line.contains('\n'), "one line per message");
+        let back: RequestEnvelope = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn unit_requests_round_trip() {
+        for req in [Request::Stats, Request::Shutdown] {
+            let env = RequestEnvelope {
+                id: 1,
+                request: req.clone(),
+            };
+            let back: RequestEnvelope = serde_json::from_str(&encode(&env)).unwrap();
+            assert_eq!(back.request, req);
+        }
+    }
+
+    #[test]
+    fn error_reply_round_trips() {
+        let env = ResponseEnvelope {
+            id: 9,
+            response: Response::error(error_kind::OVERLOADED, "queue full"),
+        };
+        let back: ResponseEnvelope = serde_json::from_str(&encode(&env)).unwrap();
+        assert_eq!(back, env);
+        match back.response {
+            Response::Error { kind, .. } => assert_eq!(kind, error_kind::OVERLOADED),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn id_zero_marks_unparseable_lines() {
+        let bad: Result<RequestEnvelope, _> = serde_json::from_str("{\"nope\":1}");
+        assert!(bad.is_err());
+    }
+}

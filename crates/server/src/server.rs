@@ -1,0 +1,517 @@
+//! The daemon: a TCP acceptor, per-connection reader threads, and a
+//! fixed worker pool draining a bounded admission queue.
+//!
+//! Admission control: a connection thread parses one line, wraps it in a
+//! job with a single-slot reply channel, and `try_send`s it into the
+//! bounded queue. A full queue is answered immediately with a structured
+//! `overloaded` error — the connection never blocks the queue — and an
+//! admitted request that misses the per-request timeout gets a `timeout`
+//! error (the worker's late reply is dropped with the job's channel).
+//!
+//! Shutdown: a `Shutdown` request (or [`ServerHandle::shutdown`]) flips
+//! the flag and wakes the acceptor. Connection readers notice the flag
+//! within one poll interval and drop their queue senders; workers drain
+//! whatever was admitted and exit when the queue disconnects. Every
+//! admitted request is answered.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cbes_cluster::NodeId;
+use cbes_core::CbesService;
+use cbes_sched::{SaConfig, SaScheduler, ScheduleRequest, Scheduler};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+
+use crate::protocol::{
+    encode, error_kind, Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport,
+};
+
+/// How often blocked connection readers re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission queue capacity; beyond it requests get `overloaded`.
+    pub queue_capacity: usize,
+    /// Per-request deadline from admission to reply.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 1024,
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    timeouts: AtomicU64,
+    connections: AtomicU64,
+}
+
+struct Job {
+    envelope: RequestEnvelope,
+    reply: Sender<ResponseEnvelope>,
+}
+
+/// The CBES daemon. Construct with [`Server::start`]; the returned
+/// [`ServerHandle`] owns the threads.
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr` and serve `service` until shut down.
+    pub fn start(service: Arc<CbesService>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity);
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let service = service.clone();
+                let job_rx = job_rx.clone();
+                let counters = counters.clone();
+                let shutdown = shutdown.clone();
+                let worker_count = config.workers.max(1);
+                std::thread::spawn(move || {
+                    worker_loop(&service, &job_rx, &counters, &shutdown, addr, worker_count)
+                })
+            })
+            .collect();
+        drop(job_rx);
+
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            let counters = counters.clone();
+            let timeout = config.request_timeout;
+            std::thread::spawn(move || {
+                accept_loop(&listener, job_tx, &counters, &shutdown, timeout)
+            })
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            counters,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// Running-server handle: address, shutdown trigger, thread ownership.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once shutdown has been triggered (by request or locally).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Trigger shutdown without waiting for the drain.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shutdown, self.addr);
+    }
+
+    /// Wait until the server has fully drained and every thread exited.
+    /// Returns the final counter values.
+    pub fn join(mut self) -> (u64, u64) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        (
+            self.counters.served.load(Ordering::Relaxed),
+            self.counters.errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Trigger shutdown and wait for the drain.
+    pub fn shutdown_and_join(self) -> (u64, u64) {
+        self.shutdown();
+        self.join()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Un-joined handle going away: stop the threads, don't wait.
+        trigger_shutdown(&self.shutdown, self.addr);
+    }
+}
+
+fn trigger_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
+    if !shutdown.swap(true, Ordering::AcqRel) {
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    job_tx: Sender<Job>,
+    counters: &Arc<Counters>,
+    shutdown: &Arc<AtomicBool>,
+    timeout: Duration,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let job_tx = job_tx.clone();
+                let counters = counters.clone();
+                let shutdown = shutdown.clone();
+                std::thread::spawn(move || {
+                    handle_connection(stream, &job_tx, &counters, &shutdown, timeout)
+                });
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+    // Dropping the acceptor's sender lets workers disconnect once every
+    // connection reader has exited too.
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    job_tx: &Sender<Job>,
+    counters: &Arc<Counters>,
+    shutdown: &Arc<AtomicBool>,
+    timeout: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+
+    'conn: loop {
+        line.clear();
+        // Poll for one full line, re-checking the shutdown flag whenever
+        // the read times out. read_line only returns Ok at a newline or
+        // EOF, so partial reads accumulate in `line` across timeouts.
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                break 'conn;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    if line.trim().is_empty() {
+                        break 'conn; // clean EOF
+                    }
+                    break; // final line without trailing newline
+                }
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => break 'conn,
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = admit(trimmed, job_tx, counters, timeout);
+        let mut out = encode(&reply);
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// Parse one line and push it through admission control, producing
+/// exactly one reply.
+fn admit(
+    line: &str,
+    job_tx: &Sender<Job>,
+    counters: &Arc<Counters>,
+    timeout: Duration,
+) -> ResponseEnvelope {
+    let envelope: RequestEnvelope = match serde_json::from_str(line) {
+        Ok(env) => env,
+        Err(e) => {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            return ResponseEnvelope {
+                id: 0,
+                response: Response::error(error_kind::BAD_REQUEST, e.to_string()),
+            };
+        }
+    };
+    let id = envelope.id;
+    let (reply_tx, reply_rx) = channel::bounded::<ResponseEnvelope>(1);
+    match job_tx.try_send(Job {
+        envelope,
+        reply: reply_tx,
+    }) {
+        Ok(()) => match reply_rx.recv_timeout(timeout) {
+            Ok(reply) => reply,
+            Err(_) => {
+                counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                ResponseEnvelope {
+                    id,
+                    response: Response::error(
+                        error_kind::TIMEOUT,
+                        format!("no reply within {timeout:?}"),
+                    ),
+                }
+            }
+        },
+        Err(TrySendError::Full(_)) => {
+            counters.overloaded.fetch_add(1, Ordering::Relaxed);
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            ResponseEnvelope {
+                id,
+                response: Response::error(error_kind::OVERLOADED, "admission queue is full"),
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            ResponseEnvelope {
+                id,
+                response: Response::error(error_kind::SHUTTING_DOWN, "server is draining"),
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    service: &Arc<CbesService>,
+    job_rx: &Receiver<Job>,
+    counters: &Arc<Counters>,
+    shutdown: &Arc<AtomicBool>,
+    addr: SocketAddr,
+    worker_count: usize,
+) {
+    while let Ok(job) = job_rx.recv() {
+        let id = job.envelope.id;
+        let response = handle_request(
+            service,
+            job.envelope.request,
+            counters,
+            shutdown,
+            addr,
+            job_rx.len(),
+            worker_count,
+        );
+        if matches!(response, Response::Error { .. }) {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        counters.served.fetch_add(1, Ordering::Relaxed);
+        // The reader may have timed out and dropped the receiver; that
+        // counts as its reply, so a failed send is fine here.
+        let _ = job.reply.send(ResponseEnvelope { id, response });
+    }
+}
+
+fn handle_request(
+    service: &Arc<CbesService>,
+    request: Request,
+    counters: &Arc<Counters>,
+    shutdown: &Arc<AtomicBool>,
+    addr: SocketAddr,
+    queue_depth: usize,
+    worker_count: usize,
+) -> Response {
+    match request {
+        Request::RegisterProfile { profile } => {
+            let app = profile.name.clone();
+            let procs = profile.num_procs();
+            service.registry().insert(profile);
+            Response::Registered { app, procs }
+        }
+        Request::Compare { app, mappings } => match service.compare_stamped(&app, &mappings) {
+            Ok((epoch, predictions)) => Response::Predictions { epoch, predictions },
+            Err(e) => Response::service_error(&e),
+        },
+        Request::BestOf { app, mappings } => match service.compare_stamped(&app, &mappings) {
+            Ok((epoch, predictions)) => {
+                let (index, prediction) = predictions
+                    .into_iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.time.partial_cmp(&b.time).expect("times are finite"))
+                    .expect("compare rejects empty requests");
+                Response::Best {
+                    epoch,
+                    index,
+                    prediction,
+                }
+            }
+            Err(e) => Response::service_error(&e),
+        },
+        Request::Schedule {
+            app,
+            pool,
+            iters,
+            seed,
+        } => {
+            let profile = match service.registry().get(&app) {
+                Some(p) => p,
+                None => return Response::service_error(&cbes_core::ServiceError::UnknownApp(app)),
+            };
+            let pool: Vec<NodeId> = pool.into_iter().map(NodeId).collect();
+            if let Some(bad) = pool.iter().find(|n| n.index() >= service.cluster().len()) {
+                return Response::service_error(&cbes_core::ServiceError::BadNode(bad.0));
+            }
+            let (epoch, snapshot) = service.snapshot_stamped();
+            let request = ScheduleRequest::new(&profile, &snapshot, &pool);
+            let mut config = SaConfig::fast(seed);
+            if iters > 0 {
+                config.iters = iters;
+            }
+            match SaScheduler::new(config).schedule(&request) {
+                Ok(result) => Response::Scheduled {
+                    epoch,
+                    mapping: result.mapping,
+                    predicted_time: result.predicted_time,
+                    evaluations: result.evaluations,
+                },
+                Err(e) => Response::error(error_kind::SCHED, e.to_string()),
+            }
+        }
+        Request::ObserveLoad { load } => match service.observe_load(&load) {
+            Ok(epoch) => Response::LoadObserved { epoch },
+            Err(e) => Response::service_error(&e),
+        },
+        Request::Stats => Response::Stats {
+            stats: StatsReport {
+                served: counters.served.load(Ordering::Relaxed),
+                errors: counters.errors.load(Ordering::Relaxed),
+                overloaded: counters.overloaded.load(Ordering::Relaxed),
+                timeouts: counters.timeouts.load(Ordering::Relaxed),
+                connections: counters.connections.load(Ordering::Relaxed),
+                queue_depth,
+                workers: worker_count,
+                epoch: service.epoch(),
+                profiles: service.registry().len(),
+                observations: service.observations(),
+            },
+        },
+        Request::Shutdown => {
+            trigger_shutdown(shutdown, addr);
+            Response::ShuttingDown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> Arc<Counters> {
+        Arc::new(Counters::default())
+    }
+
+    fn stats_line(id: u64) -> String {
+        encode(&RequestEnvelope {
+            id,
+            request: Request::Stats,
+        })
+    }
+
+    fn error_kind_of(envelope: &ResponseEnvelope) -> &str {
+        match &envelope.response {
+            Response::Error { kind, .. } => kind,
+            other => panic!("expected an error reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unparseable_line_is_rejected_with_id_zero() {
+        let (tx, _rx) = channel::bounded::<Job>(1);
+        let c = counters();
+        let reply = admit("{not json", &tx, &c, Duration::from_millis(10));
+        assert_eq!(reply.id, 0);
+        assert_eq!(error_kind_of(&reply), error_kind::BAD_REQUEST);
+        assert_eq!(c.errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn full_queue_is_answered_with_overloaded() {
+        let (tx, _rx) = channel::bounded::<Job>(1);
+        let (dummy_tx, _dummy_rx) = channel::bounded(1);
+        assert!(tx
+            .try_send(Job {
+                envelope: RequestEnvelope {
+                    id: 1,
+                    request: Request::Stats,
+                },
+                reply: dummy_tx,
+            })
+            .is_ok());
+        let c = counters();
+        let reply = admit(&stats_line(7), &tx, &c, Duration::from_millis(10));
+        assert_eq!(reply.id, 7, "overload reply still echoes the id");
+        assert_eq!(error_kind_of(&reply), error_kind::OVERLOADED);
+        assert_eq!(c.overloaded.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn admitted_but_unanswered_request_times_out() {
+        let (tx, rx) = channel::bounded::<Job>(1);
+        let c = counters();
+        // No worker drains `rx`, so the reply never comes.
+        let reply = admit(&stats_line(3), &tx, &c, Duration::from_millis(20));
+        assert_eq!(reply.id, 3);
+        assert_eq!(error_kind_of(&reply), error_kind::TIMEOUT);
+        assert_eq!(c.timeouts.load(Ordering::Relaxed), 1);
+        assert_eq!(rx.len(), 1, "the job itself was admitted");
+    }
+
+    #[test]
+    fn disconnected_queue_means_shutting_down() {
+        let (tx, rx) = channel::bounded::<Job>(1);
+        drop(rx);
+        let c = counters();
+        let reply = admit(&stats_line(5), &tx, &c, Duration::from_millis(10));
+        assert_eq!(reply.id, 5);
+        assert_eq!(error_kind_of(&reply), error_kind::SHUTTING_DOWN);
+    }
+}

@@ -1,0 +1,298 @@
+//! Integration tests: a real daemon on a loopback socket, exercised by
+//! blocking clients over the wire.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cbes_cluster::load::LoadState;
+use cbes_cluster::presets::two_switch_demo;
+use cbes_cluster::NodeId;
+use cbes_core::mapping::Mapping;
+use cbes_core::monitor::ForecastKind;
+use cbes_core::CbesService;
+use cbes_server::protocol::error_kind;
+use cbes_server::{Client, Server, ServerConfig};
+use cbes_trace::{AppProfile, MessageGroup, ProcessProfile};
+
+fn ring_profile(name: &str, procs: usize) -> AppProfile {
+    let mk = |rank: usize| ProcessProfile {
+        rank,
+        x: 5.0,
+        o: 0.2,
+        b: 0.5,
+        sends: vec![MessageGroup {
+            peer: (rank + 1) % procs,
+            bytes: 8192,
+            count: 50,
+        }],
+        recvs: vec![MessageGroup {
+            peer: (rank + procs - 1) % procs,
+            bytes: 8192,
+            count: 50,
+        }],
+        profile_speed: 1.0,
+        lambda: 1.0,
+    };
+    AppProfile {
+        name: name.to_string(),
+        procs: (0..procs).map(mk).collect(),
+        arch_ratios: BTreeMap::new(),
+    }
+}
+
+fn demo_server(workers: usize) -> (cbes_server::ServerHandle, Arc<CbesService>) {
+    let service = Arc::new(CbesService::self_calibrated(
+        Arc::new(two_switch_demo()),
+        ForecastKind::LastValue,
+    ));
+    let handle = Server::start(
+        service.clone(),
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    (handle, service)
+}
+
+fn m(ids: &[u32]) -> Mapping {
+    Mapping::new(ids.iter().map(|&i| NodeId(i)).collect())
+}
+
+#[test]
+fn full_request_cycle_over_the_wire() {
+    let (handle, _service) = demo_server(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    client
+        .register_profile(ring_profile("ring", 2))
+        .expect("register");
+
+    let (epoch, preds) = client
+        .compare("ring", &[m(&[0, 1]), m(&[0, 4])])
+        .expect("compare");
+    assert_eq!(epoch, 0, "no load observed yet");
+    assert_eq!(preds.len(), 2);
+    assert!(
+        preds[0].time < preds[1].time,
+        "same-switch mapping must be predicted faster"
+    );
+
+    let (_, index, best) = client
+        .best_of("ring", &[m(&[0, 4]), m(&[0, 1])])
+        .expect("best_of");
+    assert_eq!(index, 1);
+    assert!(best.time > 0.0);
+
+    // A monitoring sweep bumps the epoch and shifts predictions.
+    let mut load = LoadState::idle(8);
+    load.set_cpu_avail(NodeId(0), 0.25);
+    let epoch = client.observe_load(&load).expect("observe");
+    assert_eq!(epoch, 1);
+    let (epoch2, loaded) = client.compare("ring", &[m(&[0, 1])]).expect("compare");
+    assert_eq!(epoch2, 1);
+    assert!(
+        loaded[0].time > preds[0].time,
+        "a loaded node must slow the prediction"
+    );
+
+    // Server-side scheduling over the whole pool avoids the loaded node.
+    let pool: Vec<u32> = (0..8).collect();
+    let (_, mapping, predicted) = client.schedule("ring", &pool, 0, 7).expect("schedule");
+    assert_eq!(mapping.len(), 2);
+    assert!(predicted > 0.0);
+    assert!(
+        !mapping.as_slice().contains(&NodeId(0)),
+        "scheduler should avoid the loaded node, got {mapping}"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.served >= 6);
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.profiles, 1);
+    assert_eq!(stats.workers, 2);
+
+    client.shutdown().expect("shutdown ack");
+    let (served, errors) = handle.join();
+    assert!(served >= 7);
+    assert_eq!(errors, 0, "no request in this test should error");
+}
+
+#[test]
+fn service_errors_come_back_typed() {
+    let (handle, _service) = demo_server(1);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .register_profile(ring_profile("ring", 2))
+        .expect("register");
+
+    // Unknown application.
+    match client.compare("nope", &[m(&[0, 1])]) {
+        Err(cbes_server::client::ClientError::Server { kind, message }) => {
+            assert_eq!(kind, error_kind::SERVICE);
+            assert!(message.contains("nope"), "{message}");
+        }
+        other => panic!("expected a service error, got {other:?}"),
+    }
+
+    // Oversubscription is rejected at the service boundary: node 0 is a
+    // single-CPU Alpha, so two ranks on it are refused.
+    match client.compare("ring", &[m(&[0, 0])]) {
+        Err(cbes_server::client::ClientError::Server { kind, message }) => {
+            assert_eq!(kind, error_kind::SERVICE);
+            assert!(message.contains("n0"), "{message}");
+        }
+        other => panic!("expected an oversubscription error, got {other:?}"),
+    }
+
+    // A short load sweep is refused without bumping the epoch.
+    let short = LoadState::idle(3);
+    assert!(client.observe_load(&short).is_err());
+    let (epoch, _) = client.compare("ring", &[m(&[0, 1])]).expect("compare");
+    assert_eq!(epoch, 0, "rejected sweep must not bump the epoch");
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn malformed_lines_get_bad_request_with_id_zero() {
+    let (handle, _service) = demo_server(1);
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    writer.write_all(b"this is not json\n").expect("write");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"id\":0"), "{line}");
+    assert!(line.contains(error_kind::BAD_REQUEST), "{line}");
+
+    handle.shutdown_and_join();
+}
+
+/// Satellite requirement: N threads issuing `Compare` against the same
+/// snapshot epoch receive bit-identical predictions, and an `ObserveLoad`
+/// between epochs changes them deterministically.
+#[test]
+fn concurrent_compares_are_bit_identical_within_an_epoch() {
+    let (handle, service) = demo_server(4);
+    let addr = handle.addr();
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .register_profile(ring_profile("ring", 4))
+            .expect("register");
+    }
+    let mappings = [m(&[0, 1, 2, 3]), m(&[0, 4, 1, 5]), m(&[4, 5, 6, 7])];
+
+    let collect = |expect_epoch: u64| -> Vec<Vec<u64>> {
+        let results: Vec<(u64, Vec<u64>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let mappings = &mappings;
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let (epoch, preds) = client.compare("ring", mappings).expect("compare");
+                        let bits: Vec<u64> = preds.iter().map(|p| p.time.to_bits()).collect();
+                        (epoch, bits)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        results
+            .into_iter()
+            .map(|(epoch, bits)| {
+                assert_eq!(epoch, expect_epoch, "all threads see the same epoch");
+                bits
+            })
+            .collect()
+    };
+
+    let epoch0: Vec<Vec<u64>> = collect(0);
+    for bits in &epoch0[1..] {
+        assert_eq!(
+            bits, &epoch0[0],
+            "predictions within one epoch must be bit-identical"
+        );
+    }
+
+    // Observe load: the epoch advances and predictions change — the same
+    // way for every thread.
+    let mut load = LoadState::idle(8);
+    load.set_cpu_avail(NodeId(0), 0.4);
+    load.set_cpu_avail(NodeId(1), 0.6);
+    assert_eq!(service.observe_load(&load).expect("sweep"), 1);
+
+    let epoch1: Vec<Vec<u64>> = collect(1);
+    for bits in &epoch1[1..] {
+        assert_eq!(bits, &epoch1[0], "epoch 1 must also be deterministic");
+    }
+    assert_ne!(
+        epoch0[0], epoch1[0],
+        "the load observation must change predictions"
+    );
+    // The idle-node mapping is untouched by load on nodes 0/1.
+    assert_eq!(
+        epoch0[0][2], epoch1[0][2],
+        "mapping on idle nodes must be unaffected"
+    );
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_drains_and_answers_every_request() {
+    let (handle, _service) = demo_server(2);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .register_profile(ring_profile("ring", 2))
+        .expect("register");
+
+    // Issue a burst from several threads, then shut down; every request
+    // issued before the drain must still get exactly one reply.
+    let answered: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut ok = 0usize;
+                    for _ in 0..25 {
+                        match client.compare("ring", &[m(&[0, 1])]) {
+                            Ok(_) => ok += 1,
+                            Err(e) => panic!("pre-shutdown request failed: {e}"),
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(answered, 100);
+
+    client.shutdown().expect("shutdown ack");
+    let (served, _errors) = handle.join();
+    assert!(
+        served >= 102,
+        "all {answered} compares + register + shutdown"
+    );
+
+    // Connections after the drain are refused or closed immediately.
+    std::thread::sleep(Duration::from_millis(50));
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(stream) => {
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).unwrap_or(0);
+            assert_eq!(n, 0, "post-shutdown connection must be closed, got {line}");
+        }
+    }
+}

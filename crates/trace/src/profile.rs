@@ -288,7 +288,14 @@ mod merge_tests {
         assert!((p.x - 3.0).abs() < 1e-12);
         assert!((p.b - 0.75).abs() < 1e-12);
         // Same (peer, size) groups merge: 5 + 5 messages.
-        assert_eq!(p.sends, vec![MessageGroup { peer: 1, bytes: 64, count: 10 }]);
+        assert_eq!(
+            p.sends,
+            vec![MessageGroup {
+                peer: 1,
+                bytes: 64,
+                count: 10
+            }]
+        );
         // Θ = 0.5/1.0 + 0.25/0.5 = 1.0; λ = 0.75 / 1.0.
         assert!((p.lambda - 0.75).abs() < 1e-12);
     }

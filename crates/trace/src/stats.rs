@@ -136,22 +136,54 @@ mod tests {
     fn sample() -> Trace {
         let mut r0 = RankTrace::new(0, NodeId(0));
         r0.events = vec![
-            TraceEvent::Compute { start: 0.0, dur: 6.0 },
-            TraceEvent::Send { t: 6.0, to: 1, bytes: 1000 },
-            TraceEvent::Send { t: 6.0, to: 1, bytes: 1000 },
-            TraceEvent::Send { t: 6.0, to: 2, bytes: 500 },
+            TraceEvent::Compute {
+                start: 0.0,
+                dur: 6.0,
+            },
+            TraceEvent::Send {
+                t: 6.0,
+                to: 1,
+                bytes: 1000,
+            },
+            TraceEvent::Send {
+                t: 6.0,
+                to: 1,
+                bytes: 1000,
+            },
+            TraceEvent::Send {
+                t: 6.0,
+                to: 2,
+                bytes: 500,
+            },
         ];
         r0.end = 6.1;
         let mut r1 = RankTrace::new(1, NodeId(1));
         r1.events = vec![
-            TraceEvent::Compute { start: 0.0, dur: 2.0 },
-            TraceEvent::Blocked { start: 2.0, dur: 4.0 },
-            TraceEvent::Recv { t: 6.0, from: 0, bytes: 1000 },
-            TraceEvent::Recv { t: 6.0, from: 0, bytes: 1000 },
+            TraceEvent::Compute {
+                start: 0.0,
+                dur: 2.0,
+            },
+            TraceEvent::Blocked {
+                start: 2.0,
+                dur: 4.0,
+            },
+            TraceEvent::Recv {
+                t: 6.0,
+                from: 0,
+                bytes: 1000,
+            },
+            TraceEvent::Recv {
+                t: 6.0,
+                from: 0,
+                bytes: 1000,
+            },
         ];
         r1.end = 6.0;
         let mut r2 = RankTrace::new(2, NodeId(2));
-        r2.events = vec![TraceEvent::Compute { start: 0.0, dur: 3.0 }];
+        r2.events = vec![TraceEvent::Compute {
+            start: 0.0,
+            dur: 3.0,
+        }];
         r2.end = 3.0;
         Trace {
             ranks: vec![r0, r1, r2],

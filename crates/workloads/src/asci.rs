@@ -171,8 +171,22 @@ pub fn irregular(n: usize, seed: u64) -> Workload {
             // symmetric exchange to avoid duplicate postings.
             if r < partner {
                 let bytes = 256 + (h(r as u64 ^ it, partner as u64) % 8192);
-                p.push(r, Op::SendRecv { to: partner, bytes, from: partner });
-                p.push(partner, Op::SendRecv { to: r, bytes, from: r });
+                p.push(
+                    r,
+                    Op::SendRecv {
+                        to: partner,
+                        bytes,
+                        from: partner,
+                    },
+                );
+                p.push(
+                    partner,
+                    Op::SendRecv {
+                        to: r,
+                        bytes,
+                        from: r,
+                    },
+                );
             }
         }
         if it % 6 == 5 {
@@ -215,13 +229,7 @@ mod tests {
 
     #[test]
     fn all_asci_codes_complete() {
-        for w in [
-            sweep3d(6),
-            smg2000(6, 12),
-            samrai(6),
-            towhee(6),
-            aztec(6),
-        ] {
+        for w in [sweep3d(6), smg2000(6, 12), samrai(6), towhee(6), aztec(6)] {
             assert!(run(&w).wall_time > 0.0, "{}", w.name);
         }
     }

@@ -52,14 +52,28 @@ pub fn halo2d(prog: &mut Program, px: usize, py: usize, bytes: u64) {
             let east = (x + 1 < px).then(|| at(x + 1, y));
             let west = (x > 0).then(|| at(x - 1, y));
             match (east, west) {
-                (Some(e), Some(w)) => prog.push(r, Op::SendRecv { to: e, bytes, from: w }),
+                (Some(e), Some(w)) => prog.push(
+                    r,
+                    Op::SendRecv {
+                        to: e,
+                        bytes,
+                        from: w,
+                    },
+                ),
                 (Some(e), None) => prog.push(r, Op::Send { to: e, bytes }),
                 (None, Some(w)) => prog.push(r, Op::Recv { from: w }),
                 (None, None) => {}
             }
             // Reverse direction.
             match (west, east) {
-                (Some(w), Some(e)) => prog.push(r, Op::SendRecv { to: w, bytes, from: e }),
+                (Some(w), Some(e)) => prog.push(
+                    r,
+                    Op::SendRecv {
+                        to: w,
+                        bytes,
+                        from: e,
+                    },
+                ),
                 (Some(w), None) => prog.push(r, Op::Send { to: w, bytes }),
                 (None, Some(e)) => prog.push(r, Op::Recv { from: e }),
                 (None, None) => {}
@@ -72,13 +86,27 @@ pub fn halo2d(prog: &mut Program, px: usize, py: usize, bytes: u64) {
             let north = (y + 1 < py).then(|| at(x, y + 1));
             let south = (y > 0).then(|| at(x, y - 1));
             match (north, south) {
-                (Some(nn), Some(s)) => prog.push(r, Op::SendRecv { to: nn, bytes, from: s }),
+                (Some(nn), Some(s)) => prog.push(
+                    r,
+                    Op::SendRecv {
+                        to: nn,
+                        bytes,
+                        from: s,
+                    },
+                ),
                 (Some(nn), None) => prog.push(r, Op::Send { to: nn, bytes }),
                 (None, Some(s)) => prog.push(r, Op::Recv { from: s }),
                 (None, None) => {}
             }
             match (south, north) {
-                (Some(s), Some(nn)) => prog.push(r, Op::SendRecv { to: s, bytes, from: nn }),
+                (Some(s), Some(nn)) => prog.push(
+                    r,
+                    Op::SendRecv {
+                        to: s,
+                        bytes,
+                        from: nn,
+                    },
+                ),
                 (Some(s), None) => prog.push(r, Op::Send { to: s, bytes }),
                 (None, Some(nn)) => prog.push(r, Op::Recv { from: nn }),
                 (None, None) => {}
@@ -113,9 +141,20 @@ pub fn bcast(prog: &mut Program, root: usize, bytes: u64) {
         for v in 0..n {
             let r = abs(v);
             if v < mask && v + mask < n {
-                prog.push(r, Op::Send { to: abs(v + mask), bytes });
+                prog.push(
+                    r,
+                    Op::Send {
+                        to: abs(v + mask),
+                        bytes,
+                    },
+                );
             } else if v >= mask && v < 2 * mask {
-                prog.push(r, Op::Recv { from: abs(v - mask) });
+                prog.push(
+                    r,
+                    Op::Recv {
+                        from: abs(v - mask),
+                    },
+                );
             }
         }
         mask <<= 1;
@@ -139,9 +178,20 @@ pub fn reduce(prog: &mut Program, root: usize, bytes: u64) {
         for v in 0..n {
             let r = abs(v);
             if v < mask && v + mask < n {
-                prog.push(r, Op::Recv { from: abs(v + mask) });
+                prog.push(
+                    r,
+                    Op::Recv {
+                        from: abs(v + mask),
+                    },
+                );
             } else if v >= mask && v < 2 * mask {
-                prog.push(r, Op::Send { to: abs(v - mask), bytes });
+                prog.push(
+                    r,
+                    Op::Send {
+                        to: abs(v - mask),
+                        bytes,
+                    },
+                );
             }
         }
         mask >>= 1;
@@ -230,10 +280,7 @@ mod tests {
                 bcast(&mut p, root, 512);
                 // Every non-root rank receives exactly once.
                 for (r, ops) in p.procs.iter().enumerate() {
-                    let recvs = ops
-                        .iter()
-                        .filter(|o| matches!(o, Op::Recv { .. }))
-                        .count();
+                    let recvs = ops.iter().filter(|o| matches!(o, Op::Recv { .. })).count();
                     assert_eq!(recvs, usize::from(r != root), "n={n} root={root} r={r}");
                 }
                 assert!(run(&p) > 0.0, "n={n} root={root}");

@@ -28,8 +28,20 @@ impl Default for SuiteParams {
 /// The names [`by_name`] understands.
 pub fn names() -> &'static [&'static str] {
     &[
-        "is", "ep", "cg", "mg", "sp", "bt", "lu", "hpl", "sweep3d", "smg2000", "samrai",
-        "towhee", "aztec", "irregular",
+        "is",
+        "ep",
+        "cg",
+        "mg",
+        "sp",
+        "bt",
+        "lu",
+        "hpl",
+        "sweep3d",
+        "smg2000",
+        "samrai",
+        "towhee",
+        "aztec",
+        "irregular",
     ]
 }
 
@@ -98,8 +110,22 @@ mod tests {
 
     #[test]
     fn hpl_uses_size_parameter() {
-        let small = by_name("hpl", SuiteParams { size: 500, ..Default::default() }).unwrap();
-        let big = by_name("hpl", SuiteParams { size: 10_000, ..Default::default() }).unwrap();
+        let small = by_name(
+            "hpl",
+            SuiteParams {
+                size: 500,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let big = by_name(
+            "hpl",
+            SuiteParams {
+                size: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_ne!(small.name, big.name);
     }
 }

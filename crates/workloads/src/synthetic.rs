@@ -87,7 +87,12 @@ impl SyntheticSpec {
                         }
                         for r in 0..n {
                             for _ in 0..self.msgs_per_iter {
-                                p.push(r, Op::Recv { from: (r + n - 1) % n });
+                                p.push(
+                                    r,
+                                    Op::Recv {
+                                        from: (r + n - 1) % n,
+                                    },
+                                );
                             }
                         }
                     } else if self.comp_per_iter > 0.0 {
@@ -138,7 +143,11 @@ impl SyntheticSpec {
             "synth.{:?}.n{}.i{}.m{}x{}.ov{:.2}",
             self.pattern, n, self.iters, self.msgs_per_iter, self.msg_bytes, overlap
         );
-        Workload::new(name, p, "configurable synthetic benchmark (paper §5 phase 1)")
+        Workload::new(
+            name,
+            p,
+            "configurable synthetic benchmark (paper §5 phase 1)",
+        )
     }
 }
 
@@ -167,7 +176,11 @@ mod tests {
 
     #[test]
     fn all_patterns_complete() {
-        for pattern in [SynthPattern::Ring, SynthPattern::Pairs, SynthPattern::AllToAll] {
+        for pattern in [
+            SynthPattern::Ring,
+            SynthPattern::Pairs,
+            SynthPattern::AllToAll,
+        ] {
             let spec = SyntheticSpec {
                 pattern,
                 iters: 3,
@@ -204,8 +217,14 @@ mod tests {
             msg_bytes: 8 * 1024,
             ..SyntheticSpec::default()
         };
-        let exposed = wall(&SyntheticSpec { overlap: 0.0, ..base });
-        let hidden = wall(&SyntheticSpec { overlap: 1.0, ..base });
+        let exposed = wall(&SyntheticSpec {
+            overlap: 0.0,
+            ..base
+        });
+        let hidden = wall(&SyntheticSpec {
+            overlap: 1.0,
+            ..base
+        });
         assert!(
             hidden < exposed * 0.99,
             "overlap should hide communication: {hidden} !< {exposed}"

@@ -15,8 +15,16 @@ fn main() {
     let spec = ClusterSpec {
         name: "two-site".into(),
         switches: vec![
-            SwitchSpec { ports: 24, hop_latency: 300e-6, label: "site-A core".into() },
-            SwitchSpec { ports: 24, hop_latency: 450e-6, label: "site-B core".into() },
+            SwitchSpec {
+                ports: 24,
+                hop_latency: 300e-6,
+                label: "site-A core".into(),
+            },
+            SwitchSpec {
+                ports: 24,
+                hop_latency: 450e-6,
+                label: "site-B core".into(),
+            },
         ],
         links: vec![LinkSpec {
             a: 0,

@@ -55,8 +55,7 @@ fn main() {
         .links()
         .iter()
         .position(|l| {
-            (l.a == SwitchId(0) && l.b == SwitchId(3))
-                || (l.a == SwitchId(3) && l.b == SwitchId(0))
+            (l.a == SwitchId(0) && l.b == SwitchId(3)) || (l.a == SwitchId(3) && l.b == SwitchId(0))
         })
         .expect("preset has a federation link") as u32;
     let describe = |name: &str, m: &Mapping| {

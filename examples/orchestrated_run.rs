@@ -15,7 +15,10 @@ fn main() {
 
     // A four-phase LU-like application (remap points between phases).
     let phase = npb::lu(8, NpbClass::S).program;
-    let app = PhasedApp::new("lu.4phase", vec![phase.clone(), phase.clone(), phase.clone(), phase]);
+    let app = PhasedApp::new(
+        "lu.4phase",
+        vec![phase.clone(), phase.clone(), phase.clone(), phase],
+    );
 
     // Candidate pool: Alphas + Intels.
     let alphas = cluster.nodes_by_arch(Architecture::Alpha);

@@ -64,13 +64,8 @@ fn main() {
     }
 
     // Per-segment profiles (LAM/MPI phase markers).
-    let segments = extract_segment_profiles(
-        "two-phase",
-        &run.trace,
-        &cluster,
-        &prof_nodes,
-        &calib.model,
-    );
+    let segments =
+        extract_segment_profiles("two-phase", &run.trace, &cluster, &prof_nodes, &calib.model);
     println!("\nper-segment character:");
     for (id, seg) in &segments {
         println!(
@@ -92,7 +87,11 @@ fn main() {
             cost.r,
             cost.c,
             cost.total(),
-            if rank == pred.bottleneck { "   <- bottleneck i_M" } else { "" }
+            if rank == pred.bottleneck {
+                "   <- bottleneck i_M"
+            } else {
+                ""
+            }
         );
     }
     let measured = simulate(

@@ -34,7 +34,8 @@ fn main() {
         &SimConfig::default().with_seed(7),
     )
     .expect("profiling run");
-    let profile = cbes::trace::extract_profile(&app.name, &run.trace, &cluster, &alphas, &calib.model);
+    let profile =
+        cbes::trace::extract_profile(&app.name, &run.trace, &cluster, &alphas, &calib.model);
     println!(
         "profiled `{}`: {} processes, {:.0}% compute / {:.0}% communication, wall {:.2}s",
         profile.name,
@@ -64,9 +65,15 @@ fn main() {
     let random = rs.schedule(&request).expect("random mapping");
     let idle = LoadState::idle(cluster.len());
     let measure = |m: &Mapping, seed| {
-        simulate(&cluster, &app.program, m.as_slice(), &idle, &SimConfig::default().with_seed(seed))
-            .expect("measured run")
-            .wall_time
+        simulate(
+            &cluster,
+            &app.program,
+            m.as_slice(),
+            &idle,
+            &SimConfig::default().with_seed(seed),
+        )
+        .expect("measured run")
+        .wall_time
     };
     let cs_time = measure(&result.mapping, 100);
     let rs_time = measure(&random.mapping, 101);

@@ -69,7 +69,10 @@ fn main() {
 
     // Decide at several progress points.
     let analysis = RemapAnalysis::default();
-    println!("\nremap decision vs progress (migration cost model: {:?}):", analysis.cost);
+    println!(
+        "\nremap decision vs progress (migration cost model: {:?}):",
+        analysis.cost
+    );
     for progress in [0.1, 0.5, 0.9, 0.99] {
         let decision = analysis.decide(&ev, &initial.mapping, &fresh.mapping, progress);
         let verdict = match &decision {

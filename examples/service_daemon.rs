@@ -1,0 +1,95 @@
+//! The serving layer end to end, in one process: start the daemon, feed
+//! it a real LU profile, fire 100 concurrent `Compare` requests over
+//! loopback sockets, and read the counters back.
+//!
+//! ```text
+//! cargo run --release --example service_daemon
+//! ```
+
+use std::sync::Arc;
+
+use cbes::prelude::*;
+use cbes::server::{Client, Server, ServerConfig};
+
+fn main() {
+    // ── 1. Stand up the service: demo cluster, calibrated latency model,
+    //       adaptive load forecasting — shared behind an Arc.
+    let cluster = Arc::new(presets::two_switch_demo());
+    let calib = Calibrator::default().calibrate(&cluster);
+    let service = Arc::new(CbesService::new(
+        cluster.clone(),
+        Arc::new(calib.model.clone()),
+        cbes::core::monitor::ForecastKind::Adaptive(4),
+    ));
+    let handle = Server::start(
+        service,
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    println!("daemon on {addr} over `{}`", cluster.name());
+
+    // ── 2. Profile LU once and register it over the wire, exactly as an
+    //       external profiling agent would.
+    let app = npb::lu(4, NpbClass::S);
+    let prof: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let run = simulate(
+        &cluster,
+        &app.program,
+        &prof,
+        &LoadState::idle(cluster.len()),
+        &SimConfig::default().with_seed(11),
+    )
+    .expect("profiling run");
+    let profile = extract_profile(&app.name, &run.trace, &cluster, &prof, &calib.model);
+    let mut client = Client::connect(addr).expect("connect");
+    client.register_profile(profile).expect("register");
+    println!("registered `{}`", app.name);
+
+    // ── 3. 100 concurrent Compare requests from 10 client threads, all
+    //       against the same snapshot epoch.
+    let candidates = [
+        Mapping::new(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
+        Mapping::new(vec![NodeId(0), NodeId(4), NodeId(1), NodeId(5)]),
+        Mapping::new(vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)]),
+    ];
+    let name = &app.name;
+    let best_counts: Vec<usize> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..10)
+            .map(|_| {
+                let candidates = &candidates;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut best = 0usize;
+                    for _ in 0..10 {
+                        let (_, index, _) = client.best_of(name, candidates).expect("best_of");
+                        best = index;
+                    }
+                    best
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    assert!(
+        best_counts.iter().all(|&b| b == best_counts[0]),
+        "one epoch, one winner"
+    );
+    println!(
+        "100 concurrent comparisons agree: candidate #{} ({}) is fastest",
+        best_counts[0], candidates[best_counts[0]]
+    );
+
+    // ── 4. Counters, then a clean drain.
+    let stats = client.stats().expect("stats");
+    println!(
+        "server counters: {} served, {} errors, {} connections, epoch {}",
+        stats.served, stats.errors, stats.connections, stats.epoch
+    );
+    client.shutdown().expect("shutdown ack");
+    let (served, errors) = handle.join();
+    println!("drained: {served} requests served, {errors} errors");
+}

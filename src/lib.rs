@@ -60,6 +60,7 @@ pub use cbes_mpisim as mpisim;
 pub use cbes_netmodel as netmodel;
 pub use cbes_runtime as runtime;
 pub use cbes_sched as sched;
+pub use cbes_server as server;
 pub use cbes_trace as trace;
 pub use cbes_workloads as workloads;
 
@@ -84,6 +85,7 @@ pub mod prelude {
         model::LatencyModel,
         LoadAdjuster,
     };
+    pub use cbes_runtime::{Orchestrator, PhasedApp, RunReport, RuntimeConfig};
     pub use cbes_sched::{
         genetic::GeneticScheduler,
         greedy::GreedyScheduler,
@@ -92,7 +94,6 @@ pub mod prelude {
         sa::{SaConfig, SaScheduler},
         ScheduleRequest, ScheduleResult, Scheduler,
     };
-    pub use cbes_runtime::{Orchestrator, PhasedApp, RunReport, RuntimeConfig};
     pub use cbes_trace::{extract_profile, AppProfile, ProcessProfile, Trace};
     pub use cbes_workloads::{npb, npb::NpbClass, Workload};
 }

@@ -85,11 +85,11 @@ fn pipeline_scales_to_centurion() {
 /// The service façade ties registry, monitor and evaluation together.
 #[test]
 fn service_request_flow() {
-    let cluster = cbes::cluster::presets::two_switch_demo();
+    let cluster = std::sync::Arc::new(cbes::cluster::presets::two_switch_demo());
     let calib = Calibrator::default().calibrate(&cluster);
-    let mut service = CbesService::new(
-        &cluster,
-        &calib.model,
+    let service = CbesService::new(
+        cluster.clone(),
+        std::sync::Arc::new(calib.model.clone()),
         cbes::core::monitor::ForecastKind::Adaptive(4),
     );
 
@@ -121,7 +121,7 @@ fn service_request_flow() {
     // Loading a node steers the service away from it.
     let mut measured = LoadState::idle(cluster.len());
     measured.set_cpu_avail(NodeId(0), 0.3);
-    service.observe_load(&measured);
+    service.observe_load(&measured).expect("full-arity sweep");
     let alt = Mapping::new(vec![NodeId(1), NodeId(2), NodeId(3), NodeId(0)]);
     let preds = service.compare(&app.name, &[near, alt]).expect("compare");
     assert!(

@@ -52,8 +52,7 @@ fn self_prediction_is_tight() {
     ] {
         let profile = profile_of(&bed, &w, &alphas, seed);
         let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
-        let predicted =
-            Evaluator::new(&profile, &snap).predict_time(&Mapping::new(alphas.clone()));
+        let predicted = Evaluator::new(&profile, &snap).predict_time(&Mapping::new(alphas.clone()));
         let measured = measure(
             &bed,
             &w,
@@ -76,8 +75,7 @@ fn cross_mapping_prediction_is_sane() {
     for (w, seed) in [(npb::lu(8, NpbClass::S), 21), (npb::sp(8, NpbClass::S), 22)] {
         let profile = profile_of(&bed, &w, &alphas, seed);
         let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
-        let predicted =
-            Evaluator::new(&profile, &snap).predict_time(&Mapping::new(sparcs.clone()));
+        let predicted = Evaluator::new(&profile, &snap).predict_time(&Mapping::new(sparcs.clone()));
         let measured = measure(
             &bed,
             &w,
@@ -88,9 +86,12 @@ fn cross_mapping_prediction_is_sane() {
         let err = (predicted - measured).abs() / measured;
         assert!(err < 0.12, "{}: cross-mapping error {err}", w.name);
         // The speed change itself must be reflected: SPARCs are ~35% slower.
-        let self_pred =
-            Evaluator::new(&profile, &snap).predict_time(&Mapping::new(alphas.clone()));
-        assert!(predicted > self_pred * 1.2, "{}: speed shift missing", w.name);
+        let self_pred = Evaluator::new(&profile, &snap).predict_time(&Mapping::new(alphas.clone()));
+        assert!(
+            predicted > self_pred * 1.2,
+            "{}: speed shift missing",
+            w.name
+        );
     }
 }
 

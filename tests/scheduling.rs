@@ -77,7 +77,9 @@ fn cs_beats_ncs_via_communication_alone() {
     let snap = SystemSnapshot::no_load(&bed.cluster, &bed.model);
     let req = ScheduleRequest::new(&profile, &snap, &sparcs);
 
-    let cs = SaScheduler::new(SaConfig::thorough(1)).schedule(&req).unwrap();
+    let cs = SaScheduler::new(SaConfig::thorough(1))
+        .schedule(&req)
+        .unwrap();
     // NCS cannot separate the compute-identical mappings: average several.
     let ncs_times: Vec<f64> = (0..5)
         .map(|i| {

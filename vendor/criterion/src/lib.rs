@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`: same API shape
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`, `Bencher::iter`), but a
+//! deliberately small wall-clock harness — each benchmark runs for a
+//! bounded time budget and prints a single mean-per-iteration line.
+//! No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    max_iters: u64,
+    budget: Duration,
+    /// (iterations, total elapsed) recorded by the last `iter` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(max_iters: u64, budget: Duration) -> Self {
+        Bencher {
+            max_iters,
+            budget,
+            result: None,
+        }
+    }
+
+    /// Time `routine` repeatedly until the time budget or iteration cap
+    /// is reached (always at least once).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up pass.
+        let _ = routine();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            let _ = std::hint::black_box(routine());
+            iters += 1;
+            if iters >= self.max_iters || start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn report(label: &str, result: Option<(u64, Duration)>) {
+    match result {
+        Some((iters, total)) => {
+            let per_iter = total.as_secs_f64() / iters as f64;
+            let (scaled, unit) = if per_iter >= 1.0 {
+                (per_iter, "s")
+            } else if per_iter >= 1e-3 {
+                (per_iter * 1e3, "ms")
+            } else if per_iter >= 1e-6 {
+                (per_iter * 1e6, "µs")
+            } else {
+                (per_iter * 1e9, "ns")
+            };
+            println!("bench {label:<50} {scaled:>10.3} {unit}/iter ({iters} iters)");
+        }
+        None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.budget);
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Cap the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let max_iters = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(max_iters, self.criterion.budget);
+        f(&mut b);
+        report(&format!("{}/{label}", self.name), b.result);
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Run a plain benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion {
+            sample_size: 5,
+            budget: Duration::from_millis(20),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion {
+            sample_size: 50,
+            budget: Duration::from_secs(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut iters = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &2u64, |b, &two| {
+            b.iter(|| iters += two);
+        });
+        group.finish();
+        // 3 timed + 1 warm-up iterations, each adding two.
+        assert_eq!(iters, 8);
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for `crossbeam`: the two surfaces this workspace uses —
+//! [`scope`] for scoped thread fan-out and [`channel`] for MPMC queues —
+//! implemented over `std::thread::scope` and `Mutex` + `Condvar`.
+
+pub mod channel;
+
+use std::thread;
+
+/// Handle passed to [`scope`] closures; spawns threads that may borrow
+/// from the enclosing scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a thread spawned via [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, returning its result.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope
+    /// handle (crossbeam's signature) so it can spawn nested threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let nested = Scope { inner: self.inner };
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&nested)),
+        }
+    }
+}
+
+/// Run `f` with a [`Scope`]; all spawned threads are joined before this
+/// returns. Matches `crossbeam::scope`'s `Result` signature (a thread
+/// panic surfaces as `Err` after every thread has been joined — here
+/// `std::thread::scope` resumes the panic instead, so `Ok` on return).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partial = vec![0u64; 2];
+        super::scope(|s| {
+            let (a, b) = partial.split_at_mut(1);
+            let d = &data;
+            let ha = s.spawn(move |_| a[0] = d[..2].iter().sum());
+            let hb = s.spawn(move |_| b[0] = d[2..].iter().sum());
+            ha.join().unwrap();
+            hb.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(partial, vec![3, 7]);
+    }
+}

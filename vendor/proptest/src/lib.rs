@@ -1,0 +1,236 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace
+//! uses: the `proptest!` macro over `arg in <numeric range>` strategies,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Cases are drawn from a deterministic RNG seeded by the test name, so
+//! failures reproduce on every run. Rejected cases (`prop_assume!`) are
+//! skipped rather than re-drawn, which for the reject rates in this
+//! workspace (< 5 %) still leaves ample coverage. No shrinking: the
+//! failing case's arguments are printed instead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` was not satisfied; the case is skipped.
+    Reject(String),
+    /// `prop_assert!`/`prop_assert_eq!` failed; the test fails.
+    Fail(String),
+}
+
+/// Per-property state: the deterministic case RNG.
+pub struct TestRunner {
+    rng: StdRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// A runner for the property named `name`.
+    pub fn new(config: &ProptestConfig, name: &str) -> Self {
+        // FNV-1a of the test name: stable seed, distinct streams per test.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+            cases: config.cases,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The case RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Value sources usable on the right of `arg in <strategy>`.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draw one value for the current case.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! range_strategy_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                rand::RngExt::random_range(runner.rng(), self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// The common imports: the macros plus [`ProptestConfig`].
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+     $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::new(&config, concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..runner.cases() {
+                    $( let $arg = $crate::Strategy::new_value(&($strategy), &mut runner); )*
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {}:\n  {}\n  args: {}",
+                                stringify!($name),
+                                case,
+                                msg,
+                                format!(
+                                    concat!($(stringify!($arg), " = {:?}; ",)*),
+                                    $($arg),*
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        fn assume_skips_cases(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert!(a != b, "assume should have filtered {} == {}", a, b);
+        }
+
+        fn float_ranges_hold(x in 0.5f64..2.0) {
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = ProptestConfig::with_cases(8);
+        let mut r1 = crate::TestRunner::new(&cfg, "t");
+        let mut r2 = crate::TestRunner::new(&cfg, "t");
+        for _ in 0..32 {
+            let a = crate::Strategy::new_value(&(0u64..1_000_000), &mut r1);
+            let b = crate::Strategy::new_value(&(0u64..1_000_000), &mut r2);
+            assert_eq!(a, b);
+        }
+    }
+}

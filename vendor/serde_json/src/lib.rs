@@ -1,0 +1,149 @@
+//! Offline stand-in for `serde_json`, backed by the vendored [`serde`]
+//! crate's [`Value`] tree (see `vendor/serde` for why).
+
+pub use serde::value::parse;
+pub use serde::{Error, Number, Value};
+
+/// Serialise any [`serde::Serialize`] type to its value tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_compact_string())
+}
+
+/// Pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_pretty_string())
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&parse(text)?)
+}
+
+/// Build a [`Value`] from JSON-ish syntax.
+///
+/// Supports the shapes the workspace writes: (nested) object literals
+/// with string-literal keys, array literals, `null`, and arbitrary
+/// serialisable expression values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::__json_arr!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => { $crate::Value::Object($crate::__json_obj!([] $($tt)*)) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal object muncher for [`json!`]: accumulates `(key, value)`
+/// pairs, recursing into nested `{...}` / `[...]` values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_obj {
+    ([$($pairs:tt)*]) => { ::std::vec![$($pairs)*] };
+    ([$($pairs:tt)*] $key:literal : null , $($rest:tt)*) => {
+        $crate::__json_obj!([$($pairs)* ($key.to_string(), $crate::Value::Null),] $($rest)*)
+    };
+    ([$($pairs:tt)*] $key:literal : null) => {
+        $crate::__json_obj!([$($pairs)* ($key.to_string(), $crate::Value::Null),])
+    };
+    ([$($pairs:tt)*] $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::__json_obj!([$($pairs)* ($key.to_string(), $crate::json!({ $($inner)* })),] $($rest)*)
+    };
+    ([$($pairs:tt)*] $key:literal : { $($inner:tt)* }) => {
+        $crate::__json_obj!([$($pairs)* ($key.to_string(), $crate::json!({ $($inner)* })),])
+    };
+    ([$($pairs:tt)*] $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::__json_obj!([$($pairs)* ($key.to_string(), $crate::json!([ $($inner)* ])),] $($rest)*)
+    };
+    ([$($pairs:tt)*] $key:literal : [ $($inner:tt)* ]) => {
+        $crate::__json_obj!([$($pairs)* ($key.to_string(), $crate::json!([ $($inner)* ])),])
+    };
+    ([$($pairs:tt)*] $key:literal : $val:expr , $($rest:tt)*) => {
+        $crate::__json_obj!([$($pairs)* ($key.to_string(), $crate::to_value(&$val)),] $($rest)*)
+    };
+    ([$($pairs:tt)*] $key:literal : $val:expr) => {
+        $crate::__json_obj!([$($pairs)* ($key.to_string(), $crate::to_value(&$val)),])
+    };
+}
+
+/// Internal array muncher for [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_arr {
+    ([$($items:tt)*]) => { ::std::vec![$($items)*] };
+    ([$($items:tt)*] null , $($rest:tt)*) => {
+        $crate::__json_arr!([$($items)* $crate::Value::Null,] $($rest)*)
+    };
+    ([$($items:tt)*] null) => {
+        $crate::__json_arr!([$($items)* $crate::Value::Null,])
+    };
+    ([$($items:tt)*] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::__json_arr!([$($items)* $crate::json!({ $($inner)* }),] $($rest)*)
+    };
+    ([$($items:tt)*] { $($inner:tt)* }) => {
+        $crate::__json_arr!([$($items)* $crate::json!({ $($inner)* }),])
+    };
+    ([$($items:tt)*] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::__json_arr!([$($items)* $crate::json!([ $($inner)* ]),] $($rest)*)
+    };
+    ([$($items:tt)*] [ $($inner:tt)* ]) => {
+        $crate::__json_arr!([$($items)* $crate::json!([ $($inner)* ]),])
+    };
+    ([$($items:tt)*] $item:expr , $($rest:tt)*) => {
+        $crate::__json_arr!([$($items)* $crate::to_value(&$item),] $($rest)*)
+    };
+    ([$($items:tt)*] $item:expr) => {
+        $crate::__json_arr!([$($items)* $crate::to_value(&$item),])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let rows = vec![1.5f64, 2.0];
+        let v = json!({ "rows": rows, "label": "x", "n": 3u32, });
+        assert_eq!(
+            v.to_compact_string(),
+            r#"{"rows":[1.5,2.0],"label":"x","n":3}"#
+        );
+    }
+
+    #[test]
+    fn json_macro_arrays_and_scalars() {
+        assert_eq!(json!([1u8, 2u8]).to_compact_string(), "[1,2]");
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!("s").as_str(), Some("s"));
+    }
+
+    #[test]
+    fn json_macro_nests() {
+        fn mean(xs: &[f64]) -> f64 {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+        let xs = [1.0f64, 3.0];
+        let v = json!({
+            "case": format!("LU ({})", 2),
+            "ncs": {"pred": mean(&xs), "flag": null},
+            "list": [ {"a": 1u8}, [2u8, 3u8], mean(&xs) ],
+            "empty": {},
+        });
+        assert_eq!(
+            v.to_compact_string(),
+            r#"{"case":"LU (2)","ncs":{"pred":2.0,"flag":null},"list":[{"a":1},[2,3],2.0],"empty":{}}"#
+        );
+    }
+
+    #[test]
+    fn from_str_to_string_round_trip() {
+        let v: Value = from_str(r#"{"a":1,"b":[true,null]}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"a\": 1"));
+    }
+}
