@@ -3,7 +3,9 @@
 //! sockets, reporting sustained throughput and latency percentiles.
 //!
 //! Acceptance: ≥10k Compare req/s with 8 workers, zero dropped replies,
-//! and a clean drain on `Shutdown`. Artifact: `results/server_loadgen.json`.
+//! non-empty daemon-side latency histograms, and a clean drain on
+//! `Shutdown`. Artifacts: `results/server_loadgen.json` and the headline
+//! `BENCH_server_loadgen.json` at the repo root.
 //!
 //! ```text
 //! cargo run --release --bin server_loadgen [--full] [--runs REQS_PER_CLIENT] [--seed S]
@@ -130,13 +132,37 @@ fn main() {
     let req_per_s = total as f64 / elapsed.as_secs_f64();
     let p50 = percentile(&latencies, 0.50);
     let p90 = percentile(&latencies, 0.90);
+    let p95 = percentile(&latencies, 0.95);
     let p99 = percentile(&latencies, 0.99);
     let max = *latencies.last().expect("at least one request");
 
     // Clean drain: every admitted request must be answered before join
-    // returns.
+    // returns. On the way out, pull the server's own observability
+    // snapshot and check it saw the load we generated.
     let mut control = Client::connect(addr).expect("connect control");
     let stats = control.stats().expect("stats");
+    let snap = control.metrics().expect("metrics");
+    let queue_wait = snap
+        .histograms
+        .get("server.queue_wait_us")
+        .expect("queue-wait histogram");
+    let service_time = snap
+        .histograms
+        .get("server.service_time_us")
+        .expect("service-time histogram");
+    assert!(
+        !queue_wait.is_empty() && !service_time.is_empty(),
+        "daemon histograms must not be empty after {total} requests"
+    );
+    assert!(
+        service_time.count >= total as u64,
+        "service-time samples ({}) must cover the generated load ({total})",
+        service_time.count
+    );
+    assert!(
+        queue_wait.p50() <= queue_wait.p99() && service_time.p50() <= service_time.p99(),
+        "histogram percentiles must be monotone"
+    );
     control.shutdown().expect("shutdown ack");
     let (served, served_errors) = handle.join();
 
@@ -144,8 +170,19 @@ fn main() {
     println!("  throughput       {req_per_s:>10.0} req/s");
     println!("  latency p50      {:>10.1} us", p50.as_secs_f64() * 1e6);
     println!("  latency p90      {:>10.1} us", p90.as_secs_f64() * 1e6);
+    println!("  latency p95      {:>10.1} us", p95.as_secs_f64() * 1e6);
     println!("  latency p99      {:>10.1} us", p99.as_secs_f64() * 1e6);
     println!("  latency max      {:>10.1} us", max.as_secs_f64() * 1e6);
+    println!(
+        "  server svc p50   {:>10} us ({} samples)",
+        service_time.p50(),
+        service_time.count
+    );
+    println!(
+        "  server queue p50 {:>10} us ({} samples)",
+        queue_wait.p50(),
+        queue_wait.count
+    );
     println!("  dropped replies  {dropped:>10}");
     println!("  client errors    {errors:>10}");
     println!(
@@ -167,8 +204,21 @@ fn main() {
             "latency_us": {
                 "p50": p50.as_secs_f64() * 1e6,
                 "p90": p90.as_secs_f64() * 1e6,
+                "p95": p95.as_secs_f64() * 1e6,
                 "p99": p99.as_secs_f64() * 1e6,
                 "max": max.as_secs_f64() * 1e6,
+            },
+            "server_histograms_us": {
+                "queue_wait": {
+                    "count": queue_wait.count,
+                    "p50": queue_wait.p50(),
+                    "p99": queue_wait.p99(),
+                },
+                "service_time": {
+                    "count": service_time.count,
+                    "p50": service_time.p50(),
+                    "p99": service_time.p99(),
+                },
             },
             "dropped_replies": dropped,
             "client_errors": errors,
@@ -180,6 +230,27 @@ fn main() {
             "pass": ok,
         }),
     );
+    // Headline numbers at the repo root, where CI publishes them.
+    let bench = serde_json::json!({
+        "bench": "server_loadgen",
+        "req_per_s": req_per_s,
+        "latency_us": {
+            "p50": p50.as_secs_f64() * 1e6,
+            "p95": p95.as_secs_f64() * 1e6,
+            "p99": p99.as_secs_f64() * 1e6,
+        },
+    });
+    match serde_json::to_string_pretty(&bench) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write("BENCH_server_loadgen.json", s) {
+                eprintln!("warning: cannot write BENCH_server_loadgen.json: {e}");
+            } else {
+                println!("[artifact] BENCH_server_loadgen.json");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise bench summary: {e}"),
+    }
+
     if !ok {
         eprintln!("FAIL: target is >=10k req/s with zero dropped replies");
         std::process::exit(1);

@@ -435,6 +435,131 @@ pub fn serve(parsed: &Parsed) -> Result<String, CliError> {
     ))
 }
 
+/// The `--timeout SECONDS` I/O deadline for client commands; a dead or
+/// wedged daemon then surfaces as an error instead of a hang.
+fn client_timeout(parsed: &Parsed) -> Result<std::time::Duration, CliError> {
+    let secs = parsed.get_parsed("timeout", 10.0f64)?;
+    if !(secs > 0.0 && secs.is_finite()) {
+        return Err(CliError::usage(format!(
+            "--timeout must be a positive number of seconds, got `{secs}`"
+        )));
+    }
+    Ok(std::time::Duration::from_secs_f64(secs))
+}
+
+/// Connect to a daemon with the `--timeout` deadline applied to the
+/// connection attempt and to every read/write on the socket.
+fn connect(parsed: &Parsed, addr: &str) -> Result<cbes_server::Client, CliError> {
+    cbes_server::Client::connect_timeout(addr, client_timeout(parsed)?)
+        .map_err(|e| CliError::domain(format!("cannot reach daemon at {addr}: {e}")))
+}
+
+/// Render label/value rows right-aligned on the label column.
+fn aligned_table(rows: &[(String, String)]) -> String {
+    let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let _ = writeln!(out, "{label:>width$}  {value}");
+    }
+    out
+}
+
+/// Pretty-print a `stats` reply, including the per-action service counts.
+fn stats_table(s: &cbes_server::protocol::StatsReport) -> String {
+    let mut rows: Vec<(String, String)> = vec![
+        ("served".into(), s.served.to_string()),
+        ("errors".into(), s.errors.to_string()),
+        ("overloaded".into(), s.overloaded.to_string()),
+        ("timeouts".into(), s.timeouts.to_string()),
+        ("connections".into(), s.connections.to_string()),
+        ("epoch".into(), s.epoch.to_string()),
+        ("profiles".into(), s.profiles.to_string()),
+        ("observations".into(), s.observations.to_string()),
+        ("workers".into(), s.workers.to_string()),
+        ("queue depth".into(), s.queue_depth.to_string()),
+        ("uptime".into(), format!("{:.1} s", s.uptime_s)),
+    ];
+    for (action, count) in &s.per_action {
+        rows.push((format!("served: {action}"), count.to_string()));
+    }
+    aligned_table(&rows)
+}
+
+/// Summarise a metrics snapshot: counters, gauges, and latency
+/// histograms with their key percentiles (all durations microseconds).
+fn metrics_table(m: &cbes_obs::MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !m.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        let rows: Vec<(String, String)> = m
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_string()))
+            .collect();
+        out.push_str(&aligned_table(&rows));
+    }
+    if !m.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        let rows: Vec<(String, String)> = m
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), format!("{v:.3}")))
+            .collect();
+        out.push_str(&aligned_table(&rows));
+    }
+    if !m.histograms.is_empty() {
+        let _ = writeln!(out, "histograms (us):");
+        let rows: Vec<(String, String)> = m
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let v = if h.is_empty() {
+                    "empty".to_string()
+                } else {
+                    format!(
+                        "count {}  mean {:.0}  p50 {}  p90 {}  p99 {}  max {}",
+                        h.count,
+                        h.mean(),
+                        h.p50(),
+                        h.p90(),
+                        h.p99(),
+                        h.max
+                    )
+                };
+                (k.clone(), v)
+            })
+            .collect();
+        out.push_str(&aligned_table(&rows));
+    }
+    let _ = writeln!(
+        out,
+        "spans: {} buffered, {} dropped",
+        m.spans_buffered, m.spans_dropped
+    );
+    out
+}
+
+/// `cbes metrics <addr>` — fetch a full observability snapshot from a
+/// running daemon and render it as a summary table or raw JSON.
+pub fn metrics(parsed: &Parsed) -> Result<String, CliError> {
+    let addr = parsed.positional0()?;
+    let format = parsed.get("format").unwrap_or("summary");
+    if !matches!(format, "summary" | "json") {
+        return Err(CliError::usage(format!(
+            "bad --format `{format}` (want summary | json)"
+        )));
+    }
+    let mut client = connect(parsed, addr)?;
+    let snap = client
+        .metrics()
+        .map_err(|e| CliError::domain(e.to_string()))?;
+    if format == "json" {
+        Ok(snap.to_json() + "\n")
+    } else {
+        Ok(metrics_table(&snap))
+    }
+}
+
 /// `cbes request <addr> <action>` — issue one request to a running
 /// daemon and print the reply.
 pub fn request(parsed: &Parsed) -> Result<String, CliError> {
@@ -446,27 +571,22 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
         .ok_or_else(|| {
             CliError::usage(
                 "`request` needs an action \
-             (stats | shutdown | register | compare | best-of | schedule | observe)",
+             (stats | metrics | shutdown | register | compare | best-of | schedule | observe)",
             )
         })?;
-    let mut client = cbes_server::Client::connect(addr)
-        .map_err(|e| CliError::domain(format!("cannot reach daemon at {addr}: {e}")))?;
+    let mut client = connect(parsed, addr)?;
     let err = |e: cbes_server::client::ClientError| CliError::domain(e.to_string());
 
     let mut out = String::new();
     match action {
         "stats" => {
             let s = client.stats().map_err(err)?;
-            let _ = writeln!(
-                out,
-                "served {} (errors {}, overloaded {}, timeouts {}) over {} connections",
-                s.served, s.errors, s.overloaded, s.timeouts, s.connections
-            );
-            let _ = writeln!(
-                out,
-                "epoch {}, {} profiles, {} observations, {} workers, queue depth {}",
-                s.epoch, s.profiles, s.observations, s.workers, s.queue_depth
-            );
+            out.push_str(&stats_table(&s));
+        }
+        "metrics" => {
+            let snap = client.metrics().map_err(err)?;
+            out.push_str(&snap.to_json());
+            out.push('\n');
         }
         "shutdown" => {
             client.shutdown().map_err(err)?;
@@ -528,7 +648,8 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
         other => {
             return Err(CliError::usage(format!(
                 "unknown request action `{other}` \
-                 (want stats | shutdown | register | compare | best-of | schedule | observe)"
+                 (want stats | metrics | shutdown | register | compare | best-of \
+                 | schedule | observe)"
             )))
         }
     }
@@ -685,14 +806,59 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("epoch is now 1"), "{out}");
-        let out = request(&parsed(&["request", &addr, "stats"])).unwrap();
-        assert!(out.contains("epoch 1, 1 profiles"), "{out}");
+        let out = request(&parsed(&["request", &addr, "stats", "--timeout", "5"])).unwrap();
+        assert!(out.contains("epoch  1"), "{out}");
+        assert!(out.contains("profiles  1"), "{out}");
+        assert!(out.contains("served: compare  1"), "{out}");
+        assert!(out.contains("uptime"), "{out}");
+        let out = metrics(&parsed(&["metrics", &addr])).unwrap();
+        assert!(out.contains("server.service_time_us"), "{out}");
+        assert!(out.contains("server.action.compare  1"), "{out}");
+        let out = metrics(&parsed(&["metrics", &addr, "--format", "json"])).unwrap();
+        assert!(out.contains("\"server.queue_wait_us\""), "{out}");
         let out = request(&parsed(&["request", &addr, "shutdown"])).unwrap();
         assert!(out.contains("draining"), "{out}");
 
         let summary = server.join().unwrap().unwrap();
         assert!(summary.contains("drained"), "{summary}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn request_times_out_against_an_unresponsive_server() {
+        // A listener that never accepts: the connection sits in the
+        // kernel backlog, the stats request is written, and the reply
+        // never comes. Without an I/O deadline this would hang forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let started = std::time::Instant::now();
+        let err = request(&parsed(&["request", &addr, "stats", "--timeout", "0.3"]))
+            .expect_err("an unanswered request must fail, not hang");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "timed out too slowly: {err}"
+        );
+    }
+
+    #[test]
+    fn nonpositive_timeout_is_a_usage_error() {
+        let err = request(&parsed(&[
+            "request",
+            "127.0.0.1:1",
+            "stats",
+            "--timeout",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--timeout"), "{err}");
+        let err = metrics(&parsed(&["metrics", "127.0.0.1:1", "--timeout", "-1"])).unwrap_err();
+        assert!(err.to_string().contains("--timeout"), "{err}");
+    }
+
+    #[test]
+    fn metrics_rejects_unknown_format() {
+        let err = metrics(&parsed(&["metrics", "127.0.0.1:1", "--format", "xml"])).unwrap_err();
+        assert!(err.to_string().contains("xml"), "{err}");
     }
 
     #[test]

@@ -55,12 +55,15 @@ commands:
       [--forecast last|mean|median|adaptive] [--profiles DIR]
       [--seed N] [--addr-file FILE]
   request <addr> <action>     issue one request to a running daemon
-      stats | shutdown
+      stats | metrics | shutdown
       register --profile FILE
       compare  --app NAME --mappings 0,1;4,5
       best-of  --app NAME --mappings 0,1;4,5
       schedule --app NAME --pool 0,1,.. [--iters N] [--seed N]
       observe  --nodes N --load NODE=AVAIL,..
+      (all request actions accept --timeout SECONDS, default 10)
+  metrics <addr>              fetch and render a daemon's observability
+      snapshot [--format summary|json] [--timeout SECONDS]
 ";
 
 /// Parse and execute an argument vector; returns the output text.
@@ -79,6 +82,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         "analyze" => commands::analyze(&parsed),
         "serve" => commands::serve(&parsed),
         "request" => commands::request(&parsed),
+        "metrics" => commands::metrics(&parsed),
         "help" | "" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),
     }

@@ -81,6 +81,7 @@ impl Monitor {
 
     /// The forecast load state for the next period.
     pub fn forecast(&self) -> LoadState {
+        let _t = cbes_netmodel::forecast::refresh_timer();
         let mut s = LoadState::idle(self.cpu.len());
         for i in 0..self.cpu.len() {
             let id = NodeId(i as u32);

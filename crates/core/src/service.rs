@@ -11,7 +11,7 @@
 //! deterministically across epochs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::ServiceError;
 use crate::eval::{Evaluator, Prediction};
@@ -21,7 +21,32 @@ use crate::registry::ProfileRegistry;
 use crate::snapshot::SystemSnapshot;
 use cbes_cluster::load::LoadState;
 use cbes_cluster::{Cluster, LatencyProvider};
+use cbes_obs::{Counter, Gauge, Histogram, Registry};
 use parking_lot::RwLock;
+
+/// Handles into [`Registry::global`] for the service's hot paths,
+/// resolved once so per-request updates never touch the registry lock.
+struct CoreInstruments {
+    compares: Arc<Counter>,
+    predictions: Arc<Counter>,
+    compare_us: Arc<Histogram>,
+    epoch_publish_us: Arc<Histogram>,
+    epoch: Arc<Gauge>,
+}
+
+fn instruments() -> &'static CoreInstruments {
+    static INSTRUMENTS: OnceLock<CoreInstruments> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
+        let r = Registry::global();
+        CoreInstruments {
+            compares: r.counter("core.compares"),
+            predictions: r.counter("core.predictions"),
+            compare_us: r.histogram("core.compare_us"),
+            epoch_publish_us: r.histogram("core.epoch_publish_us"),
+            epoch: r.gauge("core.epoch"),
+        }
+    })
+}
 
 /// A load forecast stamped with the observation epoch that produced it.
 #[derive(Debug, Clone)]
@@ -107,6 +132,9 @@ impl CbesService {
                 got: measured.len(),
             });
         }
+        let obs = instruments();
+        let _span = Registry::global().span("core.publish_epoch");
+        let publish = obs.epoch_publish_us.start_timer();
         let mut monitor = self.monitor.write();
         monitor.observe(measured);
         let load = monitor.forecast();
@@ -114,6 +142,8 @@ impl CbesService {
         // concurrent observers cannot publish forecasts out of order.
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         *self.cached.write() = Arc::new(EpochLoad { epoch, load });
+        drop(publish);
+        obs.epoch.set(epoch as f64);
         Ok(epoch)
     }
 
@@ -197,9 +227,16 @@ impl CbesService {
             .get(app)
             .ok_or_else(|| ServiceError::UnknownApp(app.to_string()))?;
         self.validate(profile.num_procs(), mappings)?;
+        let obs = instruments();
+        let _span = Registry::global().span("core.evaluate_mapping");
+        let timer = obs.compare_us.start_timer();
         let (epoch, snap) = self.snapshot_stamped();
         let ev = Evaluator::new(&profile, &snap);
-        Ok((epoch, mappings.iter().map(|m| ev.predict(m)).collect()))
+        let predictions: Vec<Prediction> = mappings.iter().map(|m| ev.predict(m)).collect();
+        drop(timer);
+        obs.compares.incr();
+        obs.predictions.add(predictions.len() as u64);
+        Ok((epoch, predictions))
     }
 
     /// The index and prediction of the fastest mapping among candidates.
@@ -358,6 +395,29 @@ mod tests {
             }
         );
         assert_eq!(svc.epoch(), 0, "failed observation must not bump epoch");
+    }
+
+    #[test]
+    fn evaluation_and_epoch_publication_record_into_the_global_registry() {
+        let r = Registry::global();
+        let compares_before = r.counter("core.compares").get();
+        let hist_before = r.histogram("core.compare_us").count();
+        let publishes_before = r.histogram("core.epoch_publish_us").count();
+
+        let svc = demo_service();
+        svc.compare("app", &[m(&[0, 1]), m(&[0, 4])]).unwrap();
+        svc.observe_load(&LoadState::idle(svc.cluster().len()))
+            .unwrap();
+
+        // Other tests in this binary share the global registry, so check
+        // deltas, not absolutes.
+        let snap = r.snapshot();
+        assert!(snap.counters["core.compares"] > compares_before);
+        assert!(snap.counters["core.predictions"] >= 2);
+        assert!(snap.histograms["core.compare_us"].count > hist_before);
+        assert!(snap.histograms["core.epoch_publish_us"].count > publishes_before);
+        assert!(snap.gauges["core.epoch"] >= 1.0);
+        assert!(snap.spans_buffered >= 1, "spans land in the global ring");
     }
 
     #[test]

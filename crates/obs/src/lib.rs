@@ -1,0 +1,34 @@
+//! CBES observability: lock-free metric primitives, latency histograms,
+//! lightweight tracing spans, and a process-wide registry rendering one
+//! JSON snapshot.
+//!
+//! CBES is a run-time service; its value proposition is that mapping
+//! evaluation is cheap enough to call on-line. This crate makes that
+//! claim *measurable* from a live process instead of only from offline
+//! bench harnesses:
+//!
+//! * [`Counter`] / [`Gauge`] — single atomic cells, wait-free to update.
+//! * [`Histogram`] — a log-linear bucket histogram (16 sub-buckets per
+//!   power of two, ≤ 6.25 % relative bucket width) whose `record` is a
+//!   handful of atomic adds. [`HistogramSnapshot`]s are mergeable and
+//!   answer p50/p90/p99 queries.
+//! * [`SpanRing`] / [`SpanGuard`] — tracing spans recording name,
+//!   monotonic start, duration, and parent, drained into a bounded
+//!   in-memory ring with optional JSONL export.
+//! * [`Registry`] — a named collection of all of the above; one
+//!   [`Registry::snapshot`] renders every instrument as a serialisable
+//!   [`MetricsSnapshot`]. [`Registry::global`] is the process-wide
+//!   instance the library crates record into.
+//!
+//! Everything is hand-rolled on `std::sync::atomic` — no registry
+//! dependencies beyond the workspace's vendored stand-ins.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer};
+pub use registry::{MetricsSnapshot, Registry};
+pub use span::{SpanGuard, SpanRecord, SpanRing};

@@ -1,0 +1,228 @@
+//! A named collection of instruments rendering one JSON snapshot.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::span::{SpanGuard, SpanRing};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// Default span-ring capacity for registries.
+const SPAN_CAPACITY: usize = 4096;
+
+/// A registry of named counters, gauges, and histograms plus a span
+/// ring. Instrument lookup takes a short lock and returns an `Arc`;
+/// call sites cache the `Arc` and update it wait-free thereafter.
+///
+/// [`Registry::global`] is the process-wide instance that the library
+/// crates (`cbes-core`, `cbes-netmodel`, ...) record into; servers and
+/// tests may also construct private registries to keep their metrics
+/// isolated per instance.
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    spans: SpanRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with the default span capacity.
+    pub fn new() -> Self {
+        Registry::with_span_capacity(SPAN_CAPACITY)
+    }
+
+    /// An empty registry whose span ring holds `capacity` spans.
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: SpanRing::new(capacity),
+        }
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        self.counters
+            .lock()
+            .entry(name)
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        self.gauges
+            .lock()
+            .entry(name)
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .entry(name)
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// This registry's span ring.
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// Open a span on this registry's ring.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.spans.span(name)
+    }
+
+    /// Render every instrument into one serialisable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+            spans_buffered: self.spans.len() as u64,
+            spans_dropped: self.spans.dropped(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.counters.lock().len())
+            .field("gauges", &self.gauges.lock().len())
+            .field("histograms", &self.histograms.lock().len())
+            .field("spans", &self.spans)
+            .finish()
+    }
+}
+
+/// One point-in-time rendering of a [`Registry`] — the payload of the
+/// server's `Metrics` protocol action.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Spans currently buffered in the ring.
+    pub spans_buffered: u64,
+    /// Spans evicted from the ring since start.
+    pub spans_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fold `other` into `self`: counters add, gauges last-wins,
+    /// histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+        self.spans_buffered += other.spans_buffered;
+        self.spans_dropped += other.spans_dropped;
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot always serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let r = Registry::new();
+        r.counter("requests").add(3);
+        r.counter("requests").add(2);
+        assert_eq!(r.counter("requests").get(), 5);
+        r.gauge("depth").set(7.0);
+        r.histogram("lat").record(10);
+        r.histogram("lat").record(20);
+        let s = r.snapshot();
+        assert_eq!(s.counters["requests"], 5);
+        assert_eq!(s.gauges["depth"], 7.0);
+        assert_eq!(s.histograms["lat"].count, 2);
+    }
+
+    #[test]
+    fn snapshot_serialises_and_roundtrips() {
+        let r = Registry::new();
+        r.counter("a").incr();
+        r.histogram("h").record(42);
+        {
+            let _s = r.span("req");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans_buffered, 1);
+        let back: MetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_namespaced_registries() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("server.served").add(10);
+        b.counter("core.compares").add(4);
+        b.counter("server.served").add(1);
+        a.histogram("lat").record(5);
+        b.histogram("lat").record(500);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["server.served"], 11);
+        assert_eq!(merged.counters["core.compares"], 4);
+        assert_eq!(merged.histograms["lat"].count, 2);
+        assert_eq!(merged.histograms["lat"].min, 5);
+        assert_eq!(merged.histograms["lat"].max, 500);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let c = Registry::global().counter("obs.test.singleton");
+        let before = c.get();
+        Registry::global().counter("obs.test.singleton").incr();
+        assert_eq!(c.get(), before + 1);
+    }
+}

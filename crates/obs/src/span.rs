@@ -1,0 +1,277 @@
+//! Lightweight tracing: spans recording name, monotonic start,
+//! duration, and parent, collected into a bounded in-memory ring.
+//!
+//! A [`SpanGuard`] costs two `Instant::now()` calls and one short
+//! mutex-guarded push on drop — cheap enough for request-rate events
+//! (per `Compare`, per calibration round), not meant for the inner SA
+//! loop (use the sched `TelemetrySink` there).
+//!
+//! Parent linkage is tracked per thread: a span opened while another is
+//! live on the same thread records that span as its parent, giving a
+//! hierarchy (`request` → `evaluate_mapping`) without any allocation at
+//! record time.
+
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-wide monotonic clock origin spans are stamped against.
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    /// Id of the innermost live span on this thread (0 = none).
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-wide span id source. Ids are unique across *all* rings so the
+/// thread-local parent link stays unambiguous even when nested spans land
+/// in different rings (e.g. a server-registry request span enclosing a
+/// global-registry `compare` span).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One finished span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (e.g. `"compare"`).
+    pub name: &'static str,
+    /// Unique id within this ring (1-based).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, 0 for roots.
+    pub parent: u64,
+    /// Start offset in microseconds since the first span-related call in
+    /// this process (monotonic clock).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+impl SpanRecord {
+    /// Render as one JSON line (the JSONL export format).
+    pub fn to_json_line(&self) -> String {
+        // Names are static identifiers — no escaping needed.
+        format!(
+            "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"start_us\":{},\"dur_us\":{}}}",
+            self.name, self.id, self.parent, self.start_us, self.dur_us
+        )
+    }
+}
+
+struct RingInner {
+    records: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+/// A bounded ring of finished spans. When full, the oldest span is
+/// evicted and counted in [`SpanRing::dropped`] — recording never blocks
+/// on a slow consumer.
+pub struct SpanRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` finished spans.
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            inner: Mutex::new(RingInner {
+                records: VecDeque::with_capacity(capacity.min(1024)),
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Open a span; it records itself into the ring when dropped.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_SPAN.with(|c| c.replace(id));
+        SpanGuard {
+            ring: self,
+            name,
+            id,
+            parent,
+            start_us: process_epoch().elapsed().as_micros() as u64,
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// True when no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Take every buffered span, oldest first, leaving the ring empty.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.inner.lock().records.drain(..).collect()
+    }
+
+    /// Drain and render as JSONL (one span object per line).
+    pub fn drain_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.drain() {
+            let _ = writeln!(out, "{}", r.to_json_line());
+        }
+        out
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut inner = self.inner.lock();
+        if inner.records.len() == self.capacity {
+            inner.records.pop_front();
+            inner.dropped += 1;
+        }
+        inner.records.push_back(record);
+    }
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// A live span; finishes (and records itself) on drop.
+pub struct SpanGuard<'a> {
+    ring: &'a SpanRing,
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    start_us: u64,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// This span's id (usable as an explicit parent reference).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|c| c.set(self.parent));
+        self.ring.push(SpanRecord {
+            name: self.name,
+            id: self.id,
+            parent: self.parent,
+            start_us: self.start_us,
+            dur_us: self.start.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_name_duration_and_order() {
+        let ring = SpanRing::new(16);
+        {
+            let _a = ring.span("first");
+        }
+        {
+            let _b = ring.span("second");
+        }
+        let spans = ring.drain();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "first");
+        assert_eq!(spans[1].name, "second");
+        assert!(spans[0].start_us <= spans[1].start_us);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn nesting_links_parents_on_one_thread() {
+        let ring = SpanRing::new(16);
+        {
+            let outer = ring.span("outer");
+            let outer_id = outer.id();
+            {
+                let inner = ring.span("inner");
+                assert_eq!(inner.parent, outer_id);
+            }
+        }
+        let spans = ring.drain();
+        // Inner finishes (and records) first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[0].parent, spans[1].id);
+        assert_eq!(spans[1].parent, 0, "outer is a root span");
+        // A span opened after both must be a root again.
+        {
+            let _c = ring.span("after");
+        }
+        assert_eq!(ring.drain()[0].parent, 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let ring = SpanRing::new(4);
+        for _ in 0..10 {
+            let _s = ring.span("x");
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn jsonl_export_is_parseable() {
+        let ring = SpanRing::new(8);
+        {
+            let _a = ring.span("alpha");
+        }
+        let jsonl = ring.drain_jsonl();
+        let line = jsonl.lines().next().expect("one line");
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+        assert_eq!(v.get("name").and_then(|n| n.as_str()), Some("alpha"));
+        assert!(v.get("dur_us").and_then(|d| d.as_u64()).is_some());
+    }
+
+    #[test]
+    fn concurrent_spans_do_not_cross_thread_parents() {
+        let ring = SpanRing::new(1024);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let _outer = ring.span("t-outer");
+                        let _inner = ring.span("t-inner");
+                    }
+                });
+            }
+        });
+        let spans = ring.drain();
+        assert_eq!(spans.len(), 400);
+        let by_id: std::collections::HashMap<u64, &SpanRecord> =
+            spans.iter().map(|s| (s.id, s)).collect();
+        for s in &spans {
+            if s.name == "t-inner" {
+                // Parent must exist and be an outer span, never an inner
+                // from another thread.
+                let p = by_id.get(&s.parent).expect("parent recorded");
+                assert_eq!(p.name, "t-outer");
+            }
+        }
+    }
+}

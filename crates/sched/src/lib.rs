@@ -20,12 +20,14 @@ pub mod moves;
 pub mod ncs;
 pub mod random;
 pub mod sa;
+pub mod telemetry;
 
 pub use genetic::{GaConfig, GeneticScheduler};
 pub use greedy::GreedyScheduler;
 pub use ncs::NcsScheduler;
 pub use random::RandomScheduler;
 pub use sa::{SaConfig, SaScheduler};
+pub use telemetry::{NullSink, RecordingSink, StageStats, TelemetrySink};
 
 use cbes_cluster::NodeId;
 use cbes_core::eval::Evaluator;

@@ -2,6 +2,7 @@
 //! evaluation operation as the energy function (paper §6, refs \[19\]\[20\]).
 
 use crate::moves::SearchState;
+use crate::telemetry::{NullSink, TelemetrySink};
 use crate::{SchedError, ScheduleRequest, ScheduleResult, Scheduler};
 use cbes_core::eval::Evaluator;
 use cbes_core::mapping::Mapping;
@@ -114,17 +115,22 @@ impl SaScheduler {
 
     /// One annealing run from a random initial state; returns the best
     /// mapping, its energy, and the number of evaluations.
-    fn anneal(
+    ///
+    /// Generic over the sink so the disabled-telemetry path
+    /// ([`NullSink`]) compiles to the bare loop.
+    fn anneal<S: TelemetrySink>(
         &self,
         req: &ScheduleRequest<'_>,
         ev: &Evaluator<'_>,
         rng: &mut StdRng,
+        sink: &mut S,
     ) -> (Mapping, f64, u64) {
         let n = req.num_procs();
         let mut state = SearchState::random(req.pool, n, rng);
         let mut current = self.energy(ev, &state.mapping());
         let mut evals = 1u64;
         let mut best = (state.mapping(), current);
+        sink.on_improvement(evals, current);
 
         let mut temp = (current * self.config.t0_frac).max(f64::MIN_POSITIVE);
         let cooling = self.config.cooling();
@@ -138,29 +144,30 @@ impl SaScheduler {
                 let p = (-(cand - current) / temp).exp();
                 rng.random_range(0.0..1.0) < p
             };
+            sink.on_move(temp, accept);
             if accept {
                 current = cand;
                 if current < best.1 {
                     best = (state.mapping(), current);
+                    sink.on_improvement(evals, current);
                 }
             } else {
                 state.apply(mv); // undo
             }
             temp *= cooling;
         }
+        sink.on_restart(best.1);
         (best.0, best.1, evals)
     }
-}
 
-impl Scheduler for SaScheduler {
-    fn name(&self) -> &'static str {
-        match self.objective {
-            Objective::FullPrediction => "CS",
-            Objective::ComputeOnly => "NCS",
-        }
-    }
-
-    fn schedule(&mut self, req: &ScheduleRequest<'_>) -> Result<ScheduleResult, SchedError> {
+    /// Like [`Scheduler::schedule`], reporting the annealing loop's
+    /// progress into `sink` (per-temperature acceptance, best-energy
+    /// trace, move rate).
+    pub fn schedule_with_sink<S: TelemetrySink>(
+        &mut self,
+        req: &ScheduleRequest<'_>,
+        sink: &mut S,
+    ) -> Result<ScheduleResult, SchedError> {
         req.validate()?;
         let start = Instant::now();
         let ev = req.evaluator();
@@ -168,7 +175,7 @@ impl Scheduler for SaScheduler {
         let mut evals = 0u64;
         let mut best: Option<(Mapping, f64)> = None;
         for _ in 0..self.config.restarts.max(1) {
-            let (m, e, n) = self.anneal(req, &ev, &mut rng);
+            let (m, e, n) = self.anneal(req, &ev, &mut rng, sink);
             evals += n;
             if best.as_ref().is_none_or(|(_, be)| e < *be) {
                 best = Some((m, e));
@@ -185,6 +192,19 @@ impl Scheduler for SaScheduler {
             evaluations: evals,
             elapsed: start.elapsed(),
         })
+    }
+}
+
+impl Scheduler for SaScheduler {
+    fn name(&self) -> &'static str {
+        match self.objective {
+            Objective::FullPrediction => "CS",
+            Objective::ComputeOnly => "NCS",
+        }
+    }
+
+    fn schedule(&mut self, req: &ScheduleRequest<'_>) -> Result<ScheduleResult, SchedError> {
+        self.schedule_with_sink(req, &mut NullSink)
     }
 }
 
@@ -295,6 +315,67 @@ mod tests {
             .schedule(&req)
             .unwrap_err();
         assert_eq!(err, SchedError::PoolTooSmall { need: 4, have: 2 });
+    }
+
+    #[test]
+    fn recording_sink_captures_a_centurion_run() {
+        use crate::telemetry::RecordingSink;
+        let c = cbes_cluster::presets::centurion();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(8, 1.0, 50, 4096);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let mut sink = RecordingSink::new();
+        let r = SaScheduler::new(SaConfig::fast(3))
+            .schedule_with_sink(&req, &mut sink)
+            .unwrap();
+
+        // One on_move per iteration; the initial state is the extra eval.
+        assert_eq!(sink.moves(), r.evaluations - 1);
+        assert_eq!(sink.restart_energies(), &[r.score]);
+        assert!(sink.moves_per_sec() > 0.0);
+
+        // The cooling schedule spans several temperature decades, and the
+        // cold tail accepts no more often than the hot start.
+        let stages = sink.stages();
+        assert!(
+            stages.len() >= 3,
+            "expected several decades, got {stages:?}"
+        );
+        let first = stages.first().unwrap();
+        let last = stages.last().unwrap();
+        assert!(first.decade > last.decade, "temperature must fall");
+        assert!(
+            first.acceptance_rate() >= last.acceptance_rate(),
+            "hot stage {first:?} must accept at least as often as cold {last:?}"
+        );
+
+        // The best-energy trace is chronological and strictly improving.
+        let trace = sink.best_trace();
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(w[0].0 <= w[1].0, "trace must be chronological");
+            assert!(w[0].1 > w[1].1, "best energy must strictly improve");
+        }
+        assert_eq!(trace.last().unwrap().1, r.score);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_search() {
+        use crate::telemetry::RecordingSink;
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(4, 1.0, 50, 4096);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let plain = SaScheduler::new(SaConfig::fast(9)).schedule(&req).unwrap();
+        let mut sink = RecordingSink::new();
+        let recorded = SaScheduler::new(SaConfig::fast(9))
+            .schedule_with_sink(&req, &mut sink)
+            .unwrap();
+        assert_eq!(plain.mapping, recorded.mapping);
+        assert_eq!(plain.predicted_time, recorded.predicted_time);
+        assert_eq!(plain.evaluations, recorded.evaluations);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Annealer telemetry: an observer the SA inner loop reports into.
+//!
+//! The hot loop is generic over [`TelemetrySink`], so the disabled path
+//! ([`NullSink`]) monomorphises to nothing — no allocation, no branch,
+//! no clock read per move. [`RecordingSink`] aggregates per-temperature
+//! acceptance rates, the best-energy trace, and the move rate, for
+//! diagnosing cooling schedules on real runs.
+
+use std::time::Instant;
+
+/// Observer for one scheduling run's annealing loop. All methods have
+/// `&mut self` receivers so sinks can aggregate without interior
+/// mutability; the annealer calls them single-threaded.
+pub trait TelemetrySink {
+    /// One proposed move was evaluated at temperature `temp`.
+    fn on_move(&mut self, temp: f64, accepted: bool);
+    /// The run's best energy improved to `energy` at evaluation `eval`.
+    fn on_improvement(&mut self, eval: u64, energy: f64);
+    /// One restart finished with the given best energy.
+    fn on_restart(&mut self, best_energy: f64);
+}
+
+/// Discards everything. Monomorphised into the annealer this is a set of
+/// empty inlined calls, keeping the disabled telemetry path free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    #[inline(always)]
+    fn on_move(&mut self, _temp: f64, _accepted: bool) {}
+    #[inline(always)]
+    fn on_improvement(&mut self, _eval: u64, _energy: f64) {}
+    #[inline(always)]
+    fn on_restart(&mut self, _best_energy: f64) {}
+}
+
+/// Acceptance statistics for one temperature decade of the cooling
+/// schedule (all moves proposed while `10^decade <= temp < 10^(decade+1)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageStats {
+    /// `floor(log10(temperature))` for this stage.
+    pub decade: i32,
+    /// Moves proposed in this stage.
+    pub proposed: u64,
+    /// Moves accepted in this stage.
+    pub accepted: u64,
+}
+
+impl StageStats {
+    /// Fraction of proposed moves that were accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+}
+
+/// Aggregating sink: per-temperature-decade acceptance rates, the
+/// best-energy trace, restart outcomes, and the observed move rate.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    stages: Vec<StageStats>,
+    best_trace: Vec<(u64, f64)>,
+    restarts: Vec<f64>,
+    moves: u64,
+    first_move: Option<Instant>,
+    last_move: Option<Instant>,
+}
+
+impl RecordingSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+
+    /// Total moves proposed across every restart.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Per-temperature-decade acceptance statistics, in the order the
+    /// cooling schedule visited them (hot to cold, repeating per restart).
+    pub fn stages(&self) -> &[StageStats] {
+        &self.stages
+    }
+
+    /// `(evaluation, energy)` pairs at each best-energy improvement, in
+    /// chronological order; energies are strictly decreasing within one
+    /// restart.
+    pub fn best_trace(&self) -> &[(u64, f64)] {
+        &self.best_trace
+    }
+
+    /// Best energy reached by each finished restart.
+    pub fn restart_energies(&self) -> &[f64] {
+        &self.restarts
+    }
+
+    /// Observed move throughput (moves per second between the first and
+    /// last recorded move); 0 before two moves have been seen.
+    pub fn moves_per_sec(&self) -> f64 {
+        match (self.first_move, self.last_move) {
+            (Some(first), Some(last)) if self.moves > 1 => {
+                let secs = last.duration_since(first).as_secs_f64();
+                if secs > 0.0 {
+                    self.moves as f64 / secs
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+impl TelemetrySink for RecordingSink {
+    fn on_move(&mut self, temp: f64, accepted: bool) {
+        let now = Instant::now();
+        self.first_move.get_or_insert(now);
+        self.last_move = Some(now);
+        self.moves += 1;
+        let decade = temp.log10().floor() as i32;
+        match self.stages.last_mut() {
+            Some(stage) if stage.decade == decade => {
+                stage.proposed += 1;
+                stage.accepted += u64::from(accepted);
+            }
+            _ => self.stages.push(StageStats {
+                decade,
+                proposed: 1,
+                accepted: u64::from(accepted),
+            }),
+        }
+    }
+
+    fn on_improvement(&mut self, eval: u64, energy: f64) {
+        self.best_trace.push((eval, energy));
+    }
+
+    fn on_restart(&mut self, best_energy: f64) {
+        self.restarts.push(best_energy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_bucket_by_temperature_decade() {
+        let mut sink = RecordingSink::new();
+        sink.on_move(0.5, true); // decade -1
+        sink.on_move(0.2, false); // decade -1
+        sink.on_move(0.05, true); // decade -2
+        sink.on_move(0.003, false); // decade -3
+        let stages = sink.stages();
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[0].decade, -1);
+        assert_eq!(stages[0].proposed, 2);
+        assert_eq!(stages[0].accepted, 1);
+        assert_eq!(stages[1].decade, -2);
+        assert!((stages[1].acceptance_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(stages[2].acceptance_rate(), 0.0);
+        assert_eq!(sink.moves(), 4);
+    }
+
+    #[test]
+    fn traces_and_restarts_accumulate() {
+        let mut sink = RecordingSink::new();
+        sink.on_improvement(1, 9.0);
+        sink.on_improvement(40, 7.5);
+        sink.on_restart(7.5);
+        assert_eq!(sink.best_trace(), &[(1, 9.0), (40, 7.5)]);
+        assert_eq!(sink.restart_energies(), &[7.5]);
+    }
+
+    #[test]
+    fn null_sink_is_a_no_op() {
+        let mut sink = NullSink;
+        sink.on_move(1.0, true);
+        sink.on_improvement(1, 1.0);
+        sink.on_restart(1.0);
+    }
+}

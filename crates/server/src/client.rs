@@ -3,10 +3,12 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use cbes_cluster::load::LoadState;
 use cbes_core::eval::Prediction;
 use cbes_core::mapping::Mapping;
+use cbes_obs::MetricsSnapshot;
 use cbes_trace::AppProfile;
 
 use crate::protocol::{encode, Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport};
@@ -56,9 +58,41 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a running daemon.
+    /// Connect to a running daemon. No I/O deadline is set: a reply
+    /// blocks indefinitely. Prefer [`Client::connect_timeout`] for
+    /// anything interactive.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connect with a dial deadline and apply the same bound to every
+    /// subsequent read and write, so a dead or wedged server surfaces as
+    /// an I/O error instead of hanging the caller forever.
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => {
+                    let mut client = Client::from_stream(stream)?;
+                    client.set_io_timeout(Some(timeout))?;
+                    return Ok(client);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ClientError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            )
+        })))
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, ClientError> {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
@@ -66,6 +100,16 @@ impl Client {
             writer: stream,
             next_id: 1,
         })
+    }
+
+    /// Bound every subsequent read and write on the connection; `None`
+    /// removes the bound. A request that trips the deadline fails with
+    /// [`ClientError::Io`] and the connection should be discarded (a
+    /// late reply would desynchronise the stream).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)?;
+        Ok(())
     }
 
     /// Send one request and wait for its reply envelope. Error replies
@@ -188,6 +232,14 @@ impl Client {
         match self.expect(Request::Stats)? {
             Response::Stats { stats } => Ok(stats),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Read the full metrics snapshot (counters, gauges, histograms).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.expect(Request::Metrics)? {
+            Response::Metrics { metrics } => Ok(metrics),
+            other => Err(unexpected("Metrics", &other)),
         }
     }
 

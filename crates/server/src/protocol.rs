@@ -11,8 +11,10 @@ use cbes_cluster::load::LoadState;
 use cbes_core::eval::Prediction;
 use cbes_core::mapping::Mapping;
 use cbes_core::ServiceError;
+use cbes_obs::MetricsSnapshot;
 use cbes_trace::AppProfile;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Machine-readable `kind` values carried by [`Response::Error`].
 pub mod error_kind {
@@ -70,8 +72,46 @@ pub enum Request {
     },
     /// Read the server's counters.
     Stats,
+    /// Read the full metrics snapshot: counters, gauges, and latency
+    /// histograms from the server merged with the process-wide registry.
+    Metrics,
     /// Stop admitting requests, drain in-flight work, exit.
     Shutdown,
+}
+
+/// Canonical action names in declaration order; index `i` names the
+/// variant with [`Request::action_index`] `i`. Keys of
+/// [`StatsReport::per_action`] are drawn from this set.
+pub const ACTIONS: [&str; 8] = [
+    "register_profile",
+    "compare",
+    "best_of",
+    "schedule",
+    "observe_load",
+    "stats",
+    "metrics",
+    "shutdown",
+];
+
+impl Request {
+    /// This request's position in [`ACTIONS`].
+    pub fn action_index(&self) -> usize {
+        match self {
+            Request::RegisterProfile { .. } => 0,
+            Request::Compare { .. } => 1,
+            Request::BestOf { .. } => 2,
+            Request::Schedule { .. } => 3,
+            Request::ObserveLoad { .. } => 4,
+            Request::Stats => 5,
+            Request::Metrics => 6,
+            Request::Shutdown => 7,
+        }
+    }
+
+    /// The canonical action name (span name, per-action counter key).
+    pub fn action(&self) -> &'static str {
+        ACTIONS[self.action_index()]
+    }
 }
 
 /// One server reply.
@@ -120,6 +160,12 @@ pub enum Response {
     Stats {
         /// The counters at reply time.
         stats: StatsReport,
+    },
+    /// Full metrics snapshot for a `Metrics` request.
+    Metrics {
+        /// Server-instance instruments merged with the process-wide
+        /// registry (core and netmodel record there).
+        metrics: MetricsSnapshot,
     },
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown,
@@ -174,6 +220,10 @@ pub struct StatsReport {
     pub profiles: usize,
     /// Monitoring sweeps observed.
     pub observations: u64,
+    /// Requests served per action name (keys from [`ACTIONS`]).
+    pub per_action: BTreeMap<String, u64>,
+    /// Seconds since the server started.
+    pub uptime_s: f64,
 }
 
 /// A request with its correlation id.

@@ -14,24 +14,39 @@
 //! whatever was admitted and exit when the queue disconnects. Every
 //! admitted request is answered.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cbes_cluster::NodeId;
 use cbes_core::CbesService;
+use cbes_obs::{Counter, Histogram, MetricsSnapshot, Registry};
 use cbes_sched::{SaConfig, SaScheduler, ScheduleRequest, Scheduler};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 
 use crate::protocol::{
-    encode, error_kind, Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport,
+    encode, error_kind, Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport, ACTIONS,
 };
 
 /// How often blocked connection readers re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Per-action counter metric names, index-aligned with
+/// [`crate::protocol::ACTIONS`].
+const ACTION_COUNTERS: [&str; 8] = [
+    "server.action.register_profile",
+    "server.action.compare",
+    "server.action.best_of",
+    "server.action.schedule",
+    "server.action.observe_load",
+    "server.action.stats",
+    "server.action.metrics",
+    "server.action.shutdown",
+];
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -57,18 +72,72 @@ impl Default for ServerConfig {
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    served: AtomicU64,
-    errors: AtomicU64,
-    overloaded: AtomicU64,
-    timeouts: AtomicU64,
-    connections: AtomicU64,
+/// The server's instruments: a private [`Registry`] per server instance
+/// (so several servers in one process never mix counts) with the
+/// hot-path handles cached as `Arc`s — readers and workers update them
+/// wait-free, without touching the registry lock.
+struct ServerMetrics {
+    registry: Registry,
+    served: Arc<Counter>,
+    errors: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    connections: Arc<Counter>,
+    /// Microseconds from admission to worker pickup.
+    queue_wait: Arc<Histogram>,
+    /// Microseconds a worker spent computing the reply.
+    service_time: Arc<Histogram>,
+    /// Served-request counters, index-aligned with [`ACTIONS`].
+    by_action: Vec<Arc<Counter>>,
+    start: Instant,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        ServerMetrics {
+            served: registry.counter("server.served"),
+            errors: registry.counter("server.errors"),
+            overloaded: registry.counter("server.overloaded"),
+            timeouts: registry.counter("server.timeouts"),
+            connections: registry.counter("server.connections"),
+            queue_wait: registry.histogram("server.queue_wait_us"),
+            service_time: registry.histogram("server.service_time_us"),
+            by_action: ACTION_COUNTERS
+                .iter()
+                .map(|n| registry.counter(n))
+                .collect(),
+            start: Instant::now(),
+            registry,
+        }
+    }
+
+    fn per_action(&self) -> BTreeMap<String, u64> {
+        ACTIONS
+            .iter()
+            .zip(&self.by_action)
+            .map(|(name, c)| (name.to_string(), c.get()))
+            .collect()
+    }
+
+    /// This server's instruments merged with the process-wide registry
+    /// (the library crates — core, netmodel — record there).
+    fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        self.registry
+            .gauge("server.queue_depth")
+            .set(queue_depth as f64);
+        let mut snap = self.registry.snapshot();
+        snap.merge(&Registry::global().snapshot());
+        snap
+    }
 }
 
 struct Job {
     envelope: RequestEnvelope,
     reply: Sender<ResponseEnvelope>,
+    /// When the reader pushed this job into the queue; queue wait is
+    /// measured from here to worker pickup.
+    admitted: Instant,
 }
 
 /// The CBES daemon. Construct with [`Server::start`]; the returned
@@ -81,18 +150,18 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(Counters::default());
+        let metrics = Arc::new(ServerMetrics::new());
         let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity);
 
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|_| {
                 let service = service.clone();
                 let job_rx = job_rx.clone();
-                let counters = counters.clone();
+                let metrics = metrics.clone();
                 let shutdown = shutdown.clone();
                 let worker_count = config.workers.max(1);
                 std::thread::spawn(move || {
-                    worker_loop(&service, &job_rx, &counters, &shutdown, addr, worker_count)
+                    worker_loop(&service, &job_rx, &metrics, &shutdown, addr, worker_count)
                 })
             })
             .collect();
@@ -100,17 +169,15 @@ impl Server {
 
         let acceptor = {
             let shutdown = shutdown.clone();
-            let counters = counters.clone();
+            let metrics = metrics.clone();
             let timeout = config.request_timeout;
-            std::thread::spawn(move || {
-                accept_loop(&listener, job_tx, &counters, &shutdown, timeout)
-            })
+            std::thread::spawn(move || accept_loop(&listener, job_tx, &metrics, &shutdown, timeout))
         };
 
         Ok(ServerHandle {
             addr,
             shutdown,
-            counters,
+            metrics,
             acceptor: Some(acceptor),
             workers,
         })
@@ -121,7 +188,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    counters: Arc<Counters>,
+    metrics: Arc<ServerMetrics>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -151,10 +218,7 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        (
-            self.counters.served.load(Ordering::Relaxed),
-            self.counters.errors.load(Ordering::Relaxed),
-        )
+        (self.metrics.served.get(), self.metrics.errors.get())
     }
 
     /// Trigger shutdown and wait for the drain.
@@ -181,7 +245,7 @@ fn trigger_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
 fn accept_loop(
     listener: &TcpListener,
     job_tx: Sender<Job>,
-    counters: &Arc<Counters>,
+    metrics: &Arc<ServerMetrics>,
     shutdown: &Arc<AtomicBool>,
     timeout: Duration,
 ) {
@@ -191,12 +255,12 @@ fn accept_loop(
                 if shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                counters.connections.fetch_add(1, Ordering::Relaxed);
+                metrics.connections.incr();
                 let job_tx = job_tx.clone();
-                let counters = counters.clone();
+                let metrics = metrics.clone();
                 let shutdown = shutdown.clone();
                 std::thread::spawn(move || {
-                    handle_connection(stream, &job_tx, &counters, &shutdown, timeout)
+                    handle_connection(stream, &job_tx, &metrics, &shutdown, timeout)
                 });
             }
             Err(_) => {
@@ -213,7 +277,7 @@ fn accept_loop(
 fn handle_connection(
     stream: TcpStream,
     job_tx: &Sender<Job>,
-    counters: &Arc<Counters>,
+    metrics: &Arc<ServerMetrics>,
     shutdown: &Arc<AtomicBool>,
     timeout: Duration,
 ) {
@@ -257,7 +321,7 @@ fn handle_connection(
         if trimmed.is_empty() {
             continue;
         }
-        let reply = admit(trimmed, job_tx, counters, timeout);
+        let reply = admit(trimmed, job_tx, metrics, timeout);
         let mut out = encode(&reply);
         out.push('\n');
         if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
@@ -271,13 +335,13 @@ fn handle_connection(
 fn admit(
     line: &str,
     job_tx: &Sender<Job>,
-    counters: &Arc<Counters>,
+    metrics: &Arc<ServerMetrics>,
     timeout: Duration,
 ) -> ResponseEnvelope {
     let envelope: RequestEnvelope = match serde_json::from_str(line) {
         Ok(env) => env,
         Err(e) => {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
+            metrics.errors.incr();
             return ResponseEnvelope {
                 id: 0,
                 response: Response::error(error_kind::BAD_REQUEST, e.to_string()),
@@ -289,12 +353,13 @@ fn admit(
     match job_tx.try_send(Job {
         envelope,
         reply: reply_tx,
+        admitted: Instant::now(),
     }) {
         Ok(()) => match reply_rx.recv_timeout(timeout) {
             Ok(reply) => reply,
             Err(_) => {
-                counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                counters.errors.fetch_add(1, Ordering::Relaxed);
+                metrics.timeouts.incr();
+                metrics.errors.incr();
                 ResponseEnvelope {
                     id,
                     response: Response::error(
@@ -305,15 +370,15 @@ fn admit(
             }
         },
         Err(TrySendError::Full(_)) => {
-            counters.overloaded.fetch_add(1, Ordering::Relaxed);
-            counters.errors.fetch_add(1, Ordering::Relaxed);
+            metrics.overloaded.incr();
+            metrics.errors.incr();
             ResponseEnvelope {
                 id,
                 response: Response::error(error_kind::OVERLOADED, "admission queue is full"),
             }
         }
         Err(TrySendError::Disconnected(_)) => {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
+            metrics.errors.incr();
             ResponseEnvelope {
                 id,
                 response: Response::error(error_kind::SHUTTING_DOWN, "server is draining"),
@@ -325,26 +390,34 @@ fn admit(
 fn worker_loop(
     service: &Arc<CbesService>,
     job_rx: &Receiver<Job>,
-    counters: &Arc<Counters>,
+    metrics: &Arc<ServerMetrics>,
     shutdown: &Arc<AtomicBool>,
     addr: SocketAddr,
     worker_count: usize,
 ) {
     while let Ok(job) = job_rx.recv() {
+        metrics.queue_wait.record_duration(job.admitted.elapsed());
         let id = job.envelope.id;
-        let response = handle_request(
-            service,
-            job.envelope.request,
-            counters,
-            shutdown,
-            addr,
-            job_rx.len(),
-            worker_count,
-        );
+        let action_index = job.envelope.request.action_index();
+        let picked_up = Instant::now();
+        let response = {
+            let _span = metrics.registry.span(job.envelope.request.action());
+            handle_request(
+                service,
+                job.envelope.request,
+                metrics,
+                shutdown,
+                addr,
+                job_rx.len(),
+                worker_count,
+            )
+        };
+        metrics.service_time.record_duration(picked_up.elapsed());
+        metrics.by_action[action_index].incr();
         if matches!(response, Response::Error { .. }) {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
+            metrics.errors.incr();
         }
-        counters.served.fetch_add(1, Ordering::Relaxed);
+        metrics.served.incr();
         // The reader may have timed out and dropped the receiver; that
         // counts as its reply, so a failed send is fine here.
         let _ = job.reply.send(ResponseEnvelope { id, response });
@@ -354,7 +427,7 @@ fn worker_loop(
 fn handle_request(
     service: &Arc<CbesService>,
     request: Request,
-    counters: &Arc<Counters>,
+    metrics: &Arc<ServerMetrics>,
     shutdown: &Arc<AtomicBool>,
     addr: SocketAddr,
     queue_depth: usize,
@@ -422,17 +495,22 @@ fn handle_request(
         },
         Request::Stats => Response::Stats {
             stats: StatsReport {
-                served: counters.served.load(Ordering::Relaxed),
-                errors: counters.errors.load(Ordering::Relaxed),
-                overloaded: counters.overloaded.load(Ordering::Relaxed),
-                timeouts: counters.timeouts.load(Ordering::Relaxed),
-                connections: counters.connections.load(Ordering::Relaxed),
+                served: metrics.served.get(),
+                errors: metrics.errors.get(),
+                overloaded: metrics.overloaded.get(),
+                timeouts: metrics.timeouts.get(),
+                connections: metrics.connections.get(),
                 queue_depth,
                 workers: worker_count,
                 epoch: service.epoch(),
                 profiles: service.registry().len(),
                 observations: service.observations(),
+                per_action: metrics.per_action(),
+                uptime_s: metrics.start.elapsed().as_secs_f64(),
             },
+        },
+        Request::Metrics => Response::Metrics {
+            metrics: metrics.snapshot(queue_depth),
         },
         Request::Shutdown => {
             trigger_shutdown(shutdown, addr);
@@ -445,8 +523,8 @@ fn handle_request(
 mod tests {
     use super::*;
 
-    fn counters() -> Arc<Counters> {
-        Arc::new(Counters::default())
+    fn metrics() -> Arc<ServerMetrics> {
+        Arc::new(ServerMetrics::new())
     }
 
     fn stats_line(id: u64) -> String {
@@ -466,11 +544,11 @@ mod tests {
     #[test]
     fn unparseable_line_is_rejected_with_id_zero() {
         let (tx, _rx) = channel::bounded::<Job>(1);
-        let c = counters();
-        let reply = admit("{not json", &tx, &c, Duration::from_millis(10));
+        let m = metrics();
+        let reply = admit("{not json", &tx, &m, Duration::from_millis(10));
         assert_eq!(reply.id, 0);
         assert_eq!(error_kind_of(&reply), error_kind::BAD_REQUEST);
-        assert_eq!(c.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(m.errors.get(), 1);
     }
 
     #[test]
@@ -484,24 +562,25 @@ mod tests {
                     request: Request::Stats,
                 },
                 reply: dummy_tx,
+                admitted: Instant::now(),
             })
             .is_ok());
-        let c = counters();
-        let reply = admit(&stats_line(7), &tx, &c, Duration::from_millis(10));
+        let m = metrics();
+        let reply = admit(&stats_line(7), &tx, &m, Duration::from_millis(10));
         assert_eq!(reply.id, 7, "overload reply still echoes the id");
         assert_eq!(error_kind_of(&reply), error_kind::OVERLOADED);
-        assert_eq!(c.overloaded.load(Ordering::Relaxed), 1);
+        assert_eq!(m.overloaded.get(), 1);
     }
 
     #[test]
     fn admitted_but_unanswered_request_times_out() {
         let (tx, rx) = channel::bounded::<Job>(1);
-        let c = counters();
+        let m = metrics();
         // No worker drains `rx`, so the reply never comes.
-        let reply = admit(&stats_line(3), &tx, &c, Duration::from_millis(20));
+        let reply = admit(&stats_line(3), &tx, &m, Duration::from_millis(20));
         assert_eq!(reply.id, 3);
         assert_eq!(error_kind_of(&reply), error_kind::TIMEOUT);
-        assert_eq!(c.timeouts.load(Ordering::Relaxed), 1);
+        assert_eq!(m.timeouts.get(), 1);
         assert_eq!(rx.len(), 1, "the job itself was admitted");
     }
 
@@ -509,9 +588,39 @@ mod tests {
     fn disconnected_queue_means_shutting_down() {
         let (tx, rx) = channel::bounded::<Job>(1);
         drop(rx);
-        let c = counters();
-        let reply = admit(&stats_line(5), &tx, &c, Duration::from_millis(10));
+        let m = metrics();
+        let reply = admit(&stats_line(5), &tx, &m, Duration::from_millis(10));
         assert_eq!(reply.id, 5);
         assert_eq!(error_kind_of(&reply), error_kind::SHUTTING_DOWN);
+    }
+
+    #[test]
+    fn snapshot_merges_global_registry_and_names_instruments() {
+        let m = metrics();
+        m.served.add(3);
+        m.queue_wait.record(120);
+        m.service_time.record(450);
+        Registry::global()
+            .counter("obs.server_test.global_marker")
+            .incr();
+        let snap = m.snapshot(2);
+        assert_eq!(snap.counters["server.served"], 3);
+        assert_eq!(snap.gauges["server.queue_depth"], 2.0);
+        assert_eq!(snap.histograms["server.queue_wait_us"].count, 1);
+        assert_eq!(snap.histograms["server.service_time_us"].count, 1);
+        assert!(
+            snap.counters["obs.server_test.global_marker"] >= 1,
+            "global registry instruments appear in the merged snapshot"
+        );
+    }
+
+    #[test]
+    fn per_action_report_covers_every_action() {
+        let m = metrics();
+        m.by_action[Request::Stats.action_index()].incr();
+        let report = m.per_action();
+        assert_eq!(report.len(), ACTIONS.len());
+        assert_eq!(report["stats"], 1);
+        assert!(ACTIONS.iter().all(|a| report.contains_key(*a)));
     }
 }

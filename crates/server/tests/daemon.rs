@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cbes_cluster::load::LoadState;
 use cbes_cluster::presets::two_switch_demo;
@@ -13,6 +13,8 @@ use cbes_cluster::NodeId;
 use cbes_core::mapping::Mapping;
 use cbes_core::monitor::ForecastKind;
 use cbes_core::CbesService;
+use cbes_sched::{SaConfig, SaScheduler, ScheduleRequest, Scheduler};
+use cbes_server::client::ClientError;
 use cbes_server::protocol::error_kind;
 use cbes_server::{Client, Server, ServerConfig};
 use cbes_trace::{AppProfile, MessageGroup, ProcessProfile};
@@ -242,6 +244,153 @@ fn concurrent_compares_are_bit_identical_within_an_epoch() {
         epoch0[0][2], epoch1[0][2],
         "mapping on idle nodes must be unaffected"
     );
+
+    handle.shutdown_and_join();
+}
+
+/// Acceptance criterion: the latency histograms returned by `Metrics`
+/// have sane percentiles and their counts equal the served counter.
+#[test]
+fn metrics_histograms_are_sane_and_counts_match_served() {
+    let (handle, _service) = demo_server(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .register_profile(ring_profile("ring", 2))
+        .expect("register");
+    for _ in 0..32 {
+        client
+            .compare("ring", &[m(&[0, 1]), m(&[0, 4])])
+            .expect("compare");
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.per_action["compare"], 32);
+    assert_eq!(stats.per_action["register_profile"], 1);
+    assert!(stats.uptime_s > 0.0);
+
+    let snap = client.metrics().expect("metrics");
+    // The snapshot is taken before the metrics request itself is counted,
+    // and this client is serial, so the totals are exact: every served
+    // request recorded both histograms.
+    let served = snap.counters["server.served"];
+    assert_eq!(served, 34, "register + 32 compares + stats");
+    let svc = &snap.histograms["server.service_time_us"];
+    let qw = &snap.histograms["server.queue_wait_us"];
+    assert_eq!(svc.count, served, "one service-time sample per request");
+    // Queue wait is recorded at worker pickup, so the in-flight metrics
+    // request itself has already contributed a sample.
+    assert_eq!(qw.count, served + 1, "one queue-wait sample per pickup");
+    assert!(svc.p50() <= svc.p99(), "percentiles must be monotone");
+    assert!(svc.min <= svc.p50() && svc.p99() <= svc.max);
+    assert!(qw.p50() <= qw.p99());
+    assert!(
+        snap.spans_buffered >= served,
+        "every request leaves a span in the ring"
+    );
+
+    client.shutdown().expect("shutdown ack");
+    handle.join();
+}
+
+/// Satellite requirement: the overload (queue-full) and deadline-timeout
+/// reply paths are counted accurately in both `Stats` and `Metrics`.
+#[test]
+fn overload_and_timeout_paths_are_counted_in_stats_and_metrics() {
+    let service = Arc::new(CbesService::self_calibrated(
+        Arc::new(two_switch_demo()),
+        ForecastKind::LastValue,
+    ));
+    let handle = Server::start(
+        service.clone(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            request_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .register_profile(ring_profile("ring", 2))
+        .expect("register");
+
+    // Calibrate SA speed offline, then size a schedule request to ~1.5 s
+    // — five request timeouts — so it reliably hogs the single worker.
+    let profile = service.registry().get("ring").expect("registered");
+    let (_, snapshot) = service.snapshot_stamped();
+    let pool: Vec<NodeId> = (0..8).map(NodeId).collect();
+    let request = ScheduleRequest::new(&profile, &snapshot, &pool);
+    let mut cfg = SaConfig::fast(1);
+    cfg.iters = 50_000;
+    let t0 = Instant::now();
+    SaScheduler::new(cfg).schedule(&request).expect("calibrate");
+    let per_iter = t0.elapsed().as_secs_f64() / 50_000.0;
+    let iters = ((1.5 / per_iter) as u64).clamp(200_000, 200_000_000) as u32;
+
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.schedule("ring", &(0..8).collect::<Vec<u32>>(), iters, 1)
+    });
+
+    // While the worker is pinned: the first compare fills the one-slot
+    // queue and times out at 300 ms; the next bounces off the full queue
+    // with an immediate overload reply.
+    let (mut saw_timeout, mut saw_overload) = (false, false);
+    for _ in 0..40 {
+        let mut c = Client::connect(addr).expect("connect");
+        match c.compare("ring", &[m(&[0, 1])]) {
+            Ok(_) => {}
+            Err(ClientError::Server { kind, .. }) if kind == error_kind::TIMEOUT => {
+                saw_timeout = true;
+            }
+            Err(ClientError::Server { kind, .. }) if kind == error_kind::OVERLOADED => {
+                saw_overload = true;
+            }
+            Err(e) => panic!("unexpected client error: {e}"),
+        }
+        if saw_timeout && saw_overload {
+            break;
+        }
+    }
+    assert!(saw_timeout, "a queued compare must hit the deadline");
+    assert!(saw_overload, "a compare must bounce off the full queue");
+    match blocker.join().expect("blocker thread") {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, error_kind::TIMEOUT),
+        other => panic!("the blocking schedule should time out, got {other:?}"),
+    }
+
+    // Wait for the worker to drain, then read the counters over the wire.
+    let stats = {
+        let mut tries = 0;
+        loop {
+            let mut c = Client::connect(addr).expect("connect");
+            match c.stats() {
+                Ok(s) => break s,
+                Err(_) if tries < 200 => {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => panic!("stats never came back: {e}"),
+            }
+        }
+    };
+    assert!(stats.timeouts >= 2, "schedule + queued compare timed out");
+    assert!(stats.overloaded >= 1);
+    assert_eq!(
+        stats.errors,
+        stats.timeouts + stats.overloaded,
+        "every error in this test is a timeout or an overload"
+    );
+    assert!(stats.per_action["schedule"] >= 1);
+
+    let mut c = Client::connect(addr).expect("connect");
+    let snap = c.metrics().expect("metrics");
+    assert_eq!(snap.counters["server.overloaded"], stats.overloaded);
+    assert_eq!(snap.counters["server.timeouts"], stats.timeouts);
+    assert!(snap.counters["server.served"] >= stats.served);
+    assert!(snap.histograms["server.queue_wait_us"].count >= 1);
 
     handle.shutdown_and_join();
 }
