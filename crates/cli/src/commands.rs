@@ -388,6 +388,16 @@ pub fn serve(parsed: &Parsed) -> Result<String, CliError> {
         request_timeout: std::time::Duration::from_millis(
             parsed.get_parsed("timeout-ms", 10_000u64)?,
         ),
+        max_line_bytes: parsed.get_parsed("max-line-bytes", 64 * 1024usize)?,
+        max_consecutive_errors: parsed.get_parsed("max-bad-frames", 8u32)?,
+        shed_retry_after: std::time::Duration::from_millis(
+            parsed.get_parsed("retry-after-ms", 25u64)?,
+        ),
+    };
+    let health = cbes_core::HealthPolicy {
+        suspect_after: parsed.get_parsed("suspect-after", 3u64)?,
+        down_after: parsed.get_parsed("down-after", 8u64)?,
+        ..cbes_core::HealthPolicy::default()
     };
     let forecast = match parsed.get("forecast").unwrap_or("adaptive") {
         "last" => cbes_core::monitor::ForecastKind::LastValue,
@@ -406,11 +416,14 @@ pub fn serve(parsed: &Parsed) -> Result<String, CliError> {
     let name = c.name().to_string();
     let nodes = c.len();
     let outcome = Calibrator::default().with_seed(seed).calibrate(&c);
-    let service = std::sync::Arc::new(cbes_core::CbesService::new(
-        std::sync::Arc::new(c),
-        std::sync::Arc::new(outcome.model),
-        forecast,
-    ));
+    let service = std::sync::Arc::new(
+        cbes_core::CbesService::new(
+            std::sync::Arc::new(c),
+            std::sync::Arc::new(outcome.model),
+            forecast,
+        )
+        .with_health_policy(health),
+    );
     if let Some(dir) = parsed.get("profiles") {
         let loaded = cbes_core::registry::ProfileRegistry::load_dir(std::path::Path::new(dir))?;
         for app in loaded.names() {
@@ -451,7 +464,26 @@ fn client_timeout(parsed: &Parsed) -> Result<std::time::Duration, CliError> {
 /// connection attempt and to every read/write on the socket.
 fn connect(parsed: &Parsed, addr: &str) -> Result<cbes_server::Client, CliError> {
     cbes_server::Client::connect_timeout(addr, client_timeout(parsed)?)
-        .map_err(|e| CliError::domain(format!("cannot reach daemon at {addr}: {e}")))
+        .map_err(|e| CliError::Transport(format!("cannot reach daemon at {addr}: {e}")))
+}
+
+/// Classify a client failure for exit-code purposes: transport problems,
+/// overload-shed replies, and other server-reported errors are distinct.
+fn client_err(e: cbes_server::client::ClientError) -> CliError {
+    use cbes_server::client::ClientError;
+    match e {
+        ClientError::Io(e) => CliError::Transport(e.to_string()),
+        ClientError::Protocol(m) => CliError::Transport(m),
+        ClientError::Server {
+            kind,
+            message,
+            retry_after_ms,
+        } if kind == cbes_server::protocol::error_kind::OVERLOADED => CliError::Shed {
+            message,
+            retry_after_ms,
+        },
+        ClientError::Server { kind, message, .. } => CliError::Server { kind, message },
+    }
 }
 
 /// Render label/value rows right-aligned on the label column.
@@ -477,6 +509,21 @@ fn stats_table(s: &cbes_server::protocol::StatsReport) -> String {
         ("observations".into(), s.observations.to_string()),
         ("workers".into(), s.workers.to_string()),
         ("queue depth".into(), s.queue_depth.to_string()),
+        (
+            "node health".into(),
+            format!(
+                "{} healthy / {} suspect / {} down",
+                s.healthy, s.suspect, s.down
+            ),
+        ),
+        (
+            "health transitions".into(),
+            s.health_transitions.to_string(),
+        ),
+        (
+            "dropped connections".into(),
+            s.dropped_connections.to_string(),
+        ),
         ("uptime".into(), format!("{:.1} s", s.uptime_s)),
     ];
     for (action, count) in &s.per_action {
@@ -550,9 +597,7 @@ pub fn metrics(parsed: &Parsed) -> Result<String, CliError> {
         )));
     }
     let mut client = connect(parsed, addr)?;
-    let snap = client
-        .metrics()
-        .map_err(|e| CliError::domain(e.to_string()))?;
+    let snap = client.metrics().map_err(client_err)?;
     if format == "json" {
         Ok(snap.to_json() + "\n")
     } else {
@@ -571,11 +616,12 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
         .ok_or_else(|| {
             CliError::usage(
                 "`request` needs an action \
-             (stats | metrics | shutdown | register | compare | best-of | schedule | observe)",
+             (stats | metrics | shutdown | register | compare | best-of | schedule \
+             | observe | observe-partial)",
             )
         })?;
     let mut client = connect(parsed, addr)?;
-    let err = |e: cbes_server::client::ClientError| CliError::domain(e.to_string());
+    let err = client_err;
 
     let mut out = String::new();
     match action {
@@ -628,10 +674,12 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
             let (epoch, mapping, time) = client.schedule(app, &pool, iters, seed).map_err(err)?;
             let _ = writeln!(out, "epoch {epoch}: {mapping} predicted {time:.4} s");
         }
-        "observe" => {
+        "observe" | "observe-partial" => {
             let nodes = parsed.get_parsed("nodes", 0usize)?;
             if nodes == 0 {
-                return Err(CliError::usage("`observe` requires --nodes (cluster size)"));
+                return Err(CliError::usage(format!(
+                    "`{action}` requires --nodes (cluster size)"
+                )));
             }
             let mut load = LoadState::idle(nodes);
             for (node, avail) in parse_load_list(parsed.require("load")?)? {
@@ -642,14 +690,22 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
                 }
                 load.set_cpu_avail(node, avail);
             }
-            let epoch = client.observe_load(&load).map_err(err)?;
+            let epoch = if action == "observe" {
+                client.observe_load(&load).map_err(err)?
+            } else {
+                let silent: Vec<u32> = match parsed.get("silent") {
+                    None => vec![],
+                    Some(spec) => parse_node_list(spec)?.into_iter().map(|n| n.0).collect(),
+                };
+                client.observe_partial(&load, &silent).map_err(err)?
+            };
             let _ = writeln!(out, "observed; epoch is now {epoch}");
         }
         other => {
             return Err(CliError::usage(format!(
                 "unknown request action `{other}` \
                  (want stats | metrics | shutdown | register | compare | best-of \
-                 | schedule | observe)"
+                 | schedule | observe | observe-partial)"
             )))
         }
     }

@@ -13,6 +13,23 @@ pub enum CliError {
     Json(serde_json::Error),
     /// A domain operation failed (simulation, scheduling, ...).
     Domain(String),
+    /// The daemon could not be reached, or the connection broke before a
+    /// well-formed reply arrived.
+    Transport(String),
+    /// The daemon answered with an error reply.
+    Server {
+        /// Machine-readable error class from the wire protocol.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The daemon shed the request under load; retry after the hint.
+    Shed {
+        /// Human-readable detail.
+        message: String,
+        /// Server back-off hint, milliseconds (`0` = none).
+        retry_after_ms: u64,
+    },
 }
 
 impl CliError {
@@ -25,6 +42,20 @@ impl CliError {
     pub fn domain(msg: impl Into<String>) -> Self {
         CliError::Domain(msg.into())
     }
+
+    /// The process exit code for this error, so scripts can distinguish
+    /// failure classes: `2` usage, `3` transport (daemon unreachable or
+    /// connection broken), `4` server-reported error, `5` overload-shed
+    /// (retryable), `1` everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Transport(_) => 3,
+            CliError::Server { .. } => 4,
+            CliError::Shed { .. } => 5,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -34,6 +65,15 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Json(e) => write!(f, "malformed artifact: {e}"),
             CliError::Domain(m) => write!(f, "{m}"),
+            CliError::Transport(m) => write!(f, "transport error: {m}"),
+            CliError::Server { kind, message } => write!(f, "server error ({kind}): {message}"),
+            CliError::Shed {
+                message,
+                retry_after_ms,
+            } => write!(
+                f,
+                "request shed: {message} (retry after {retry_after_ms} ms)"
+            ),
         }
     }
 }
@@ -60,5 +100,28 @@ mod tests {
     fn display_mentions_usage_hint() {
         assert!(CliError::usage("bad").to_string().contains("cbes help"));
         assert!(CliError::domain("x").to_string().contains('x'));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        assert_eq!(CliError::usage("u").exit_code(), 2);
+        assert_eq!(CliError::Transport("refused".into()).exit_code(), 3);
+        assert_eq!(
+            CliError::Server {
+                kind: "service".into(),
+                message: "unknown app".into()
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            CliError::Shed {
+                message: "queue full".into(),
+                retry_after_ms: 25
+            }
+            .exit_code(),
+            5
+        );
+        assert_eq!(CliError::domain("d").exit_code(), 1);
     }
 }

@@ -54,6 +54,8 @@ commands:
       [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
       [--forecast last|mean|median|adaptive] [--profiles DIR]
       [--seed N] [--addr-file FILE]
+      [--max-line-bytes N] [--max-bad-frames N] [--retry-after-ms N]
+      [--suspect-after SWEEPS] [--down-after SWEEPS]
   request <addr> <action>     issue one request to a running daemon
       stats | metrics | shutdown
       register --profile FILE
@@ -61,7 +63,9 @@ commands:
       best-of  --app NAME --mappings 0,1;4,5
       schedule --app NAME --pool 0,1,.. [--iters N] [--seed N]
       observe  --nodes N --load NODE=AVAIL,..
-      (all request actions accept --timeout SECONDS, default 10)
+      observe-partial --nodes N --load NODE=AVAIL,.. [--silent 3,5,..]
+      (all request actions accept --timeout SECONDS, default 10;
+       exit codes: 2 usage, 3 transport, 4 server error, 5 overload-shed)
   metrics <addr>              fetch and render a daemon's observability
       snapshot [--format summary|json] [--timeout SECONDS]
 ";

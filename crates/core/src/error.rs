@@ -27,6 +27,9 @@ pub enum ServiceError {
         /// CPUs the node actually has.
         cpus: u32,
     },
+    /// A mapping assigned a process to a node currently classified `Down`
+    /// (unmappable under the health policy).
+    NodeDown(u32),
     /// A load observation covered a different number of nodes than the
     /// cluster has.
     LoadArityMismatch {
@@ -54,6 +57,9 @@ impl fmt::Display for ServiceError {
                     f,
                     "mapping places {ranks} ranks on node n{node} which has {cpus} CPUs"
                 )
+            }
+            ServiceError::NodeDown(n) => {
+                write!(f, "mapping assigns a process to down node n{n}")
             }
             ServiceError::LoadArityMismatch { expected, got } => {
                 write!(

@@ -54,11 +54,16 @@ impl<'a> Evaluator<'a> {
     /// Paper eq. 5: `R_i = (X_i + O_i) · (Speed_profile / Speed_j) / ACPU_j`,
     /// extended with a CPU-sharing factor when the mapping co-locates more
     /// ranks on a node than it has CPUs (the profiling side of eq. 5 assumes
-    /// a dedicated CPU; oversubscription divides the effective speed).
+    /// a dedicated CPU; oversubscription divides the effective speed), and
+    /// with health degradation: `Down` nodes cost `+∞` (unmappable) and
+    /// `Suspect` nodes see their `ACPU` divided by the suspect penalty.
     fn r_i(&self, p: &ProcessProfile, m: &Mapping, share: &[f64]) -> f64 {
         let node = m.node(p.rank);
-        (p.x + p.o) * (p.profile_speed / (self.snap.speed(node) * share[p.rank]))
-            / self.snap.acpu(node)
+        let acpu = self.snap.effective_acpu(node);
+        if acpu <= 0.0 {
+            return f64::INFINITY;
+        }
+        (p.x + p.o) * (p.profile_speed / (self.snap.speed(node) * share[p.rank])) / acpu
     }
 
     /// Per-rank CPU share under `m`: `min(1, cpus / ranks_on_node)`.
@@ -327,6 +332,49 @@ mod tests {
         let dual = ev.predict_time(&Mapping::new(vec![NodeId(4), NodeId(4)]));
         let single = ev.predict_time(&Mapping::new(vec![NodeId(4), NodeId(5)]));
         assert!((dual - single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suspect_node_inflates_r_by_the_penalty_factor() {
+        use crate::health::{HealthView, NodeHealth};
+        let c = two_switch_demo();
+        let p = profile();
+        let m = Mapping::new(vec![NodeId(0), NodeId(1)]);
+        let mut snap = SystemSnapshot::no_load(&c, &c);
+        let baseline = Evaluator::new(&p, &snap).predict(&m);
+        let mut states = vec![NodeHealth::Healthy; c.len()];
+        states[0] = NodeHealth::Suspect;
+        snap.set_health(HealthView::new(states, 2.5));
+        let degraded = Evaluator::new(&p, &snap).predict(&m);
+        // R on the suspect node is exactly 2.5× the healthy cost; the
+        // communication term is untouched.
+        assert!((degraded.per_proc[0].r - baseline.per_proc[0].r * 2.5).abs() < 1e-9);
+        assert_eq!(degraded.per_proc[0].c, baseline.per_proc[0].c);
+        assert_eq!(degraded.per_proc[1].r, baseline.per_proc[1].r);
+    }
+
+    #[test]
+    fn down_node_costs_infinity() {
+        use crate::health::{HealthView, NodeHealth};
+        let c = two_switch_demo();
+        let p = profile();
+        let mut snap = SystemSnapshot::no_load(&c, &c);
+        let mut states = vec![NodeHealth::Healthy; c.len()];
+        states[3] = NodeHealth::Down;
+        snap.set_health(HealthView::new(states, 2.0));
+        let ev = Evaluator::new(&p, &snap);
+        let onto_down = ev.predict(&Mapping::new(vec![NodeId(3), NodeId(1)]));
+        assert!(onto_down.time.is_infinite());
+        assert_eq!(onto_down.bottleneck, 0);
+        assert!(ev
+            .predict_time(&Mapping::new(vec![NodeId(3), NodeId(1)]))
+            .is_infinite());
+        assert!(ev
+            .compute_only_score(&Mapping::new(vec![NodeId(3), NodeId(1)]))
+            .is_infinite());
+        // Mappings that avoid the down node are unaffected.
+        let clean = ev.predict(&Mapping::new(vec![NodeId(0), NodeId(1)]));
+        assert!(clean.time.is_finite());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod error;
 pub mod eval;
+pub mod health;
 pub mod mapping;
 pub mod monitor;
 pub mod registry;
@@ -35,6 +36,7 @@ pub mod snapshot;
 
 pub use error::ServiceError;
 pub use eval::{Evaluator, Prediction};
+pub use health::{HealthPolicy, HealthTracker, HealthView, NodeHealth};
 pub use mapping::Mapping;
 pub use monitor::{ForecastKind, Monitor};
 pub use registry::ProfileRegistry;

@@ -79,6 +79,25 @@ impl Monitor {
         self.observations += 1;
     }
 
+    /// Feed one *partial* sweep: only nodes with `reported[i] == true`
+    /// delivered a measurement (crashed nodes and dropped-out monitor
+    /// daemons stay silent). Non-reporting nodes keep their stale
+    /// forecasts — health tracking, not forecasting, is responsible for
+    /// reacting to the silence.
+    pub fn observe_partial(&mut self, measured: &LoadState, reported: &[bool]) {
+        assert_eq!(measured.len(), self.cpu.len(), "node count mismatch");
+        assert_eq!(reported.len(), self.cpu.len(), "node count mismatch");
+        for (i, &fresh) in reported.iter().enumerate() {
+            if !fresh {
+                continue;
+            }
+            let id = NodeId(i as u32);
+            self.cpu[i].observe(measured.cpu_avail(id));
+            self.nic[i].observe(measured.nic_load(id));
+        }
+        self.observations += 1;
+    }
+
     /// The forecast load state for the next period.
     pub fn forecast(&self) -> LoadState {
         let _t = cbes_netmodel::forecast::refresh_timer();
@@ -148,6 +167,23 @@ mod tests {
             m.observe(&s);
         }
         assert!((m.forecast().cpu_avail(NodeId(0)) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_sweep_keeps_silent_nodes_stale() {
+        let mut m = Monitor::new(2, ForecastKind::LastValue);
+        let mut s = LoadState::idle(2);
+        s.set_cpu_avail(NodeId(0), 0.7);
+        s.set_cpu_avail(NodeId(1), 0.7);
+        m.observe(&s);
+        // Node 1 goes silent; ground truth moves but its forecast must not.
+        s.set_cpu_avail(NodeId(0), 0.2);
+        s.set_cpu_avail(NodeId(1), 0.2);
+        m.observe_partial(&s, &[true, false]);
+        let f = m.forecast();
+        assert_eq!(f.cpu_avail(NodeId(0)), 0.2);
+        assert_eq!(f.cpu_avail(NodeId(1)), 0.7);
+        assert_eq!(m.observations(), 2);
     }
 
     #[test]

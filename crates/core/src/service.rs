@@ -15,6 +15,7 @@ use std::sync::{Arc, OnceLock};
 
 use crate::error::ServiceError;
 use crate::eval::{Evaluator, Prediction};
+use crate::health::{HealthPolicy, HealthTracker, HealthView};
 use crate::mapping::Mapping;
 use crate::monitor::{ForecastKind, Monitor};
 use crate::registry::ProfileRegistry;
@@ -32,6 +33,10 @@ struct CoreInstruments {
     compare_us: Arc<Histogram>,
     epoch_publish_us: Arc<Histogram>,
     epoch: Arc<Gauge>,
+    health_transitions: Arc<Counter>,
+    healthy: Arc<Gauge>,
+    suspect: Arc<Gauge>,
+    down: Arc<Gauge>,
 }
 
 fn instruments() -> &'static CoreInstruments {
@@ -44,6 +49,10 @@ fn instruments() -> &'static CoreInstruments {
             compare_us: r.histogram("core.compare_us"),
             epoch_publish_us: r.histogram("core.epoch_publish_us"),
             epoch: r.gauge("core.epoch"),
+            health_transitions: r.counter("core.health.transitions"),
+            healthy: r.gauge("core.health.healthy"),
+            suspect: r.gauge("core.health.suspect"),
+            down: r.gauge("core.health.down"),
         }
     })
 }
@@ -55,6 +64,8 @@ pub struct EpochLoad {
     pub epoch: u64,
     /// The monitor's forecast as of that epoch.
     pub load: LoadState,
+    /// Per-node health classification as of that epoch.
+    pub health: HealthView,
 }
 
 /// The core CBES module: owns the profile registry and the monitor, and
@@ -64,6 +75,8 @@ pub struct CbesService {
     no_load: Arc<dyn LatencyProvider + Send + Sync>,
     registry: ProfileRegistry,
     monitor: RwLock<Monitor>,
+    /// Staleness-driven per-node health, updated alongside the monitor.
+    health: RwLock<HealthTracker>,
     /// Epoch of the cached forecast, readable without any lock.
     epoch: AtomicU64,
     /// Latest forecast; replaced wholesale on observation, so readers
@@ -83,15 +96,24 @@ impl CbesService {
         let initial = Arc::new(EpochLoad {
             epoch: 0,
             load: LoadState::idle(n),
+            health: HealthView::all_healthy(n),
         });
         CbesService {
             cluster,
             no_load,
             registry: ProfileRegistry::new(),
             monitor: RwLock::new(Monitor::new(n, forecast)),
+            health: RwLock::new(HealthTracker::new(n, HealthPolicy::default())),
             epoch: AtomicU64::new(0),
             cached: RwLock::new(initial),
         }
+    }
+
+    /// Replace the health policy (staleness deadlines and suspect penalty).
+    /// Resets the tracker; intended for configuration at startup.
+    pub fn with_health_policy(self, policy: HealthPolicy) -> Self {
+        *self.health.write() = HealthTracker::new(self.cluster.len(), policy);
+        self
     }
 
     /// A service whose no-load latencies come from the cluster's own
@@ -126,25 +148,86 @@ impl CbesService {
     /// epoch. Concurrent observers are serialised; readers are never
     /// blocked for longer than an `Arc` swap.
     pub fn observe_load(&self, measured: &LoadState) -> Result<u64, ServiceError> {
-        if measured.len() != self.cluster.len() {
+        self.observe_sweep(measured, None)
+    }
+
+    /// Feed a *partial* monitoring sweep: only nodes with
+    /// `reported[i] == true` delivered a measurement. Silent nodes keep
+    /// stale forecasts and age toward `Suspect`/`Down` under the health
+    /// policy. Returns the new epoch.
+    pub fn observe_load_partial(
+        &self,
+        measured: &LoadState,
+        reported: &[bool],
+    ) -> Result<u64, ServiceError> {
+        self.observe_sweep(measured, Some(reported))
+    }
+
+    fn observe_sweep(
+        &self,
+        measured: &LoadState,
+        reported: Option<&[bool]>,
+    ) -> Result<u64, ServiceError> {
+        let n = self.cluster.len();
+        if measured.len() != n {
             return Err(ServiceError::LoadArityMismatch {
-                expected: self.cluster.len(),
+                expected: n,
                 got: measured.len(),
             });
+        }
+        if let Some(mask) = reported {
+            if mask.len() != n {
+                return Err(ServiceError::LoadArityMismatch {
+                    expected: n,
+                    got: mask.len(),
+                });
+            }
         }
         let obs = instruments();
         let _span = Registry::global().span("core.publish_epoch");
         let publish = obs.epoch_publish_us.start_timer();
         let mut monitor = self.monitor.write();
-        monitor.observe(measured);
+        let mut tracker = self.health.write();
+        let changed = match reported {
+            None => {
+                monitor.observe(measured);
+                tracker.record_full_sweep()
+            }
+            Some(mask) => {
+                monitor.observe_partial(measured, mask);
+                tracker.record_sweep(mask)
+            }
+        };
         let load = monitor.forecast();
+        let health = tracker.view();
+        let (h, s, d) = health.counts();
         // Epoch bump and cache swap stay under the monitor lock so two
         // concurrent observers cannot publish forecasts out of order.
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        *self.cached.write() = Arc::new(EpochLoad { epoch, load });
+        *self.cached.write() = Arc::new(EpochLoad {
+            epoch,
+            load,
+            health,
+        });
+        drop(tracker);
         drop(publish);
         obs.epoch.set(epoch as f64);
+        obs.health_transitions.add(changed);
+        obs.healthy.set(h as f64);
+        obs.suspect.set(s as f64);
+        obs.down.set(d as f64);
         Ok(epoch)
+    }
+
+    /// Counts of nodes per health state as of the current epoch:
+    /// `(healthy, suspect, down)`.
+    pub fn health_counts(&self) -> (usize, usize, usize) {
+        self.current_load().health.counts()
+    }
+
+    /// Cumulative health-state transitions since startup.
+    pub fn health_transitions(&self) -> u64 {
+        self.health.read().transitions()
     }
 
     /// The epoch-stamped forecast requests are evaluated against.
@@ -162,14 +245,21 @@ impl CbesService {
         let cached = self.current_load();
         let mut s = SystemSnapshot::no_load(&self.cluster, &*self.no_load);
         s.set_load(cached.load.clone());
+        s.set_health(cached.health.clone());
         (cached.epoch, s)
     }
 
-    /// Validate `mappings` against `profile_procs` and the cluster:
-    /// non-empty, correct arity, known nodes, and no node oversubscribed
-    /// beyond its CPU count (the same census `Evaluator` uses for CPU
-    /// shares, surfaced as a typed error at the service boundary).
-    fn validate(&self, profile_procs: usize, mappings: &[Mapping]) -> Result<(), ServiceError> {
+    /// Validate `mappings` against `profile_procs`, the cluster, and the
+    /// current health view: non-empty, correct arity, known nodes, no node
+    /// oversubscribed beyond its CPU count (the same census `Evaluator`
+    /// uses for CPU shares), and no process on a `Down` node — all
+    /// surfaced as typed errors at the service boundary.
+    fn validate(
+        &self,
+        profile_procs: usize,
+        mappings: &[Mapping],
+        health: &HealthView,
+    ) -> Result<(), ServiceError> {
         if mappings.is_empty() {
             return Err(ServiceError::EmptyRequest);
         }
@@ -184,6 +274,9 @@ impl CbesService {
             for (_, node) in m.iter() {
                 if node.index() >= self.cluster.len() {
                     return Err(ServiceError::BadNode(node.0));
+                }
+                if !health.is_usable(node) {
+                    return Err(ServiceError::NodeDown(node.0));
                 }
             }
             ranks_on.iter_mut().for_each(|c| *c = 0);
@@ -226,11 +319,11 @@ impl CbesService {
             .registry
             .get(app)
             .ok_or_else(|| ServiceError::UnknownApp(app.to_string()))?;
-        self.validate(profile.num_procs(), mappings)?;
+        let (epoch, snap) = self.snapshot_stamped();
+        self.validate(profile.num_procs(), mappings, snap.health_view())?;
         let obs = instruments();
         let _span = Registry::global().span("core.evaluate_mapping");
         let timer = obs.compare_us.start_timer();
-        let (epoch, snap) = self.snapshot_stamped();
         let ev = Evaluator::new(&profile, &snap);
         let predictions: Vec<Prediction> = mappings.iter().map(|m| ev.predict(m)).collect();
         drop(timer);
@@ -418,6 +511,81 @@ mod tests {
         assert!(snap.histograms["core.epoch_publish_us"].count > publishes_before);
         assert!(snap.gauges["core.epoch"] >= 1.0);
         assert!(snap.spans_buffered >= 1, "spans land in the global ring");
+    }
+
+    #[test]
+    fn silent_node_degrades_to_down_and_is_rejected() {
+        use crate::health::HealthPolicy;
+        let svc = demo_service().with_health_policy(HealthPolicy {
+            suspect_after: 1,
+            down_after: 2,
+            suspect_cost_factor: 2.0,
+        });
+        let n = svc.cluster().len();
+        let idle = LoadState::idle(n);
+        let mut mask = vec![true; n];
+        mask[0] = false;
+        // Node 0 silent for 4 sweeps: age 1 (healthy), 2 (suspect), 3+ (down).
+        for _ in 0..4 {
+            svc.observe_load_partial(&idle, &mask).unwrap();
+        }
+        assert_eq!(svc.health_counts(), (n - 1, 0, 1));
+        assert!(svc.health_transitions() >= 2);
+        assert_eq!(
+            svc.compare("app", &[m(&[0, 1])]).unwrap_err(),
+            ServiceError::NodeDown(0)
+        );
+        // Mappings avoiding the down node still evaluate.
+        assert!(svc.compare("app", &[m(&[1, 2])]).is_ok());
+        // A fresh report heals the node and lifts the rejection.
+        svc.observe_load(&idle).unwrap();
+        assert_eq!(svc.health_counts(), (n, 0, 0));
+        assert!(svc.compare("app", &[m(&[0, 1])]).is_ok());
+    }
+
+    #[test]
+    fn suspect_node_predictions_are_inflated_not_rejected() {
+        use crate::health::HealthPolicy;
+        let svc = demo_service().with_health_policy(HealthPolicy {
+            suspect_after: 0,
+            down_after: 100,
+            suspect_cost_factor: 3.0,
+        });
+        let n = svc.cluster().len();
+        let idle = LoadState::idle(n);
+        let baseline = svc.compare("app", &[m(&[0, 1])]).unwrap()[0].clone();
+        let mut mask = vec![true; n];
+        mask[0] = false;
+        for _ in 0..2 {
+            svc.observe_load_partial(&idle, &mask).unwrap();
+        }
+        assert_eq!(svc.health_counts(), (n - 1, 1, 0));
+        let degraded = svc.compare("app", &[m(&[0, 1])]).unwrap()[0].clone();
+        assert!((degraded.per_proc[0].r - baseline.per_proc[0].r * 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn health_gauges_land_in_the_global_registry() {
+        use crate::health::HealthPolicy;
+        let svc = demo_service().with_health_policy(HealthPolicy {
+            suspect_after: 0,
+            down_after: 1,
+            suspect_cost_factor: 2.0,
+        });
+        let n = svc.cluster().len();
+        let r = Registry::global();
+        let before = r.counter("core.health.transitions").get();
+        let mut mask = vec![true; n];
+        mask[0] = false;
+        for _ in 0..3 {
+            svc.observe_load_partial(&LoadState::idle(n), &mask)
+                .unwrap();
+        }
+        let snap = r.snapshot();
+        assert!(snap.counters["core.health.transitions"] > before);
+        assert!(snap.gauges.contains_key("core.health.healthy"));
+        assert!(snap.gauges.contains_key("core.health.suspect"));
+        assert!(snap.gauges.contains_key("core.health.down"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! On-demand snapshots of system state, combining the calibrated latency
 //! model with the monitor's current load estimates.
 
+use crate::health::{HealthView, NodeHealth};
 use cbes_cluster::load::LoadState;
 use cbes_cluster::{Cluster, LatencyProvider, NodeId};
 use cbes_netmodel::LoadAdjuster;
@@ -23,6 +24,8 @@ pub struct SystemSnapshot<'a> {
     pub adjuster: LoadAdjuster,
     /// Current (or forecast) per-node load.
     pub load: LoadState,
+    /// Current per-node health classification (all healthy by default).
+    health: HealthView,
 }
 
 impl<'a> SystemSnapshot<'a> {
@@ -37,11 +40,13 @@ impl<'a> SystemSnapshot<'a> {
             load.len() >= cluster.len(),
             "load state must cover every node"
         );
+        let health = HealthView::all_healthy(cluster.len());
         SystemSnapshot {
             cluster,
             no_load,
             adjuster,
             load,
+            health,
         }
     }
 
@@ -59,6 +64,41 @@ impl<'a> SystemSnapshot<'a> {
     #[inline]
     pub fn acpu(&self, node: NodeId) -> f64 {
         self.load.cpu_avail(node)
+    }
+
+    /// `ACPU_j` degraded by health: `Suspect` nodes have their availability
+    /// divided by the policy's suspect cost factor (inflating `R_i`), and
+    /// `Down` nodes report zero availability (infinite compute cost —
+    /// unmappable).
+    #[inline]
+    pub fn effective_acpu(&self, node: NodeId) -> f64 {
+        match self.health.health(node) {
+            NodeHealth::Healthy => self.acpu(node),
+            NodeHealth::Suspect => self.acpu(node) / self.health.suspect_cost_factor(),
+            NodeHealth::Down => 0.0,
+        }
+    }
+
+    /// Health classification of `node`.
+    #[inline]
+    pub fn health(&self, node: NodeId) -> NodeHealth {
+        self.health.health(node)
+    }
+
+    /// True unless `node` is classified `Down`.
+    #[inline]
+    pub fn is_usable(&self, node: NodeId) -> bool {
+        self.health.is_usable(node)
+    }
+
+    /// The full health view carried by this snapshot.
+    pub fn health_view(&self) -> &HealthView {
+        &self.health
+    }
+
+    /// Replace the health view (e.g. with a fresh tracker classification).
+    pub fn set_health(&mut self, health: HealthView) {
+        self.health = health;
     }
 
     /// Relative speed of `node` (`Speed_j`).
@@ -122,6 +162,24 @@ mod tests {
     fn short_load_state_is_rejected() {
         let c = two_switch_demo();
         let _ = SystemSnapshot::new(&c, &c, LoadAdjuster::default(), LoadState::idle(2));
+    }
+
+    #[test]
+    fn default_health_is_all_healthy_and_settable() {
+        use crate::health::{HealthView, NodeHealth};
+        let c = two_switch_demo();
+        let mut s = SystemSnapshot::no_load(&c, &c);
+        assert!(s.is_usable(NodeId(0)));
+        assert_eq!(s.health(NodeId(0)), NodeHealth::Healthy);
+        assert_eq!(s.effective_acpu(NodeId(0)), 1.0);
+        let mut states = vec![NodeHealth::Healthy; c.len()];
+        states[0] = NodeHealth::Down;
+        states[1] = NodeHealth::Suspect;
+        s.set_health(HealthView::new(states, 4.0));
+        assert!(!s.is_usable(NodeId(0)));
+        assert_eq!(s.effective_acpu(NodeId(0)), 0.0);
+        assert!((s.effective_acpu(NodeId(1)) - 0.25).abs() < 1e-12);
+        assert_eq!(s.effective_acpu(NodeId(2)), 1.0);
     }
 
     #[test]

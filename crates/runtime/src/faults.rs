@@ -1,0 +1,133 @@
+//! The orchestrator's view of injected faults.
+//!
+//! The concrete fault *schedules* (deterministic, seedable event lists)
+//! live in the `cbes-faults` crate; the orchestrator only needs a
+//! point-in-time sample of the disturbance, so the dependency points the
+//! other way: `cbes-faults` implements [`Perturbation`] for its schedule
+//! type and hands it to [`crate::Orchestrator::run_with_faults`].
+
+use cbes_cluster::load::LoadState;
+use cbes_cluster::NodeId;
+
+/// The state of all injected faults at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Disturbance {
+    /// Whether each node's monitoring daemon delivers a measurement this
+    /// sweep (`false` = monitor dropout).
+    pub reporting: Vec<bool>,
+    /// Whether each node has actually crashed. Crashed nodes never report
+    /// and their ground-truth CPU availability collapses.
+    pub crashed: Vec<bool>,
+    /// Multiplier on each node's ground-truth CPU availability (load
+    /// burst: < 1).
+    pub cpu_scale: Vec<f64>,
+    /// Additional NIC load applied to every node (latency spike: the load
+    /// adjuster and the simulator both inflate message latency with NIC
+    /// load).
+    pub extra_nic_load: f64,
+}
+
+impl Disturbance {
+    /// No faults active on an `n`-node cluster.
+    pub fn none(n: usize) -> Self {
+        Disturbance {
+            reporting: vec![true; n],
+            crashed: vec![false; n],
+            cpu_scale: vec![1.0; n],
+            extra_nic_load: 0.0,
+        }
+    }
+
+    /// True when no fault is active.
+    pub fn is_none(&self) -> bool {
+        self.reporting.iter().all(|&r| r)
+            && self.crashed.iter().all(|&c| !c)
+            && self.cpu_scale.iter().all(|&s| s == 1.0)
+            && self.extra_nic_load == 0.0
+    }
+
+    /// The per-node "delivered a measurement" mask: a node reports only if
+    /// its monitor stream is up *and* the node itself is alive.
+    pub fn reported_mask(&self) -> Vec<bool> {
+        self.reporting
+            .iter()
+            .zip(&self.crashed)
+            .map(|(&r, &c)| r && !c)
+            .collect()
+    }
+
+    /// Apply the disturbance to a ground-truth load sample: crashed nodes
+    /// collapse to minimum availability, load bursts scale availability,
+    /// and latency spikes add NIC load everywhere.
+    pub fn apply_to(&self, load: &mut LoadState) {
+        let n = load.len().min(self.crashed.len());
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            if self.crashed[i] {
+                load.set_cpu_avail(id, 0.0); // clamped to the floor
+            } else if self.cpu_scale[i] != 1.0 {
+                load.set_cpu_avail(id, load.cpu_avail(id) * self.cpu_scale[i]);
+            }
+            if self.extra_nic_load > 0.0 {
+                load.set_nic_load(id, load.nic_load(id) + self.extra_nic_load);
+            }
+        }
+    }
+}
+
+/// A source of injected disturbances, sampled at simulation time `t`.
+pub trait Perturbation {
+    /// The disturbance active at time `t` on an `n`-node cluster.
+    fn sample(&self, t: f64, n: usize) -> Disturbance;
+}
+
+/// The trivial perturbation: nothing ever goes wrong.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl Perturbation for NoFaults {
+    fn sample(&self, _t: f64, n: usize) -> Disturbance {
+        Disturbance::none(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let d = Disturbance::none(3);
+        assert!(d.is_none());
+        assert_eq!(d.reported_mask(), vec![true; 3]);
+        let mut load = LoadState::idle(3);
+        d.apply_to(&mut load);
+        assert_eq!(load.cpu_avail(NodeId(0)), 1.0);
+        assert_eq!(load.nic_load(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn crash_collapses_availability_and_silences_reports() {
+        let mut d = Disturbance::none(2);
+        d.crashed[1] = true;
+        assert!(!d.is_none());
+        assert_eq!(d.reported_mask(), vec![true, false]);
+        let mut load = LoadState::idle(2);
+        d.apply_to(&mut load);
+        assert_eq!(load.cpu_avail(NodeId(0)), 1.0);
+        // LoadState clamps availability to its positive floor.
+        assert!(load.cpu_avail(NodeId(1)) <= 0.01);
+    }
+
+    #[test]
+    fn bursts_and_spikes_adjust_load() {
+        let mut d = Disturbance::none(2);
+        d.cpu_scale[0] = 0.5;
+        d.extra_nic_load = 0.3;
+        let mut load = LoadState::idle(2);
+        d.apply_to(&mut load);
+        assert_eq!(load.cpu_avail(NodeId(0)), 0.5);
+        assert_eq!(load.cpu_avail(NodeId(1)), 1.0);
+        assert!((load.nic_load(NodeId(0)) - 0.3).abs() < 1e-12);
+    }
+}

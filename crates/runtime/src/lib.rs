@@ -20,9 +20,11 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod faults;
 pub mod orchestrator;
 pub mod phased;
 
 pub use error::RuntimeError;
+pub use faults::{Disturbance, NoFaults, Perturbation};
 pub use orchestrator::{Orchestrator, PhaseReport, RunReport, RuntimeConfig};
 pub use phased::PhasedApp;

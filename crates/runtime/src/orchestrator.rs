@@ -1,10 +1,12 @@
 //! The monitoring / scheduling / remapping loop.
 
 use crate::error::RuntimeError;
+use crate::faults::{Disturbance, Perturbation};
 use crate::phased::PhasedApp;
 use cbes_cluster::load::LoadTimeline;
 use cbes_cluster::{Cluster, LatencyProvider, NodeId};
 use cbes_core::eval::Evaluator;
+use cbes_core::health::{HealthPolicy, HealthTracker, NodeHealth};
 use cbes_core::mapping::Mapping;
 use cbes_core::monitor::{ForecastKind, Monitor};
 use cbes_core::remap::{RemapAnalysis, RemapDecision};
@@ -27,6 +29,8 @@ pub struct RuntimeConfig {
     pub sim: SimConfig,
     /// Monitoring sweeps taken at each phase boundary.
     pub sweeps_per_boundary: u32,
+    /// Staleness deadlines for node health classification.
+    pub health: HealthPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -37,6 +41,7 @@ impl Default for RuntimeConfig {
             sa: SaConfig::thorough(1),
             sim: SimConfig::default(),
             sweeps_per_boundary: 3,
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -54,8 +59,13 @@ pub struct PhaseReport {
     pub wall: f64,
     /// True when a remap happened *before* this phase.
     pub remapped: bool,
+    /// True when the remap was *forced* by a mapped node leaving
+    /// `Healthy` (bypassing the cost/benefit analysis).
+    pub forced: bool,
     /// Migration delay charged before the phase (0 when not remapped).
     pub migration: f64,
+    /// Pool nodes classified `Down` when this phase was scheduled.
+    pub down: Vec<NodeId>,
 }
 
 /// The outcome of a full orchestrated run.
@@ -67,6 +77,8 @@ pub struct RunReport {
     pub total: f64,
     /// Number of remapping events taken.
     pub remaps: usize,
+    /// Health-state transitions observed over the run.
+    pub health_transitions: u64,
 }
 
 impl RunReport {
@@ -140,9 +152,28 @@ impl<'a> Orchestrator<'a> {
         pool: &[NodeId],
         timeline: &LoadTimeline,
     ) -> Result<RunReport, RuntimeError> {
+        self.run_with_faults(app, pool, timeline, None)
+    }
+
+    /// Like [`Orchestrator::run`], but with an injected fault source:
+    /// each monitoring sweep and each phase execution samples the
+    /// disturbance active at that simulated instant. Crashed and
+    /// dropped-out nodes stop reporting, so they age toward `Suspect` and
+    /// `Down` under the configured health policy; `Down` nodes are
+    /// excluded from scheduling, and a mapped node leaving `Healthy`
+    /// forces a remap regardless of the cost/benefit analysis.
+    pub fn run_with_faults(
+        &self,
+        app: &PhasedApp,
+        pool: &[NodeId],
+        timeline: &LoadTimeline,
+        faults: Option<&dyn Perturbation>,
+    ) -> Result<RunReport, RuntimeError> {
         let n = app.num_ranks();
+        let n_nodes = self.cluster.len();
         let profiles = self.profile_phases(app, &pool[..n])?;
-        let mut monitor = Monitor::new(self.cluster.len(), self.config.forecast);
+        let mut monitor = Monitor::new(n_nodes, self.config.forecast);
+        let mut tracker = HealthTracker::new(n_nodes, self.config.health);
 
         // Remaining-work profile from phase k onward.
         let remaining = |k: usize| {
@@ -158,40 +189,80 @@ impl<'a> Orchestrator<'a> {
         #[allow(clippy::needless_range_loop)] // k indexes phases AND profiles
         for k in 0..app.num_phases() {
             // Monitoring sweeps observe the recent ground truth, oldest
-            // first, ending at the current instant.
+            // first, ending at the current instant. Injected faults mask
+            // reports from crashed / dropped-out nodes and perturb the
+            // measured load.
             for s in (0..self.config.sweeps_per_boundary).rev() {
-                monitor.observe(&timeline.sample((now - s as f64).max(0.0)));
+                let ts = (now - s as f64).max(0.0);
+                let mut ground = timeline.sample(ts);
+                let d = match faults {
+                    Some(f) => f.sample(ts, n_nodes),
+                    None => Disturbance::none(n_nodes),
+                };
+                d.apply_to(&mut ground);
+                let mask = d.reported_mask();
+                monitor.observe_partial(&ground, &mask);
+                tracker.record_sweep(&mask);
             }
             let forecast = monitor.forecast();
+            let health = tracker.view();
+            let down: Vec<NodeId> = pool
+                .iter()
+                .copied()
+                .filter(|&nd| !health.is_usable(nd))
+                .collect();
             let mut snap = SystemSnapshot::no_load(self.cluster, self.latency);
             snap.set_load(forecast);
+            snap.set_health(health.clone());
 
             let work_left = remaining(k);
             let req = ScheduleRequest::new(&work_left, &snap, pool);
             let fresh = SaScheduler::new(self.config.sa).schedule(&req)?;
 
-            let (chosen, remapped, migration) = match &mapping {
-                None => (fresh.mapping.clone(), false, 0.0),
+            let (chosen, remapped, forced, migration) = match &mapping {
+                None => (fresh.mapping.clone(), false, false, 0.0),
                 Some(current) => {
-                    let ev = Evaluator::new(&work_left, &snap);
-                    match self.config.remap.decide(&ev, current, &fresh.mapping, 0.0) {
-                        RemapDecision::Remap { .. } => {
-                            let moved = current.moved_ranks(&fresh.mapping).len();
-                            remaps += 1;
-                            (
-                                fresh.mapping.clone(),
-                                true,
-                                self.config.remap.cost.total(moved),
-                            )
+                    let unhealthy_mapped = current
+                        .as_slice()
+                        .iter()
+                        .any(|&nd| health.health(nd) != NodeHealth::Healthy);
+                    if unhealthy_mapped && fresh.mapping != *current {
+                        // A mapped node left Healthy: migrate away without
+                        // consulting the cost/benefit analysis.
+                        let moved = current.moved_ranks(&fresh.mapping).len();
+                        remaps += 1;
+                        (
+                            fresh.mapping.clone(),
+                            true,
+                            true,
+                            self.config.remap.cost.total(moved),
+                        )
+                    } else {
+                        let ev = Evaluator::new(&work_left, &snap);
+                        match self.config.remap.decide(&ev, current, &fresh.mapping, 0.0) {
+                            RemapDecision::Remap { .. } => {
+                                let moved = current.moved_ranks(&fresh.mapping).len();
+                                remaps += 1;
+                                (
+                                    fresh.mapping.clone(),
+                                    true,
+                                    false,
+                                    self.config.remap.cost.total(moved),
+                                )
+                            }
+                            RemapDecision::Stay { .. } => (current.clone(), false, false, 0.0),
                         }
-                        RemapDecision::Stay { .. } => (current.clone(), false, 0.0),
                     }
                 }
             };
             now += migration;
 
-            // Execute the phase against the *actual* load at this time.
-            let actual = timeline.sample(now);
+            // Execute the phase against the *actual* (fault-perturbed)
+            // load at this time.
+            let mut actual = timeline.sample(now);
+            if let Some(f) = faults {
+                f.sample(now, n_nodes).apply_to(&mut actual);
+            }
             let phase_profile = &profiles[k];
             let snap_now = {
                 let mut s = SystemSnapshot::no_load(self.cluster, self.latency);
@@ -217,7 +288,9 @@ impl<'a> Orchestrator<'a> {
                 predicted,
                 wall,
                 remapped,
+                forced,
                 migration,
+                down,
             });
             mapping = Some(chosen);
         }
@@ -226,6 +299,7 @@ impl<'a> Orchestrator<'a> {
             phases,
             total: now,
             remaps,
+            health_transitions: tracker.transitions(),
         })
     }
 }
@@ -313,6 +387,62 @@ mod tests {
                 "remap should avoid loaded node {bad}"
             );
         }
+    }
+
+    #[test]
+    fn mapped_node_going_silent_forces_a_remap() {
+        struct DropNode {
+            node: usize,
+            after: f64,
+        }
+        impl Perturbation for DropNode {
+            fn sample(&self, t: f64, n: usize) -> Disturbance {
+                let mut d = Disturbance::none(n);
+                if t >= self.after {
+                    d.reporting[self.node] = false;
+                }
+                d
+            }
+        }
+        let cluster = orange_grove();
+        let mut config = cheap_config();
+        // Tight deadlines: two silent sweeps are enough to reach Down
+        // (the boundary's oldest sweep clamps to t=0, where the victim
+        // still reports).
+        config.health = cbes_core::health::HealthPolicy {
+            suspect_after: 0,
+            down_after: 1,
+            suspect_cost_factor: 2.0,
+        };
+        let orch = Orchestrator::new(&cluster, &cluster, config);
+        let app = two_phase_app(8);
+        // Pool: 8 Alphas (fastest — the initial mapping) + 8 Intels to
+        // migrate onto.
+        let alphas = cluster.nodes_by_arch(Architecture::Alpha);
+        let mut pool = alphas.clone();
+        pool.extend(cluster.nodes_by_arch(Architecture::IntelPII));
+        let victim = alphas[0];
+        let faults = DropNode {
+            node: victim.index(),
+            after: 0.5,
+        };
+        let report = orch
+            .run_with_faults(
+                &app,
+                &pool,
+                &LoadTimeline::idle(cluster.len()),
+                Some(&faults),
+            )
+            .expect("run");
+        // Phase 0 was scheduled before the dropout and uses the victim.
+        assert!(report.phases[0].mapping.as_slice().contains(&victim));
+        assert!(report.phases[0].down.is_empty());
+        // By the phase-1 boundary the victim aged to Down: the remap is
+        // forced and the new mapping avoids it.
+        assert!(report.phases[1].down.contains(&victim), "{report:?}");
+        assert!(report.phases[1].remapped && report.phases[1].forced);
+        assert!(!report.phases[1].mapping.as_slice().contains(&victim));
+        assert!(report.health_transitions >= 1);
     }
 
     #[test]

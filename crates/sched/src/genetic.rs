@@ -154,7 +154,7 @@ impl Scheduler for GeneticScheduler {
 
         let mut pop: Vec<Individual> = (0..self.config.population.max(2))
             .map(|_| {
-                let genes = SearchState::random(req.pool, n, &mut rng)
+                let genes = SearchState::random(req.pool(), n, &mut rng)
                     .assigned()
                     .to_vec();
                 let energy = ev.predict_time(&Mapping::new(genes.clone()));
@@ -176,9 +176,9 @@ impl Scheduler for GeneticScheduler {
             while next.len() < pop.len() {
                 let pa = self.tournament(&pop, &mut rng);
                 let pb = self.tournament(&pop, &mut rng);
-                let mut genes = Self::crossover(&pa.genes, &pb.genes, req.pool, &mut rng);
+                let mut genes = Self::crossover(&pa.genes, &pb.genes, req.pool(), &mut rng);
                 if rng.random_range(0.0..1.0) < self.config.mutation_prob {
-                    Self::mutate(&mut genes, req.pool, &mut rng);
+                    Self::mutate(&mut genes, req.pool(), &mut rng);
                 }
                 let energy = ev.predict_time(&Mapping::new(genes.clone()));
                 evals += 1;

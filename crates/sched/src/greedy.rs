@@ -43,7 +43,7 @@ impl Scheduler for GreedyScheduler {
         });
 
         let mut placed: Vec<Option<NodeId>> = vec![None; n];
-        let mut free: Vec<NodeId> = req.pool.to_vec();
+        let mut free: Vec<NodeId> = req.pool().to_vec();
         let mut evals = 0u64;
 
         for &rank in &order {
@@ -51,7 +51,8 @@ impl Scheduler for GreedyScheduler {
             let mut best: Option<(usize, f64)> = None;
             for (fi, &node) in free.iter().enumerate() {
                 // Partial cost of putting `rank` on `node` now.
-                let r = (p.x + p.o) * (p.profile_speed / snap.speed(node)) / snap.acpu(node);
+                let r = (p.x + p.o) * (p.profile_speed / snap.speed(node))
+                    / snap.effective_acpu(node).max(f64::MIN_POSITIVE);
                 let mut c = 0.0;
                 for g in &p.sends {
                     if let Some(peer_node) = placed[g.peer] {

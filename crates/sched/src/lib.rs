@@ -39,27 +39,50 @@ use std::time::Duration;
 
 /// A scheduling request: find a good mapping of `profile`'s processes onto
 /// nodes drawn from `pool`, under the system conditions in `snapshot`.
+///
+/// The pool is filtered against the snapshot's health view at construction:
+/// nodes classified `Down` are removed before any scheduler sees them, so
+/// *no* scheduler — deterministic or randomised — can assign a process to a
+/// down node.
 pub struct ScheduleRequest<'a> {
     /// The application to schedule.
     pub profile: &'a AppProfile,
     /// Current system conditions.
     pub snapshot: &'a SystemSnapshot<'a>,
-    /// Candidate nodes the scheduler may use.
-    pub pool: &'a [NodeId],
+    /// Usable candidate nodes (the given pool minus `Down` nodes).
+    usable: Vec<NodeId>,
+    /// Nodes in the pool as requested, before health filtering.
+    requested: usize,
 }
 
 impl<'a> ScheduleRequest<'a> {
-    /// Build a request.
+    /// Build a request. `Down` nodes are dropped from `pool` here.
     pub fn new(
         profile: &'a AppProfile,
         snapshot: &'a SystemSnapshot<'a>,
         pool: &'a [NodeId],
     ) -> Self {
+        let usable: Vec<NodeId> = pool
+            .iter()
+            .copied()
+            .filter(|&n| snapshot.is_usable(n))
+            .collect();
         ScheduleRequest {
             profile,
             snapshot,
-            pool,
+            usable,
+            requested: pool.len(),
         }
+    }
+
+    /// The candidate nodes schedulers may draw from (post health filter).
+    pub fn pool(&self) -> &[NodeId] {
+        &self.usable
+    }
+
+    /// Nodes excluded from the requested pool because they are `Down`.
+    pub fn excluded_down(&self) -> usize {
+        self.requested - self.usable.len()
     }
 
     /// Number of processes to place.
@@ -72,15 +95,18 @@ impl<'a> ScheduleRequest<'a> {
         Evaluator::new(self.profile, self.snapshot)
     }
 
-    /// Validate pool size and profile non-emptiness.
+    /// Validate pool size and profile non-emptiness. The pool check runs
+    /// against the *usable* pool, so a cluster with too many down nodes
+    /// fails loudly instead of over-packing the survivors.
     pub fn validate(&self) -> Result<(), SchedError> {
         if self.num_procs() == 0 {
             return Err(SchedError::EmptyProfile);
         }
-        if self.pool.len() < self.num_procs() {
+        if self.usable.len() < self.num_procs() {
             return Err(SchedError::PoolTooSmall {
                 need: self.num_procs(),
-                have: self.pool.len(),
+                have: self.usable.len(),
+                down: self.excluded_down(),
             });
         }
         Ok(())
@@ -109,13 +135,15 @@ pub struct ScheduleResult {
 /// Scheduler errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchedError {
-    /// The candidate pool has fewer nodes than the application has
+    /// The candidate pool has fewer usable nodes than the application has
     /// processes.
     PoolTooSmall {
         /// Processes to place.
         need: usize,
-        /// Pool size.
+        /// Usable pool size (after dropping `Down` nodes).
         have: usize,
+        /// Nodes excluded from the requested pool because they are `Down`.
+        down: usize,
     },
     /// The profile has no processes.
     EmptyProfile,
@@ -124,10 +152,10 @@ pub enum SchedError {
 impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedError::PoolTooSmall { need, have } => {
+            SchedError::PoolTooSmall { need, have, down } => {
                 write!(
                     f,
-                    "pool has {have} nodes but {need} processes must be placed"
+                    "pool has {have} usable nodes ({down} down) but {need} processes must be placed"
                 )
             }
             SchedError::EmptyProfile => write!(f, "profile has no processes"),
@@ -209,7 +237,11 @@ mod tests {
             ScheduleRequest::new(&p, &snap, &pool[..2])
                 .validate()
                 .unwrap_err(),
-            SchedError::PoolTooSmall { need: 4, have: 2 }
+            SchedError::PoolTooSmall {
+                need: 4,
+                have: 2,
+                down: 0
+            }
         );
         let empty = AppProfile {
             name: "empty".into(),
@@ -225,9 +257,74 @@ mod tests {
     }
 
     #[test]
+    fn down_nodes_are_filtered_from_every_request_pool() {
+        use cbes_core::health::{HealthView, NodeHealth};
+        let c = demo();
+        let mut snap = SystemSnapshot::no_load(&c, &c);
+        let mut states = vec![NodeHealth::Healthy; c.len()];
+        states[1] = NodeHealth::Down;
+        states[5] = NodeHealth::Down;
+        snap.set_health(HealthView::new(states, 2.0));
+        let p = ring_profile(4, 1.0, 10, 1024);
+        let pool: Vec<NodeId> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        assert_eq!(req.pool().len(), pool.len() - 2);
+        assert_eq!(req.excluded_down(), 2);
+        assert!(!req.pool().contains(&NodeId(1)));
+        assert!(!req.pool().contains(&NodeId(5)));
+        // Every scheduler draws from the filtered pool only.
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(SaScheduler::new(SaConfig::fast(3))),
+            Box::new(NcsScheduler::new(SaConfig::fast(4))),
+            Box::new(GreedyScheduler::new()),
+            Box::new(GeneticScheduler::new(GaConfig::fast(5))),
+            Box::new(RandomScheduler::new(6)),
+        ];
+        for s in &mut schedulers {
+            let r = s.schedule(&req).unwrap();
+            for (_, node) in r.mapping.iter() {
+                assert!(
+                    node != NodeId(1) && node != NodeId(5),
+                    "{} assigned a down node",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_down_nodes_fail_loudly() {
+        use cbes_core::health::{HealthView, NodeHealth};
+        let c = demo();
+        let mut snap = SystemSnapshot::no_load(&c, &c);
+        // All but 2 nodes down; a 4-process app cannot be placed.
+        let mut states = vec![NodeHealth::Down; c.len()];
+        states[0] = NodeHealth::Healthy;
+        states[1] = NodeHealth::Healthy;
+        snap.set_health(HealthView::new(states, 2.0));
+        let p = ring_profile(4, 1.0, 10, 1024);
+        let pool: Vec<NodeId> = c.node_ids().collect();
+        let err = ScheduleRequest::new(&p, &snap, &pool)
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::PoolTooSmall {
+                need: 4,
+                have: 2,
+                down: c.len() - 2
+            }
+        );
+    }
+
+    #[test]
     fn error_display() {
-        assert!(SchedError::PoolTooSmall { need: 8, have: 3 }
-            .to_string()
-            .contains("8 processes"));
+        assert!(SchedError::PoolTooSmall {
+            need: 8,
+            have: 3,
+            down: 1
+        }
+        .to_string()
+        .contains("8 processes"));
     }
 }

@@ -34,7 +34,7 @@ impl Scheduler for RandomScheduler {
     fn schedule(&mut self, req: &ScheduleRequest<'_>) -> Result<ScheduleResult, SchedError> {
         req.validate()?;
         let start = Instant::now();
-        let state = SearchState::random(req.pool, req.num_procs(), &mut self.rng);
+        let state = SearchState::random(req.pool(), req.num_procs(), &mut self.rng);
         let mapping = state.mapping();
         let ev = req.evaluator();
         let predicted_time = ev.predict_time(&mapping);

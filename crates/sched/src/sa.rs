@@ -126,7 +126,7 @@ impl SaScheduler {
         sink: &mut S,
     ) -> (Mapping, f64, u64) {
         let n = req.num_procs();
-        let mut state = SearchState::random(req.pool, n, rng);
+        let mut state = SearchState::random(req.pool(), n, rng);
         let mut current = self.energy(ev, &state.mapping());
         let mut evals = 1u64;
         let mut best = (state.mapping(), current);
@@ -314,7 +314,14 @@ mod tests {
         let err = SaScheduler::new(SaConfig::fast(1))
             .schedule(&req)
             .unwrap_err();
-        assert_eq!(err, SchedError::PoolTooSmall { need: 4, have: 2 });
+        assert_eq!(
+            err,
+            SchedError::PoolTooSmall {
+                need: 4,
+                have: 2,
+                down: 0
+            }
+        );
     }
 
     #[test]

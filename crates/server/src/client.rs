@@ -10,6 +10,8 @@ use cbes_core::eval::Prediction;
 use cbes_core::mapping::Mapping;
 use cbes_obs::MetricsSnapshot;
 use cbes_trace::AppProfile;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::protocol::{encode, Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport};
 
@@ -27,7 +29,17 @@ pub enum ClientError {
         kind: String,
         /// Human-readable detail.
         message: String,
+        /// Back-off hint from load-shedding replies (`0` = no hint).
+        retry_after_ms: u64,
     },
+}
+
+impl ClientError {
+    /// True for server replies that shed load (`overloaded`): the request
+    /// never ran and an idempotent retry after the hinted back-off is safe.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, ClientError::Server { kind, .. } if kind == crate::protocol::error_kind::OVERLOADED)
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -35,7 +47,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            ClientError::Server { kind, message } => write!(f, "server error ({kind}): {message}"),
+            ClientError::Server { kind, message, .. } => {
+                write!(f, "server error ({kind}): {message}")
+            }
         }
     }
 }
@@ -126,7 +140,13 @@ impl Client {
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
+            // A transport condition, not a protocol violation: the peer
+            // hung up mid-conversation. Classified as I/O so retrying
+            // callers know to reconnect.
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
         }
         let envelope: ResponseEnvelope = serde_json::from_str(reply.trim())
             .map_err(|e| ClientError::Protocol(format!("bad reply: {e}")))?;
@@ -142,7 +162,15 @@ impl Client {
     /// Send a request and surface error replies as [`ClientError::Server`].
     fn expect(&mut self, request: Request) -> Result<Response, ClientError> {
         match self.request(request)?.response {
-            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            Response::Error {
+                kind,
+                message,
+                retry_after_ms,
+            } => Err(ClientError::Server {
+                kind,
+                message,
+                retry_after_ms,
+            }),
             other => Ok(other),
         }
     }
@@ -227,6 +255,24 @@ impl Client {
         }
     }
 
+    /// Feed one *partial* monitoring sweep: the nodes in `silent`
+    /// delivered no measurement and age toward `Suspect`/`Down` under the
+    /// server's health policy. Returns the new snapshot epoch.
+    pub fn observe_partial(
+        &mut self,
+        load: &LoadState,
+        silent: &[u32],
+    ) -> Result<u64, ClientError> {
+        let request = Request::ObservePartial {
+            load: load.clone(),
+            silent: silent.to_vec(),
+        };
+        match self.expect(request)? {
+            Response::LoadObserved { epoch } => Ok(epoch),
+            other => Err(unexpected("LoadObserved", &other)),
+        }
+    }
+
     /// Read the server's counters.
     pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
         match self.expect(Request::Stats)? {
@@ -255,4 +301,251 @@ impl Client {
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
     ClientError::Protocol(format!("expected {wanted} reply, got {got:?}"))
+}
+
+/// Retry tuning for [`RetryingClient`]: exponential backoff with
+/// deterministic jitter, bounded attempts.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` disables retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Jitter seed, so backoff sequences are reproducible in tests.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based), before the
+    /// `retry_after_ms` hint is applied: `base · 2^(retry-1)`, capped at
+    /// `max_delay`, jittered uniformly over ±50%.
+    fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        let base = self
+            .base_delay
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_delay);
+        let us = base.as_micros() as u64;
+        if us == 0 {
+            return Duration::ZERO;
+        }
+        // Uniform in [0.5, 1.5) × base.
+        let jittered = us / 2 + rng.random_range(0..us.max(1));
+        Duration::from_micros(jittered)
+    }
+}
+
+/// A [`Client`] wrapper that reconnects and retries **idempotent**
+/// requests over transient failures: connect/IO errors and load-shedding
+/// (`overloaded`) replies, honouring the server's `retry_after_ms` hint.
+///
+/// Retries are opt-in by construction — plain [`Client`] never retries —
+/// and only read-or-replayable actions are exposed here (`compare`,
+/// `best_of`, `schedule` with a fixed seed, `stats`, `metrics`,
+/// `register_profile`, which is a keyed upsert). Epoch-advancing sweeps
+/// (`observe_load`) and `shutdown` are deliberately absent: replaying
+/// them changes server state.
+pub struct RetryingClient {
+    addr: String,
+    io_timeout: Duration,
+    policy: RetryPolicy,
+    rng: StdRng,
+    inner: Option<Client>,
+    retries: std::sync::Arc<cbes_obs::Counter>,
+    giveups: std::sync::Arc<cbes_obs::Counter>,
+}
+
+impl RetryingClient {
+    /// Build a retrying client for `addr`. The connection is dialled
+    /// lazily on first use and re-dialled after any I/O failure.
+    pub fn new(addr: impl Into<String>, io_timeout: Duration, policy: RetryPolicy) -> Self {
+        let registry = cbes_obs::Registry::global();
+        RetryingClient {
+            addr: addr.into(),
+            io_timeout,
+            rng: StdRng::seed_from_u64(policy.seed),
+            policy,
+            inner: None,
+            retries: registry.counter("client.retries"),
+            giveups: registry.counter("client.retry_giveups"),
+        }
+    }
+
+    fn client(&mut self) -> Result<&mut Client, ClientError> {
+        if self.inner.is_none() {
+            self.inner = Some(Client::connect_timeout(
+                self.addr.as_str(),
+                self.io_timeout,
+            )?);
+        }
+        Ok(self.inner.as_mut().expect("just connected"))
+    }
+
+    /// Run one idempotent request with retries. Transport errors discard
+    /// the connection (a late reply would desynchronise the stream);
+    /// shed replies keep it and honour the back-off hint.
+    fn call<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut retry = 0u32;
+        loop {
+            let result = match self.client() {
+                Ok(client) => op(client),
+                Err(e) => Err(e),
+            };
+            let err = match result {
+                Ok(value) => return Ok(value),
+                Err(e) => e,
+            };
+            let hint_ms = match &err {
+                ClientError::Io(_) => {
+                    self.inner = None;
+                    0
+                }
+                ClientError::Server {
+                    kind,
+                    retry_after_ms,
+                    ..
+                } if kind == crate::protocol::error_kind::OVERLOADED
+                    || kind == crate::protocol::error_kind::TIMEOUT =>
+                {
+                    // Shed or deadline-missed: the action is idempotent,
+                    // so replaying after the hinted back-off is safe.
+                    *retry_after_ms
+                }
+                _ => {
+                    // Protocol and non-shed server errors are not
+                    // transient; retrying replays a rejected request.
+                    return Err(err);
+                }
+            };
+            retry += 1;
+            if retry >= self.policy.max_attempts {
+                self.giveups.incr();
+                return Err(err);
+            }
+            self.retries.incr();
+            let backoff = self
+                .policy
+                .backoff(retry, &mut self.rng)
+                .max(Duration::from_millis(hint_ms));
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+
+    /// [`Client::register_profile`], retried (registration is a keyed
+    /// upsert, so replays converge).
+    pub fn register_profile(&mut self, profile: &AppProfile) -> Result<(), ClientError> {
+        self.call(|c| c.register_profile(profile.clone()))
+    }
+
+    /// [`Client::compare`], retried.
+    pub fn compare(
+        &mut self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, Vec<Prediction>), ClientError> {
+        self.call(|c| c.compare(app, mappings))
+    }
+
+    /// [`Client::best_of`], retried.
+    pub fn best_of(
+        &mut self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, usize, Prediction), ClientError> {
+        self.call(|c| c.best_of(app, mappings))
+    }
+
+    /// [`Client::schedule`], retried (the fixed seed makes the search
+    /// replayable).
+    pub fn schedule(
+        &mut self,
+        app: &str,
+        pool: &[u32],
+        iters: u32,
+        seed: u64,
+    ) -> Result<(u64, Mapping, f64), ClientError> {
+        self.call(|c| c.schedule(app, pool, iters, seed))
+    }
+
+    /// [`Client::stats`], retried.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        self.call(|c| c.stats())
+    }
+
+    /// [`Client::metrics`], retried.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        self.call(|c| c.metrics())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_respects_the_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            seed: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(policy.seed);
+        for retry in 1..8 {
+            let d = policy.backoff(retry, &mut rng);
+            // Jitter spans [0.5, 1.5) × capped base.
+            let base = (10u64 << (retry - 1)).min(100);
+            assert!(
+                d >= Duration::from_micros(base * 500),
+                "retry {retry}: {d:?}"
+            );
+            assert!(
+                d < Duration::from_micros(base * 1500),
+                "retry {retry}: {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(policy.seed);
+        let mut b = StdRng::seed_from_u64(policy.seed);
+        for retry in 1..5 {
+            assert_eq!(policy.backoff(retry, &mut a), policy.backoff(retry, &mut b));
+        }
+    }
+
+    #[test]
+    fn shed_classification() {
+        let shed = ClientError::Server {
+            kind: crate::protocol::error_kind::OVERLOADED.into(),
+            message: "queue full".into(),
+            retry_after_ms: 25,
+        };
+        assert!(shed.is_shed());
+        let service = ClientError::Server {
+            kind: crate::protocol::error_kind::SERVICE.into(),
+            message: "unknown app".into(),
+            retry_after_ms: 0,
+        };
+        assert!(!service.is_shed());
+    }
 }

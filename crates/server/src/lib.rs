@@ -5,6 +5,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientError, RetryPolicy, RetryingClient};
 pub use protocol::{Request, RequestEnvelope, Response, ResponseEnvelope};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -30,6 +30,8 @@ pub mod error_kind {
     pub const SCHED: &str = "sched";
     /// The server is draining and no longer admits requests.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The request line exceeded the server's length cap.
+    pub const FRAME_TOO_LARGE: &str = "frame_too_large";
 }
 
 /// One client request.
@@ -70,6 +72,16 @@ pub enum Request {
         /// Measured per-node load; must cover every node.
         load: LoadState,
     },
+    /// Feed one *partial* monitoring sweep: nodes listed in `silent`
+    /// delivered no measurement this period and age toward `Suspect` /
+    /// `Down` under the server's health policy.
+    ObservePartial {
+        /// Measured per-node load; must cover every node (silent nodes'
+        /// entries are ignored).
+        load: LoadState,
+        /// Node ids that did **not** report this sweep.
+        silent: Vec<u32>,
+    },
     /// Read the server's counters.
     Stats,
     /// Read the full metrics snapshot: counters, gauges, and latency
@@ -82,12 +94,13 @@ pub enum Request {
 /// Canonical action names in declaration order; index `i` names the
 /// variant with [`Request::action_index`] `i`. Keys of
 /// [`StatsReport::per_action`] are drawn from this set.
-pub const ACTIONS: [&str; 8] = [
+pub const ACTIONS: [&str; 9] = [
     "register_profile",
     "compare",
     "best_of",
     "schedule",
     "observe_load",
+    "observe_partial",
     "stats",
     "metrics",
     "shutdown",
@@ -102,9 +115,10 @@ impl Request {
             Request::BestOf { .. } => 2,
             Request::Schedule { .. } => 3,
             Request::ObserveLoad { .. } => 4,
-            Request::Stats => 5,
-            Request::Metrics => 6,
-            Request::Shutdown => 7,
+            Request::ObservePartial { .. } => 5,
+            Request::Stats => 6,
+            Request::Metrics => 7,
+            Request::Shutdown => 8,
         }
     }
 
@@ -175,6 +189,10 @@ pub enum Response {
         kind: String,
         /// Human-readable detail.
         message: String,
+        /// Back-off hint for load shedding: clients honouring retries
+        /// should wait at least this long before the next attempt. `0`
+        /// means no hint (the error is not load-related).
+        retry_after_ms: u64,
     },
 }
 
@@ -184,6 +202,7 @@ impl Response {
         Response::Error {
             kind: error_kind::SERVICE.to_string(),
             message: err.to_string(),
+            retry_after_ms: 0,
         }
     }
 
@@ -192,6 +211,16 @@ impl Response {
         Response::Error {
             kind: kind.to_string(),
             message: message.into(),
+            retry_after_ms: 0,
+        }
+    }
+
+    /// A load-shedding error reply carrying a back-off hint.
+    pub fn shed(kind: &str, message: impl Into<String>, retry_after_ms: u64) -> Response {
+        Response::Error {
+            kind: kind.to_string(),
+            message: message.into(),
+            retry_after_ms,
         }
     }
 }
@@ -220,6 +249,16 @@ pub struct StatsReport {
     pub profiles: usize,
     /// Monitoring sweeps observed.
     pub observations: u64,
+    /// Nodes currently classified `Healthy`.
+    pub healthy: usize,
+    /// Nodes currently classified `Suspect` (stale reports).
+    pub suspect: usize,
+    /// Nodes currently classified `Down` (unmappable).
+    pub down: usize,
+    /// Cumulative node health-state transitions since start.
+    pub health_transitions: u64,
+    /// Connections dropped for exhausting their malformed-frame budget.
+    pub dropped_connections: u64,
     /// Requests served per action name (keys from [`ACTIONS`]).
     pub per_action: BTreeMap<String, u64>,
     /// Seconds since the server started.

@@ -37,12 +37,13 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Per-action counter metric names, index-aligned with
 /// [`crate::protocol::ACTIONS`].
-const ACTION_COUNTERS: [&str; 8] = [
+const ACTION_COUNTERS: [&str; 9] = [
     "server.action.register_profile",
     "server.action.compare",
     "server.action.best_of",
     "server.action.schedule",
     "server.action.observe_load",
+    "server.action.observe_partial",
     "server.action.stats",
     "server.action.metrics",
     "server.action.shutdown",
@@ -59,6 +60,16 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Per-request deadline from admission to reply.
     pub request_timeout: Duration,
+    /// Longest request line accepted, in bytes. Longer frames are
+    /// answered with a `frame_too_large` error and discarded up to the
+    /// next newline, bounding per-connection memory.
+    pub max_line_bytes: usize,
+    /// Consecutive malformed frames (unparseable or oversized) tolerated
+    /// on one connection before the server drops it.
+    pub max_consecutive_errors: u32,
+    /// Back-off hint attached to load-shedding (`overloaded` /
+    /// `shutting_down`) replies as `retry_after_ms`.
+    pub shed_retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +79,30 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 1024,
             request_timeout: Duration::from_secs(10),
+            max_line_bytes: 64 * 1024,
+            max_consecutive_errors: 8,
+            shed_retry_after: Duration::from_millis(25),
+        }
+    }
+}
+
+/// The per-connection slice of [`ServerConfig`], cloned into each
+/// connection reader thread.
+#[derive(Debug, Clone)]
+struct ConnPolicy {
+    timeout: Duration,
+    max_line_bytes: usize,
+    max_consecutive_errors: u32,
+    shed_retry_after_ms: u64,
+}
+
+impl ConnPolicy {
+    fn from_config(config: &ServerConfig) -> Self {
+        ConnPolicy {
+            timeout: config.request_timeout,
+            max_line_bytes: config.max_line_bytes.max(1),
+            max_consecutive_errors: config.max_consecutive_errors.max(1),
+            shed_retry_after_ms: config.shed_retry_after.as_millis() as u64,
         }
     }
 }
@@ -83,6 +118,10 @@ struct ServerMetrics {
     overloaded: Arc<Counter>,
     timeouts: Arc<Counter>,
     connections: Arc<Counter>,
+    /// Connections dropped for exhausting their malformed-frame budget.
+    dropped_connections: Arc<Counter>,
+    /// Request lines rejected for exceeding the length cap.
+    oversized_frames: Arc<Counter>,
     /// Microseconds from admission to worker pickup.
     queue_wait: Arc<Histogram>,
     /// Microseconds a worker spent computing the reply.
@@ -101,6 +140,8 @@ impl ServerMetrics {
             overloaded: registry.counter("server.overloaded"),
             timeouts: registry.counter("server.timeouts"),
             connections: registry.counter("server.connections"),
+            dropped_connections: registry.counter("server.dropped_connections"),
+            oversized_frames: registry.counter("server.oversized_frames"),
             queue_wait: registry.histogram("server.queue_wait_us"),
             service_time: registry.histogram("server.service_time_us"),
             by_action: ACTION_COUNTERS
@@ -170,8 +211,8 @@ impl Server {
         let acceptor = {
             let shutdown = shutdown.clone();
             let metrics = metrics.clone();
-            let timeout = config.request_timeout;
-            std::thread::spawn(move || accept_loop(&listener, job_tx, &metrics, &shutdown, timeout))
+            let policy = ConnPolicy::from_config(&config);
+            std::thread::spawn(move || accept_loop(&listener, job_tx, &metrics, &shutdown, policy))
         };
 
         Ok(ServerHandle {
@@ -247,7 +288,7 @@ fn accept_loop(
     job_tx: Sender<Job>,
     metrics: &Arc<ServerMetrics>,
     shutdown: &Arc<AtomicBool>,
-    timeout: Duration,
+    policy: ConnPolicy,
 ) {
     loop {
         match listener.accept() {
@@ -259,8 +300,9 @@ fn accept_loop(
                 let job_tx = job_tx.clone();
                 let metrics = metrics.clone();
                 let shutdown = shutdown.clone();
+                let policy = policy.clone();
                 std::thread::spawn(move || {
-                    handle_connection(stream, &job_tx, &metrics, &shutdown, timeout)
+                    handle_connection(stream, &job_tx, &metrics, &shutdown, policy)
                 });
             }
             Err(_) => {
@@ -279,7 +321,7 @@ fn handle_connection(
     job_tx: &Sender<Job>,
     metrics: &Arc<ServerMetrics>,
     shutdown: &Arc<AtomicBool>,
-    timeout: Duration,
+    policy: ConnPolicy,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
@@ -290,19 +332,26 @@ fn handle_connection(
     let mut reader = BufReader::new(reader_stream);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
+    // Consecutive malformed frames on this connection; reset by any
+    // well-framed request, fatal past the policy budget.
+    let mut strikes: u32 = 0;
 
     'conn: loop {
         line.clear();
+        let mut oversized = false;
         // Poll for one full line, re-checking the shutdown flag whenever
         // the read times out. read_line only returns Ok at a newline or
-        // EOF, so partial reads accumulate in `line` across timeouts.
+        // EOF, so partial reads accumulate in `line` across timeouts; the
+        // length cap is enforced on every timeout tick and again once the
+        // line completes, so a frame that never ends cannot grow without
+        // bound — its bytes are discarded until the newline arrives.
         loop {
             if shutdown.load(Ordering::Acquire) {
                 break 'conn;
             }
             match reader.read_line(&mut line) {
                 Ok(0) => {
-                    if line.trim().is_empty() {
+                    if line.trim().is_empty() && !oversized {
                         break 'conn; // clean EOF
                     }
                     break; // final line without trailing newline
@@ -312,19 +361,49 @@ fn handle_connection(
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
+                    if line.len() > policy.max_line_bytes {
+                        oversized = true;
+                        line.clear(); // discard; keep reading to the newline
+                    }
                     continue;
                 }
                 Err(_) => break 'conn,
             }
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
+        let reply = if oversized || line.len() > policy.max_line_bytes {
+            metrics.oversized_frames.incr();
+            metrics.errors.incr();
+            ResponseEnvelope {
+                id: 0,
+                response: Response::error(
+                    error_kind::FRAME_TOO_LARGE,
+                    format!("request line exceeds {} bytes", policy.max_line_bytes),
+                ),
+            }
+        } else {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            admit(trimmed, job_tx, metrics, &policy)
+        };
+        let malformed = matches!(
+            &reply.response,
+            Response::Error { kind, .. }
+                if kind == error_kind::BAD_REQUEST || kind == error_kind::FRAME_TOO_LARGE
+        );
+        if malformed {
+            strikes += 1;
+        } else {
+            strikes = 0;
         }
-        let reply = admit(trimmed, job_tx, metrics, timeout);
         let mut out = encode(&reply);
         out.push('\n');
         if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if strikes >= policy.max_consecutive_errors {
+            metrics.dropped_connections.incr();
             break;
         }
     }
@@ -336,7 +415,7 @@ fn admit(
     line: &str,
     job_tx: &Sender<Job>,
     metrics: &Arc<ServerMetrics>,
-    timeout: Duration,
+    policy: &ConnPolicy,
 ) -> ResponseEnvelope {
     let envelope: RequestEnvelope = match serde_json::from_str(line) {
         Ok(env) => env,
@@ -355,7 +434,7 @@ fn admit(
         reply: reply_tx,
         admitted: Instant::now(),
     }) {
-        Ok(()) => match reply_rx.recv_timeout(timeout) {
+        Ok(()) => match reply_rx.recv_timeout(policy.timeout) {
             Ok(reply) => reply,
             Err(_) => {
                 metrics.timeouts.incr();
@@ -364,7 +443,7 @@ fn admit(
                     id,
                     response: Response::error(
                         error_kind::TIMEOUT,
-                        format!("no reply within {timeout:?}"),
+                        format!("no reply within {:?}", policy.timeout),
                     ),
                 }
             }
@@ -374,14 +453,22 @@ fn admit(
             metrics.errors.incr();
             ResponseEnvelope {
                 id,
-                response: Response::error(error_kind::OVERLOADED, "admission queue is full"),
+                response: Response::shed(
+                    error_kind::OVERLOADED,
+                    "admission queue is full",
+                    policy.shed_retry_after_ms,
+                ),
             }
         }
         Err(TrySendError::Disconnected(_)) => {
             metrics.errors.incr();
             ResponseEnvelope {
                 id,
-                response: Response::error(error_kind::SHUTTING_DOWN, "server is draining"),
+                response: Response::shed(
+                    error_kind::SHUTTING_DOWN,
+                    "server is draining",
+                    policy.shed_retry_after_ms,
+                ),
             }
         }
     }
@@ -493,22 +580,44 @@ fn handle_request(
             Ok(epoch) => Response::LoadObserved { epoch },
             Err(e) => Response::service_error(&e),
         },
-        Request::Stats => Response::Stats {
-            stats: StatsReport {
-                served: metrics.served.get(),
-                errors: metrics.errors.get(),
-                overloaded: metrics.overloaded.get(),
-                timeouts: metrics.timeouts.get(),
-                connections: metrics.connections.get(),
-                queue_depth,
-                workers: worker_count,
-                epoch: service.epoch(),
-                profiles: service.registry().len(),
-                observations: service.observations(),
-                per_action: metrics.per_action(),
-                uptime_s: metrics.start.elapsed().as_secs_f64(),
-            },
-        },
+        Request::ObservePartial { load, silent } => {
+            let n = service.cluster().len();
+            if let Some(&bad) = silent.iter().find(|&&s| s as usize >= n) {
+                return Response::service_error(&cbes_core::ServiceError::BadNode(bad));
+            }
+            let mut reported = vec![true; n];
+            for s in &silent {
+                reported[*s as usize] = false;
+            }
+            match service.observe_load_partial(&load, &reported) {
+                Ok(epoch) => Response::LoadObserved { epoch },
+                Err(e) => Response::service_error(&e),
+            }
+        }
+        Request::Stats => {
+            let (healthy, suspect, down) = service.health_counts();
+            Response::Stats {
+                stats: StatsReport {
+                    served: metrics.served.get(),
+                    errors: metrics.errors.get(),
+                    overloaded: metrics.overloaded.get(),
+                    timeouts: metrics.timeouts.get(),
+                    connections: metrics.connections.get(),
+                    queue_depth,
+                    workers: worker_count,
+                    epoch: service.epoch(),
+                    profiles: service.registry().len(),
+                    observations: service.observations(),
+                    healthy,
+                    suspect,
+                    down,
+                    health_transitions: service.health_transitions(),
+                    dropped_connections: metrics.dropped_connections.get(),
+                    per_action: metrics.per_action(),
+                    uptime_s: metrics.start.elapsed().as_secs_f64(),
+                },
+            }
+        }
         Request::Metrics => Response::Metrics {
             metrics: metrics.snapshot(queue_depth),
         },
@@ -525,6 +634,15 @@ mod tests {
 
     fn metrics() -> Arc<ServerMetrics> {
         Arc::new(ServerMetrics::new())
+    }
+
+    fn policy(timeout: Duration) -> ConnPolicy {
+        ConnPolicy {
+            timeout,
+            max_line_bytes: 64 * 1024,
+            max_consecutive_errors: 8,
+            shed_retry_after_ms: 25,
+        }
     }
 
     fn stats_line(id: u64) -> String {
@@ -545,7 +663,7 @@ mod tests {
     fn unparseable_line_is_rejected_with_id_zero() {
         let (tx, _rx) = channel::bounded::<Job>(1);
         let m = metrics();
-        let reply = admit("{not json", &tx, &m, Duration::from_millis(10));
+        let reply = admit("{not json", &tx, &m, &policy(Duration::from_millis(10)));
         assert_eq!(reply.id, 0);
         assert_eq!(error_kind_of(&reply), error_kind::BAD_REQUEST);
         assert_eq!(m.errors.get(), 1);
@@ -566,10 +684,16 @@ mod tests {
             })
             .is_ok());
         let m = metrics();
-        let reply = admit(&stats_line(7), &tx, &m, Duration::from_millis(10));
+        let reply = admit(&stats_line(7), &tx, &m, &policy(Duration::from_millis(10)));
         assert_eq!(reply.id, 7, "overload reply still echoes the id");
         assert_eq!(error_kind_of(&reply), error_kind::OVERLOADED);
         assert_eq!(m.overloaded.get(), 1);
+        match &reply.response {
+            Response::Error { retry_after_ms, .. } => {
+                assert_eq!(*retry_after_ms, 25, "shed replies carry the back-off hint");
+            }
+            other => panic!("expected an error reply, got {other:?}"),
+        }
     }
 
     #[test]
@@ -577,7 +701,7 @@ mod tests {
         let (tx, rx) = channel::bounded::<Job>(1);
         let m = metrics();
         // No worker drains `rx`, so the reply never comes.
-        let reply = admit(&stats_line(3), &tx, &m, Duration::from_millis(20));
+        let reply = admit(&stats_line(3), &tx, &m, &policy(Duration::from_millis(20)));
         assert_eq!(reply.id, 3);
         assert_eq!(error_kind_of(&reply), error_kind::TIMEOUT);
         assert_eq!(m.timeouts.get(), 1);
@@ -589,7 +713,7 @@ mod tests {
         let (tx, rx) = channel::bounded::<Job>(1);
         drop(rx);
         let m = metrics();
-        let reply = admit(&stats_line(5), &tx, &m, Duration::from_millis(10));
+        let reply = admit(&stats_line(5), &tx, &m, &policy(Duration::from_millis(10)));
         assert_eq!(reply.id, 5);
         assert_eq!(error_kind_of(&reply), error_kind::SHUTTING_DOWN);
     }

@@ -134,7 +134,7 @@ fn service_errors_come_back_typed() {
 
     // Unknown application.
     match client.compare("nope", &[m(&[0, 1])]) {
-        Err(cbes_server::client::ClientError::Server { kind, message }) => {
+        Err(cbes_server::client::ClientError::Server { kind, message, .. }) => {
             assert_eq!(kind, error_kind::SERVICE);
             assert!(message.contains("nope"), "{message}");
         }
@@ -144,7 +144,7 @@ fn service_errors_come_back_typed() {
     // Oversubscription is rejected at the service boundary: node 0 is a
     // single-CPU Alpha, so two ranks on it are refused.
     match client.compare("ring", &[m(&[0, 0])]) {
-        Err(cbes_server::client::ClientError::Server { kind, message }) => {
+        Err(cbes_server::client::ClientError::Server { kind, message, .. }) => {
             assert_eq!(kind, error_kind::SERVICE);
             assert!(message.contains("n0"), "{message}");
         }
@@ -393,6 +393,200 @@ fn overload_and_timeout_paths_are_counted_in_stats_and_metrics() {
     assert!(snap.histograms["server.queue_wait_us"].count >= 1);
 
     handle.shutdown_and_join();
+}
+
+/// Satellite requirement: a request line over the configured cap is
+/// answered with a typed `frame_too_large` error instead of buffering
+/// without bound, and the connection stays usable afterwards.
+#[test]
+fn oversized_frames_get_a_typed_error_and_the_connection_survives() {
+    let service = Arc::new(CbesService::self_calibrated(
+        Arc::new(two_switch_demo()),
+        ForecastKind::LastValue,
+    ));
+    let handle = Server::start(
+        service,
+        ServerConfig {
+            workers: 1,
+            max_line_bytes: 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // One frame, 8 KiB of x's: complete (newline-terminated) but over cap.
+    let mut big = "x".repeat(8 * 1024);
+    big.push('\n');
+    writer.write_all(big.as_bytes()).expect("write");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains(error_kind::FRAME_TOO_LARGE), "{line}");
+    assert!(line.contains("\"id\":0"), "{line}");
+
+    // The same connection still serves well-framed requests.
+    writer
+        .write_all(b"{\"id\":7,\"request\":\"Stats\"}\n")
+        .expect("write");
+    writer.flush().expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"id\":7"), "{line}");
+    assert!(!line.contains(error_kind::FRAME_TOO_LARGE), "{line}");
+
+    handle.shutdown_and_join();
+}
+
+/// Satellite requirement: a connection that keeps sending malformed
+/// frames is dropped once its consecutive-error budget is spent, and the
+/// drop is visible in `Stats`.
+#[test]
+fn repeated_malformed_frames_exhaust_the_error_budget() {
+    let service = Arc::new(CbesService::self_calibrated(
+        Arc::new(two_switch_demo()),
+        ForecastKind::LastValue,
+    ));
+    let handle = Server::start(
+        service,
+        ServerConfig {
+            workers: 1,
+            max_consecutive_errors: 3,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    let mut line = String::new();
+    for i in 0..3 {
+        writer.write_all(b"garbage\n").expect("write");
+        writer.flush().expect("flush");
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "strike {i} must still be answered");
+        assert!(line.contains(error_kind::BAD_REQUEST), "{line}");
+    }
+    // The third strike was the last: the server hangs up after replying.
+    line.clear();
+    let n = reader.read_line(&mut line).unwrap_or(0);
+    assert_eq!(
+        n, 0,
+        "connection must be closed after the budget, got {line}"
+    );
+
+    let mut client = Client::connect(addr).expect("fresh connections still work");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.dropped_connections, 1);
+
+    handle.shutdown_and_join();
+}
+
+/// Tentpole requirement: silent nodes age to `Suspect`/`Down` over the
+/// wire, stats expose the health counts, and schedule requests route
+/// around the down node.
+#[test]
+fn partial_sweeps_drive_health_over_the_wire() {
+    let (handle, _service) = demo_server(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .register_profile(ring_profile("ring", 2))
+        .expect("register");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!((stats.healthy, stats.suspect, stats.down), (8, 0, 0));
+
+    // Node 3 goes silent; with the default policy (suspect after 3
+    // stale sweeps, down after 8) nine partial sweeps kill it.
+    let load = LoadState::idle(8);
+    for _ in 0..9 {
+        client.observe_partial(&load, &[3]).expect("sweep");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!((stats.healthy, stats.suspect, stats.down), (7, 0, 1));
+    assert!(stats.health_transitions >= 2, "healthy->suspect->down");
+    assert_eq!(stats.per_action["observe_partial"], 9);
+
+    // The scheduler must route around the down node even when asked for it.
+    let (_, mapping, _) = client
+        .schedule("ring", &(0..8).collect::<Vec<u32>>(), 0, 11)
+        .expect("schedule");
+    assert!(
+        !mapping.as_slice().contains(&NodeId(3)),
+        "down node must not be assigned, got {mapping}"
+    );
+
+    // A mapping naming the down node is refused with a typed error.
+    match client.compare("ring", &[m(&[3, 4])]) {
+        Err(ClientError::Server { kind, message, .. }) => {
+            assert_eq!(kind, error_kind::SERVICE);
+            assert!(message.contains("n3"), "{message}");
+        }
+        other => panic!("expected a node-down service error, got {other:?}"),
+    }
+
+    // A full sweep revives the node.
+    client.observe_load(&load).expect("full sweep");
+    let stats = client.stats().expect("stats");
+    assert_eq!((stats.healthy, stats.suspect, stats.down), (8, 0, 0));
+
+    handle.shutdown_and_join();
+}
+
+/// Satellite requirement: the retrying client rides out transient
+/// connect failures with backoff instead of surfacing the first refusal.
+#[test]
+fn retrying_client_rides_out_a_late_starting_server() {
+    use cbes_server::{RetryPolicy, RetryingClient};
+
+    // Reserve a port, then free it so the daemon can bind it *later*.
+    // (The listener never accepted anything, so no TIME_WAIT lingers.)
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        probe.local_addr().expect("probe addr")
+    };
+
+    let starter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(200));
+        let service = Arc::new(CbesService::self_calibrated(
+            Arc::new(two_switch_demo()),
+            ForecastKind::LastValue,
+        ));
+        service.registry().insert(ring_profile("ring", 2));
+        Server::start(
+            service,
+            ServerConfig {
+                addr: addr.to_string(),
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind reserved port")
+    });
+
+    // First attempts are refused (nothing listens yet); the retry loop
+    // reconnects with backoff until the daemon appears.
+    let mut client = RetryingClient::new(
+        addr.to_string(),
+        Duration::from_secs(2),
+        RetryPolicy {
+            max_attempts: 60,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            seed: 3,
+        },
+    );
+    let (_, preds) = client.compare("ring", &[m(&[0, 1])]).expect("retry");
+    assert_eq!(preds.len(), 1);
+    let stats = client.stats().expect("stats over the pooled connection");
+    assert!(stats.served >= 1);
+
+    starter.join().expect("starter").shutdown_and_join();
 }
 
 #[test]
