@@ -1,0 +1,32 @@
+//! `cbes-analyze`: workspace-aware static analysis for the CBES
+//! codebase.
+//!
+//! A dependency-free Rust lexer plus a rule engine enforcing the
+//! invariants the serving stack depends on but the compiler cannot
+//! see: panic-free request handling ([`rules::panic_path`]), seeded
+//! determinism in decision code ([`rules::determinism`]), centralised
+//! metric naming ([`rules::metric_names`]), workspace-wide
+//! `#![forbid(unsafe_code)]` ([`rules::forbid_unsafe`]), and
+//! protocol/CLI/docs consistency ([`rules::drift`]).
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p cbes-analyze -- --workspace
+//! ```
+//!
+//! Sites that are provably fine carry a
+//! `// cbes-analyze: allow(<rule>, <reason>)` waiver; waivers are
+//! counted and reported, and drift findings cannot be waived.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use engine::{analyze, Options};
+pub use findings::{Finding, Report};

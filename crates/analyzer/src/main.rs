@@ -1,0 +1,88 @@
+//! CLI entry point for `cbes-analyze`.
+//!
+//! ```text
+//! cbes-analyze [--workspace] [--root DIR] [--rules a,b,c] [--json PATH]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when any unwaived finding remains,
+//! and 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use cbes_analyze::{analyze, rules, Options};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cbes-analyze [options]
+
+  --workspace     analyze the workspace rooted at the current directory
+                  (the default when no --root is given)
+  --root DIR      analyze the workspace rooted at DIR
+  --rules a,b,c   run only the named rules
+                  (panic_path, determinism, metric_names, forbid_unsafe, drift)
+  --json PATH     also write the machine-readable findings report to PATH
+
+exits 0 when clean, 1 when any unwaived finding remains, 2 on usage or I/O errors";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("cbes-analyze: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut root = std::path::PathBuf::from(".");
+    let mut selected: Vec<&'static str> = rules::ALL_RULES.to_vec();
+    let mut json_path = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => root = std::path::PathBuf::from("."),
+            "--root" => {
+                root = args.next().ok_or("--root needs a directory")?.into();
+            }
+            "--rules" => {
+                let list = args.next().ok_or("--rules needs a comma-separated list")?;
+                selected = Vec::new();
+                for name in list.split(',') {
+                    let id = rules::ALL_RULES
+                        .iter()
+                        .find(|r| **r == name.trim())
+                        .ok_or_else(|| format!("unknown rule `{}`", name.trim()))?;
+                    selected.push(id);
+                }
+            }
+            "--json" => {
+                json_path = Some(args.next().ok_or("--json needs a file path")?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let opts = Options {
+        root,
+        rules: selected,
+    };
+    let report = analyze(&opts)?;
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.render_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(report.unwaived().count() == 0)
+}

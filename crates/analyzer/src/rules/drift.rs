@@ -1,0 +1,459 @@
+//! `drift`: the wire protocol, the client, the CLI, the metric-name
+//! constants, and the docs must describe the same system.
+//!
+//! Sub-checks (all unwaivable — the fix is to update the lagging side):
+//! 1. `Request` enum variants ↔ the `ACTIONS` name table (count and
+//!    snake-case correspondence, in declaration order).
+//! 2. Every action has a `Client` method of the same name.
+//! 3. Every action has a CLI `request` subcommand arm.
+//! 4. Every `Request` variant has a DESIGN.md protocol-table row.
+//! 5. `cbes_obs::names::SERVER_ACTION_COUNTERS` is exactly
+//!    `server.action.<action>` per action, in order; metric-name
+//!    constants in `names.rs` are pairwise distinct.
+//! 6. Exit codes documented in the CLI usage text and DESIGN.md match
+//!    `CliError::exit_code`.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::rules::DRIFT;
+use crate::source::SourceFile;
+use std::collections::HashMap;
+use std::path::Path;
+
+const PROTOCOL: &str = "crates/server/src/protocol.rs";
+const CLIENT: &str = "crates/server/src/client.rs";
+const COMMANDS: &str = "crates/cli/src/commands.rs";
+const CLI_ERROR: &str = "crates/cli/src/error.rs";
+const CLI_LIB: &str = "crates/cli/src/lib.rs";
+const OBS_NAMES: &str = "crates/obs/src/names.rs";
+const DESIGN: &str = "DESIGN.md";
+
+/// Run every drift sub-check against the tree rooted at `root`.
+pub fn check(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    let Some(proto) = parse(root, PROTOCOL, &mut out) else {
+        return out;
+    };
+    let variants = enum_variants(&proto, "Request");
+    let actions = const_str_array(&proto, "ACTIONS");
+    if variants.is_empty() {
+        out.push(Finding::new(DRIFT, PROTOCOL, 0, "no `enum Request` found"));
+    }
+    if actions.is_empty() {
+        out.push(Finding::new(
+            DRIFT,
+            PROTOCOL,
+            0,
+            "no `ACTIONS` string table found",
+        ));
+    }
+    if !variants.is_empty() && !actions.is_empty() {
+        if variants.len() != actions.len() {
+            out.push(Finding::new(
+                DRIFT,
+                PROTOCOL,
+                0,
+                format!(
+                    "`Request` has {} variants but `ACTIONS` lists {} names",
+                    variants.len(),
+                    actions.len()
+                ),
+            ));
+        }
+        for (v, a) in variants.iter().zip(&actions) {
+            if &snake_case(v) != a {
+                out.push(Finding::new(
+                    DRIFT,
+                    PROTOCOL,
+                    0,
+                    format!(
+                        "variant `{v}` is paired with action \"{a}\" (expected \"{}\")",
+                        snake_case(v)
+                    ),
+                ));
+            }
+        }
+    }
+
+    if let Some(client) = parse(root, CLIENT, &mut out) {
+        for a in &actions {
+            if !has_fn(&client, a) {
+                out.push(Finding::new(
+                    DRIFT,
+                    CLIENT,
+                    0,
+                    format!("action \"{a}\" has no client method `fn {a}`"),
+                ));
+            }
+        }
+    }
+
+    if let Some(commands) = parse(root, COMMANDS, &mut out) {
+        for a in &actions {
+            let sub = cli_subcommand(a);
+            if !has_str(&commands, &sub) {
+                out.push(Finding::new(
+                    DRIFT,
+                    COMMANDS,
+                    0,
+                    format!("action \"{a}\" has no CLI `request` subcommand arm \"{sub}\""),
+                ));
+            }
+        }
+    }
+
+    if let Some(design) = read(root, DESIGN, &mut out) {
+        for v in &variants {
+            let marker = format!("`{v}");
+            let in_table = design
+                .lines()
+                .any(|l| l.trim_start().starts_with('|') && l.contains(&marker));
+            if !in_table {
+                out.push(Finding::new(
+                    DRIFT,
+                    DESIGN,
+                    0,
+                    format!("protocol variant `{v}` has no row in the DESIGN.md protocol table"),
+                ));
+            }
+        }
+    }
+
+    if let Some(names) = parse(root, OBS_NAMES, &mut out) {
+        let counters = const_str_array(&names, "SERVER_ACTION_COUNTERS");
+        if counters.len() != actions.len() {
+            out.push(Finding::new(
+                DRIFT,
+                OBS_NAMES,
+                0,
+                format!(
+                    "`SERVER_ACTION_COUNTERS` has {} entries for {} protocol actions",
+                    counters.len(),
+                    actions.len()
+                ),
+            ));
+        }
+        for (c, a) in counters.iter().zip(&actions) {
+            let expected = format!("server.action.{a}");
+            if c != &expected {
+                out.push(Finding::new(
+                    DRIFT,
+                    OBS_NAMES,
+                    0,
+                    format!("action counter \"{c}\" does not match its action (expected \"{expected}\")"),
+                ));
+            }
+        }
+        // Any duplicated name constant silently merges two metrics.
+        let mut seen: HashMap<&str, u32> = HashMap::new();
+        for t in names.tokens.iter().filter(|t| t.kind == TokKind::Str) {
+            if let Some(first) = seen.get(t.text.as_str()) {
+                out.push(Finding::new(
+                    DRIFT,
+                    OBS_NAMES,
+                    t.line,
+                    format!("metric name \"{}\" already defined at line {first}", t.text),
+                ));
+            } else {
+                seen.insert(&t.text, t.line);
+            }
+        }
+    }
+
+    check_exit_codes(root, &mut out);
+    out
+}
+
+/// Sub-check 6: documented exit codes vs `CliError::exit_code`.
+fn check_exit_codes(root: &Path, out: &mut Vec<Finding>) {
+    let Some(error) = parse(root, CLI_ERROR, out) else {
+        return;
+    };
+    let classes = ["usage", "transport", "server", "shed"];
+    let code_map = exit_code_map(&error);
+    for class in classes {
+        if !code_map.contains_key(class) {
+            out.push(Finding::new(
+                DRIFT,
+                CLI_ERROR,
+                0,
+                format!("`CliError::exit_code` has no arm for the `{class}` failure class"),
+            ));
+        }
+    }
+    let mut documented: Vec<&'static str> = Vec::new();
+    for doc in [CLI_LIB, DESIGN] {
+        let Some(text) = read(root, doc, out) else {
+            continue;
+        };
+        for (class, num, line) in doc_exit_pairs(&text) {
+            documented.push(class);
+            if let Some(actual) = code_map.get(class) {
+                if *actual != num {
+                    out.push(Finding::new(
+                        DRIFT,
+                        doc,
+                        line,
+                        format!("documents exit code {num} for `{class}`, but `CliError::exit_code` returns {actual}"),
+                    ));
+                }
+            }
+        }
+    }
+    for class in classes {
+        if !documented.contains(&class) {
+            out.push(Finding::new(
+                DRIFT,
+                DESIGN,
+                0,
+                format!("exit code for the `{class}` failure class is not documented"),
+            ));
+        }
+    }
+}
+
+fn read(root: &Path, rel: &str, out: &mut Vec<Finding>) -> Option<String> {
+    match std::fs::read_to_string(root.join(rel)) {
+        Ok(text) => Some(text),
+        Err(err) => {
+            out.push(Finding::new(
+                DRIFT,
+                rel,
+                0,
+                format!("drift input unreadable: {err}"),
+            ));
+            None
+        }
+    }
+}
+
+fn parse(root: &Path, rel: &str, out: &mut Vec<Finding>) -> Option<SourceFile> {
+    read(root, rel, out).map(|text| SourceFile::parse(rel, &text))
+}
+
+/// `RegisterProfile` → `register_profile`.
+fn snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The `cbes request` subcommand implementing an action.
+fn cli_subcommand(action: &str) -> String {
+    match action {
+        "register_profile" => "register".to_string(),
+        "observe_load" => "observe".to_string(),
+        _ => action.replace('_', "-"),
+    }
+}
+
+/// Variant names of `enum <name> { .. }`, in declaration order.
+fn enum_variants(f: &SourceFile, name: &str) -> Vec<String> {
+    let t = &f.tokens;
+    for i in 0..t.len().saturating_sub(2) {
+        if !(t[i].is_ident("enum") && t[i + 1].is_ident(name) && t[i + 2].is_punct('{')) {
+            continue;
+        }
+        let mut vars = Vec::new();
+        let mut depth = 1usize;
+        let mut j = i + 3;
+        while j < t.len() && depth > 0 {
+            let tok = &t[j];
+            if tok.is_punct('{') || tok.is_punct('(') || tok.is_punct('[') {
+                depth += 1;
+            } else if tok.is_punct('}') || tok.is_punct(')') || tok.is_punct(']') {
+                depth -= 1;
+            } else if depth == 1 && tok.kind == TokKind::Ident {
+                // A variant name is a depth-1 ident introducing a unit
+                // (`X,`), tuple (`X(..)`), or struct (`X {..}`) variant.
+                if t.get(j + 1).is_some_and(|n| {
+                    n.is_punct(',') || n.is_punct('(') || n.is_punct('{') || n.is_punct('}')
+                }) {
+                    vars.push(tok.text.clone());
+                }
+            }
+            j += 1;
+        }
+        return vars;
+    }
+    Vec::new()
+}
+
+/// String entries of `<NAME>: [&str; N] = ["...", ...]`.
+fn const_str_array(f: &SourceFile, name: &str) -> Vec<String> {
+    let t = &f.tokens;
+    let Some(at) = t.iter().position(|tok| tok.is_ident(name)) else {
+        return Vec::new();
+    };
+    let mut j = at + 1;
+    while j < t.len() && !t[j].is_punct('=') {
+        j += 1;
+    }
+    while j < t.len() && !t[j].is_punct('[') {
+        j += 1;
+    }
+    let mut out = Vec::new();
+    while j < t.len() && !t[j].is_punct(']') {
+        if t[j].kind == TokKind::Str {
+            out.push(t[j].text.clone());
+        }
+        j += 1;
+    }
+    out
+}
+
+fn has_fn(f: &SourceFile, name: &str) -> bool {
+    let t = &f.tokens;
+    (0..t.len().saturating_sub(1)).any(|i| t[i].is_ident("fn") && t[i + 1].is_ident(name))
+}
+
+fn has_str(f: &SourceFile, lit: &str) -> bool {
+    f.tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Str && t.text == lit)
+}
+
+/// `{class → code}` from the first match arm per class after
+/// `fn exit_code`.
+fn exit_code_map(f: &SourceFile) -> HashMap<&'static str, i64> {
+    let t = &f.tokens;
+    let mut map = HashMap::new();
+    let Some(start) = t.iter().position(|tok| tok.is_ident("exit_code")) else {
+        return map;
+    };
+    for (class, variant) in [
+        ("usage", "Usage"),
+        ("transport", "Transport"),
+        ("server", "Server"),
+        ("shed", "Shed"),
+    ] {
+        let mut j = start;
+        while j < t.len() && !t[j].is_ident(variant) {
+            j += 1;
+        }
+        // Walk from the variant to its `=>` and take the arm's number.
+        while j + 2 < t.len() {
+            if t[j].is_punct('=') && t[j + 1].is_punct('>') {
+                if t[j + 2].kind == TokKind::Num {
+                    if let Ok(n) = t[j + 2].text.parse::<i64>() {
+                        map.insert(class, n);
+                    }
+                }
+                break;
+            }
+            j += 1;
+        }
+    }
+    map
+}
+
+/// `(class, code, line)` triples harvested from prose near every
+/// "exit code" mention — e.g. "exit codes: 2 usage, 3 transport, ...".
+fn doc_exit_pairs(text: &str) -> Vec<(&'static str, i64, u32)> {
+    let lower = text.to_lowercase();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = lower[from..].find("exit code") {
+        let at = from + pos;
+        let mut end = (at + 240).min(lower.len());
+        while !lower.is_char_boundary(end) {
+            end -= 1;
+        }
+        let line = 1 + lower[..at].matches('\n').count() as u32;
+        let words: Vec<&str> = lower[at..end].split_whitespace().collect();
+        for w in words.windows(2) {
+            let num = w[0].trim_matches(|c: char| !c.is_ascii_alphanumeric());
+            let Ok(num) = num.parse::<i64>() else {
+                continue;
+            };
+            if !(0..=9).contains(&num) {
+                continue;
+            }
+            for class in ["usage", "transport", "server", "shed"] {
+                if w[1].contains(class) {
+                    out.push((class, num, line));
+                    break;
+                }
+            }
+        }
+        from = at + "exit code".len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case_matches_action_naming() {
+        assert_eq!(snake_case("RegisterProfile"), "register_profile");
+        assert_eq!(snake_case("BestOf"), "best_of");
+        assert_eq!(snake_case("Stats"), "stats");
+    }
+
+    #[test]
+    fn enum_variants_walk_struct_and_unit_variants() {
+        let src = "
+            pub enum Request {
+                RegisterProfile { profile: AppProfile },
+                Compare { app: String, mappings: Vec<Mapping> },
+                Stats,
+                Shutdown,
+            }
+        ";
+        let f = SourceFile::parse("protocol.rs", src);
+        assert_eq!(
+            enum_variants(&f, "Request"),
+            vec!["RegisterProfile", "Compare", "Stats", "Shutdown"]
+        );
+    }
+
+    #[test]
+    fn const_str_array_skips_the_type_brackets() {
+        let f = SourceFile::parse("x.rs", "pub const ACTIONS: [&str; 2] = [\"a\", \"b\"];");
+        assert_eq!(const_str_array(&f, "ACTIONS"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn exit_codes_parse_from_match_arms() {
+        let src = "
+            impl CliError {
+                pub fn exit_code(&self) -> i32 {
+                    match self {
+                        CliError::Usage(_) => 2,
+                        CliError::Transport(_) => 3,
+                        CliError::Server { .. } => 4,
+                        CliError::Shed { .. } => 5,
+                        _ => 1,
+                    }
+                }
+            }
+        ";
+        let f = SourceFile::parse("error.rs", src);
+        let map = exit_code_map(&f);
+        assert_eq!(map["usage"], 2);
+        assert_eq!(map["transport"], 3);
+        assert_eq!(map["server"], 4);
+        assert_eq!(map["shed"], 5);
+    }
+
+    #[test]
+    fn doc_pairs_read_prose_tables() {
+        let text = "The CLI maps failures to exit codes (2 usage,\n3 transport, 4 server-reported error, 5 overload-shed).";
+        let pairs = doc_exit_pairs(text);
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.contains(&("usage", 2, 1)));
+        assert!(pairs.contains(&("shed", 5, 1)));
+    }
+}

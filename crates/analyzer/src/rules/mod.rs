@@ -1,0 +1,35 @@
+//! The rule catalog. Each rule has a stable id used in findings, in
+//! waiver annotations, and in the `--rules` CLI filter.
+
+pub mod determinism;
+pub mod drift;
+pub mod forbid_unsafe;
+pub mod metric_names;
+pub mod panic_path;
+
+/// Panic-free request/evaluation path lint.
+pub const PANIC_PATH: &str = "panic_path";
+/// No wall-clock or entropy reads in seeded decision code.
+pub const DETERMINISM: &str = "determinism";
+/// Metric names must come from the `cbes_obs::names` constants module.
+pub const METRIC_NAMES: &str = "metric_names";
+/// Every crate root must carry `#![forbid(unsafe_code)]`.
+pub const FORBID_UNSAFE: &str = "forbid_unsafe";
+/// Protocol ↔ client ↔ CLI ↔ docs consistency checks.
+pub const DRIFT: &str = "drift";
+/// Malformed waiver annotations (always checked, never waivable).
+pub const WAIVER: &str = "waiver";
+
+/// Every selectable rule, in run order.
+pub const ALL_RULES: [&str; 5] = [PANIC_PATH, DETERMINISM, METRIC_NAMES, FORBID_UNSAFE, DRIFT];
+
+/// Whether findings of `rule` can be waived with a
+/// `// cbes-analyze: allow(rule, reason)` annotation. Drift findings
+/// are unwaivable by design: the fix is to update the lagging side,
+/// not to document the lag.
+pub fn waivable(rule: &str) -> bool {
+    matches!(
+        rule,
+        "panic_path" | "determinism" | "metric_names" | "forbid_unsafe"
+    )
+}

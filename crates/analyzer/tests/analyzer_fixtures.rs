@@ -1,0 +1,194 @@
+//! Fixture-based end-to-end tests: each fixture under `tests/fixtures/`
+//! is a miniature workspace with a known set of violations, and these
+//! tests pin the exact finding counts, rule ids, and CLI exit codes.
+
+use cbes_analyze::{analyze, rules, Options, Report};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(root: PathBuf, selected: &[&'static str]) -> Report {
+    analyze(&Options {
+        root,
+        rules: selected.to_vec(),
+    })
+    .expect("fixture tree analyzes")
+}
+
+#[test]
+fn clean_fixture_has_no_findings_under_every_rule() {
+    let report = run(fixture("clean"), &rules::ALL_RULES);
+    assert_eq!(
+        report.findings.len(),
+        0,
+        "clean fixture must be clean: {:#?}",
+        report.findings
+    );
+    assert_eq!(report.files_scanned, 12);
+}
+
+#[test]
+fn violations_fixture_counts_are_exact() {
+    let report = run(
+        fixture("violations"),
+        &[
+            rules::PANIC_PATH,
+            rules::DETERMINISM,
+            rules::METRIC_NAMES,
+            rules::FORBID_UNSAFE,
+        ],
+    );
+    let by_rule = report.counts_by_rule();
+    let count = |rule: &str| by_rule.get(rule).copied().unwrap_or((0, 0));
+
+    // (unwaived, waived) per rule.
+    assert_eq!(count(rules::PANIC_PATH), (2, 1), "{:#?}", report.findings);
+    assert_eq!(count(rules::DETERMINISM), (1, 1), "{:#?}", report.findings);
+    assert_eq!(count(rules::METRIC_NAMES), (1, 0), "{:#?}", report.findings);
+    assert_eq!(
+        count(rules::FORBID_UNSAFE),
+        (1, 0),
+        "{:#?}",
+        report.findings
+    );
+    assert_eq!(count(rules::WAIVER), (1, 0), "{:#?}", report.findings);
+    assert_eq!(report.findings.len(), 8);
+    assert_eq!(report.unwaived().count(), 6);
+    assert_eq!(report.waived().count(), 2);
+}
+
+#[test]
+fn violations_fixture_findings_land_on_the_right_sites() {
+    let report = run(
+        fixture("violations"),
+        &[rules::PANIC_PATH, rules::DETERMINISM],
+    );
+    let unwaived: Vec<(&str, &str)> = report
+        .unwaived()
+        .map(|f| (f.rule, f.file.as_str()))
+        .collect();
+    assert!(unwaived.contains(&(rules::PANIC_PATH, "crates/server/src/protocol.rs")));
+    assert!(unwaived.contains(&(rules::PANIC_PATH, "crates/core/src/service.rs")));
+    assert!(unwaived.contains(&(rules::DETERMINISM, "crates/sched/src/lib.rs")));
+    assert!(unwaived.contains(&(rules::WAIVER, "crates/core/src/registry.rs")));
+
+    let waived: Vec<&str> = report.waived().map(|f| f.file.as_str()).collect();
+    assert!(waived.contains(&"crates/server/src/server.rs"));
+    for f in report.waived() {
+        assert!(f.reason.as_deref().is_some_and(|r| r.contains("fixture")));
+    }
+}
+
+#[test]
+fn drift_fixture_reports_every_planted_mismatch() {
+    let report = run(fixture("drift"), &[rules::DRIFT]);
+    assert_eq!(
+        report.findings.len(),
+        6,
+        "one finding per planted mismatch: {:#?}",
+        report.findings
+    );
+    // Drift findings are unwaivable by design.
+    assert_eq!(report.unwaived().count(), 6);
+    for f in &report.findings {
+        assert_eq!(f.rule, rules::DRIFT);
+    }
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    let planted = [
+        "`Request` has 3 variants but `ACTIONS` lists 2 names",
+        "action \"stats\" has no client method `fn stats`",
+        "protocol variant `Shutdown` has no row in the DESIGN.md protocol table",
+        "action counter \"server.action.wrong\" does not match its action (expected \"server.action.stats\")",
+        "metric name \"dup.metric\" already defined at line 4",
+        "`CliError::exit_code` has no arm for the `shed` failure class",
+    ];
+    for expected in planted {
+        assert!(
+            messages.contains(&expected),
+            "missing {expected:?} in {messages:#?}"
+        );
+    }
+}
+
+#[test]
+fn the_real_workspace_stays_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run(root, &rules::ALL_RULES);
+    let unwaived: Vec<_> = report.unwaived().collect();
+    assert!(
+        unwaived.is_empty(),
+        "the workspace must analyze clean: {unwaived:#?}"
+    );
+    // The sanctioned waivers are rare and deliberate; growing this number
+    // is a review decision, not a side effect.
+    assert!(
+        report.waived().count() <= 4,
+        "waiver budget exceeded: {:#?}",
+        report.waived().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn cli_exits_zero_on_a_clean_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cbes-analyze"))
+        .arg("--root")
+        .arg(fixture("clean"))
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn cli_exits_one_on_unwaived_findings() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cbes-analyze"))
+        .arg("--root")
+        .arg(fixture("violations"))
+        .arg("--rules")
+        .arg("panic_path,determinism,metric_names,forbid_unsafe")
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error: [panic_path]"), "{text}");
+    assert!(text.contains("waived: [determinism]"), "{text}");
+}
+
+#[test]
+fn cli_exits_two_on_usage_errors() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cbes-analyze"))
+        .arg("--rules")
+        .arg("not_a_rule")
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_cbes-analyze"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn cli_writes_the_json_report() {
+    let path = std::env::temp_dir().join(format!("cbes-analyze-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_cbes-analyze"))
+        .arg("--root")
+        .arg(fixture("drift"))
+        .arg("--rules")
+        .arg("drift")
+        .arg("--json")
+        .arg(&path)
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let json = std::fs::read_to_string(&path).expect("json report written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.contains("\"unwaived_count\": 6"), "{json}");
+    assert!(json.contains("\"rule\": \"drift\""), "{json}");
+}

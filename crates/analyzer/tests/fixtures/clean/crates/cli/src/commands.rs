@@ -1,0 +1,4 @@
+//! Fixture subcommand dispatch.
+pub fn dispatch(sub: &str) -> bool {
+    matches!(sub, "compare" | "stats")
+}

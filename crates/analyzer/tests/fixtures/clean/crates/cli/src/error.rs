@@ -1,0 +1,18 @@
+//! Fixture error type.
+pub enum CliError {
+    Usage(String),
+    Transport(String),
+    Server(String),
+    Shed(String),
+}
+
+impl CliError {
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Transport(_) => 3,
+            CliError::Server(_) => 4,
+            CliError::Shed(_) => 5,
+        }
+    }
+}

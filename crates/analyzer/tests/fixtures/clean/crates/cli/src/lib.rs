@@ -1,0 +1,5 @@
+//! Fixture CLI. Failures map to exit codes: 2 usage, 3 transport,
+//! 4 server, 5 shed.
+#![forbid(unsafe_code)]
+pub mod commands;
+pub mod error;

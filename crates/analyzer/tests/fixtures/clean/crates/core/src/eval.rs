@@ -1,0 +1,4 @@
+//! Fixture evaluator.
+pub fn predict(shares: &[f64], rank: usize) -> f64 {
+    shares.get(rank).copied().unwrap_or(1.0)
+}

@@ -1,0 +1,5 @@
+//! Fixture core crate root.
+#![forbid(unsafe_code)]
+pub mod eval;
+pub mod registry;
+pub mod service;

@@ -1,0 +1,8 @@
+//! Fixture registry.
+pub fn lookup(name: &str) -> Option<&str> {
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture service: error handling without panics.
+pub fn evaluate(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "empty".to_string())
+}

@@ -1,0 +1,2 @@
+//! Fixture metric names.
+pub const SERVER_ACTION_COUNTERS: [&str; 2] = ["server.action.compare", "server.action.stats"];

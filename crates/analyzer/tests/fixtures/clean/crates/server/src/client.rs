@@ -1,0 +1,7 @@
+//! Fixture client: one method per action.
+pub struct Client;
+
+impl Client {
+    pub fn compare(&mut self) {}
+    pub fn stats(&mut self) {}
+}

@@ -1,0 +1,5 @@
+//! Fixture: a clean server crate root.
+#![forbid(unsafe_code)]
+pub mod client;
+pub mod protocol;
+pub mod server;

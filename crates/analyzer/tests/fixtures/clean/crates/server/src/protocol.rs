@@ -1,0 +1,7 @@
+//! Fixture protocol: variants and actions aligned.
+pub enum Request {
+    Compare { app: String },
+    Stats,
+}
+
+pub const ACTIONS: [&str; 2] = ["compare", "stats"];

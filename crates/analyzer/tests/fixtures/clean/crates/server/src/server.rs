@@ -1,0 +1,4 @@
+//! Fixture server: no panics, no literal metric names.
+pub fn serve() -> Result<(), String> {
+    Ok(())
+}

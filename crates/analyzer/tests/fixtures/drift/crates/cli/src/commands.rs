@@ -1,0 +1,4 @@
+//! Fixture: every action has a subcommand arm.
+pub fn dispatch(sub: &str) -> bool {
+    matches!(sub, "compare" | "stats")
+}

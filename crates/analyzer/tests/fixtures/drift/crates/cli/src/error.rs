@@ -1,0 +1,16 @@
+//! Fixture: the shed failure class has no exit-code arm.
+pub enum CliError {
+    Usage(String),
+    Transport(String),
+    Server(String),
+}
+
+impl CliError {
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Transport(_) => 3,
+            CliError::Server(_) => 4,
+        }
+    }
+}

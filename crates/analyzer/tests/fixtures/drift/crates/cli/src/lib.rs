@@ -1,0 +1,4 @@
+//! Fixture CLI. Failures map to exit codes: 2 usage, 3 transport,
+//! 4 server, 5 shed.
+pub mod commands;
+pub mod error;

@@ -1,0 +1,6 @@
+//! Fixture: the stats action has no client method.
+pub struct Client;
+
+impl Client {
+    pub fn compare(&mut self) {}
+}

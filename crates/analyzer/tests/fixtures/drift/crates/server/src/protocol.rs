@@ -1,0 +1,8 @@
+//! Fixture: three variants, but ACTIONS lists only two.
+pub enum Request {
+    Compare { app: String },
+    Stats,
+    Shutdown,
+}
+
+pub const ACTIONS: [&str; 2] = ["compare", "stats"];

@@ -1,0 +1,14 @@
+//! Fixture: panics inside #[cfg(test)] are fine.
+pub fn predict() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn boom_is_allowed_here() {
+        if super::predict() < 0.0 {
+            panic!("only reachable in tests");
+        }
+    }
+}

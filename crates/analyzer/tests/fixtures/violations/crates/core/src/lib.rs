@@ -1,0 +1,4 @@
+//! Fixture: crate root MISSING the forbid(unsafe_code) attribute.
+pub mod eval;
+pub mod registry;
+pub mod service;

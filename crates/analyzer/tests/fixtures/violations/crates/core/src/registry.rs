@@ -1,0 +1,5 @@
+//! Fixture: a malformed waiver (missing reason) is itself a finding.
+// cbes-analyze: allow(panic_path)
+pub fn lookup(name: &str) -> Option<&str> {
+    Some(name)
+}

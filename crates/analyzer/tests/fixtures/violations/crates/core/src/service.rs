@@ -1,0 +1,4 @@
+//! Fixture: an expect with a non-literal message is not self-documenting.
+pub fn evaluate(x: Option<u32>, msg: &str) -> u32 {
+    x.expect(msg)
+}

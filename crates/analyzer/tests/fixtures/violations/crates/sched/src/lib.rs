@@ -1,0 +1,14 @@
+//! Fixture: one unwaived and one waived determinism violation.
+//! (Never compiled — only scanned by the analyzer tests.)
+#![forbid(unsafe_code)]
+
+pub fn decide() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn seeded() -> u64 {
+    // cbes-analyze: allow(determinism, fixture: entropy is fine in this path)
+    let _rng = rand::thread_rng();
+    7
+}

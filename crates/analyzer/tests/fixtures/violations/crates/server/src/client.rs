@@ -1,0 +1,4 @@
+//! Fixture: a clean scoped file.
+pub fn connect() -> Result<(), String> {
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Fixture: server crate root with the attribute in place.
+#![forbid(unsafe_code)]
+pub mod client;
+pub mod protocol;
+pub mod server;

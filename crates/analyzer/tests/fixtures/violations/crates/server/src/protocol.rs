@@ -1,0 +1,4 @@
+//! Fixture: one unwaived unwrap in the connection path.
+pub fn decode(line: Option<&str>) -> &str {
+    line.unwrap()
+}

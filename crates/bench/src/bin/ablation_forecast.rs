@@ -6,6 +6,8 @@
 //! cargo run --release -p cbes-bench --bin ablation_forecast [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};
 use cbes_cluster::load::{LoadPattern, LoadTimeline};
 use cbes_cluster::NodeId;

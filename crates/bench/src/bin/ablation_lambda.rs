@@ -10,6 +10,8 @@
 //! cargo run --release -p cbes-bench --bin ablation_lambda [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::zones::{lu_zones, sample_mappings};
 use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};

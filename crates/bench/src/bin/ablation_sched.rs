@@ -8,6 +8,8 @@
 //! cargo run --release -p cbes-bench --bin ablation_sched [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::zones::{homogeneous_pool, lu_zones};
 use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};

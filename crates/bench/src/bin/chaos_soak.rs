@@ -19,6 +19,8 @@
 //! cargo run --release --bin chaos_soak [--full] [--runs REQS_PER_CLIENT] [--seed S]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

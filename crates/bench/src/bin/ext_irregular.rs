@@ -10,6 +10,8 @@
 //! cargo run --release -p cbes-bench --bin ext_irregular [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::lu_exp::{run_scheduler, Driver};
 use cbes_bench::zones::lu_zones;

@@ -9,6 +9,8 @@
 //! cargo run --release -p cbes-bench --bin fig5_prediction_error [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};
 use cbes_cluster::load::LoadState;

@@ -5,6 +5,8 @@
 //! cargo run --release -p cbes-bench --bin fig6_lu_zones [--full] [--runs N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::lu_exp::{measure_all, prepare_lu};
 use cbes_bench::zones::{lu_zones, sample_mappings};

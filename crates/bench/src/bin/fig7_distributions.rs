@@ -7,6 +7,8 @@
 //! cargo run --release -p cbes-bench --bin fig7_distributions [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::lu_exp::{prepare_lu, run_scheduler, Driver};
 use cbes_bench::zones::lu_zones;

@@ -10,6 +10,8 @@
 //! cargo run --release -p cbes-bench --bin phase1_sweep [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::{parallel_map, Testbed};
 use cbes_bench::{args::ExpArgs, save_json, stats};
 use cbes_cluster::load::LoadState;

@@ -12,6 +12,8 @@
 //! cargo run --release -p cbes-bench --bin phase3_load_sensitivity [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::zones::lu_zones;
 use cbes_bench::{args::ExpArgs, save_json, stats, table::Table};

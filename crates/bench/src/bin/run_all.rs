@@ -7,6 +7,8 @@
 //!
 //! Flags after `--` are forwarded to every experiment.
 
+#![forbid(unsafe_code)]
+
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[

@@ -11,6 +11,8 @@
 //! cargo run --release --bin server_loadgen [--full] [--runs REQS_PER_CLIENT] [--seed S]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -9,6 +9,8 @@
 //! cargo run --release -p cbes-bench --bin table1_lu_worst_best [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::lu_exp::{mean_sched_secs, prepare_lu, run_scheduler, Driver};
 use cbes_bench::zones::lu_zones;

@@ -8,6 +8,8 @@
 //! cargo run --release -p cbes-bench --bin table2_lu_average [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::lu_exp::{hit_rate, prepare_lu, run_scheduler, Driver, RunOutcome};
 use cbes_bench::zones::lu_zones;

@@ -7,6 +7,8 @@
 //! cargo run --release -p cbes-bench --bin table4_other_average [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cbes_bench::harness::Testbed;
 use cbes_bench::lu_exp::{hit_rate, run_scheduler, Driver};
 use cbes_bench::zones::homogeneous_pool;

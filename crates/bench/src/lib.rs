@@ -11,6 +11,8 @@
 //! * [`table`] — fixed-width table printing in the paper's format.
 //! * [`args`] — the tiny shared CLI (`--full`, `--runs`, `--seed`).
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod harness;
 pub mod lu_exp;

@@ -15,6 +15,7 @@
 //! The library half is the testable core: [`run`] takes an argument vector
 //! and returns the rendered output.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

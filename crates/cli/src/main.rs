@@ -1,5 +1,7 @@
 //! The `cbes` binary: thin wrapper over the library dispatcher.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let argv = if args.is_empty() {

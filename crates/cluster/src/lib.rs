@@ -18,6 +18,7 @@
 //! ([`Cluster::no_load_latency`]); higher layers *calibrate* an empirical
 //! model against it ([`LatencyProvider`] is the shared abstraction).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arch;

@@ -63,6 +63,7 @@ impl<'a> Evaluator<'a> {
         if acpu <= 0.0 {
             return f64::INFINITY;
         }
+        // cbes-analyze: allow(panic_path, share comes from cpu_shares over the same mapping so it has one entry per rank)
         (p.x + p.o) * (p.profile_speed / (self.snap.speed(node) * share[p.rank])) / acpu
     }
 
@@ -74,7 +75,7 @@ impl<'a> Evaluator<'a> {
         }
         m.iter()
             .map(|(_, node)| {
-                let ranks = per_node[&node] as f64;
+                let ranks = per_node.get(&node).copied().unwrap_or(1) as f64;
                 (self.snap.cluster.node(node).cpus as f64 / ranks).min(1.0)
             })
             .collect()

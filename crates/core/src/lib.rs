@@ -22,6 +22,7 @@
 //!   running application when conditions change (the paper's motivating
 //!   "remapping events", §2, implemented as an extension).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

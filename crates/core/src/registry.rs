@@ -128,7 +128,7 @@ mod tests {
         r.insert(profile("hpl"));
         assert_eq!(r.len(), 2);
         assert!(r.contains("lu.A"));
-        assert_eq!(r.get("hpl").unwrap().name, "hpl");
+        assert_eq!(r.get("hpl").expect("hpl was just inserted").name, "hpl");
         assert_eq!(r.names(), vec!["hpl".to_string(), "lu.A".to_string()]);
         assert!(r.remove("hpl").is_some());
         assert!(r.get("hpl").is_none());
@@ -145,7 +145,7 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(
             r.get("app")
-                .unwrap()
+                .expect("app was just inserted")
                 .arch_ratio(cbes_cluster::Architecture::Alpha),
             2.0
         );
@@ -157,8 +157,8 @@ mod tests {
         let r = ProfileRegistry::new();
         r.insert(profile("lu.A.8"));
         r.insert(profile("hpl/10000")); // hostile name gets sanitised
-        assert_eq!(r.save_dir(&dir).unwrap(), 2);
-        let loaded = ProfileRegistry::load_dir(&dir).unwrap();
+        assert_eq!(r.save_dir(&dir).expect("temp dir is writable"), 2);
+        let loaded = ProfileRegistry::load_dir(&dir).expect("saved dir loads back");
         assert_eq!(loaded.len(), 2);
         assert!(loaded.contains("lu.A.8"));
         assert!(loaded.contains("hpl/10000")); // name survives inside the JSON
@@ -168,8 +168,9 @@ mod tests {
     #[test]
     fn load_dir_reports_malformed_files() {
         let dir = std::env::temp_dir().join(format!("cbes-reg-bad-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("broken.profile.json"), "{ not json").unwrap();
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        std::fs::write(dir.join("broken.profile.json"), "{ not json")
+            .expect("temp dir is writable");
         assert!(ProfileRegistry::load_dir(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -187,7 +188,7 @@ mod tests {
             })
             .collect();
         for h in handles {
-            assert!(h.join().unwrap());
+            assert!(h.join().expect("insert thread panicked"));
         }
         assert_eq!(r.len(), 4);
     }

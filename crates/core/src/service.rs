@@ -22,7 +22,7 @@ use crate::registry::ProfileRegistry;
 use crate::snapshot::SystemSnapshot;
 use cbes_cluster::load::LoadState;
 use cbes_cluster::{Cluster, LatencyProvider};
-use cbes_obs::{Counter, Gauge, Histogram, Registry};
+use cbes_obs::{names, Counter, Gauge, Histogram, Registry};
 use parking_lot::RwLock;
 
 /// Handles into [`Registry::global`] for the service's hot paths,
@@ -44,15 +44,15 @@ fn instruments() -> &'static CoreInstruments {
     INSTRUMENTS.get_or_init(|| {
         let r = Registry::global();
         CoreInstruments {
-            compares: r.counter("core.compares"),
-            predictions: r.counter("core.predictions"),
-            compare_us: r.histogram("core.compare_us"),
-            epoch_publish_us: r.histogram("core.epoch_publish_us"),
-            epoch: r.gauge("core.epoch"),
-            health_transitions: r.counter("core.health.transitions"),
-            healthy: r.gauge("core.health.healthy"),
-            suspect: r.gauge("core.health.suspect"),
-            down: r.gauge("core.health.down"),
+            compares: r.counter(names::CORE_COMPARES),
+            predictions: r.counter(names::CORE_PREDICTIONS),
+            compare_us: r.histogram(names::CORE_COMPARE_US),
+            epoch_publish_us: r.histogram(names::CORE_EPOCH_PUBLISH_US),
+            epoch: r.gauge(names::CORE_EPOCH),
+            health_transitions: r.counter(names::CORE_HEALTH_TRANSITIONS),
+            healthy: r.gauge(names::CORE_HEALTH_HEALTHY),
+            suspect: r.gauge(names::CORE_HEALTH_SUSPECT),
+            down: r.gauge(names::CORE_HEALTH_DOWN),
         }
     })
 }
@@ -184,7 +184,7 @@ impl CbesService {
             }
         }
         let obs = instruments();
-        let _span = Registry::global().span("core.publish_epoch");
+        let _span = Registry::global().span(names::SPAN_CORE_PUBLISH_EPOCH);
         let publish = obs.epoch_publish_us.start_timer();
         let mut monitor = self.monitor.write();
         let mut tracker = self.health.write();
@@ -281,7 +281,10 @@ impl CbesService {
             }
             ranks_on.iter_mut().for_each(|c| *c = 0);
             for (_, node) in m.iter() {
-                ranks_on[node.index()] += 1;
+                // Bounds pre-validated by the BadNode check above.
+                if let Some(count) = ranks_on.get_mut(node.index()) {
+                    *count += 1;
+                }
             }
             for (i, &ranks) in ranks_on.iter().enumerate() {
                 let cpus = self.cluster.node(cbes_cluster::NodeId(i as u32)).cpus;
@@ -322,7 +325,7 @@ impl CbesService {
         let (epoch, snap) = self.snapshot_stamped();
         self.validate(profile.num_procs(), mappings, snap.health_view())?;
         let obs = instruments();
-        let _span = Registry::global().span("core.evaluate_mapping");
+        let _span = Registry::global().span(names::SPAN_CORE_EVALUATE_MAPPING);
         let timer = obs.compare_us.start_timer();
         let ev = Evaluator::new(&profile, &snap);
         let predictions: Vec<Prediction> = mappings.iter().map(|m| ev.predict(m)).collect();
@@ -342,7 +345,7 @@ impl CbesService {
         let (idx, best) = preds
             .into_iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.time.partial_cmp(&b.time).expect("times are finite"))
+            .min_by(|(_, a), (_, b)| a.time.total_cmp(&b.time))
             .expect("compare rejects empty requests");
         Ok((idx, best))
     }
@@ -407,7 +410,9 @@ mod tests {
     #[test]
     fn compare_orders_predictions_by_request() {
         let svc = demo_service();
-        let preds = svc.compare("app", &[m(&[0, 1]), m(&[0, 4])]).unwrap();
+        let preds = svc
+            .compare("app", &[m(&[0, 1]), m(&[0, 4])])
+            .expect("demo mappings are valid");
         assert_eq!(preds.len(), 2);
         assert!(preds[0].time < preds[1].time, "same-switch must win");
     }
@@ -417,7 +422,7 @@ mod tests {
         let svc = demo_service();
         let (idx, pred) = svc
             .best_of("app", &[m(&[0, 4]), m(&[0, 1]), m(&[4, 5])])
-            .unwrap();
+            .expect("demo mappings are valid");
         assert_eq!(idx, 1);
         assert!(pred.time > 0.0);
     }
@@ -426,12 +431,21 @@ mod tests {
     fn monitor_feeds_snapshot_and_bumps_epoch() {
         let svc = demo_service();
         assert_eq!(svc.epoch(), 0);
-        let idle_pred = svc.compare("app", &[m(&[0, 1])]).unwrap()[0].time;
+        let idle_pred = svc
+            .compare("app", &[m(&[0, 1])])
+            .expect("demo mapping is valid")[0]
+            .time;
         let mut measured = LoadState::idle(svc.cluster().len());
         measured.set_cpu_avail(NodeId(0), 0.5);
-        assert_eq!(svc.observe_load(&measured).unwrap(), 1);
+        assert_eq!(
+            svc.observe_load(&measured)
+                .expect("sweep covers every node"),
+            1
+        );
         assert_eq!(svc.epoch(), 1);
-        let (epoch, preds) = svc.compare_stamped("app", &[m(&[0, 1])]).unwrap();
+        let (epoch, preds) = svc
+            .compare_stamped("app", &[m(&[0, 1])])
+            .expect("demo mapping is valid");
         assert_eq!(epoch, 1);
         assert!(preds[0].time > idle_pred * 1.5);
     }
@@ -498,9 +512,10 @@ mod tests {
         let publishes_before = r.histogram("core.epoch_publish_us").count();
 
         let svc = demo_service();
-        svc.compare("app", &[m(&[0, 1]), m(&[0, 4])]).unwrap();
+        svc.compare("app", &[m(&[0, 1]), m(&[0, 4])])
+            .expect("demo mappings are valid");
         svc.observe_load(&LoadState::idle(svc.cluster().len()))
-            .unwrap();
+            .expect("sweep covers every node");
 
         // Other tests in this binary share the global registry, so check
         // deltas, not absolutes.
@@ -527,7 +542,8 @@ mod tests {
         mask[0] = false;
         // Node 0 silent for 4 sweeps: age 1 (healthy), 2 (suspect), 3+ (down).
         for _ in 0..4 {
-            svc.observe_load_partial(&idle, &mask).unwrap();
+            svc.observe_load_partial(&idle, &mask)
+                .expect("sweep covers every node");
         }
         assert_eq!(svc.health_counts(), (n - 1, 0, 1));
         assert!(svc.health_transitions() >= 2);
@@ -538,7 +554,7 @@ mod tests {
         // Mappings avoiding the down node still evaluate.
         assert!(svc.compare("app", &[m(&[1, 2])]).is_ok());
         // A fresh report heals the node and lifts the rejection.
-        svc.observe_load(&idle).unwrap();
+        svc.observe_load(&idle).expect("sweep covers every node");
         assert_eq!(svc.health_counts(), (n, 0, 0));
         assert!(svc.compare("app", &[m(&[0, 1])]).is_ok());
     }
@@ -553,14 +569,21 @@ mod tests {
         });
         let n = svc.cluster().len();
         let idle = LoadState::idle(n);
-        let baseline = svc.compare("app", &[m(&[0, 1])]).unwrap()[0].clone();
+        let baseline = svc
+            .compare("app", &[m(&[0, 1])])
+            .expect("demo mapping is valid")[0]
+            .clone();
         let mut mask = vec![true; n];
         mask[0] = false;
         for _ in 0..2 {
-            svc.observe_load_partial(&idle, &mask).unwrap();
+            svc.observe_load_partial(&idle, &mask)
+                .expect("sweep covers every node");
         }
         assert_eq!(svc.health_counts(), (n - 1, 1, 0));
-        let degraded = svc.compare("app", &[m(&[0, 1])]).unwrap()[0].clone();
+        let degraded = svc
+            .compare("app", &[m(&[0, 1])])
+            .expect("demo mapping is valid")[0]
+            .clone();
         assert!((degraded.per_proc[0].r - baseline.per_proc[0].r * 3.0).abs() < 1e-9);
     }
 
@@ -579,7 +602,7 @@ mod tests {
         mask[0] = false;
         for _ in 0..3 {
             svc.observe_load_partial(&LoadState::idle(n), &mask)
-                .unwrap();
+                .expect("sweep covers every node");
         }
         let snap = r.snapshot();
         assert!(snap.counters["core.health.transitions"] > before);
@@ -591,15 +614,20 @@ mod tests {
     #[test]
     fn service_is_shareable_across_threads() {
         let svc = Arc::new(demo_service());
-        let baseline = svc.compare("app", &[m(&[0, 1])]).unwrap();
+        let baseline = svc
+            .compare("app", &[m(&[0, 1])])
+            .expect("demo mapping is valid");
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let svc = svc.clone();
-                std::thread::spawn(move || svc.compare("app", &[m(&[0, 1])]).unwrap())
+                std::thread::spawn(move || {
+                    svc.compare("app", &[m(&[0, 1])])
+                        .expect("demo mapping is valid")
+                })
             })
             .collect();
         for h in handles {
-            assert_eq!(h.join().unwrap(), baseline);
+            assert_eq!(h.join().expect("compare thread panicked"), baseline);
         }
     }
 }

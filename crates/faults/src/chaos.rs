@@ -17,7 +17,7 @@
 use crate::FaultSchedule;
 use cbes_cluster::load::LoadTimeline;
 use cbes_cluster::{Cluster, LatencyProvider, NodeId};
-use cbes_obs::Registry;
+use cbes_obs::{names, Registry};
 use cbes_runtime::{Orchestrator, RunReport, RuntimeConfig, RuntimeError};
 
 /// The outcome of one chaos run: the faulted execution next to its
@@ -73,7 +73,7 @@ pub fn run_chaos(
     timeline: &LoadTimeline,
     faults: &FaultSchedule,
 ) -> Result<ChaosReport, RuntimeError> {
-    Registry::global().counter("chaos.runs").incr();
+    Registry::global().counter(names::CHAOS_RUNS).incr();
     let orch = Orchestrator::new(cluster, latency, config);
     let baseline = orch.run(app, pool, timeline)?;
     let faulted = orch.run_with_faults(app, pool, timeline, Some(faults))?;

@@ -13,13 +13,14 @@
 //! Everything is seeded and time-indexed: the same schedule produces the
 //! same run, which is what makes chaos results debuggable and CI-stable.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
 
 pub use chaos::{run_chaos, ChaosReport};
 
-use cbes_obs::Registry;
+use cbes_obs::{names, Registry};
 use cbes_runtime::{Disturbance, Perturbation};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -94,7 +95,7 @@ impl FaultSchedule {
             "fault targets node {node} outside the cluster"
         );
         assert!(start < end, "fault window [{start}, {end}) is empty");
-        Registry::global().counter("faults.injected").incr();
+        Registry::global().counter(names::FAULTS_INJECTED).incr();
         self.events.push(FaultEvent {
             kind,
             node,
@@ -280,9 +281,9 @@ mod tests {
 
     #[test]
     fn injected_faults_are_counted_globally() {
-        let before = Registry::global().counter("faults.injected").get();
+        let before = Registry::global().counter(names::FAULTS_INJECTED).get();
         let _ = FaultSchedule::random(4, 1, 5.0, 3);
-        let after = Registry::global().counter("faults.injected").get();
+        let after = Registry::global().counter(names::FAULTS_INJECTED).get();
         assert_eq!(after - before, 3);
     }
 

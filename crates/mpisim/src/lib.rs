@@ -19,6 +19,7 @@
 //! is what yields honest prediction errors of a few percent (paper Figure 5)
 //! rather than a circular zero.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

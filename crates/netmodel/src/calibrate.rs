@@ -5,7 +5,7 @@
 
 use crate::model::LatencyModel;
 use cbes_cluster::{Cluster, NodeId};
-use cbes_obs::{Counter, Histogram, Registry};
+use cbes_obs::{names, Counter, Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -23,8 +23,8 @@ fn instruments() -> &'static CalInstruments {
     INSTRUMENTS.get_or_init(|| {
         let r = Registry::global();
         CalInstruments {
-            campaigns: r.counter("netmodel.calibrations"),
-            round_us: r.histogram("netmodel.calibration_round_us"),
+            campaigns: r.counter(names::NETMODEL_CALIBRATIONS),
+            round_us: r.histogram(names::NETMODEL_CALIBRATION_ROUND_US),
         }
     })
 }
@@ -116,7 +116,7 @@ impl Calibrator {
         };
 
         let obs = instruments();
-        let _span = Registry::global().span("netmodel.calibrate");
+        let _span = Registry::global().span(names::SPAN_NETMODEL_CALIBRATE);
         for round in &rounds {
             let round_started = Instant::now();
             let mut round_cost = 0.0f64;
@@ -393,18 +393,18 @@ mod tests {
     #[test]
     fn calibration_times_every_clique_round() {
         let r = Registry::global();
-        let rounds_before = r.histogram("netmodel.calibration_round_us").count();
-        let campaigns_before = r.counter("netmodel.calibrations").get();
+        let rounds_before = r.histogram(names::NETMODEL_CALIBRATION_ROUND_US).count();
+        let campaigns_before = r.counter(names::NETMODEL_CALIBRATIONS).get();
         let c = two_switch_demo();
         let out = Calibrator::default().calibrate(&c);
         // Other tests in this binary calibrate concurrently, so check
         // lower bounds, not exact values.
         assert!(
-            r.histogram("netmodel.calibration_round_us").count()
+            r.histogram(names::NETMODEL_CALIBRATION_ROUND_US).count()
                 >= rounds_before + out.rounds as u64,
             "one timing sample per clique round"
         );
-        assert!(r.counter("netmodel.calibrations").get() > campaigns_before);
+        assert!(r.counter(names::NETMODEL_CALIBRATIONS).get() > campaigns_before);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, OnceLock};
 
-use cbes_obs::{Histogram, HistogramTimer, Registry};
+use cbes_obs::{names, Histogram, HistogramTimer, Registry};
 
 /// Time one full forecast refresh (re-predicting every monitored series
 /// for the next period). The returned guard records the elapsed
@@ -23,7 +23,7 @@ use cbes_obs::{Histogram, HistogramTimer, Registry};
 /// ```
 pub fn refresh_timer() -> HistogramTimer<'static> {
     static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
-    HIST.get_or_init(|| Registry::global().histogram("netmodel.forecast_refresh_us"))
+    HIST.get_or_init(|| Registry::global().histogram(names::NETMODEL_FORECAST_REFRESH_US))
         .start_timer()
 }
 

@@ -17,6 +17,7 @@
 //!   monitoring stream (NWS-style; the Centurion prototype used NWS, the
 //!   Orange Grove prototype used last-value).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibrate;

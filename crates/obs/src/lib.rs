@@ -23,9 +23,11 @@
 //! Everything is hand-rolled on `std::sync::atomic` — no registry
 //! dependencies beyond the workspace's vendored stand-ins.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod names;
 pub mod registry;
 pub mod span;
 

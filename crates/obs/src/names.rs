@@ -1,0 +1,149 @@
+//! Canonical metric and span names — the single source of truth.
+//!
+//! Every instrumentation call site in the workspace names its metric
+//! through a constant from this module. A typo in a literal name
+//! silently forks a counter (both halves keep counting, each one low);
+//! a typo in a constant path is a compile error. `cbes-analyze`'s
+//! `metric_names` rule enforces the convention, and its `drift` rule
+//! checks that [`SERVER_ACTION_COUNTERS`] stays aligned with the wire
+//! protocol's action table and that no two constants collide.
+
+// ---- server (cbes-server daemon) -----------------------------------
+
+/// Requests served to completion.
+pub const SERVER_SERVED: &str = "server.served";
+/// Requests that produced an error reply.
+pub const SERVER_ERRORS: &str = "server.errors";
+/// Requests shed by admission control (queue full).
+pub const SERVER_OVERLOADED: &str = "server.overloaded";
+/// Connections dropped for exceeding the idle/read deadline.
+pub const SERVER_TIMEOUTS: &str = "server.timeouts";
+/// Connections accepted.
+pub const SERVER_CONNECTIONS: &str = "server.connections";
+/// Connections dropped mid-request (peer vanished, I/O error).
+pub const SERVER_DROPPED_CONNECTIONS: &str = "server.dropped_connections";
+/// Request frames rejected for exceeding the size limit.
+pub const SERVER_OVERSIZED_FRAMES: &str = "server.oversized_frames";
+/// Admission-queue wait time, microseconds.
+pub const SERVER_QUEUE_WAIT_US: &str = "server.queue_wait_us";
+/// Request service time (dequeue to reply), microseconds.
+pub const SERVER_SERVICE_TIME_US: &str = "server.service_time_us";
+/// Current admission-queue depth.
+pub const SERVER_QUEUE_DEPTH: &str = "server.queue_depth";
+
+/// Per-action served counters, indexed by
+/// `cbes_server::protocol::Request::action_index`. Entry `i` must be
+/// `"server.action."` followed by `ACTIONS[i]` — checked by
+/// `cbes-analyze`'s drift rule.
+pub const SERVER_ACTION_COUNTERS: [&str; 9] = [
+    "server.action.register_profile",
+    "server.action.compare",
+    "server.action.best_of",
+    "server.action.schedule",
+    "server.action.observe_load",
+    "server.action.observe_partial",
+    "server.action.stats",
+    "server.action.metrics",
+    "server.action.shutdown",
+];
+
+// ---- client (RetryingClient) ---------------------------------------
+
+/// Retry attempts made after shed/transport failures.
+pub const CLIENT_RETRIES: &str = "client.retries";
+/// Requests abandoned after exhausting the retry budget.
+pub const CLIENT_RETRY_GIVEUPS: &str = "client.retry_giveups";
+
+// ---- core (CbesService) --------------------------------------------
+
+/// `compare`/`best_of` calls evaluated.
+pub const CORE_COMPARES: &str = "core.compares";
+/// Candidate mappings predicted (one per mapping per compare).
+pub const CORE_PREDICTIONS: &str = "core.predictions";
+/// End-to-end compare latency, microseconds.
+pub const CORE_COMPARE_US: &str = "core.compare_us";
+/// Snapshot-epoch publish latency, microseconds.
+pub const CORE_EPOCH_PUBLISH_US: &str = "core.epoch_publish_us";
+/// Current snapshot epoch.
+pub const CORE_EPOCH: &str = "core.epoch";
+/// Node health-state transitions observed.
+pub const CORE_HEALTH_TRANSITIONS: &str = "core.health.transitions";
+/// Nodes currently `Healthy`.
+pub const CORE_HEALTH_HEALTHY: &str = "core.health.healthy";
+/// Nodes currently `Suspect`.
+pub const CORE_HEALTH_SUSPECT: &str = "core.health.suspect";
+/// Nodes currently `Down`.
+pub const CORE_HEALTH_DOWN: &str = "core.health.down";
+/// Span: publishing one monitoring sweep as a new epoch.
+pub const SPAN_CORE_PUBLISH_EPOCH: &str = "core.publish_epoch";
+/// Span: evaluating one candidate mapping (eq. 4–8).
+pub const SPAN_CORE_EVALUATE_MAPPING: &str = "core.evaluate_mapping";
+
+// ---- netmodel ------------------------------------------------------
+
+/// Calibration campaigns completed.
+pub const NETMODEL_CALIBRATIONS: &str = "netmodel.calibrations";
+/// Per-round calibration wall time, microseconds.
+pub const NETMODEL_CALIBRATION_ROUND_US: &str = "netmodel.calibration_round_us";
+/// Forecast refresh latency, microseconds.
+pub const NETMODEL_FORECAST_REFRESH_US: &str = "netmodel.forecast_refresh_us";
+/// Span: one full latency-calibration campaign.
+pub const SPAN_NETMODEL_CALIBRATE: &str = "netmodel.calibrate";
+
+// ---- faults / chaos ------------------------------------------------
+
+/// Faults injected into the node-health model.
+pub const FAULTS_INJECTED: &str = "faults.injected";
+/// Chaos-harness scenario runs started.
+pub const CHAOS_RUNS: &str = "chaos.runs";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_counters_share_the_prefix() {
+        for name in SERVER_ACTION_COUNTERS {
+            assert!(name.starts_with("server.action."), "{name}");
+        }
+    }
+
+    #[test]
+    fn all_names_are_distinct() {
+        let all = [
+            SERVER_SERVED,
+            SERVER_ERRORS,
+            SERVER_OVERLOADED,
+            SERVER_TIMEOUTS,
+            SERVER_CONNECTIONS,
+            SERVER_DROPPED_CONNECTIONS,
+            SERVER_OVERSIZED_FRAMES,
+            SERVER_QUEUE_WAIT_US,
+            SERVER_SERVICE_TIME_US,
+            SERVER_QUEUE_DEPTH,
+            CLIENT_RETRIES,
+            CLIENT_RETRY_GIVEUPS,
+            CORE_COMPARES,
+            CORE_PREDICTIONS,
+            CORE_COMPARE_US,
+            CORE_EPOCH_PUBLISH_US,
+            CORE_EPOCH,
+            CORE_HEALTH_TRANSITIONS,
+            CORE_HEALTH_HEALTHY,
+            CORE_HEALTH_SUSPECT,
+            CORE_HEALTH_DOWN,
+            SPAN_CORE_PUBLISH_EPOCH,
+            SPAN_CORE_EVALUATE_MAPPING,
+            NETMODEL_CALIBRATIONS,
+            NETMODEL_CALIBRATION_ROUND_US,
+            NETMODEL_FORECAST_REFRESH_US,
+            SPAN_NETMODEL_CALIBRATE,
+            FAULTS_INJECTED,
+            CHAOS_RUNS,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for name in all.into_iter().chain(SERVER_ACTION_COUNTERS) {
+            assert!(seen.insert(name), "duplicate metric name {name}");
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //!    for itself; if it does, the migration delay is charged and execution
 //!    continues on the new mapping.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

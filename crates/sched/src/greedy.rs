@@ -7,10 +7,10 @@
 //! (`O(n_procs × pool)` evaluations of partial costs), but with no global
 //! view — simulated annealing should beat it on communication-bound apps.
 
+use crate::telemetry::{NullSink, TelemetrySink};
 use crate::{SchedError, ScheduleRequest, ScheduleResult, Scheduler};
 use cbes_cluster::NodeId;
 use cbes_core::mapping::Mapping;
-use std::time::Instant;
 
 /// Deterministic greedy list scheduler.
 #[derive(Debug, Clone, Default)]
@@ -30,7 +30,8 @@ impl Scheduler for GreedyScheduler {
 
     fn schedule(&mut self, req: &ScheduleRequest<'_>) -> Result<ScheduleResult, SchedError> {
         req.validate()?;
-        let start = Instant::now();
+        let mut clock = NullSink;
+        let start = clock.clock();
         let snap = req.snapshot;
         let n = req.num_procs();
 
@@ -87,7 +88,7 @@ impl Scheduler for GreedyScheduler {
             predicted_time,
             score: predicted_time,
             evaluations: evals,
-            elapsed: start.elapsed(),
+            elapsed: clock.clock().saturating_sub(start),
         })
     }
 }

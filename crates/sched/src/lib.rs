@@ -12,6 +12,7 @@
 //! available to the application by policy, §2) and return injective mappings
 //! (one process per node), matching the paper's experimental setup.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod genetic;

@@ -8,7 +8,6 @@ use cbes_core::eval::Evaluator;
 use cbes_core::mapping::Mapping;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::time::Instant;
 
 /// Which objective the annealer minimises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,7 +168,7 @@ impl SaScheduler {
         sink: &mut S,
     ) -> Result<ScheduleResult, SchedError> {
         req.validate()?;
-        let start = Instant::now();
+        let start = sink.clock();
         let ev = req.evaluator();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut evals = 0u64;
@@ -190,7 +189,7 @@ impl SaScheduler {
             predicted_time,
             score,
             evaluations: evals,
-            elapsed: start.elapsed(),
+            elapsed: sink.clock().saturating_sub(start),
         })
     }
 }
@@ -383,6 +382,39 @@ mod tests {
         assert_eq!(plain.mapping, recorded.mapping);
         assert_eq!(plain.predicted_time, recorded.predicted_time);
         assert_eq!(plain.evaluations, recorded.evaluations);
+    }
+
+    #[test]
+    fn elapsed_comes_from_the_sink_clock() {
+        use crate::telemetry::TelemetrySink;
+        use std::time::Duration;
+
+        /// Deterministic clock: advances 7 ms per read, records nothing.
+        struct FrozenClock {
+            reads: u32,
+        }
+        impl TelemetrySink for FrozenClock {
+            fn on_move(&mut self, _temp: f64, _accepted: bool) {}
+            fn on_improvement(&mut self, _eval: u64, _energy: f64) {}
+            fn on_restart(&mut self, _best_energy: f64) {}
+            fn clock(&mut self) -> Duration {
+                self.reads += 1;
+                Duration::from_millis(7) * self.reads
+            }
+        }
+
+        let c = demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = ring_profile(4, 1.0, 50, 4096);
+        let pool: Vec<_> = c.node_ids().collect();
+        let req = ScheduleRequest::new(&p, &snap, &pool);
+        let mut clock = FrozenClock { reads: 0 };
+        let r = SaScheduler::new(SaConfig::fast(3))
+            .schedule_with_sink(&req, &mut clock)
+            .unwrap();
+        // The run reads the clock exactly twice: start and finish.
+        assert_eq!(clock.reads, 2);
+        assert_eq!(r.elapsed, Duration::from_millis(7));
     }
 
     #[test]

@@ -160,7 +160,7 @@ impl Client {
     }
 
     /// Send a request and surface error replies as [`ClientError::Server`].
-    fn expect(&mut self, request: Request) -> Result<Response, ClientError> {
+    fn exchange(&mut self, request: Request) -> Result<Response, ClientError> {
         match self.request(request)?.response {
             Response::Error {
                 kind,
@@ -177,7 +177,7 @@ impl Client {
 
     /// Register (or replace) an application profile.
     pub fn register_profile(&mut self, profile: AppProfile) -> Result<(), ClientError> {
-        match self.expect(Request::RegisterProfile { profile })? {
+        match self.exchange(Request::RegisterProfile { profile })? {
             Response::Registered { .. } => Ok(()),
             other => Err(unexpected("Registered", &other)),
         }
@@ -194,7 +194,7 @@ impl Client {
             app: app.to_string(),
             mappings: mappings.to_vec(),
         };
-        match self.expect(request)? {
+        match self.exchange(request)? {
             Response::Predictions { epoch, predictions } => Ok((epoch, predictions)),
             other => Err(unexpected("Predictions", &other)),
         }
@@ -210,7 +210,7 @@ impl Client {
             app: app.to_string(),
             mappings: mappings.to_vec(),
         };
-        match self.expect(request)? {
+        match self.exchange(request)? {
             Response::Best {
                 epoch,
                 index,
@@ -235,7 +235,7 @@ impl Client {
             iters,
             seed,
         };
-        match self.expect(request)? {
+        match self.exchange(request)? {
             Response::Scheduled {
                 epoch,
                 mapping,
@@ -249,7 +249,7 @@ impl Client {
     /// Feed one monitoring sweep; returns the new snapshot epoch.
     pub fn observe_load(&mut self, load: &LoadState) -> Result<u64, ClientError> {
         let request = Request::ObserveLoad { load: load.clone() };
-        match self.expect(request)? {
+        match self.exchange(request)? {
             Response::LoadObserved { epoch } => Ok(epoch),
             other => Err(unexpected("LoadObserved", &other)),
         }
@@ -267,7 +267,7 @@ impl Client {
             load: load.clone(),
             silent: silent.to_vec(),
         };
-        match self.expect(request)? {
+        match self.exchange(request)? {
             Response::LoadObserved { epoch } => Ok(epoch),
             other => Err(unexpected("LoadObserved", &other)),
         }
@@ -275,7 +275,7 @@ impl Client {
 
     /// Read the server's counters.
     pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
-        match self.expect(Request::Stats)? {
+        match self.exchange(Request::Stats)? {
             Response::Stats { stats } => Ok(stats),
             other => Err(unexpected("Stats", &other)),
         }
@@ -283,7 +283,7 @@ impl Client {
 
     /// Read the full metrics snapshot (counters, gauges, histograms).
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
-        match self.expect(Request::Metrics)? {
+        match self.exchange(Request::Metrics)? {
             Response::Metrics { metrics } => Ok(metrics),
             other => Err(unexpected("Metrics", &other)),
         }
@@ -292,7 +292,7 @@ impl Client {
     /// Ask the server to drain and exit. The acknowledgement arrives
     /// before the drain completes.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        match self.expect(Request::Shutdown)? {
+        match self.exchange(Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("ShuttingDown", &other)),
         }
@@ -378,8 +378,8 @@ impl RetryingClient {
             rng: StdRng::seed_from_u64(policy.seed),
             policy,
             inner: None,
-            retries: registry.counter("client.retries"),
-            giveups: registry.counter("client.retry_giveups"),
+            retries: registry.counter(cbes_obs::names::CLIENT_RETRIES),
+            giveups: registry.counter(cbes_obs::names::CLIENT_RETRY_GIVEUPS),
         }
     }
 

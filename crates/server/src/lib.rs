@@ -1,6 +1,8 @@
 //! CBES serving layer: a concurrent TCP daemon answering
 //! mapping-evaluation requests over newline-delimited JSON.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod protocol;
 pub mod server;

@@ -124,6 +124,7 @@ impl Request {
 
     /// The canonical action name (span name, per-action counter key).
     pub fn action(&self) -> &'static str {
+        // cbes-analyze: allow(panic_path, action_index is the variant's position in ACTIONS by construction; the drift check pins both tables)
         ACTIONS[self.action_index()]
     }
 }
@@ -304,7 +305,7 @@ mod tests {
         };
         let line = encode(&env);
         assert!(!line.contains('\n'), "one line per message");
-        let back: RequestEnvelope = serde_json::from_str(&line).unwrap();
+        let back: RequestEnvelope = serde_json::from_str(&line).expect("encode emits valid JSON");
         assert_eq!(back, env);
     }
 
@@ -315,7 +316,8 @@ mod tests {
                 id: 1,
                 request: req.clone(),
             };
-            let back: RequestEnvelope = serde_json::from_str(&encode(&env)).unwrap();
+            let back: RequestEnvelope =
+                serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
             assert_eq!(back.request, req);
         }
     }
@@ -326,7 +328,8 @@ mod tests {
             id: 9,
             response: Response::error(error_kind::OVERLOADED, "queue full"),
         };
-        let back: ResponseEnvelope = serde_json::from_str(&encode(&env)).unwrap();
+        let back: ResponseEnvelope =
+            serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
         assert_eq!(back, env);
         match back.response {
             Response::Error { kind, .. } => assert_eq!(kind, error_kind::OVERLOADED),

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use cbes_cluster::NodeId;
 use cbes_core::CbesService;
-use cbes_obs::{Counter, Histogram, MetricsSnapshot, Registry};
+use cbes_obs::{names, Counter, Histogram, MetricsSnapshot, Registry};
 use cbes_sched::{SaConfig, SaScheduler, ScheduleRequest, Scheduler};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 
@@ -34,20 +34,6 @@ use crate::protocol::{
 
 /// How often blocked connection readers re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
-
-/// Per-action counter metric names, index-aligned with
-/// [`crate::protocol::ACTIONS`].
-const ACTION_COUNTERS: [&str; 9] = [
-    "server.action.register_profile",
-    "server.action.compare",
-    "server.action.best_of",
-    "server.action.schedule",
-    "server.action.observe_load",
-    "server.action.observe_partial",
-    "server.action.stats",
-    "server.action.metrics",
-    "server.action.shutdown",
-];
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -135,16 +121,16 @@ impl ServerMetrics {
     fn new() -> Self {
         let registry = Registry::new();
         ServerMetrics {
-            served: registry.counter("server.served"),
-            errors: registry.counter("server.errors"),
-            overloaded: registry.counter("server.overloaded"),
-            timeouts: registry.counter("server.timeouts"),
-            connections: registry.counter("server.connections"),
-            dropped_connections: registry.counter("server.dropped_connections"),
-            oversized_frames: registry.counter("server.oversized_frames"),
-            queue_wait: registry.histogram("server.queue_wait_us"),
-            service_time: registry.histogram("server.service_time_us"),
-            by_action: ACTION_COUNTERS
+            served: registry.counter(names::SERVER_SERVED),
+            errors: registry.counter(names::SERVER_ERRORS),
+            overloaded: registry.counter(names::SERVER_OVERLOADED),
+            timeouts: registry.counter(names::SERVER_TIMEOUTS),
+            connections: registry.counter(names::SERVER_CONNECTIONS),
+            dropped_connections: registry.counter(names::SERVER_DROPPED_CONNECTIONS),
+            oversized_frames: registry.counter(names::SERVER_OVERSIZED_FRAMES),
+            queue_wait: registry.histogram(names::SERVER_QUEUE_WAIT_US),
+            service_time: registry.histogram(names::SERVER_SERVICE_TIME_US),
+            by_action: names::SERVER_ACTION_COUNTERS
                 .iter()
                 .map(|n| registry.counter(n))
                 .collect(),
@@ -165,7 +151,7 @@ impl ServerMetrics {
     /// (the library crates — core, netmodel — record there).
     fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
         self.registry
-            .gauge("server.queue_depth")
+            .gauge(names::SERVER_QUEUE_DEPTH)
             .set(queue_depth as f64);
         let mut snap = self.registry.snapshot();
         snap.merge(&Registry::global().snapshot());
@@ -500,7 +486,9 @@ fn worker_loop(
             )
         };
         metrics.service_time.record_duration(picked_up.elapsed());
-        metrics.by_action[action_index].incr();
+        if let Some(counter) = metrics.by_action.get(action_index) {
+            counter.incr();
+        }
         if matches!(response, Response::Error { .. }) {
             metrics.errors.incr();
         }
@@ -536,7 +524,7 @@ fn handle_request(
                 let (index, prediction) = predictions
                     .into_iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| a.time.partial_cmp(&b.time).expect("times are finite"))
+                    .min_by(|(_, a), (_, b)| a.time.total_cmp(&b.time))
                     .expect("compare rejects empty requests");
                 Response::Best {
                     epoch,
@@ -587,7 +575,11 @@ fn handle_request(
             }
             let mut reported = vec![true; n];
             for s in &silent {
-                reported[*s as usize] = false;
+                // Bounds pre-validated above; out-of-range ids already
+                // returned a typed `BadNode` error.
+                if let Some(flag) = reported.get_mut(*s as usize) {
+                    *flag = false;
+                }
             }
             match service.observe_load_partial(&load, &reported) {
                 Ok(epoch) => Response::LoadObserved { epoch },

@@ -9,6 +9,7 @@
 //! ([`extract_profile`]), including the correction factor
 //! `λ_i = B_i / Θ_i^profile` of paper eq. 7.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyze;

@@ -17,6 +17,7 @@
 //! so experiments run quickly); all ratios the experiments test are
 //! preserved. See DESIGN.md §2 for the substitution rationale.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asci;

@@ -52,6 +52,7 @@
 //! assert!(result.predicted_time > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use cbes_cluster as cluster;

@@ -5,6 +5,8 @@
 //! bounded time budget and prints a single mean-per-iteration line.
 //! No statistics, plots, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

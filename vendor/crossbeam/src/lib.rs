@@ -2,6 +2,8 @@
 //! [`scope`] for scoped thread fan-out and [`channel`] for MPMC queues —
 //! implemented over `std::thread::scope` and `Mutex` + `Condvar`.
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 
 use std::thread;

@@ -3,6 +3,8 @@
 //! is recovered rather than propagated, matching parking_lot's behaviour
 //! of not poisoning at all.
 
+#![forbid(unsafe_code)]
+
 use std::sync;
 
 /// A mutual-exclusion lock whose `lock()` never fails.

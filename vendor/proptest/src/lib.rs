@@ -9,6 +9,8 @@
 //! workspace (< 5 %) still leaves ample coverage. No shrinking: the
 //! failing case's arguments are printed instead.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::ops::Range;

@@ -7,6 +7,8 @@
 //! the workspace relies on (the real `StdRng` makes no cross-version
 //! stability promise anyway).
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Low-level uniform word source.

@@ -15,6 +15,8 @@
 //!   struct variants — the shapes this workspace uses. The wire format
 //!   matches upstream serde_json's externally-tagged defaults.
 
+#![forbid(unsafe_code)]
+
 pub mod value;
 
 pub use value::{Number, Value};

@@ -13,6 +13,8 @@
 //! Generics, tuple structs with more than one field, and `#[serde(..)]`
 //! attributes are rejected with a compile error.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]

@@ -1,6 +1,8 @@
 //! Offline stand-in for `serde_json`, backed by the vendored [`serde`]
 //! crate's [`Value`] tree (see `vendor/serde` for why).
 
+#![forbid(unsafe_code)]
+
 pub use serde::value::parse;
 pub use serde::{Error, Number, Value};
 
