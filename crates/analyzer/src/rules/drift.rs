@@ -12,6 +12,10 @@
 //!    constants in `names.rs` are pairwise distinct.
 //! 6. Exit codes documented in the CLI usage text and DESIGN.md match
 //!    `CliError::exit_code`.
+//! 7. When the router crate exists: `FORWARD_MODES` covers every action
+//!    with a valid mode, hash-routed actions have `RoutingClient`
+//!    methods, the CLI exposes the `route` command with its `serve` and
+//!    `status` arms, and DESIGN.md tables every `(action, mode)` pair.
 
 use crate::findings::Finding;
 use crate::lexer::TokKind;
@@ -27,6 +31,8 @@ const CLI_ERROR: &str = "crates/cli/src/error.rs";
 const CLI_LIB: &str = "crates/cli/src/lib.rs";
 const OBS_NAMES: &str = "crates/obs/src/names.rs";
 const DESIGN: &str = "DESIGN.md";
+const ROUTER_PLAN: &str = "crates/router/src/plan.rs";
+const ROUTER_CLIENT: &str = "crates/router/src/client.rs";
 
 /// Run every drift sub-check against the tree rooted at `root`.
 pub fn check(root: &Path) -> Vec<Finding> {
@@ -162,7 +168,98 @@ pub fn check(root: &Path) -> Vec<Finding> {
     }
 
     check_exit_codes(root, &mut out);
+    check_forward_plan(root, &actions, &mut out);
     out
+}
+
+/// Sub-check 7: the router's forwarding plan vs the protocol, the
+/// routing client, the CLI, and the docs. Skipped entirely when the
+/// workspace has no router crate (older trees stay clean).
+fn check_forward_plan(root: &Path, actions: &[String], out: &mut Vec<Finding>) {
+    if !root.join("crates/router").is_dir() {
+        return;
+    }
+    let Some(plan) = parse(root, ROUTER_PLAN, out) else {
+        return;
+    };
+    let modes = const_str_array(&plan, "FORWARD_MODES");
+    if modes.len() != actions.len() {
+        out.push(Finding::new(
+            DRIFT,
+            ROUTER_PLAN,
+            0,
+            format!(
+                "`FORWARD_MODES` has {} entries for {} protocol actions",
+                modes.len(),
+                actions.len()
+            ),
+        ));
+    }
+    const VOCAB: [&str; 5] = ["hash", "leader", "merge", "broadcast", "local"];
+    for m in &modes {
+        if !VOCAB.contains(&m.as_str()) {
+            out.push(Finding::new(
+                DRIFT,
+                ROUTER_PLAN,
+                0,
+                format!(
+                    "forwarding mode \"{m}\" is not in the mode vocabulary \
+                     (hash | leader | merge | broadcast | local)"
+                ),
+            ));
+        }
+    }
+    if let Some(client) = parse(root, ROUTER_CLIENT, out) {
+        for (a, m) in actions.iter().zip(&modes) {
+            if m == "hash" && !has_fn(&client, a) {
+                out.push(Finding::new(
+                    DRIFT,
+                    ROUTER_CLIENT,
+                    0,
+                    format!("hash-routed action \"{a}\" has no routing-client method `fn {a}`"),
+                ));
+            }
+        }
+    }
+    if let Some(commands) = parse(root, COMMANDS, out) {
+        if has_fn(&commands, "route") {
+            for sub in ["serve", "status"] {
+                if !has_str(&commands, sub) {
+                    out.push(Finding::new(
+                        DRIFT,
+                        COMMANDS,
+                        0,
+                        format!("the CLI `route` command has no \"{sub}\" arm"),
+                    ));
+                }
+            }
+        } else {
+            out.push(Finding::new(
+                DRIFT,
+                COMMANDS,
+                0,
+                "router crate present but the CLI has no `fn route` command",
+            ));
+        }
+    }
+    if let Some(design) = read(root, DESIGN, out) {
+        for (a, m) in actions.iter().zip(&modes) {
+            let in_table = design.lines().any(|l| {
+                l.trim_start().starts_with('|') && l.contains(a.as_str()) && l.contains(m.as_str())
+            });
+            if !in_table {
+                out.push(Finding::new(
+                    DRIFT,
+                    DESIGN,
+                    0,
+                    format!(
+                        "action \"{a}\" (mode \"{m}\") has no row in the DESIGN.md \
+                         forwarding table"
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 /// Sub-check 6: documented exit codes vs `CliError::exit_code`.

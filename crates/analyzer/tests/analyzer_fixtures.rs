@@ -89,12 +89,12 @@ fn drift_fixture_reports_every_planted_mismatch() {
     let report = run(fixture("drift"), &[rules::DRIFT]);
     assert_eq!(
         report.findings.len(),
-        6,
+        11,
         "one finding per planted mismatch: {:#?}",
         report.findings
     );
     // Drift findings are unwaivable by design.
-    assert_eq!(report.unwaived().count(), 6);
+    assert_eq!(report.unwaived().count(), 11);
     for f in &report.findings {
         assert_eq!(f.rule, rules::DRIFT);
     }
@@ -106,6 +106,12 @@ fn drift_fixture_reports_every_planted_mismatch() {
         "action counter \"server.action.wrong\" does not match its action (expected \"server.action.stats\")",
         "metric name \"dup.metric\" already defined at line 4",
         "`CliError::exit_code` has no arm for the `shed` failure class",
+        "forwarding mode \"teleport\" is not in the mode vocabulary \
+         (hash | leader | merge | broadcast | local)",
+        "hash-routed action \"compare\" has no routing-client method `fn compare`",
+        "router crate present but the CLI has no `fn route` command",
+        "action \"compare\" (mode \"hash\") has no row in the DESIGN.md forwarding table",
+        "action \"stats\" (mode \"teleport\") has no row in the DESIGN.md forwarding table",
     ];
     for expected in planted {
         assert!(
@@ -189,6 +195,6 @@ fn cli_writes_the_json_report() {
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let json = std::fs::read_to_string(&path).expect("json report written");
     std::fs::remove_file(&path).ok();
-    assert!(json.contains("\"unwaived_count\": 6"), "{json}");
+    assert!(json.contains("\"unwaived_count\": 11"), "{json}");
     assert!(json.contains("\"rule\": \"drift\""), "{json}");
 }

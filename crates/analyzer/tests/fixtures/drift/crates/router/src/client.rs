@@ -1,0 +1,7 @@
+//! Fixture: the hash-routed compare action has no routing-client
+//! method.
+pub struct RoutingClient;
+
+impl RoutingClient {
+    pub fn stats_of(&mut self) {}
+}

@@ -1,0 +1,3 @@
+//! Fixture: mode table matches the action count, but "teleport" is not
+//! a forwarding mode.
+pub const FORWARD_MODES: [&str; 2] = ["hash", "teleport"];

@@ -1,0 +1,391 @@
+//! Crash-tolerant scale-out bench for the routing tier (DESIGN.md §11).
+//!
+//! Two phases at the same per-instance admission cap (`--max-rps`), so
+//! the throughput ratio measures the architecture, not host scheduler
+//! noise:
+//!
+//! 1. **Baseline** — one rate-capped daemon, clients hammering it with
+//!    `Compare` requests through the routing client.
+//! 2. **Tier** — three rate-capped daemons behind the consistent-hash
+//!    router, heartbeat membership, and leader-push replication; at 75%
+//!    of the phase the current replication leader is killed.
+//!
+//! Pass criteria: tier/baseline throughput ≥ 2.5×, zero router
+//! give-ups and zero failed requests (failover rides through the
+//! crash), replication staleness ≤ 2 epochs throughout, and the
+//! crashed instance observed `Down`. Artifacts:
+//! `results/cluster_loadgen.json` and `BENCH_cluster_loadgen.json`.
+//!
+//! ```text
+//! cargo run --release --bin cluster_loadgen [--full]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cbes_bench::args::ExpArgs;
+use cbes_bench::save_json;
+use cbes_cluster::load::LoadState;
+use cbes_cluster::{presets, NodeId};
+use cbes_core::health::HealthPolicy;
+use cbes_core::mapping::Mapping;
+use cbes_core::monitor::ForecastKind;
+use cbes_core::CbesService;
+use cbes_obs::{names, Registry};
+use cbes_router::tier::{observe_tier, spawn_heartbeat};
+use cbes_router::{Membership, MembershipConfig, RoutingClient};
+use cbes_server::{RetryPolicy, Server, ServerConfig, ServerHandle};
+use cbes_trace::{AppProfile, MessageGroup, ProcessProfile};
+
+/// Per-instance admission cap (Compare/BestOf/Schedule only); both
+/// phases run at the same cap, so capacity scales with instance count.
+const CAP_RPS: f64 = 300.0;
+const CLIENTS: usize = 6;
+const APPS: usize = 24;
+const TIER_INSTANCES: usize = 3;
+
+/// A cheap 2-rank exchange; evaluation cost is negligible next to the
+/// wire round-trip, so the admission cap is the only throttle.
+fn pair_profile(name: &str) -> AppProfile {
+    let mk = |rank: usize| ProcessProfile {
+        rank,
+        x: 5.0,
+        o: 0.2,
+        b: 0.5,
+        sends: vec![MessageGroup {
+            peer: 1 - rank,
+            bytes: 8192,
+            count: 50,
+        }],
+        recvs: vec![MessageGroup {
+            peer: 1 - rank,
+            bytes: 8192,
+            count: 50,
+        }],
+        profile_speed: 1.0,
+        lambda: 1.0,
+    };
+    AppProfile {
+        name: name.to_string(),
+        procs: (0..2).map(mk).collect(),
+        arch_ratios: BTreeMap::new(),
+    }
+}
+
+fn start_instance() -> ServerHandle {
+    let service = Arc::new(CbesService::self_calibrated(
+        Arc::new(presets::two_switch_demo()),
+        ForecastKind::LastValue,
+    ));
+    Server::start(
+        service,
+        ServerConfig {
+            workers: 2,
+            max_rps: CAP_RPS,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn membership_over(addrs: Vec<String>) -> Arc<Membership> {
+    Membership::new(
+        addrs,
+        MembershipConfig {
+            cluster: "demo".to_string(),
+            heartbeat: Duration::from_millis(50),
+            probe_timeout: Duration::from_millis(250),
+            policy: HealthPolicy {
+                suspect_after: 1,
+                down_after: 3,
+                suspect_cost_factor: 1.0,
+            },
+            replicas: 1,
+        },
+    )
+}
+
+fn routing_client(membership: Arc<Membership>, seed: u64) -> RoutingClient {
+    // Small per-instance budget: sheds pace the client via
+    // retry_after_ms, dead instances hand over to replicas quickly; the
+    // outer cycle budget carries requests across the failover window.
+    RoutingClient::new(
+        membership,
+        Duration::from_secs(2),
+        RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            seed,
+        },
+    )
+    .with_limits(60, Duration::from_millis(3))
+}
+
+/// Hammer the tier with `Compare` for `duration`; returns
+/// `(completed, failed)` across all clients.
+fn drive(membership: &Arc<Membership>, duration: Duration, seed: u64) -> (u64, u64) {
+    let candidates = vec![
+        Mapping::new(vec![NodeId(0), NodeId(1)]),
+        Mapping::new(vec![NodeId(4), NodeId(5)]),
+    ];
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let membership = membership.clone();
+            let candidates = &candidates;
+            let (ok, failed) = (&ok, &failed);
+            s.spawn(move || {
+                let mut client = routing_client(membership, seed.wrapping_add(c as u64));
+                let apps: Vec<String> = (0..APPS)
+                    .filter(|a| a % CLIENTS == c)
+                    .map(|a| format!("pair.{a:02}"))
+                    .collect();
+                let deadline = Instant::now() + duration;
+                let mut i = 0usize;
+                while Instant::now() < deadline {
+                    let app = &apps[i % apps.len()];
+                    i += 1;
+                    match client.compare(app, candidates) {
+                        Ok((_, preds)) => {
+                            assert_eq!(preds.len(), 2);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("client {c}: request lost: {e}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (ok.load(Ordering::Relaxed), failed.load(Ordering::Relaxed))
+}
+
+fn register_apps(membership: &Arc<Membership>) {
+    let mut client = routing_client(membership.clone(), 0x0a11);
+    for a in 0..APPS {
+        let registered = client
+            .register_profile(&pair_profile(&format!("pair.{a:02}")))
+            .expect("registration reaches the tier");
+        assert_eq!(registered, membership.len(), "profile on every instance");
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let scale = if args.full { 2 } else { 1 };
+    let base_dur = Duration::from_secs(3 * scale);
+    let tier_dur = Duration::from_secs(6 * scale);
+    let crash_at = tier_dur.mul_f64(0.75);
+
+    println!(
+        "cluster_loadgen: {CLIENTS} clients x {APPS} apps, {CAP_RPS:.0} req/s \
+         admission cap per instance"
+    );
+
+    // Both phases start with full token buckets; an untimed warmup
+    // drains the burst allowance so the timed windows measure the
+    // sustained cap, not the initial burst (which favours the shorter
+    // baseline phase).
+    let warmup = Duration::from_millis(750);
+
+    // ---- Phase 1: one rate-capped daemon ------------------------------
+    let single = start_instance();
+    let base_membership = membership_over(vec![single.addr().to_string()]);
+    register_apps(&base_membership);
+    let (_, warm_failed_base) = drive(&base_membership, warmup, args.seed.wrapping_add(7));
+    let started = Instant::now();
+    let (base_ok, base_failed) = drive(&base_membership, base_dur, args.seed);
+    let base_elapsed = started.elapsed();
+    let base_rps = base_ok as f64 / base_elapsed.as_secs_f64();
+    single.shutdown_and_join();
+    println!(
+        "  baseline  {base_ok} ok / {base_failed} failed in {:.2}s -> {base_rps:.0} req/s",
+        base_elapsed.as_secs_f64()
+    );
+
+    // ---- Phase 2: 3-instance tier, leader killed at 75% ---------------
+    let mut handles: Vec<Option<ServerHandle>> = (0..TIER_INSTANCES)
+        .map(|_| Some(start_instance()))
+        .collect();
+    let seeds: Vec<String> = handles
+        .iter()
+        .map(|h| h.as_ref().expect("just started").addr().to_string())
+        .collect();
+    let membership = membership_over(seeds);
+    register_apps(&membership);
+    let (_, warm_failed_tier) = drive(&membership, warmup, args.seed.wrapping_add(17));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = spawn_heartbeat(membership.clone(), stop.clone());
+
+    // Observer: publish monitoring sweeps through the leader while the
+    // load runs, tracking the worst replication staleness in epochs.
+    let observer = {
+        let membership = membership.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let load = LoadState::idle(8);
+            let mut published = 0u64;
+            let mut max_lag = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                // A sweep may race the leader crash; the next one fails
+                // over to the new leader and continues the epoch line.
+                if observe_tier(&membership, &load, &[]).is_ok() {
+                    published += 1;
+                }
+                max_lag = max_lag.max(membership.replication_lag());
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            (published, max_lag)
+        })
+    };
+
+    let started = Instant::now();
+    let crashed = {
+        let membership = membership.clone();
+        let handles_ref = &mut handles;
+        std::thread::scope(|s| {
+            let driver = {
+                let membership = membership.clone();
+                s.spawn(move || drive(&membership, tier_dur, args.seed.wrapping_add(100)))
+            };
+            std::thread::sleep(crash_at);
+            let victim = membership.leader().expect("a live tier has a leader");
+            let handle = handles_ref[victim].take().expect("leader not yet crashed");
+            println!(
+                "  crashing leader instance {victim} at t={:.2}s",
+                started.elapsed().as_secs_f64()
+            );
+            handle.shutdown_and_join();
+            let (ok, failed) = driver.join().expect("driver clients");
+            (victim, ok, failed)
+        })
+    };
+    let tier_elapsed = started.elapsed();
+    let (victim, tier_ok, tier_failed) = crashed;
+    let tier_rps = tier_ok as f64 / tier_elapsed.as_secs_f64();
+
+    // Give the heartbeat time to finish marking the victim Down, then
+    // stop the background threads.
+    let down_deadline = Instant::now() + Duration::from_secs(5);
+    while membership.counts().2 < 1 && Instant::now() < down_deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    stop.store(true, Ordering::Release);
+    let _ = heartbeat.join();
+    let (published, max_lag) = observer.join().expect("observer thread");
+
+    let report = membership.report();
+    let giveups = Registry::global().counter(names::ROUTER_GIVEUPS).get();
+    let ratio = tier_rps / base_rps.max(1.0);
+    let failed_over: u64 = report.instances.iter().map(|i| i.failed_over).sum();
+
+    for h in handles.iter_mut().filter_map(Option::take) {
+        h.shutdown_and_join();
+    }
+
+    println!(
+        "  tier      {tier_ok} ok / {tier_failed} failed in {:.2}s -> {tier_rps:.0} req/s",
+        tier_elapsed.as_secs_f64()
+    );
+    println!("  speedup          {ratio:>8.2}x (target >= 2.5x)");
+    println!("  router give-ups  {giveups:>8}");
+    println!("  failed-over      {failed_over:>8} requests");
+    println!("  sweeps published {published:>8}");
+    println!("  max staleness    {max_lag:>8} epochs (bound <= 2)");
+    println!(
+        "  victim {victim}: health `{}`, {} transitions, leader now {:?}",
+        report.instances[victim].health, report.transitions, report.leader
+    );
+
+    let victim_down = report.instances[victim].health == "down";
+    let ok = ratio >= 2.5
+        && base_failed == 0
+        && tier_failed == 0
+        && warm_failed_base == 0
+        && warm_failed_tier == 0
+        && giveups == 0
+        && max_lag <= 2
+        && published > 0
+        && victim_down
+        && report.leader != Some(victim);
+
+    save_json(
+        "cluster_loadgen",
+        &serde_json::json!({
+            "cluster": "two_switch_demo",
+            "cap_rps_per_instance": CAP_RPS,
+            "clients": CLIENTS,
+            "apps": APPS,
+            "baseline": {
+                "instances": 1,
+                "completed": base_ok,
+                "failed": base_failed,
+                "elapsed_s": base_elapsed.as_secs_f64(),
+                "req_per_s": base_rps,
+            },
+            "tier": {
+                "instances": TIER_INSTANCES,
+                "completed": tier_ok,
+                "failed": tier_failed,
+                "elapsed_s": tier_elapsed.as_secs_f64(),
+                "req_per_s": tier_rps,
+                "crash_at_s": crash_at.as_secs_f64(),
+                "crashed_instance": victim,
+                "victim_health": report.instances[victim].health,
+                "leader_after_crash": report.leader,
+                "failed_over_requests": failed_over,
+                "health_transitions": report.transitions,
+                "heartbeats": report.heartbeats,
+            },
+            "replication": {
+                "sweeps_published": published,
+                "max_staleness_epochs": max_lag,
+                "staleness_bound_epochs": 2,
+                "final_max_epoch": report.max_epoch,
+            },
+            "router_giveups": giveups,
+            "speedup": ratio,
+            "target_speedup": 2.5,
+            "pass": ok,
+        }),
+    );
+    let bench = serde_json::json!({
+        "bench": "cluster_loadgen",
+        "speedup": ratio,
+        "tier_req_per_s": tier_rps,
+        "baseline_req_per_s": base_rps,
+        "router_giveups": giveups,
+        "max_staleness_epochs": max_lag,
+    });
+    match serde_json::to_string_pretty(&bench) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write("BENCH_cluster_loadgen.json", s) {
+                eprintln!("warning: cannot write BENCH_cluster_loadgen.json: {e}");
+            } else {
+                println!("[artifact] BENCH_cluster_loadgen.json");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise bench summary: {e}"),
+    }
+
+    if !ok {
+        eprintln!(
+            "FAIL: need >=2.5x at equal caps, zero lost requests, zero give-ups, \
+             staleness <= 2 epochs, and the crashed leader marked down"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nPASS: {ratio:.2}x over one instance with a mid-run leader crash, \
+         zero lost requests, staleness <= {max_lag} epochs"
+    );
+}

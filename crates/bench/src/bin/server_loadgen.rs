@@ -192,7 +192,20 @@ fn main() {
         served, served_errors
     );
 
-    let ok = dropped == 0 && errors == 0 && req_per_s >= 10_000.0;
+    // Tail-latency budget: a loopback Compare must come back within the
+    // p99 budget even at full load. CI hosts vary, so the budget is
+    // env-overridable without a rebuild.
+    let p99_budget_ms: f64 = std::env::var("CBES_LOADGEN_P99_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15.0);
+    let p99_ms = p99.as_secs_f64() * 1e3;
+    let p99_ok = p99_ms <= p99_budget_ms;
+    if !p99_ok {
+        eprintln!("FAIL: p99 {p99_ms:.2} ms exceeds the {p99_budget_ms:.1} ms budget");
+    }
+
+    let ok = dropped == 0 && errors == 0 && req_per_s >= 10_000.0 && p99_ok;
     save_json(
         "server_loadgen",
         &serde_json::json!({
@@ -229,6 +242,7 @@ fn main() {
             "queue_depth_at_stats": stats.queue_depth,
             "clean_drain": true,
             "target_req_per_s": 10_000.0,
+            "p99_budget_ms": p99_budget_ms,
             "pass": ok,
         }),
     );
@@ -254,8 +268,14 @@ fn main() {
     }
 
     if !ok {
-        eprintln!("FAIL: target is >=10k req/s with zero dropped replies");
+        eprintln!(
+            "FAIL: target is >=10k req/s with zero dropped replies and \
+             p99 <= {p99_budget_ms:.1} ms"
+        );
         std::process::exit(1);
     }
-    println!("\nPASS: sustained {req_per_s:.0} req/s with zero dropped replies");
+    println!(
+        "\nPASS: sustained {req_per_s:.0} req/s with zero dropped replies, \
+         p99 {p99_ms:.2} ms within the {p99_budget_ms:.1} ms budget"
+    );
 }

@@ -11,8 +11,11 @@ pub struct Parsed {
     pub command: String,
     /// Positional arguments after the command.
     pub positional: Vec<String>,
-    /// `--key value` options.
+    /// `--key value` options (last occurrence wins).
     pub flags: BTreeMap<String, String>,
+    /// Every occurrence of each `--key value`, in order, for flags that
+    /// may repeat (e.g. `--addr` once per tier instance).
+    pub multi: BTreeMap<String, Vec<String>>,
 }
 
 impl Parsed {
@@ -31,6 +34,10 @@ impl Parsed {
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
+                out.multi
+                    .entry(key.to_string())
+                    .or_default()
+                    .push(value.clone());
                 out.flags.insert(key.to_string(), value);
             } else {
                 out.positional.push(tok);
@@ -58,6 +65,11 @@ impl Parsed {
     /// An optional flag.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable flag, in command-line order.
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.multi.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// An optional flag parsed to a type, with a default.
@@ -134,6 +146,14 @@ mod tests {
         let a = p(&["predict"]).unwrap();
         assert!(a.positional0().is_err());
         assert!(a.require("profile").is_err());
+    }
+
+    #[test]
+    fn repeated_flags_keep_every_occurrence() {
+        let a = p(&["metrics", "--addr", "a:1", "--addr", "b:2"]).unwrap();
+        assert_eq!(a.get("addr"), Some("b:2"), "scalar lookup stays last-wins");
+        assert_eq!(a.get_all("addr"), ["a:1".to_string(), "b:2".to_string()]);
+        assert!(a.get_all("nope").is_empty());
     }
 
     #[test]

@@ -393,6 +393,7 @@ pub fn serve(parsed: &Parsed) -> Result<String, CliError> {
         shed_retry_after: std::time::Duration::from_millis(
             parsed.get_parsed("retry-after-ms", 25u64)?,
         ),
+        max_rps: parsed.get_parsed("max-rps", 0.0f64)?,
     };
     let health = cbes_core::HealthPolicy {
         suspect_after: parsed.get_parsed("suspect-after", 3u64)?,
@@ -586,22 +587,44 @@ fn metrics_table(m: &cbes_obs::MetricsSnapshot) -> String {
     out
 }
 
-/// `cbes metrics <addr>` — fetch a full observability snapshot from a
-/// running daemon and render it as a summary table or raw JSON.
+/// `cbes metrics <addr>.. [--addr HOST:PORT]..` — fetch observability
+/// snapshots from one or more daemons (every positional address plus
+/// every repeated `--addr`), merge them into a single tier-wide report
+/// (counters and histograms add, gauges last-wins), and render it.
 pub fn metrics(parsed: &Parsed) -> Result<String, CliError> {
-    let addr = parsed.positional0()?;
+    let mut addrs: Vec<&str> = parsed.positional.iter().map(String::as_str).collect();
+    addrs.extend(parsed.get_all("addr").iter().map(String::as_str));
+    if addrs.is_empty() {
+        return Err(CliError::usage(
+            "`metrics` needs at least one daemon address (positional or --addr)",
+        ));
+    }
     let format = parsed.get("format").unwrap_or("summary");
     if !matches!(format, "summary" | "json") {
         return Err(CliError::usage(format!(
             "bad --format `{format}` (want summary | json)"
         )));
     }
-    let mut client = connect(parsed, addr)?;
-    let snap = client.metrics().map_err(client_err)?;
+    let mut merged: Option<cbes_obs::MetricsSnapshot> = None;
+    for addr in &addrs {
+        let mut client = connect(parsed, addr)?;
+        let snap = client.metrics().map_err(client_err)?;
+        match merged.as_mut() {
+            Some(m) => m.merge(&snap),
+            None => merged = Some(snap),
+        }
+    }
+    let snap = merged.ok_or_else(|| CliError::usage("`metrics` needs a daemon address"))?;
     if format == "json" {
         Ok(snap.to_json() + "\n")
-    } else {
+    } else if addrs.len() == 1 {
         Ok(metrics_table(&snap))
+    } else {
+        Ok(format!(
+            "merged {} instances:\n{}",
+            addrs.len(),
+            metrics_table(&snap)
+        ))
     }
 }
 
@@ -701,15 +724,201 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
             };
             let _ = writeln!(out, "observed; epoch is now {epoch}");
         }
+        "route" => {
+            let cluster = parsed.get("cluster").unwrap_or("default");
+            let app = parsed.require("app")?;
+            let (hash, primary, replicas) = client.route(cluster, app).map_err(err)?;
+            let _ = writeln!(
+                out,
+                "key ({cluster}, {app}) hashes to {hash:#018x}; primary is \
+                 instance {} at {} ({})",
+                primary.index, primary.addr, primary.health
+            );
+            for r in &replicas {
+                let _ = writeln!(
+                    out,
+                    "  replica: instance {} at {} ({})",
+                    r.index, r.addr, r.health
+                );
+            }
+        }
+        "replicate" => {
+            let epoch = parsed.get_parsed("epoch", 0u64)?;
+            let nodes = parsed.get_parsed("nodes", 0usize)?;
+            if epoch == 0 || nodes == 0 {
+                return Err(CliError::usage(
+                    "`replicate` requires --epoch (≥ 1) and --nodes (cluster size)",
+                ));
+            }
+            let mut load = LoadState::idle(nodes);
+            for (node, avail) in parse_load_list(parsed.require("load")?)? {
+                if node.index() >= nodes {
+                    return Err(CliError::usage(format!(
+                        "load entry {node} is outside the {nodes}-node cluster"
+                    )));
+                }
+                load.set_cpu_avail(node, avail);
+            }
+            let silent: Vec<u32> = match parsed.get("silent") {
+                None => vec![],
+                Some(spec) => parse_node_list(spec)?.into_iter().map(|n| n.0).collect(),
+            };
+            let (now, applied) = client.replicate(epoch, &load, &silent).map_err(err)?;
+            let verb = if applied { "adopted" } else { "already had" };
+            let _ = writeln!(out, "instance {verb} epoch {epoch}; its epoch is now {now}");
+        }
+        "membership" => {
+            let report = client.membership().map_err(err)?;
+            out.push_str(&membership_table(&report));
+        }
         other => {
             return Err(CliError::usage(format!(
                 "unknown request action `{other}` \
                  (want stats | metrics | shutdown | register | compare | best-of \
-                 | schedule | observe | observe-partial)"
+                 | schedule | observe | observe-partial | route | replicate \
+                 | membership)"
             )))
         }
     }
     Ok(out)
+}
+
+/// Render a tier membership report: the header line, then one row per
+/// instance.
+fn membership_table(report: &cbes_server::protocol::MembershipReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tier `{}`: {} instances, leader {}, max epoch {}, replication lag {}",
+        report.cluster,
+        report.instances.len(),
+        report
+            .leader
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "none".to_string()),
+        report.max_epoch,
+        report.replication_lag
+    );
+    let _ = writeln!(
+        out,
+        "{} heartbeat sweeps, {} health transitions",
+        report.heartbeats, report.transitions
+    );
+    for i in &report.instances {
+        let _ = writeln!(
+            out,
+            "  #{} {:<21} {:<8} epoch {:<6} routed {:<6} forwarded {:<6} failed-over {}{}",
+            i.index,
+            i.addr,
+            i.health,
+            i.epoch,
+            i.routed,
+            i.forwarded,
+            i.failed_over,
+            if i.leader { "  [leader]" } else { "" }
+        );
+    }
+    out
+}
+
+/// `cbes route <serve|status|where>` — run or inspect the scale-out
+/// routing tier.
+///
+/// * `serve` boots a router over a static seed list (repeated
+///   `--instance HOST:PORT` and/or comma-separated `--instances`) and
+///   blocks until a wire-level shutdown drains the tier.
+/// * `status <addr>` renders a running router's membership report.
+/// * `where <addr> --app NAME [--cluster NAME]` asks a router which
+///   instance owns a routing key.
+pub fn route(parsed: &Parsed) -> Result<String, CliError> {
+    let sub = parsed
+        .positional0()
+        .map_err(|_| CliError::usage("`route` needs a subcommand (serve | status | where)"))?;
+    match sub {
+        "serve" => route_serve(parsed),
+        "status" => {
+            let addr = parsed
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .ok_or_else(|| CliError::usage("`route status` needs the router address"))?;
+            let mut client = connect(parsed, addr)?;
+            let report = client.membership().map_err(client_err)?;
+            Ok(membership_table(&report))
+        }
+        "where" => {
+            let addr = parsed
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .ok_or_else(|| CliError::usage("`route where` needs the router address"))?;
+            let cluster = parsed.get("cluster").unwrap_or("default");
+            let app = parsed.require("app")?;
+            let mut client = connect(parsed, addr)?;
+            let (hash, primary, replicas) = client.route(cluster, app).map_err(client_err)?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "({cluster}, {app}) -> {hash:#018x} -> instance {} at {}",
+                primary.index, primary.addr
+            );
+            for r in &replicas {
+                let _ = writeln!(out, "  replica: instance {} at {}", r.index, r.addr);
+            }
+            Ok(out)
+        }
+        other => Err(CliError::usage(format!(
+            "unknown route subcommand `{other}` (want serve | status | where)"
+        ))),
+    }
+}
+
+/// `cbes route serve` — boot the routing front-tier and block until it
+/// drains.
+fn route_serve(parsed: &Parsed) -> Result<String, CliError> {
+    let mut seeds: Vec<String> = parsed.get_all("instance").to_vec();
+    if let Some(list) = parsed.get("instances") {
+        seeds.extend(list.split(',').map(|s| s.trim().to_string()));
+    }
+    seeds.retain(|s| !s.is_empty());
+    if seeds.is_empty() {
+        return Err(CliError::usage(
+            "`route serve` needs at least one seed (--instance HOST:PORT, \
+             or --instances A,B,..)",
+        ));
+    }
+    let membership = cbes_router::MembershipConfig {
+        cluster: parsed.get("cluster").unwrap_or("default").to_string(),
+        heartbeat: std::time::Duration::from_millis(parsed.get_parsed("heartbeat-ms", 250u64)?),
+        probe_timeout: std::time::Duration::from_millis(
+            parsed.get_parsed("probe-timeout-ms", 500u64)?,
+        ),
+        policy: cbes_core::HealthPolicy {
+            suspect_after: parsed.get_parsed("suspect-after", 1u64)?,
+            down_after: parsed.get_parsed("down-after", 3u64)?,
+            ..cbes_core::HealthPolicy::default()
+        },
+        replicas: parsed.get_parsed("replicas", 1usize)?,
+    };
+    let cluster = membership.cluster.clone();
+    let instances = seeds.len();
+    let handle = cbes_router::RouterServer::start(cbes_router::TierConfig {
+        addr: parsed.get("addr").unwrap_or("127.0.0.1:9078").to_string(),
+        seeds,
+        membership,
+    })?;
+    let addr = handle.addr();
+    eprintln!("cbes-router: routing `{cluster}` over {instances} instances on {addr}");
+    if let Some(path) = parsed.get("addr-file") {
+        std::fs::write(path, addr.to_string())?;
+    }
+    let table = handle.membership().clone();
+    handle.join();
+    let report = table.report();
+    Ok(format!(
+        "cbes-router on {addr} drained: {} heartbeat sweeps, {} health transitions\n",
+        report.heartbeats, report.transitions
+    ))
 }
 
 /// Parse a semicolon-separated list of comma-separated mappings,
@@ -877,6 +1086,114 @@ mod tests {
 
         let summary = server.join().unwrap().unwrap();
         assert!(summary.contains("drained"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn route_tier_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cbes-cli-route-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wait_addr = |path: &std::path::Path| loop {
+            if let Ok(a) = std::fs::read_to_string(path) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        // Two daemon instances on free ports.
+        let mut daemons = Vec::new();
+        let mut addrs = Vec::new();
+        for i in 0..2 {
+            let af = dir.join(format!("addr-{i}"));
+            let afs = af.to_str().unwrap().to_string();
+            daemons.push(std::thread::spawn(move || {
+                serve(&parsed(&[
+                    "serve",
+                    "demo",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--workers",
+                    "2",
+                    "--addr-file",
+                    &afs,
+                ]))
+            }));
+            addrs.push(wait_addr(&af));
+        }
+
+        // The router in front of them.
+        let rf = dir.join("router-addr");
+        let rfs = rf.to_str().unwrap().to_string();
+        let (a0, a1) = (addrs[0].clone(), addrs[1].clone());
+        let router = std::thread::spawn(move || {
+            route(&parsed(&[
+                "route",
+                "serve",
+                "--instance",
+                &a0,
+                "--instance",
+                &a1,
+                "--cluster",
+                "demo",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &rfs,
+                "--heartbeat-ms",
+                "25",
+            ]))
+        });
+        let raddr = wait_addr(&rf);
+
+        // Wait until a heartbeat sweep marks both instances healthy.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let status = route(&parsed(&["route", "status", &raddr])).unwrap();
+            if status.matches("healthy").count() == 2 {
+                assert!(status.contains("tier `demo`"), "{status}");
+                assert!(status.contains("[leader]"), "{status}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "tier never healthy: {status}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        // Placement answers come from the router's own ring.
+        let out = route(&parsed(&[
+            "route",
+            "where",
+            &raddr,
+            "--app",
+            "lu.A.8",
+            "--cluster",
+            "demo",
+        ]))
+        .unwrap();
+        assert!(out.contains("instance"), "{out}");
+
+        // The membership request action renders the same report.
+        let out = request(&parsed(&["request", &raddr, "membership"])).unwrap();
+        assert!(out.contains("tier `demo`"), "{out}");
+
+        // Multi-address metrics merge into one tier-wide report.
+        let out = metrics(&parsed(&["metrics", &addrs[0], "--addr", &addrs[1]])).unwrap();
+        assert!(out.contains("merged 2 instances"), "{out}");
+        assert!(out.contains("server.served"), "{out}");
+
+        // Shutdown through the router drains daemons and router alike.
+        let out = request(&parsed(&["request", &raddr, "shutdown"])).unwrap();
+        assert!(out.contains("draining"), "{out}");
+        for d in daemons {
+            let summary = d.join().unwrap().unwrap();
+            assert!(summary.contains("drained"), "{summary}");
+        }
+        let summary = router.join().unwrap().unwrap();
+        assert!(summary.contains("cbes-router"), "{summary}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

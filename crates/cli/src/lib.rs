@@ -56,19 +56,30 @@ commands:
       [--forecast last|mean|median|adaptive] [--profiles DIR]
       [--seed N] [--addr-file FILE]
       [--max-line-bytes N] [--max-bad-frames N] [--retry-after-ms N]
-      [--suspect-after SWEEPS] [--down-after SWEEPS]
+      [--suspect-after SWEEPS] [--down-after SWEEPS] [--max-rps N]
   request <addr> <action>     issue one request to a running daemon
-      stats | metrics | shutdown
+      stats | metrics | shutdown | membership
       register --profile FILE
       compare  --app NAME --mappings 0,1;4,5
       best-of  --app NAME --mappings 0,1;4,5
       schedule --app NAME --pool 0,1,.. [--iters N] [--seed N]
       observe  --nodes N --load NODE=AVAIL,..
       observe-partial --nodes N --load NODE=AVAIL,.. [--silent 3,5,..]
+      route    --app NAME [--cluster NAME]
+      replicate --epoch N --nodes N --load NODE=AVAIL,.. [--silent 3,5,..]
       (all request actions accept --timeout SECONDS, default 10;
        exit codes: 2 usage, 3 transport, 4 server error, 5 overload-shed)
-  metrics <addr>              fetch and render a daemon's observability
-      snapshot [--format summary|json] [--timeout SECONDS]
+  metrics <addr>.. [--addr A]  fetch observability snapshots from one or
+      more daemons and merge them into a single tier-wide report
+      [--format summary|json] [--timeout SECONDS]
+  route serve                 run the scale-out routing tier (blocks)
+      --instance HOST:PORT .. | --instances A,B,..
+      [--cluster NAME] [--addr HOST:PORT] [--addr-file FILE]
+      [--replicas N] [--heartbeat-ms N] [--probe-timeout-ms N]
+      [--suspect-after SWEEPS] [--down-after SWEEPS]
+  route status <addr>         membership report of a running router
+  route where <addr>          which instance owns a routing key
+      --app NAME [--cluster NAME]
 ";
 
 /// Parse and execute an argument vector; returns the output text.
@@ -88,6 +99,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         "serve" => commands::serve(&parsed),
         "request" => commands::request(&parsed),
         "metrics" => commands::metrics(&parsed),
+        "route" => commands::route(&parsed),
         "help" | "" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),
     }

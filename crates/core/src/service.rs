@@ -163,11 +163,40 @@ impl CbesService {
         self.observe_sweep(measured, Some(reported))
     }
 
+    /// Apply a leader-published sweep at the leader's `epoch` (snapshot
+    /// replication). The sweep is adopted only when `epoch` is strictly
+    /// newer than this instance's snapshot, so replays and reordered
+    /// deliveries are idempotent no-ops. Returns the instance's epoch
+    /// after the call and whether the sweep was applied. When this
+    /// instance later becomes the leader, its own observations continue
+    /// from the adopted epoch, keeping the tier's epoch line monotone.
+    pub fn observe_replicated(
+        &self,
+        epoch: u64,
+        measured: &LoadState,
+        reported: Option<&[bool]>,
+    ) -> Result<(u64, bool), ServiceError> {
+        self.observe_checked(measured, reported, Some(epoch))
+    }
+
     fn observe_sweep(
         &self,
         measured: &LoadState,
         reported: Option<&[bool]>,
     ) -> Result<u64, ServiceError> {
+        self.observe_checked(measured, reported, None)
+            .map(|(epoch, _)| epoch)
+    }
+
+    /// Shared sweep path. `target`: `None` bumps the epoch by one (a
+    /// locally observed sweep); `Some(e)` adopts the replicated epoch
+    /// `e` if newer, else leaves all state untouched.
+    fn observe_checked(
+        &self,
+        measured: &LoadState,
+        reported: Option<&[bool]>,
+        target: Option<u64>,
+    ) -> Result<(u64, bool), ServiceError> {
         let n = self.cluster.len();
         if measured.len() != n {
             return Err(ServiceError::LoadArityMismatch {
@@ -188,6 +217,14 @@ impl CbesService {
         let publish = obs.epoch_publish_us.start_timer();
         let mut monitor = self.monitor.write();
         let mut tracker = self.health.write();
+        // Staleness check happens under the monitor lock so concurrent
+        // replications cannot interleave with the epoch store below.
+        let current = self.epoch.load(Ordering::Acquire);
+        if let Some(target) = target {
+            if target <= current {
+                return Ok((current, false));
+            }
+        }
         let changed = match reported {
             None => {
                 monitor.observe(measured);
@@ -203,7 +240,11 @@ impl CbesService {
         let (h, s, d) = health.counts();
         // Epoch bump and cache swap stay under the monitor lock so two
         // concurrent observers cannot publish forecasts out of order.
-        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let epoch = match target {
+            None => current + 1,
+            Some(target) => target,
+        };
+        self.epoch.store(epoch, Ordering::Release);
         *self.cached.write() = Arc::new(EpochLoad {
             epoch,
             load,
@@ -216,7 +257,7 @@ impl CbesService {
         obs.healthy.set(h as f64);
         obs.suspect.set(s as f64);
         obs.down.set(d as f64);
-        Ok(epoch)
+        Ok((epoch, true))
     }
 
     /// Counts of nodes per health state as of the current epoch:
@@ -609,6 +650,82 @@ mod tests {
         assert!(snap.gauges.contains_key("core.health.healthy"));
         assert!(snap.gauges.contains_key("core.health.suspect"));
         assert!(snap.gauges.contains_key("core.health.down"));
+    }
+
+    #[test]
+    fn replicated_sweeps_adopt_only_newer_epochs() {
+        let leader = demo_service();
+        let follower = demo_service();
+        let n = leader.cluster().len();
+        let mut measured = LoadState::idle(n);
+        measured.set_cpu_avail(NodeId(0), 0.25);
+
+        // Leader observes locally; follower adopts the published epoch.
+        let epoch = leader
+            .observe_load(&measured)
+            .expect("sweep covers every node");
+        assert_eq!(epoch, 1);
+        let (e, applied) = follower
+            .observe_replicated(epoch, &measured, None)
+            .expect("sweep covers every node");
+        assert_eq!((e, applied), (1, true));
+        assert_eq!(follower.epoch(), 1);
+        // Follower's forecast matches the leader's for the same sweep.
+        assert_eq!(follower.current_load().load, leader.current_load().load);
+
+        // Replaying the same epoch (or an older one) is a no-op.
+        let (e, applied) = follower
+            .observe_replicated(epoch, &LoadState::idle(n), None)
+            .expect("sweep covers every node");
+        assert_eq!((e, applied), (1, false));
+        assert_eq!(
+            follower.current_load().load,
+            leader.current_load().load,
+            "stale replication must not disturb the snapshot"
+        );
+
+        // Epoch gaps are fine: adopt epoch 5 directly, then a local
+        // observation continues the line at 6 (leader failover).
+        let (e, applied) = follower
+            .observe_replicated(5, &measured, None)
+            .expect("sweep covers every node");
+        assert_eq!((e, applied), (5, true));
+        assert_eq!(
+            follower
+                .observe_load(&measured)
+                .expect("sweep covers every node"),
+            6
+        );
+    }
+
+    #[test]
+    fn replicated_partial_sweeps_age_silent_nodes() {
+        let svc = demo_service().with_health_policy(HealthPolicy {
+            suspect_after: 1,
+            down_after: 100,
+            suspect_cost_factor: 2.0,
+        });
+        let n = svc.cluster().len();
+        let mut mask = vec![true; n];
+        mask[0] = false;
+        for epoch in 1..=3u64 {
+            let (e, applied) = svc
+                .observe_replicated(epoch, &LoadState::idle(n), Some(&mask))
+                .expect("sweep covers every node");
+            assert!(applied);
+            assert_eq!(e, epoch);
+        }
+        assert_eq!(svc.health_counts(), (n - 1, 1, 0));
+    }
+
+    #[test]
+    fn replicated_sweep_arity_is_checked() {
+        let svc = demo_service();
+        assert!(matches!(
+            svc.observe_replicated(1, &LoadState::idle(2), None),
+            Err(ServiceError::LoadArityMismatch { .. })
+        ));
+        assert_eq!(svc.epoch(), 0);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub const SERVER_QUEUE_DEPTH: &str = "server.queue_depth";
 /// `cbes_server::protocol::Request::action_index`. Entry `i` must be
 /// `"server.action."` followed by `ACTIONS[i]` — checked by
 /// `cbes-analyze`'s drift rule.
-pub const SERVER_ACTION_COUNTERS: [&str; 9] = [
+pub const SERVER_ACTION_COUNTERS: [&str; 12] = [
     "server.action.register_profile",
     "server.action.compare",
     "server.action.best_of",
@@ -45,7 +45,13 @@ pub const SERVER_ACTION_COUNTERS: [&str; 9] = [
     "server.action.stats",
     "server.action.metrics",
     "server.action.shutdown",
+    "server.action.route",
+    "server.action.replicate",
+    "server.action.membership",
 ];
+
+/// Admitted requests shed by the per-instance evaluation rate cap.
+pub const SERVER_RATE_LIMITED: &str = "server.rate_limited";
 
 // ---- client (RetryingClient) ---------------------------------------
 
@@ -53,6 +59,31 @@ pub const SERVER_ACTION_COUNTERS: [&str; 9] = [
 pub const CLIENT_RETRIES: &str = "client.retries";
 /// Requests abandoned after exhausting the retry budget.
 pub const CLIENT_RETRY_GIVEUPS: &str = "client.retry_giveups";
+
+// ---- router (cbes-router scale-out tier) ---------------------------
+
+/// Requests dispatched to their consistent-hash primary instance.
+pub const ROUTER_ROUTED: &str = "router.routed";
+/// Fan-out sends to non-primary instances (broadcast, merge, leader).
+pub const ROUTER_FORWARDED: &str = "router.forwarded";
+/// Requests served by a replica after the primary was unavailable.
+pub const ROUTER_FAILED_OVER: &str = "router.failed_over";
+/// Requests abandoned after exhausting every replica and retry cycle.
+pub const ROUTER_GIVEUPS: &str = "router.giveups";
+/// Heartbeat probe sweeps completed across the membership table.
+pub const ROUTER_HEARTBEATS: &str = "router.heartbeats";
+/// Snapshot replications pushed from the leader to followers.
+pub const ROUTER_REPLICATIONS: &str = "router.replications";
+/// Instance health-state transitions in the membership table.
+pub const ROUTER_TRANSITIONS: &str = "router.instance_transitions";
+/// Leader epoch minus the slowest live follower epoch.
+pub const ROUTER_REPLICATION_LAG: &str = "router.replication_lag_epochs";
+/// Instances currently `Healthy` in the membership table.
+pub const ROUTER_INSTANCES_HEALTHY: &str = "router.instances.healthy";
+/// Instances currently `Suspect`.
+pub const ROUTER_INSTANCES_SUSPECT: &str = "router.instances.suspect";
+/// Instances currently `Down`.
+pub const ROUTER_INSTANCES_DOWN: &str = "router.instances.down";
 
 // ---- core (CbesService) --------------------------------------------
 
@@ -121,6 +152,18 @@ mod tests {
             SERVER_QUEUE_WAIT_US,
             SERVER_SERVICE_TIME_US,
             SERVER_QUEUE_DEPTH,
+            SERVER_RATE_LIMITED,
+            ROUTER_ROUTED,
+            ROUTER_FORWARDED,
+            ROUTER_FAILED_OVER,
+            ROUTER_GIVEUPS,
+            ROUTER_HEARTBEATS,
+            ROUTER_REPLICATIONS,
+            ROUTER_TRANSITIONS,
+            ROUTER_REPLICATION_LAG,
+            ROUTER_INSTANCES_HEALTHY,
+            ROUTER_INSTANCES_SUSPECT,
+            ROUTER_INSTANCES_DOWN,
             CLIENT_RETRIES,
             CLIENT_RETRY_GIVEUPS,
             CORE_COMPARES,

@@ -1,0 +1,286 @@
+//! The hash-aware client: picks endpoints by routing key and fails
+//! over along the replica set.
+//!
+//! Each seeded instance gets its own [`RetryingClient`] (lazy dial,
+//! bounded in-place retries honouring `retry_after_ms`). On top of
+//! that, [`RoutingClient`] cycles a key's candidate list — primary
+//! first, then ring successors not classified `Down` — so a crashed or
+//! draining instance costs one inner retry budget before the request
+//! lands on a replica. Give-ups are terminal and counted under
+//! `router.giveups`; a zero there plus per-request success is the
+//! tier's "no lost requests" invariant.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::membership::Membership;
+use crate::ring::HashRing;
+use cbes_core::eval::Prediction;
+use cbes_core::health::NodeHealth;
+use cbes_core::mapping::Mapping;
+use cbes_obs::{names, Counter, MetricsSnapshot, Registry};
+use cbes_server::protocol::{error_kind, MembershipReport, StatsReport};
+use cbes_server::{route_key_hash, ClientError, RetryPolicy, RetryingClient};
+use cbes_trace::AppProfile;
+
+/// A tier-level request failure.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Every candidate and retry cycle was exhausted; the last error
+    /// seen is attached.
+    Exhausted(ClientError),
+    /// A terminal (non-transient) failure from an instance — the
+    /// request itself was rejected, so failing over would just replay
+    /// the rejection.
+    Client(ClientError),
+    /// The tier has no instances to send to.
+    NoInstances,
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Exhausted(e) => write!(f, "every replica exhausted; last error: {e}"),
+            RouterError::Client(e) => write!(f, "{e}"),
+            RouterError::NoInstances => write!(f, "the tier has no seeded instances"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// True for failures worth trying the next replica on: transport
+/// errors, shed/timeout exhaustion, and draining instances. Service
+/// rejections (unknown app, bad mapping) are deterministic and travel
+/// with the request, not the instance.
+fn transient(err: &ClientError) -> bool {
+    match err {
+        ClientError::Io(_) => true,
+        ClientError::Server { kind, .. } => {
+            kind == error_kind::OVERLOADED
+                || kind == error_kind::TIMEOUT
+                || kind == error_kind::SHUTTING_DOWN
+        }
+        ClientError::Protocol(_) => false,
+    }
+}
+
+/// A client spreading requests over the tier by consistent hash of the
+/// `(cluster, app)` key, with health-aware failover.
+pub struct RoutingClient {
+    membership: Arc<Membership>,
+    ring: HashRing,
+    conns: Vec<RetryingClient>,
+    giveups: Arc<Counter>,
+    /// Full passes over a key's candidate list before giving up.
+    max_cycles: u32,
+    /// Sleep between full candidate passes; grows linearly per cycle.
+    cycle_backoff: Duration,
+}
+
+impl RoutingClient {
+    /// A routing client over `membership`'s seed list. `policy` tunes
+    /// the *per-instance* retry budget — keep `max_attempts` small so a
+    /// dead instance hands over to its replica quickly; the outer
+    /// cycle budget provides the persistence.
+    pub fn new(membership: Arc<Membership>, io_timeout: Duration, policy: RetryPolicy) -> Self {
+        let conns = membership
+            .addrs()
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                // Distinct jitter seeds per instance so parallel
+                // backoffs do not synchronise.
+                let mut p = policy.clone();
+                p.seed = p.seed.wrapping_add(i as u64);
+                RetryingClient::new(addr.clone(), io_timeout, p)
+            })
+            .collect();
+        RoutingClient {
+            ring: HashRing::new(membership.len()),
+            conns,
+            giveups: Registry::global().counter(names::ROUTER_GIVEUPS),
+            max_cycles: 50,
+            cycle_backoff: Duration::from_millis(2),
+            membership,
+        }
+    }
+
+    /// Override the outer failover budget (cycles over the candidate
+    /// list, and the base sleep between cycles).
+    pub fn with_limits(mut self, max_cycles: u32, cycle_backoff: Duration) -> Self {
+        self.max_cycles = max_cycles.max(1);
+        self.cycle_backoff = cycle_backoff;
+        self
+    }
+
+    /// The hash of `(cluster, app)` under the membership's cluster name.
+    pub fn key_hash(&self, app: &str) -> u64 {
+        route_key_hash(&self.membership.config().cluster, app)
+    }
+
+    /// The membership table this client consults.
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
+    }
+
+    /// Run one hash-routed request: candidates in ring order, `Down`
+    /// instances skipped, the whole list retried `max_cycles` times
+    /// with a growing pause (so a mid-failover tier gets time to mark
+    /// the dead instance `Down`).
+    fn call_routed<T>(
+        &mut self,
+        key_hash: u64,
+        mut op: impl FnMut(&mut RetryingClient) -> Result<T, ClientError>,
+    ) -> Result<T, RouterError> {
+        if self.conns.is_empty() {
+            return Err(RouterError::NoInstances);
+        }
+        let candidates = self
+            .ring
+            .candidates(key_hash, self.membership.config().replicas + 1);
+        let primary = candidates.first().copied();
+        let mut last: Option<ClientError> = None;
+        for cycle in 0..self.max_cycles {
+            let live: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| self.membership.health(i) != NodeHealth::Down)
+                .collect();
+            // With every candidate Down (membership may lag reality),
+            // try them all anyway rather than refusing outright.
+            let targets = if live.is_empty() { &candidates } else { &live };
+            for &i in targets {
+                let conn = match self.conns.get_mut(i) {
+                    Some(c) => c,
+                    None => continue,
+                };
+                match op(conn) {
+                    Ok(value) => {
+                        if Some(i) == primary {
+                            self.membership.count_routed(i);
+                        } else {
+                            self.membership.count_failed_over(i);
+                        }
+                        return Ok(value);
+                    }
+                    Err(e) if transient(&e) => last = Some(e),
+                    Err(e) => return Err(RouterError::Client(e)),
+                }
+            }
+            std::thread::sleep(self.cycle_backoff.saturating_mul(cycle + 1));
+        }
+        self.giveups.incr();
+        Err(RouterError::Exhausted(last.unwrap_or_else(|| {
+            ClientError::Protocol("no candidate was attempted".to_string())
+        })))
+    }
+
+    /// Compare candidate mappings on the key's owning instance.
+    pub fn compare(
+        &mut self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, Vec<Prediction>), RouterError> {
+        let h = self.key_hash(app);
+        self.call_routed(h, |c| c.compare(app, mappings))
+    }
+
+    /// `best_of` on the key's owning instance.
+    pub fn best_of(
+        &mut self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, usize, Prediction), RouterError> {
+        let h = self.key_hash(app);
+        self.call_routed(h, |c| c.best_of(app, mappings))
+    }
+
+    /// `schedule` on the key's owning instance.
+    pub fn schedule(
+        &mut self,
+        app: &str,
+        pool: &[u32],
+        iters: u32,
+        seed: u64,
+    ) -> Result<(u64, Mapping, f64), RouterError> {
+        let h = self.key_hash(app);
+        self.call_routed(h, |c| c.schedule(app, pool, iters, seed))
+    }
+
+    /// Register a profile on every usable instance (a keyed upsert, so
+    /// replays converge). Fails if any live instance rejects it;
+    /// instances currently `Down` are skipped and must be re-seeded by
+    /// the operator on recovery.
+    pub fn register_profile(&mut self, profile: &AppProfile) -> Result<usize, RouterError> {
+        let usable = self.membership.usable();
+        if usable.is_empty() {
+            return Err(RouterError::NoInstances);
+        }
+        let mut registered = 0;
+        for i in usable {
+            let conn = match self.conns.get_mut(i) {
+                Some(c) => c,
+                None => continue,
+            };
+            match conn.register_profile(profile) {
+                Ok(()) => {
+                    registered += 1;
+                    self.membership.count_forwarded(i);
+                }
+                Err(e) if transient(&e) => continue,
+                Err(e) => return Err(RouterError::Client(e)),
+            }
+        }
+        if registered == 0 {
+            return Err(RouterError::NoInstances);
+        }
+        Ok(registered)
+    }
+
+    /// Stats of one instance by index.
+    pub fn stats_of(&mut self, instance: usize) -> Result<StatsReport, RouterError> {
+        let conn = self
+            .conns
+            .get_mut(instance)
+            .ok_or(RouterError::NoInstances)?;
+        conn.stats().map_err(RouterError::Client)
+    }
+
+    /// Metrics snapshots of every usable instance, merged into one
+    /// tier-wide report (counters and histograms add; gauges last-wins).
+    pub fn merged_metrics(&mut self) -> Result<MetricsSnapshot, RouterError> {
+        let usable = self.membership.usable();
+        let mut merged: Option<MetricsSnapshot> = None;
+        for i in usable {
+            let conn = match self.conns.get_mut(i) {
+                Some(c) => c,
+                None => continue,
+            };
+            match conn.metrics() {
+                Ok(snap) => match merged.as_mut() {
+                    Some(m) => m.merge(&snap),
+                    None => merged = Some(snap),
+                },
+                Err(e) if transient(&e) => continue,
+                Err(e) => return Err(RouterError::Client(e)),
+            }
+        }
+        merged.ok_or(RouterError::NoInstances)
+    }
+
+    /// The tier's membership report, from the local table (no wire
+    /// round-trip).
+    pub fn membership_report(&self) -> MembershipReport {
+        self.membership.report()
+    }
+}
+
+impl std::fmt::Debug for RoutingClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutingClient")
+            .field("instances", &self.conns.len())
+            .field("max_cycles", &self.max_cycles)
+            .finish()
+    }
+}

@@ -1,0 +1,555 @@
+//! The tier runtime: heartbeat probing, leader-driven snapshot
+//! replication, and a proxy daemon speaking the ordinary CBES wire
+//! protocol.
+//!
+//! Replication is leader-push: monitoring sweeps go to the leader
+//! (lowest usable instance), which assigns the epoch; the router then
+//! relays the same sweep to every other usable instance as
+//! `Replicate { epoch, .. }`. Followers adopt an epoch at most once,
+//! so the push is idempotent, and because the push happens inline the
+//! steady-state staleness between leader and followers is bounded by
+//! one in-flight sweep — the heartbeat publishes the measured bound as
+//! the `router.replication_lag_epochs` gauge.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::membership::{Membership, MembershipConfig};
+use crate::plan::{mode_of, ForwardMode};
+use crate::ring::HashRing;
+use cbes_cluster::load::LoadState;
+use cbes_obs::{names, MetricsSnapshot, Registry};
+use cbes_server::protocol::{
+    encode, error_kind, route_key_hash, Request, RequestEnvelope, Response, ResponseEnvelope,
+    StatsReport,
+};
+use cbes_server::{Client, ClientError};
+
+/// How often blocked tier threads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Configuration for [`RouterServer::start`].
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Router bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Seed addresses of the `cbes-server` instances, in ring order.
+    pub seeds: Vec<String>,
+    /// Membership tuning (heartbeat cadence, health policy, replicas).
+    pub membership: MembershipConfig,
+}
+
+/// Probe every instance once: a `Stats` round-trip within the probe
+/// timeout, yielding the instance's epoch. Returns one entry per seed.
+pub fn probe_instances(membership: &Membership) -> Vec<Option<u64>> {
+    let timeout = membership.config().probe_timeout;
+    membership
+        .addrs()
+        .iter()
+        .map(|addr| {
+            Client::connect_timeout(addr.as_str(), timeout)
+                .and_then(|mut c| c.stats())
+                .ok()
+                .map(|stats| stats.epoch)
+        })
+        .collect()
+}
+
+/// Run the heartbeat loop until `shutdown` flips: probe all instances,
+/// feed the sweep to the membership table, sleep one interval.
+pub fn heartbeat_loop(membership: &Arc<Membership>, shutdown: &AtomicBool) {
+    let interval = membership.config().heartbeat;
+    while !shutdown.load(Ordering::Acquire) {
+        let probes = probe_instances(membership);
+        membership.record_probes(&probes);
+        // Sleep in small slices so shutdown is prompt.
+        let mut left = interval;
+        while !left.is_zero() && !shutdown.load(Ordering::Acquire) {
+            let slice = left.min(POLL_INTERVAL);
+            std::thread::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
+    }
+}
+
+/// Spawn [`heartbeat_loop`] on its own thread.
+pub fn spawn_heartbeat(membership: Arc<Membership>, shutdown: Arc<AtomicBool>) -> JoinHandle<()> {
+    std::thread::spawn(move || heartbeat_loop(&membership, &shutdown))
+}
+
+/// Publish one monitoring sweep through the tier: the leader observes
+/// it (assigning the epoch), then every other usable instance receives
+/// it as `Replicate { epoch, .. }`. A dead leader is skipped in favour
+/// of the next usable instance, whose replicated epoch keeps the line
+/// monotone. Returns the published epoch.
+pub fn observe_tier(
+    membership: &Membership,
+    load: &LoadState,
+    silent: &[u32],
+) -> Result<u64, ClientError> {
+    let timeout = membership.config().probe_timeout;
+    let mut order = membership.usable();
+    if let Some(leader) = membership.leader() {
+        order.retain(|&i| i != leader);
+        order.insert(0, leader);
+    }
+    if order.is_empty() {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotConnected,
+            "no usable instance to observe through",
+        )));
+    }
+    let mut last: Option<ClientError> = None;
+    for (slot, &i) in order.iter().enumerate() {
+        let addr = match membership.addrs().get(i) {
+            Some(a) => a.as_str(),
+            None => continue,
+        };
+        let observed = Client::connect_timeout(addr, timeout).and_then(|mut c| {
+            if silent.is_empty() {
+                c.observe_load(load)
+            } else {
+                c.observe_partial(load, silent)
+            }
+        });
+        let epoch = match observed {
+            Ok(epoch) => epoch,
+            Err(e) => {
+                last = Some(e);
+                continue;
+            }
+        };
+        membership.note_epoch(i, epoch);
+        if slot > 0 {
+            membership.count_failed_over(i);
+        }
+        let replications = Registry::global().counter(names::ROUTER_REPLICATIONS);
+        for &follower in &order {
+            if follower == i {
+                continue;
+            }
+            let addr = match membership.addrs().get(follower) {
+                Some(a) => a.as_str(),
+                None => continue,
+            };
+            let pushed = Client::connect_timeout(addr, timeout)
+                .and_then(|mut c| c.replicate(epoch, load, silent));
+            if let Ok((follower_epoch, _applied)) = pushed {
+                membership.note_epoch(follower, follower_epoch.max(epoch));
+                membership.count_forwarded(follower);
+                replications.incr();
+            }
+            // A failed push is left to the heartbeat: the instance will
+            // age toward Down, and its lag shows in the gauge meanwhile.
+        }
+        return Ok(epoch);
+    }
+    Err(last.unwrap_or_else(|| {
+        ClientError::Protocol("no instance attempted the observation".to_string())
+    }))
+}
+
+/// The routing proxy daemon: binds a socket, heartbeats its seeds, and
+/// answers the CBES wire protocol by forwarding per
+/// [`crate::plan::FORWARD_MODES`].
+pub struct RouterServer;
+
+impl RouterServer {
+    /// Bind `config.addr`, start the heartbeat, and serve until shut
+    /// down.
+    pub fn start(config: TierConfig) -> std::io::Result<RouterTierHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let membership = Membership::new(config.seeds.clone(), config.membership.clone());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let heartbeat = spawn_heartbeat(membership.clone(), shutdown.clone());
+        let acceptor = {
+            let membership = membership.clone();
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || accept_loop(&listener, &membership, &shutdown))
+        };
+        Ok(RouterTierHandle {
+            addr,
+            membership,
+            shutdown,
+            threads: vec![heartbeat, acceptor],
+        })
+    }
+}
+
+/// Running-router handle: address, membership, shutdown trigger.
+pub struct RouterTierHandle {
+    addr: SocketAddr,
+    membership: Arc<Membership>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RouterTierHandle {
+    /// The address the router actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's membership table.
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
+    }
+
+    /// Trigger shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the acceptor out of its blocking accept(). Unconditional:
+        // a wire-level Shutdown flips the flag from inside dispatch()
+        // without a wake, so the swap state cannot gate the connect.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Wait until the router drains — a wire-level `Shutdown` or a
+    /// local [`Self::shutdown`] — and its threads exit.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Trigger shutdown and wait for the router's threads to exit.
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+impl Drop for RouterTierHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, membership: &Arc<Membership>, shutdown: &Arc<AtomicBool>) {
+    let self_addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(_) => return,
+    };
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let membership = membership.clone();
+                let shutdown = shutdown.clone();
+                std::thread::spawn(move || {
+                    handle_connection(stream, &membership, &shutdown, self_addr)
+                });
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    membership: &Arc<Membership>,
+    shutdown: &Arc<AtomicBool>,
+    self_addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    'conn: loop {
+        line.clear();
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                break 'conn;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    if line.trim().is_empty() {
+                        break 'conn;
+                    }
+                    break;
+                }
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => break 'conn,
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<RequestEnvelope>(trimmed) {
+            Ok(env) => ResponseEnvelope {
+                id: env.id,
+                response: dispatch(membership, shutdown, self_addr, env.request),
+            },
+            Err(e) => ResponseEnvelope {
+                id: 0,
+                response: Response::error(error_kind::BAD_REQUEST, e.to_string()),
+            },
+        };
+        let mut out = encode(&reply);
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// Forward `request` to `addr` verbatim and relay the raw response
+/// (error replies included — the proxy does not rewrite them).
+fn forward(addr: &str, timeout: Duration, request: &Request) -> Result<Response, ClientError> {
+    let mut client = Client::connect_timeout(addr, timeout)?;
+    client.request(request.clone()).map(|env| env.response)
+}
+
+/// Answer one request per its forwarding mode.
+fn dispatch(
+    membership: &Arc<Membership>,
+    shutdown: &Arc<AtomicBool>,
+    self_addr: SocketAddr,
+    request: Request,
+) -> Response {
+    let timeout = membership.config().probe_timeout;
+    match mode_of(request.action_index()) {
+        ForwardMode::Hash => {
+            let app = match &request {
+                Request::Compare { app, .. }
+                | Request::BestOf { app, .. }
+                | Request::Schedule { app, .. } => app.clone(),
+                _ => String::new(),
+            };
+            let hash = route_key_hash(&membership.config().cluster, &app);
+            let ring = HashRing::new(membership.len());
+            let candidates = ring.candidates(hash, membership.config().replicas + 1);
+            let mut last: Option<Response> = None;
+            for (slot, &i) in candidates.iter().enumerate() {
+                if membership.health(i) == cbes_core::health::NodeHealth::Down {
+                    continue;
+                }
+                let addr = match membership.addrs().get(i) {
+                    Some(a) => a.as_str(),
+                    None => continue,
+                };
+                match forward(addr, timeout, &request) {
+                    Ok(Response::Error {
+                        kind,
+                        message,
+                        retry_after_ms,
+                    }) if kind == error_kind::SHUTTING_DOWN => {
+                        last = Some(Response::Error {
+                            kind,
+                            message,
+                            retry_after_ms,
+                        });
+                    }
+                    Ok(response) => {
+                        if slot == 0 {
+                            membership.count_routed(i);
+                        } else {
+                            membership.count_failed_over(i);
+                        }
+                        return response;
+                    }
+                    Err(_) => {}
+                }
+            }
+            last.unwrap_or_else(|| {
+                Response::error(error_kind::SERVICE, "no usable instance owns this key")
+            })
+        }
+        ForwardMode::Leader => match request {
+            Request::ObserveLoad { load } => match observe_tier(membership, &load, &[]) {
+                Ok(epoch) => Response::LoadObserved { epoch },
+                Err(e) => Response::error(error_kind::SERVICE, e.to_string()),
+            },
+            Request::ObservePartial { load, silent } => {
+                match observe_tier(membership, &load, &silent) {
+                    Ok(epoch) => Response::LoadObserved { epoch },
+                    Err(e) => Response::error(error_kind::SERVICE, e.to_string()),
+                }
+            }
+            _ => Response::error(error_kind::BAD_REQUEST, "leader mode covers observations"),
+        },
+        ForwardMode::Merge => {
+            let mut stats: Vec<StatsReport> = Vec::new();
+            let mut metrics: Option<MetricsSnapshot> = None;
+            for i in membership.usable() {
+                let addr = match membership.addrs().get(i) {
+                    Some(a) => a.as_str(),
+                    None => continue,
+                };
+                match forward(addr, timeout, &request) {
+                    Ok(Response::Stats { stats: s }) => {
+                        membership.count_forwarded(i);
+                        stats.push(s);
+                    }
+                    Ok(Response::Metrics { metrics: m }) => {
+                        membership.count_forwarded(i);
+                        match metrics.as_mut() {
+                            Some(merged) => merged.merge(&m),
+                            None => metrics = Some(m),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(metrics) = metrics {
+                return Response::Metrics { metrics };
+            }
+            match merge_stats(stats) {
+                Some(stats) => Response::Stats { stats },
+                None => Response::error(error_kind::SERVICE, "no usable instance answered"),
+            }
+        }
+        ForwardMode::Broadcast => {
+            let mut ok: Option<Response> = None;
+            for i in membership.usable() {
+                let addr = match membership.addrs().get(i) {
+                    Some(a) => a.as_str(),
+                    None => continue,
+                };
+                if let Ok(response) = forward(addr, timeout, &request) {
+                    membership.count_forwarded(i);
+                    if !matches!(response, Response::Error { .. }) && ok.is_none() {
+                        ok = Some(response);
+                    }
+                }
+            }
+            if matches!(request, Request::Shutdown) {
+                // Draining the tier drains the router too; the loopback
+                // connect wakes the acceptor out of its blocking accept.
+                shutdown.store(true, Ordering::Release);
+                let _ = TcpStream::connect(self_addr);
+                return Response::ShuttingDown;
+            }
+            ok.unwrap_or_else(|| {
+                Response::error(error_kind::SERVICE, "no usable instance accepted")
+            })
+        }
+        ForwardMode::Local => match request {
+            Request::Route { cluster, app } => {
+                let hash = route_key_hash(&cluster, &app);
+                let ring = HashRing::new(membership.len());
+                let candidates = ring.candidates(hash, membership.config().replicas + 1);
+                let report = membership.report();
+                let mut infos = candidates
+                    .iter()
+                    .filter_map(|&i| report.instances.get(i).cloned());
+                match infos.next() {
+                    Some(primary) => Response::Routed {
+                        hash,
+                        primary,
+                        replicas: infos.collect(),
+                    },
+                    None => {
+                        Response::error(error_kind::SERVICE, "the tier has no seeded instances")
+                    }
+                }
+            }
+            Request::Membership => Response::Membership {
+                membership: membership.report(),
+            },
+            _ => Response::error(
+                error_kind::BAD_REQUEST,
+                "local mode covers route/membership",
+            ),
+        },
+    }
+}
+
+/// Merge per-instance stats into one tier-wide report: per-instance
+/// counters add; cluster-level fields (epoch, node health, profiles)
+/// take the most-advanced instance's view, since every instance
+/// describes the same cluster.
+fn merge_stats(reports: Vec<StatsReport>) -> Option<StatsReport> {
+    let mut iter = reports.into_iter();
+    let mut merged = iter.next()?;
+    for r in iter {
+        merged.served += r.served;
+        merged.errors += r.errors;
+        merged.overloaded += r.overloaded;
+        merged.timeouts += r.timeouts;
+        merged.connections += r.connections;
+        merged.queue_depth += r.queue_depth;
+        merged.workers += r.workers;
+        merged.observations += r.observations;
+        merged.dropped_connections += r.dropped_connections;
+        merged.uptime_s = merged.uptime_s.max(r.uptime_s);
+        for (action, count) in r.per_action {
+            *merged.per_action.entry(action).or_insert(0) += count;
+        }
+        if r.epoch > merged.epoch {
+            merged.epoch = r.epoch;
+            merged.profiles = r.profiles;
+            merged.healthy = r.healthy;
+            merged.suspect = r.suspect;
+            merged.down = r.down;
+            merged.health_transitions = r.health_transitions;
+        }
+    }
+    Some(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(epoch: u64, served: u64) -> StatsReport {
+        StatsReport {
+            served,
+            errors: 1,
+            overloaded: 2,
+            timeouts: 0,
+            connections: 3,
+            queue_depth: 1,
+            workers: 2,
+            epoch,
+            profiles: 1,
+            observations: epoch,
+            healthy: 6,
+            suspect: 0,
+            down: 0,
+            health_transitions: 0,
+            dropped_connections: 0,
+            per_action: [("compare".to_string(), served)].into_iter().collect(),
+            uptime_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn merged_stats_add_counters_and_keep_the_newest_cluster_view() {
+        let merged = merge_stats(vec![report(5, 10), report(7, 20), report(6, 30)])
+            .expect("three reports merge");
+        assert_eq!(merged.served, 60);
+        assert_eq!(merged.errors, 3);
+        assert_eq!(merged.epoch, 7, "cluster view follows the max epoch");
+        assert_eq!(merged.per_action["compare"], 60);
+        assert_eq!(merged.workers, 6);
+    }
+
+    #[test]
+    fn merging_nothing_is_none() {
+        assert!(merge_stats(Vec::new()).is_none());
+    }
+}

@@ -1,0 +1,278 @@
+//! End-to-end tier tests: real `cbes-server` instances behind the
+//! membership table, routing client, and replication loop.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cbes_cluster::load::LoadState;
+use cbes_cluster::presets::two_switch_demo;
+use cbes_cluster::NodeId;
+use cbes_core::health::HealthPolicy;
+use cbes_core::mapping::Mapping;
+use cbes_core::monitor::ForecastKind;
+use cbes_core::CbesService;
+use cbes_router::membership::{Membership, MembershipConfig};
+use cbes_router::tier::{observe_tier, probe_instances, RouterServer, TierConfig};
+use cbes_router::RoutingClient;
+use cbes_server::{Client, RetryPolicy, Server, ServerConfig, ServerHandle};
+use cbes_trace::{AppProfile, MessageGroup, ProcessProfile};
+
+fn profile(name: &str) -> AppProfile {
+    let mk = |rank: usize| ProcessProfile {
+        rank,
+        x: 5.0,
+        o: 0.2,
+        b: 0.5,
+        sends: vec![MessageGroup {
+            peer: 1 - rank,
+            bytes: 8192,
+            count: 50,
+        }],
+        recvs: vec![MessageGroup {
+            peer: 1 - rank,
+            bytes: 8192,
+            count: 50,
+        }],
+        profile_speed: 1.0,
+        lambda: 1.0,
+    };
+    AppProfile {
+        name: name.to_string(),
+        procs: vec![mk(0), mk(1)],
+        arch_ratios: BTreeMap::new(),
+    }
+}
+
+fn start_instance() -> ServerHandle {
+    let service = Arc::new(CbesService::self_calibrated(
+        Arc::new(two_switch_demo()),
+        ForecastKind::LastValue,
+    ));
+    Server::start(
+        service,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("loopback bind succeeds")
+}
+
+fn tier_membership(addrs: Vec<String>) -> Arc<Membership> {
+    Membership::new(
+        addrs,
+        MembershipConfig {
+            cluster: "demo".to_string(),
+            heartbeat: Duration::from_millis(20),
+            probe_timeout: Duration::from_millis(500),
+            policy: HealthPolicy {
+                suspect_after: 1,
+                down_after: 3,
+                suspect_cost_factor: 1.0,
+            },
+            replicas: 1,
+        },
+    )
+}
+
+fn mapping(ids: &[u32]) -> Mapping {
+    Mapping::new(ids.iter().map(|&i| NodeId(i)).collect())
+}
+
+#[test]
+fn requests_fail_over_when_an_instance_crashes() {
+    let instances: Vec<ServerHandle> = (0..3).map(|_| start_instance()).collect();
+    let addrs: Vec<String> = instances.iter().map(|h| h.addr().to_string()).collect();
+    let membership = tier_membership(addrs);
+    membership.record_probes(&probe_instances(&membership));
+    assert_eq!(membership.counts(), (3, 0, 0));
+
+    let mut client = RoutingClient::new(
+        membership.clone(),
+        Duration::from_millis(500),
+        RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        },
+    )
+    .with_limits(20, Duration::from_millis(5));
+    assert_eq!(
+        client
+            .register_profile(&profile("app"))
+            .expect("tier is up"),
+        3,
+        "profiles broadcast to every instance"
+    );
+    let apps = ["app"];
+    for app in apps {
+        client
+            .compare(app, &[mapping(&[0, 1])])
+            .expect("tier serves");
+    }
+
+    // Crash whichever instance owns the key, then keep asking: the
+    // request must land on a replica.
+    let hash = client.key_hash("app");
+    let report = client.membership_report();
+    let owner = {
+        let ring = cbes_router::HashRing::new(report.instances.len());
+        ring.primary(hash).expect("non-empty ring")
+    };
+    let mut handles: Vec<Option<ServerHandle>> = instances.into_iter().map(Some).collect();
+    if let Some(dead) = handles.get_mut(owner).and_then(Option::take) {
+        dead.shutdown_and_join();
+    }
+    // Let the membership table notice (probe sweeps: suspect at 2, down at 4).
+    for _ in 0..5 {
+        membership.record_probes(&probe_instances(&membership));
+    }
+    assert_eq!(membership.counts(), (2, 0, 1));
+    let (_, preds) = client
+        .compare("app", &[mapping(&[0, 1])])
+        .expect("a replica serves the key after the crash");
+    assert_eq!(preds.len(), 1);
+    let report = client.membership_report();
+    assert_eq!(report.instances[owner].health, "down");
+    assert!(
+        report.instances.iter().any(|i| i.failed_over > 0),
+        "the replica recorded the failover"
+    );
+
+    for h in handles.into_iter().flatten() {
+        h.shutdown_and_join();
+    }
+}
+
+#[test]
+fn observations_replicate_from_leader_to_followers() {
+    let instances: Vec<ServerHandle> = (0..3).map(|_| start_instance()).collect();
+    let addrs: Vec<String> = instances.iter().map(|h| h.addr().to_string()).collect();
+    let membership = tier_membership(addrs.clone());
+    membership.record_probes(&probe_instances(&membership));
+
+    let n = two_switch_demo().len();
+    let mut load = LoadState::idle(n);
+    load.set_cpu_avail(NodeId(0), 0.5);
+    let epoch = observe_tier(&membership, &load, &[]).expect("leader is up");
+    assert_eq!(epoch, 1);
+    // Every instance is now at the same epoch: staleness 0.
+    for addr in &addrs {
+        let mut c = Client::connect_timeout(addr.as_str(), Duration::from_millis(500))
+            .expect("instance is up");
+        assert_eq!(c.stats().expect("stats answers").epoch, 1);
+    }
+    membership.record_probes(&probe_instances(&membership));
+    assert_eq!(membership.replication_lag(), 0);
+
+    // Kill the leader: the next sweep goes through a follower, and the
+    // epoch line keeps rising from the replicated value.
+    let leader = membership.leader().expect("tier has a leader");
+    let mut handles: Vec<Option<ServerHandle>> = instances.into_iter().map(Some).collect();
+    if let Some(dead) = handles.get_mut(leader).and_then(Option::take) {
+        dead.shutdown_and_join();
+    }
+    for _ in 0..5 {
+        membership.record_probes(&probe_instances(&membership));
+    }
+    let epoch = observe_tier(&membership, &load, &[]).expect("a follower takes over");
+    assert_eq!(epoch, 2, "epoch continuity across leader failover");
+
+    for h in handles.into_iter().flatten() {
+        h.shutdown_and_join();
+    }
+}
+
+#[test]
+fn router_proxy_routes_merges_and_reports() {
+    let instances: Vec<ServerHandle> = (0..2).map(|_| start_instance()).collect();
+    let seeds: Vec<String> = instances.iter().map(|h| h.addr().to_string()).collect();
+    let router = RouterServer::start(TierConfig {
+        addr: "127.0.0.1:0".to_string(),
+        seeds,
+        membership: MembershipConfig {
+            cluster: "demo".to_string(),
+            heartbeat: Duration::from_millis(20),
+            probe_timeout: Duration::from_millis(500),
+            policy: HealthPolicy {
+                suspect_after: 2,
+                down_after: 4,
+                suspect_cost_factor: 1.0,
+            },
+            replicas: 1,
+        },
+    })
+    .expect("router binds loopback");
+    // Wait for the first heartbeat to mark instances healthy.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router.membership().counts().0 < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "heartbeat never marked the instances healthy"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut c =
+        Client::connect_timeout(router.addr(), Duration::from_secs(2)).expect("router answers");
+    c.register_profile(profile("app"))
+        .expect("broadcast registration");
+    let (_, preds) = c
+        .compare("app", &[mapping(&[0, 1])])
+        .expect("hash-forwarded compare");
+    assert_eq!(preds.len(), 1);
+
+    let (hash, primary, replicas) = c.route("demo", "app").expect("local route answer");
+    assert_eq!(hash, cbes_server::route_key_hash("demo", "app"));
+    assert_eq!(replicas.len(), 1);
+    assert_ne!(primary.index, replicas[0].index);
+
+    let report = c.membership().expect("local membership answer");
+    assert_eq!(report.instances.len(), 2);
+    assert_eq!(report.cluster, "demo");
+
+    let stats = c.stats().expect("merged stats");
+    assert!(stats.served >= 2, "tier-wide served count is merged");
+    let metrics = c.metrics().expect("merged metrics");
+    assert!(metrics.counters.contains_key("server.served"));
+
+    // Shutdown through the router drains the whole tier.
+    c.shutdown().expect("broadcast shutdown");
+    for h in instances {
+        h.join();
+    }
+    router.shutdown_and_join();
+}
+
+#[test]
+fn heartbeat_thread_marks_dead_instances_down() {
+    let a = start_instance();
+    let b = start_instance();
+    let membership = tier_membership(vec![a.addr().to_string(), b.addr().to_string()]);
+    let stop = Arc::new(AtomicBool::new(false));
+    let hb = cbes_router::tier::spawn_heartbeat(membership.clone(), stop.clone());
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while membership.counts().0 < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "instances never healthy"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    b.shutdown_and_join();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while membership.counts().2 < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "dead instance never marked down"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(membership.leader(), Some(0));
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    hb.join().expect("heartbeat thread exits");
+    a.shutdown_and_join();
+}

@@ -13,7 +13,10 @@ use cbes_trace::AppProfile;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::protocol::{encode, Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport};
+use crate::protocol::{
+    encode, InstanceInfo, MembershipReport, Request, RequestEnvelope, Response, ResponseEnvelope,
+    StatsReport,
+};
 
 /// A client-side failure: transport, protocol, or a server error reply.
 #[derive(Debug)]
@@ -289,6 +292,57 @@ impl Client {
         }
     }
 
+    /// Ask which instance owns the `(cluster, app)` routing key; returns
+    /// the key hash, the owning primary, and its failover replicas (empty
+    /// when talking to a standalone daemon).
+    pub fn route(
+        &mut self,
+        cluster: &str,
+        app: &str,
+    ) -> Result<(u64, InstanceInfo, Vec<InstanceInfo>), ClientError> {
+        let request = Request::Route {
+            cluster: cluster.to_string(),
+            app: app.to_string(),
+        };
+        match self.exchange(request)? {
+            Response::Routed {
+                hash,
+                primary,
+                replicas,
+            } => Ok((hash, primary, replicas)),
+            other => Err(unexpected("Routed", &other)),
+        }
+    }
+
+    /// Push a leader-published sweep at a fixed epoch (snapshot
+    /// replication). Returns the receiver's epoch and whether the sweep
+    /// was applied (`false` means the receiver was already newer).
+    pub fn replicate(
+        &mut self,
+        epoch: u64,
+        load: &LoadState,
+        silent: &[u32],
+    ) -> Result<(u64, bool), ClientError> {
+        let request = Request::Replicate {
+            epoch,
+            load: load.clone(),
+            silent: silent.to_vec(),
+        };
+        match self.exchange(request)? {
+            Response::Replicated { epoch, applied } => Ok((epoch, applied)),
+            other => Err(unexpected("Replicated", &other)),
+        }
+    }
+
+    /// Read the serving tier's membership table (a standalone daemon
+    /// reports a single-instance view of itself).
+    pub fn membership(&mut self) -> Result<MembershipReport, ClientError> {
+        match self.exchange(Request::Membership)? {
+            Response::Membership { membership } => Ok(membership),
+            other => Err(unexpected("Membership", &other)),
+        }
+    }
+
     /// Ask the server to drain and exit. The acknowledgement arrives
     /// before the drain completes.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
@@ -331,8 +385,9 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// The backoff before retry number `retry` (1-based), before the
     /// `retry_after_ms` hint is applied: `base · 2^(retry-1)`, capped at
-    /// `max_delay`, jittered uniformly over ±50%.
-    fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
+    /// `max_delay`, jittered uniformly over ±50%. Public so operators
+    /// (and tests) can inspect the delay envelope a policy produces.
+    pub fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
         let base = self
             .base_delay
             .saturating_mul(1u32 << (retry - 1).min(16))
@@ -492,6 +547,32 @@ impl RetryingClient {
     /// [`Client::metrics`], retried.
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
         self.call(|c| c.metrics())
+    }
+
+    /// [`Client::route`], retried (a pure placement read).
+    pub fn route(
+        &mut self,
+        cluster: &str,
+        app: &str,
+    ) -> Result<(u64, InstanceInfo, Vec<InstanceInfo>), ClientError> {
+        self.call(|c| c.route(cluster, app))
+    }
+
+    /// [`Client::replicate`], retried — safe despite advancing the
+    /// epoch, because the receiver adopts a given epoch at most once;
+    /// a replayed `Replicate` is acknowledged `applied: false`.
+    pub fn replicate(
+        &mut self,
+        epoch: u64,
+        load: &LoadState,
+        silent: &[u32],
+    ) -> Result<(u64, bool), ClientError> {
+        self.call(|c| c.replicate(epoch, load, silent))
+    }
+
+    /// [`Client::membership`], retried (a read).
+    pub fn membership(&mut self) -> Result<MembershipReport, ClientError> {
+        self.call(|c| c.membership())
     }
 }
 

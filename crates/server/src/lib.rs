@@ -8,5 +8,8 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError, RetryPolicy, RetryingClient};
-pub use protocol::{Request, RequestEnvelope, Response, ResponseEnvelope};
+pub use protocol::{
+    route_key_hash, InstanceInfo, MembershipReport, Request, RequestEnvelope, Response,
+    ResponseEnvelope,
+};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -89,12 +89,35 @@ pub enum Request {
     Metrics,
     /// Stop admitting requests, drain in-flight work, exit.
     Shutdown,
+    /// Ask the routing tier which instance owns a `(cluster, app)` key.
+    /// A standalone daemon answers with itself as the only instance.
+    Route {
+        /// Cluster name half of the routing key.
+        cluster: String,
+        /// Application name half of the routing key.
+        app: String,
+    },
+    /// Apply a leader-published monitoring sweep at a fixed epoch.
+    /// Followers adopt `epoch` only if it is newer than their own
+    /// snapshot, so replays and reordering are harmless.
+    Replicate {
+        /// The epoch the leader published this sweep under.
+        epoch: u64,
+        /// Measured per-node load; must cover every node.
+        load: LoadState,
+        /// Node ids that did **not** report this sweep (as in
+        /// `ObservePartial`; empty for a full sweep).
+        silent: Vec<u32>,
+    },
+    /// Read the serving tier's membership table. A standalone daemon
+    /// reports a single-instance view of itself.
+    Membership,
 }
 
 /// Canonical action names in declaration order; index `i` names the
 /// variant with [`Request::action_index`] `i`. Keys of
 /// [`StatsReport::per_action`] are drawn from this set.
-pub const ACTIONS: [&str; 9] = [
+pub const ACTIONS: [&str; 12] = [
     "register_profile",
     "compare",
     "best_of",
@@ -104,6 +127,9 @@ pub const ACTIONS: [&str; 9] = [
     "stats",
     "metrics",
     "shutdown",
+    "route",
+    "replicate",
+    "membership",
 ];
 
 impl Request {
@@ -119,6 +145,9 @@ impl Request {
             Request::Stats => 6,
             Request::Metrics => 7,
             Request::Shutdown => 8,
+            Request::Route { .. } => 9,
+            Request::Replicate { .. } => 10,
+            Request::Membership => 11,
         }
     }
 
@@ -127,6 +156,32 @@ impl Request {
         // cbes-analyze: allow(panic_path, action_index is the variant's position in ACTIONS by construction; the drift check pins both tables)
         ACTIONS[self.action_index()]
     }
+
+    /// Whether this request runs the evaluation engine (eq. 4–8 or the
+    /// scheduler). Only these actions are subject to the per-instance
+    /// evaluation rate cap; control-plane traffic (heartbeats,
+    /// membership, replication, shutdown) is always admitted.
+    pub fn is_eval(&self) -> bool {
+        matches!(
+            self,
+            Request::Compare { .. } | Request::BestOf { .. } | Request::Schedule { .. }
+        )
+    }
+}
+
+/// The 64-bit FNV-1a hash of a `(cluster, app)` routing key. This is
+/// the tier's placement function: the routing ring maps it to a
+/// primary instance, and every router and client must agree on it,
+/// so it lives next to the wire protocol rather than in `cbes-router`.
+pub fn route_key_hash(cluster: &str, app: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for byte in cluster.as_bytes().iter().chain(b"/").chain(app.as_bytes()) {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 /// One server reply.
@@ -184,6 +239,28 @@ pub enum Response {
     },
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown,
+    /// Placement answer for a `Route` request.
+    Routed {
+        /// `route_key_hash(cluster, app)` of the requested key.
+        hash: u64,
+        /// The instance that owns the key.
+        primary: InstanceInfo,
+        /// Failover candidates, in preference order.
+        replicas: Vec<InstanceInfo>,
+    },
+    /// Outcome of a `Replicate` request.
+    Replicated {
+        /// The receiver's snapshot epoch after the request.
+        epoch: u64,
+        /// Whether the sweep was applied (`false`: the receiver was
+        /// already at or past the leader's epoch, a harmless replay).
+        applied: bool,
+    },
+    /// Membership table for a `Membership` request.
+    Membership {
+        /// The tier (or single-instance) membership view.
+        membership: MembershipReport,
+    },
     /// The request failed; `kind` is one of [`error_kind`].
     Error {
         /// Machine-readable error class.
@@ -224,6 +301,49 @@ impl Response {
             retry_after_ms,
         }
     }
+}
+
+/// One serving instance as seen by the routing tier's membership
+/// table (or a daemon's single-instance self view).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceInfo {
+    /// Position in the tier's static seed list (and on the hash ring).
+    pub index: usize,
+    /// The instance's listening address.
+    pub addr: String,
+    /// Health label: `"healthy"`, `"suspect"`, or `"down"`.
+    pub health: String,
+    /// The instance's snapshot epoch at the last successful probe.
+    pub epoch: u64,
+    /// Whether this instance is the current replication leader.
+    pub leader: bool,
+    /// Requests dispatched to this instance as hash primary.
+    pub routed: u64,
+    /// Fan-out sends relayed to this instance (broadcast/merge/leader).
+    pub forwarded: u64,
+    /// Requests this instance served as a failover target.
+    pub failed_over: u64,
+}
+
+/// The routing tier's view of its instances, for
+/// [`Response::Membership`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MembershipReport {
+    /// Cluster name the tier serves.
+    pub cluster: String,
+    /// Every seeded instance, in seed order.
+    pub instances: Vec<InstanceInfo>,
+    /// Index of the current replication leader, if any instance is
+    /// usable.
+    pub leader: Option<usize>,
+    /// The highest snapshot epoch observed across instances.
+    pub max_epoch: u64,
+    /// Leader epoch minus the slowest live follower's epoch.
+    pub replication_lag: u64,
+    /// Heartbeat probe sweeps completed.
+    pub heartbeats: u64,
+    /// Cumulative instance health-state transitions.
+    pub transitions: u64,
 }
 
 /// Server counters, as reported by [`Response::Stats`].
@@ -307,6 +427,112 @@ mod tests {
         assert!(!line.contains('\n'), "one line per message");
         let back: RequestEnvelope = serde_json::from_str(&line).expect("encode emits valid JSON");
         assert_eq!(back, env);
+    }
+
+    #[test]
+    fn router_family_round_trips() {
+        let reqs = [
+            Request::Route {
+                cluster: "centurion".into(),
+                app: "lu".into(),
+            },
+            Request::Replicate {
+                epoch: 7,
+                load: LoadState::idle(4),
+                silent: vec![2],
+            },
+            Request::Membership,
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            assert_eq!(req.action_index(), 9 + i, "{}", req.action());
+            assert!(!req.is_eval(), "router family is control-plane");
+            let env = RequestEnvelope {
+                id: 7,
+                request: req.clone(),
+            };
+            let back: RequestEnvelope =
+                serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
+            assert_eq!(back.request, req);
+        }
+        let info = InstanceInfo {
+            index: 0,
+            addr: "127.0.0.1:9000".into(),
+            health: "healthy".into(),
+            epoch: 7,
+            leader: true,
+            routed: 3,
+            forwarded: 1,
+            failed_over: 0,
+        };
+        let resp = Response::Membership {
+            membership: MembershipReport {
+                cluster: "centurion".into(),
+                instances: vec![info.clone()],
+                leader: Some(0),
+                max_epoch: 7,
+                replication_lag: 0,
+                heartbeats: 12,
+                transitions: 0,
+            },
+        };
+        let env = ResponseEnvelope {
+            id: 7,
+            response: resp.clone(),
+        };
+        let back: ResponseEnvelope =
+            serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
+        assert_eq!(back.response, resp);
+        let routed = Response::Routed {
+            hash: route_key_hash("centurion", "lu"),
+            primary: info,
+            replicas: vec![],
+        };
+        let back: ResponseEnvelope = serde_json::from_str(&encode(&ResponseEnvelope {
+            id: 8,
+            response: routed.clone(),
+        }))
+        .expect("encode emits valid JSON");
+        assert_eq!(back.response, routed);
+    }
+
+    #[test]
+    fn route_key_hash_is_stable_and_separates_key_halves() {
+        let h = route_key_hash("centurion", "lu");
+        assert_eq!(h, route_key_hash("centurion", "lu"), "deterministic");
+        assert_ne!(h, route_key_hash("centurion", "mg"));
+        assert_ne!(h, route_key_hash("orion", "lu"));
+        // The separator keeps ("ab", "c") and ("a", "bc") distinct.
+        assert_ne!(route_key_hash("ab", "c"), route_key_hash("a", "bc"));
+    }
+
+    #[test]
+    fn eval_actions_are_exactly_the_capped_set() {
+        let evals: Vec<&str> = [
+            Request::Compare {
+                app: "lu".into(),
+                mappings: vec![],
+            },
+            Request::BestOf {
+                app: "lu".into(),
+                mappings: vec![],
+            },
+            Request::Schedule {
+                app: "lu".into(),
+                pool: vec![],
+                iters: 0,
+                seed: 0,
+            },
+        ]
+        .iter()
+        .map(|r| {
+            assert!(r.is_eval());
+            r.action()
+        })
+        .collect();
+        assert_eq!(evals, ["compare", "best_of", "schedule"]);
+        for req in [Request::Stats, Request::Metrics, Request::Membership] {
+            assert!(!req.is_eval(), "{} is control-plane", req.action());
+        }
     }
 
     #[test]

@@ -29,8 +29,10 @@ use cbes_sched::{SaConfig, SaScheduler, ScheduleRequest, Scheduler};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 
 use crate::protocol::{
-    encode, error_kind, Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport, ACTIONS,
+    encode, error_kind, route_key_hash, InstanceInfo, MembershipReport, Request, RequestEnvelope,
+    Response, ResponseEnvelope, StatsReport, ACTIONS,
 };
+use parking_lot::Mutex;
 
 /// How often blocked connection readers re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -56,6 +58,14 @@ pub struct ServerConfig {
     /// Back-off hint attached to load-shedding (`overloaded` /
     /// `shutting_down`) replies as `retry_after_ms`.
     pub shed_retry_after: Duration,
+    /// Evaluation admission cap in requests per second (token bucket;
+    /// `0.0` disables the cap). Only evaluation actions
+    /// ([`Request::is_eval`]) consume tokens — control-plane traffic
+    /// (stats heartbeats, membership, replication, shutdown) is always
+    /// admitted, so a saturated instance still answers its tier. Capped
+    /// requests beyond the budget are shed with `overloaded` and a
+    /// `retry_after_ms` hint equal to the time until the next token.
+    pub max_rps: f64,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +78,55 @@ impl Default for ServerConfig {
             max_line_bytes: 64 * 1024,
             max_consecutive_errors: 8,
             shed_retry_after: Duration::from_millis(25),
+            max_rps: 0.0,
+        }
+    }
+}
+
+/// A token bucket bounding admitted evaluation requests per second —
+/// the per-instance share of a node's CPU budget when several CBES
+/// instances (or co-tenant workloads) share a machine. Refills
+/// continuously at `rate` tokens/s up to a burst of a quarter-second's
+/// worth (at least one token).
+#[derive(Debug)]
+struct RateLimiter {
+    rate: f64,
+    burst: f64,
+    state: Mutex<BucketState>,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl RateLimiter {
+    fn new(rate_per_s: f64) -> Self {
+        let rate = rate_per_s.max(0.001);
+        let burst = (rate * 0.25).max(1.0);
+        RateLimiter {
+            rate,
+            burst,
+            state: Mutex::new(BucketState {
+                tokens: burst,
+                refilled: Instant::now(),
+            }),
+        }
+    }
+
+    /// Take one token, or report how long until one is available.
+    fn try_acquire(&self) -> Result<(), Duration> {
+        let mut s = self.state.lock();
+        let now = Instant::now();
+        let dt = now.duration_since(s.refilled).as_secs_f64();
+        s.tokens = (s.tokens + dt * self.rate).min(self.burst);
+        s.refilled = now;
+        if s.tokens >= 1.0 {
+            s.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(Duration::from_secs_f64((1.0 - s.tokens) / self.rate))
         }
     }
 }
@@ -80,6 +139,8 @@ struct ConnPolicy {
     max_line_bytes: usize,
     max_consecutive_errors: u32,
     shed_retry_after_ms: u64,
+    /// Shared evaluation-rate token bucket; `None` when uncapped.
+    rate: Option<Arc<RateLimiter>>,
 }
 
 impl ConnPolicy {
@@ -89,6 +150,7 @@ impl ConnPolicy {
             max_line_bytes: config.max_line_bytes.max(1),
             max_consecutive_errors: config.max_consecutive_errors.max(1),
             shed_retry_after_ms: config.shed_retry_after.as_millis() as u64,
+            rate: (config.max_rps > 0.0).then(|| Arc::new(RateLimiter::new(config.max_rps))),
         }
     }
 }
@@ -108,6 +170,8 @@ struct ServerMetrics {
     dropped_connections: Arc<Counter>,
     /// Request lines rejected for exceeding the length cap.
     oversized_frames: Arc<Counter>,
+    /// Admitted-rate cap sheds (a subset of `overloaded`).
+    rate_limited: Arc<Counter>,
     /// Microseconds from admission to worker pickup.
     queue_wait: Arc<Histogram>,
     /// Microseconds a worker spent computing the reply.
@@ -128,6 +192,7 @@ impl ServerMetrics {
             connections: registry.counter(names::SERVER_CONNECTIONS),
             dropped_connections: registry.counter(names::SERVER_DROPPED_CONNECTIONS),
             oversized_frames: registry.counter(names::SERVER_OVERSIZED_FRAMES),
+            rate_limited: registry.counter(names::SERVER_RATE_LIMITED),
             queue_wait: registry.histogram(names::SERVER_QUEUE_WAIT_US),
             service_time: registry.histogram(names::SERVER_SERVICE_TIME_US),
             by_action: names::SERVER_ACTION_COUNTERS
@@ -414,6 +479,23 @@ fn admit(
         }
     };
     let id = envelope.id;
+    if envelope.request.is_eval() {
+        if let Some(limiter) = policy.rate.as_ref() {
+            if let Err(wait) = limiter.try_acquire() {
+                metrics.rate_limited.incr();
+                metrics.overloaded.incr();
+                metrics.errors.incr();
+                return ResponseEnvelope {
+                    id,
+                    response: Response::shed(
+                        error_kind::OVERLOADED,
+                        "evaluation rate cap exceeded",
+                        (wait.as_millis() as u64).max(1),
+                    ),
+                };
+            }
+        }
+    }
     let (reply_tx, reply_rx) = channel::bounded::<ResponseEnvelope>(1);
     match job_tx.try_send(Job {
         envelope,
@@ -617,6 +699,67 @@ fn handle_request(
             trigger_shutdown(shutdown, addr);
             Response::ShuttingDown
         }
+        // A standalone daemon is a degenerate one-instance tier: it owns
+        // every routing key and leads itself. `cbes-router` answers these
+        // three actions with the real multi-instance view.
+        Request::Route { cluster, app } => Response::Routed {
+            hash: route_key_hash(&cluster, &app),
+            primary: self_instance(service, addr),
+            replicas: Vec::new(),
+        },
+        Request::Replicate {
+            epoch,
+            load,
+            silent,
+        } => {
+            let n = service.cluster().len();
+            if let Some(&bad) = silent.iter().find(|&&s| s as usize >= n) {
+                return Response::service_error(&cbes_core::ServiceError::BadNode(bad));
+            }
+            let reported = if silent.is_empty() {
+                None
+            } else {
+                let mut mask = vec![true; n];
+                for s in &silent {
+                    // Bounds pre-validated above; out-of-range ids
+                    // already returned a typed `BadNode` error.
+                    if let Some(flag) = mask.get_mut(*s as usize) {
+                        *flag = false;
+                    }
+                }
+                Some(mask)
+            };
+            match service.observe_replicated(epoch, &load, reported.as_deref()) {
+                Ok((epoch, applied)) => Response::Replicated { epoch, applied },
+                Err(e) => Response::service_error(&e),
+            }
+        }
+        Request::Membership => Response::Membership {
+            membership: MembershipReport {
+                cluster: service.cluster().name().to_string(),
+                instances: vec![self_instance(service, addr)],
+                leader: Some(0),
+                max_epoch: service.epoch(),
+                replication_lag: 0,
+                heartbeats: 0,
+                transitions: 0,
+            },
+        },
+    }
+}
+
+/// The daemon's single-instance self view for `Route` / `Membership`
+/// replies: always healthy (it answered), always the leader.
+fn self_instance(service: &Arc<CbesService>, addr: SocketAddr) -> InstanceInfo {
+    InstanceInfo {
+        index: 0,
+        addr: addr.to_string(),
+        health: "healthy".to_string(),
+        epoch: service.epoch(),
+        leader: true,
+        routed: 0,
+        forwarded: 0,
+        failed_over: 0,
     }
 }
 
@@ -634,6 +777,7 @@ mod tests {
             max_line_bytes: 64 * 1024,
             max_consecutive_errors: 8,
             shed_retry_after_ms: 25,
+            rate: None,
         }
     }
 
@@ -728,6 +872,53 @@ mod tests {
             snap.counters["obs.server_test.global_marker"] >= 1,
             "global registry instruments appear in the merged snapshot"
         );
+    }
+
+    #[test]
+    fn rate_limiter_drains_its_burst_and_refills() {
+        let limiter = RateLimiter::new(10.0); // burst = 2.5 tokens
+        assert!(limiter.try_acquire().is_ok());
+        assert!(limiter.try_acquire().is_ok());
+        let wait = limiter
+            .try_acquire()
+            .expect_err("the burst is spent after two tokens");
+        assert!(wait > Duration::ZERO && wait <= Duration::from_millis(100));
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(limiter.try_acquire().is_ok(), "tokens refill over time");
+    }
+
+    #[test]
+    fn rate_cap_sheds_eval_requests_but_exempts_control_plane() {
+        let (tx, _rx) = channel::bounded::<Job>(1);
+        let m = metrics();
+        let mut p = policy(Duration::from_millis(10));
+        p.rate = Some(Arc::new(RateLimiter::new(0.001))); // burst = 1 token
+        let compare_line = encode(&RequestEnvelope {
+            id: 11,
+            request: Request::Compare {
+                app: "lu".into(),
+                mappings: vec![],
+            },
+        });
+        // First eval spends the only token (then times out unanswered —
+        // no worker drains the queue here).
+        let first = admit(&compare_line, &tx, &m, &p);
+        assert_eq!(error_kind_of(&first), error_kind::TIMEOUT);
+        // Second eval is shed by the cap, with a time-to-next-token hint.
+        let second = admit(&compare_line, &tx, &m, &p);
+        assert_eq!(error_kind_of(&second), error_kind::OVERLOADED);
+        assert_eq!(m.rate_limited.get(), 1);
+        assert_eq!(m.overloaded.get(), 1);
+        match &second.response {
+            Response::Error { retry_after_ms, .. } => assert!(*retry_after_ms >= 1),
+            other => panic!("expected an error reply, got {other:?}"),
+        }
+        // Control plane bypasses the cap: the stats request reaches the
+        // (now full) queue and is shed there, not by the limiter.
+        let stats = admit(&stats_line(12), &tx, &m, &p);
+        assert_eq!(error_kind_of(&stats), error_kind::OVERLOADED);
+        assert_eq!(m.rate_limited.get(), 1, "the cap did not fire again");
+        assert_eq!(m.overloaded.get(), 2);
     }
 
     #[test]
