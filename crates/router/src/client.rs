@@ -196,6 +196,17 @@ impl RoutingClient {
         self.call_routed(h, |c| c.best_of(app, mappings))
     }
 
+    /// One-shot `batch` evaluation on the key's owning instance: every
+    /// candidate is predicted against the same snapshot epoch.
+    pub fn batch(
+        &mut self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, Vec<Prediction>), RouterError> {
+        let h = self.key_hash(app);
+        self.call_routed(h, |c| c.batch(app, mappings))
+    }
+
     /// `schedule` on the key's owning instance.
     pub fn schedule(
         &mut self,

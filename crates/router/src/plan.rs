@@ -19,7 +19,7 @@
 ///   merged into one tier-wide report.
 /// - `"broadcast"` — sent to every usable instance; all must accept.
 /// - `"local"` — answered by the router itself from its own state.
-pub const FORWARD_MODES: [&str; 12] = [
+pub const FORWARD_MODES: [&str; 13] = [
     "broadcast", // register_profile: every instance needs the profile
     "hash",      // compare
     "hash",      // best_of
@@ -32,6 +32,7 @@ pub const FORWARD_MODES: [&str; 12] = [
     "local",     // route: placement is the router's own state
     "broadcast", // replicate: relay the leader's sweep as-is
     "local",     // membership: the membership table lives here
+    "hash",      // batch: same key-owner placement as compare
 ];
 
 /// A parsed entry of [`FORWARD_MODES`].
@@ -94,7 +95,7 @@ mod tests {
     fn eval_actions_are_hash_routed() {
         for (i, action) in ACTIONS.iter().enumerate() {
             let hash_routed = mode_of(i) == ForwardMode::Hash;
-            let is_eval = matches!(*action, "compare" | "best_of" | "schedule");
+            let is_eval = matches!(*action, "compare" | "best_of" | "schedule" | "batch");
             assert_eq!(hash_routed, is_eval, "{action}");
         }
     }

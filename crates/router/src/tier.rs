@@ -336,7 +336,8 @@ fn dispatch(
             let app = match &request {
                 Request::Compare { app, .. }
                 | Request::BestOf { app, .. }
-                | Request::Schedule { app, .. } => app.clone(),
+                | Request::Schedule { app, .. }
+                | Request::Batch { app, .. } => app.clone(),
                 _ => String::new(),
             };
             let hash = route_key_hash(&membership.config().cluster, &app);

@@ -203,6 +203,25 @@ impl Client {
         }
     }
 
+    /// Evaluate many candidate mappings in one round-trip; every
+    /// prediction in the reply was computed against the single returned
+    /// snapshot epoch. Equivalent to one `compare` per candidate at
+    /// that epoch, amortised server-side.
+    pub fn batch(
+        &mut self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, Vec<Prediction>), ClientError> {
+        let request = Request::Batch {
+            app: app.to_string(),
+            mappings: mappings.to_vec(),
+        };
+        match self.exchange(request)? {
+            Response::Predictions { epoch, predictions } => Ok((epoch, predictions)),
+            other => Err(unexpected("Predictions", &other)),
+        }
+    }
+
     /// The index and prediction of the fastest candidate mapping.
     pub fn best_of(
         &mut self,
@@ -516,6 +535,15 @@ impl RetryingClient {
         mappings: &[Mapping],
     ) -> Result<(u64, Vec<Prediction>), ClientError> {
         self.call(|c| c.compare(app, mappings))
+    }
+
+    /// [`Client::batch`], retried (a pure evaluation, replayable).
+    pub fn batch(
+        &mut self,
+        app: &str,
+        mappings: &[Mapping],
+    ) -> Result<(u64, Vec<Prediction>), ClientError> {
+        self.call(|c| c.batch(app, mappings))
     }
 
     /// [`Client::best_of`], retried.

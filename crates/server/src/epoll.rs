@@ -1,0 +1,508 @@
+//! Readiness polling for the event-loop server: a thin `epoll` shim on
+//! Linux plus a portable `poll(2)` fallback, both over raw syscall FFI
+//! so the workspace stays dependency-free.
+//!
+//! Every `unsafe` block in the crate lives in this module, and each is
+//! a single audited syscall: `epoll_create1`/`epoll_ctl`/`epoll_wait`/
+//! `close` on the epoll path, `poll` on the fallback. Callers only see
+//! the safe [`Poller`] surface — register file descriptors with a
+//! `u64` token and an interest pair, then [`Poller::wait`] for
+//! [`PollEvent`]s. Both backends are level-triggered, so a fd stays
+//! ready until the caller drains it; the reactor relies on that to
+//! avoid losing partial reads.
+//!
+//! Setting `CBES_FORCE_POLL=1` selects the fallback backend even on
+//! Linux, which is how the test suite exercises both paths on one
+//! platform.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+mod sys_epoll {
+    //! Raw epoll ABI. The x86-64 kernel packs `epoll_event`; other
+    //! architectures align it naturally.
+
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(
+            epfd: i32,
+            events: *mut EpollEvent,
+            maxevents: i32,
+            timeout_ms: i32,
+        ) -> i32;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+mod sys_poll {
+    //! Raw `poll(2)` ABI; `nfds_t` is `c_ulong`, i.e. `u64` on every
+    //! 64-bit unix this workspace targets.
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    }
+}
+
+/// One readiness event. `token` is whatever the caller passed at
+/// registration. Error and hangup conditions surface as `readable`
+/// (and `writable`) so the owner's next read/write observes the actual
+/// `io::Error` or EOF — the poller never swallows failure detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollEvent {
+    /// Caller-chosen identity of the registered fd.
+    pub token: u64,
+    /// The fd can be read (or has hung up / errored).
+    pub readable: bool,
+    /// The fd can be written (or has hung up / errored).
+    pub writable: bool,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: RawFd,
+        buf: Vec<sys_epoll::EpollEvent>,
+    },
+    Poll {
+        fds: Vec<sys_poll::PollFd>,
+        tokens: Vec<u64>,
+    },
+}
+
+/// A level-triggered readiness multiplexer over raw fds.
+pub struct Poller {
+    backend: Backend,
+}
+
+/// True when `CBES_FORCE_POLL=1` demands the portable backend.
+fn force_poll() -> bool {
+    std::env::var("CBES_FORCE_POLL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Millisecond timeout for the syscalls: `None` blocks forever,
+/// sub-millisecond waits round up to 1 so a near deadline cannot spin.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis().min(i32::MAX as u128) as i32;
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms
+            }
+        }
+    }
+}
+
+impl Poller {
+    /// The platform's best backend: epoll on Linux, `poll(2)`
+    /// elsewhere or when `CBES_FORCE_POLL=1`.
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            if !force_poll() {
+                return Poller::epoll();
+            }
+        }
+        Ok(Poller::poll_backend())
+    }
+
+    /// The portable `poll(2)` backend, unconditionally.
+    pub fn poll_backend() -> Poller {
+        Poller {
+            backend: Backend::Poll {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+            },
+        }
+    }
+
+    /// The epoll backend, unconditionally.
+    #[cfg(target_os = "linux")]
+    pub fn epoll() -> io::Result<Poller> {
+        // SAFETY: no pointers cross the boundary; the returned fd is
+        // owned by the Poller and closed on drop.
+        let epfd = unsafe { sys_epoll::epoll_create1(sys_epoll::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller {
+            backend: Backend::Epoll {
+                epfd,
+                buf: vec![sys_epoll::EpollEvent { events: 0, data: 0 }; 256],
+            },
+        })
+    }
+
+    /// Which backend is live — surfaced in logs and tests.
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { .. } => "epoll",
+            Backend::Poll { .. } => "poll",
+        }
+    }
+
+    /// Start watching `fd` under `token` with the given interest.
+    pub fn register(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => ctl(
+                *epfd,
+                sys_epoll::EPOLL_CTL_ADD,
+                fd,
+                epoll_mask(readable, writable),
+                token,
+            ),
+            Backend::Poll { fds, tokens } => {
+                if fds.iter().any(|f| f.fd == fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd is already registered",
+                    ));
+                }
+                fds.push(sys_poll::PollFd {
+                    fd,
+                    events: poll_mask(readable, writable),
+                    revents: 0,
+                });
+                tokens.push(token);
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-arm `fd` with a new token/interest pair.
+    pub fn modify(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => ctl(
+                *epfd,
+                sys_epoll::EPOLL_CTL_MOD,
+                fd,
+                epoll_mask(readable, writable),
+                token,
+            ),
+            Backend::Poll { fds, tokens } => {
+                let i = fds
+                    .iter()
+                    .position(|f| f.fd == fd)
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+                if let (Some(f), Some(t)) = (fds.get_mut(i), tokens.get_mut(i)) {
+                    f.events = poll_mask(readable, writable);
+                    *t = token;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Stop watching `fd`. Safe to call right before closing it.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => ctl(*epfd, sys_epoll::EPOLL_CTL_DEL, fd, 0, 0),
+            Backend::Poll { fds, tokens } => {
+                let i = fds
+                    .iter()
+                    .position(|f| f.fd == fd)
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+                fds.remove(i);
+                tokens.remove(i);
+                Ok(())
+            }
+        }
+    }
+
+    /// Block until readiness or `timeout`, filling `out` (cleared
+    /// first) with one event per ready fd. `EINTR` retries the full
+    /// timeout — the reactor re-derives its deadlines every pass, so a
+    /// marginally longer wait is harmless.
+    pub fn wait(&mut self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let ms = timeout_ms(timeout);
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, buf } => loop {
+                // SAFETY: `buf` is a live, correctly-typed array; the
+                // kernel writes at most `buf.len()` entries.
+                let n =
+                    unsafe { sys_epoll::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, ms) };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(err);
+                }
+                for ev in buf.iter().take(n as usize) {
+                    // Copy out of the (possibly packed) struct before use.
+                    let events = ev.events;
+                    let token = ev.data;
+                    let fail = events & (sys_epoll::EPOLLERR | sys_epoll::EPOLLHUP) != 0;
+                    out.push(PollEvent {
+                        token,
+                        readable: events & sys_epoll::EPOLLIN != 0 || fail,
+                        writable: events & sys_epoll::EPOLLOUT != 0 || fail,
+                    });
+                }
+                return Ok(());
+            },
+            Backend::Poll { fds, tokens } => loop {
+                for f in fds.iter_mut() {
+                    f.revents = 0;
+                }
+                // SAFETY: `fds` is a live, correctly-typed array of
+                // exactly `fds.len()` entries.
+                let n = unsafe { sys_poll::poll(fds.as_mut_ptr(), fds.len() as u64, ms) };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(err);
+                }
+                for (f, &token) in fds.iter().zip(tokens.iter()) {
+                    if f.revents == 0 {
+                        continue;
+                    }
+                    let fail = f.revents
+                        & (sys_poll::POLLERR | sys_poll::POLLHUP | sys_poll::POLLNVAL)
+                        != 0;
+                    out.push(PollEvent {
+                        token,
+                        readable: f.revents & sys_poll::POLLIN != 0 || fail,
+                        writable: f.revents & sys_poll::POLLOUT != 0 || fail,
+                    });
+                }
+                return Ok(());
+            },
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Backend::Epoll { epfd, .. } = self.backend {
+            // SAFETY: `epfd` came from epoll_create1 and is never used
+            // again after this close.
+            unsafe { sys_epoll::close(epfd) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend_name())
+            .finish()
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(readable: bool, writable: bool) -> u32 {
+    let mut m = 0;
+    if readable {
+        m |= sys_epoll::EPOLLIN;
+    }
+    if writable {
+        m |= sys_epoll::EPOLLOUT;
+    }
+    m
+}
+
+fn poll_mask(readable: bool, writable: bool) -> i16 {
+    let mut m = 0;
+    if readable {
+        m |= sys_poll::POLLIN;
+    }
+    if writable {
+        m |= sys_poll::POLLOUT;
+    }
+    m
+}
+
+#[cfg(target_os = "linux")]
+fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = sys_epoll::EpollEvent {
+        events,
+        data: token,
+    };
+    let ptr = if op == sys_epoll::EPOLL_CTL_DEL {
+        std::ptr::null_mut()
+    } else {
+        &mut ev as *mut sys_epoll::EpollEvent
+    };
+    // SAFETY: `ptr` is null (DEL) or points at a live EpollEvent for
+    // the duration of the call; the kernel copies it synchronously.
+    let rc = unsafe { sys_epoll::epoll_ctl(epfd, op, fd, ptr) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a = TcpStream::connect(l.local_addr().expect("addr")).expect("connect");
+        let (b, _) = l.accept().expect("accept");
+        (a, b)
+    }
+
+    fn readiness_round_trip(mut poller: Poller) {
+        let (mut a, b) = pair();
+        poller
+            .register(b.as_raw_fd(), 7, true, false)
+            .expect("register");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .expect("wait");
+        assert!(events.is_empty(), "no data yet: {events:?}");
+
+        a.write_all(b"x").expect("write");
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        assert!(!events[0].writable);
+
+        // Write interest on an idle socket fires immediately, and the
+        // re-armed token replaces the old one.
+        poller
+            .modify(b.as_raw_fd(), 9, false, true)
+            .expect("modify");
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert!(
+            events.iter().any(|e| e.token == 9 && e.writable),
+            "{events:?}"
+        );
+
+        poller.deregister(b.as_raw_fd()).expect("deregister");
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .expect("wait");
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    fn hangup_is_readable(mut poller: Poller) {
+        let (a, b) = pair();
+        poller
+            .register(b.as_raw_fd(), 3, true, false)
+            .expect("register");
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert!(
+            events.iter().any(|e| e.token == 3 && e.readable),
+            "peer close must surface as readable: {events:?}"
+        );
+    }
+
+    #[test]
+    fn poll_backend_reports_readiness() {
+        let p = Poller::poll_backend();
+        assert_eq!(p.backend_name(), "poll");
+        readiness_round_trip(p);
+    }
+
+    #[test]
+    fn poll_backend_reports_hangup() {
+        hangup_is_readable(Poller::poll_backend());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_backend_reports_readiness() {
+        let p = Poller::epoll().expect("epoll_create1");
+        assert_eq!(p.backend_name(), "epoll");
+        readiness_round_trip(p);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_backend_reports_hangup() {
+        hangup_is_readable(Poller::epoll().expect("epoll_create1"));
+    }
+
+    #[test]
+    fn poll_backend_rejects_duplicate_and_unknown_fds() {
+        let (_a, b) = pair();
+        let mut p = Poller::poll_backend();
+        p.register(b.as_raw_fd(), 1, true, false).expect("register");
+        assert!(p.register(b.as_raw_fd(), 2, true, false).is_err());
+        assert!(p.modify(999_999, 1, true, false).is_err());
+        assert!(p.deregister(999_999).is_err());
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(200))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(40))), 40);
+    }
+}

@@ -8,6 +8,7 @@
 //! [`error_kind`].
 
 use cbes_cluster::load::LoadState;
+use cbes_cluster::NodeId;
 use cbes_core::eval::Prediction;
 use cbes_core::mapping::Mapping;
 use cbes_core::ServiceError;
@@ -112,12 +113,26 @@ pub enum Request {
     /// Read the serving tier's membership table. A standalone daemon
     /// reports a single-instance view of itself.
     Membership,
+    /// Evaluate many candidate mappings for `app` in one call, all
+    /// against a *single* epoch-stamped snapshot. Semantically equal to
+    /// one `Compare` per candidate issued at the same epoch, but the
+    /// server amortises snapshot access, CPU-share census, and
+    /// message-group lookups across the whole batch (struct-of-arrays
+    /// evaluation in `cbes-core`), so per-candidate cost drops with
+    /// batch size. The reply is an ordinary [`Response::Predictions`]
+    /// whose `epoch` stamps every prediction in it.
+    Batch {
+        /// Registered application name.
+        app: String,
+        /// Candidate mappings, arity matching the profile.
+        mappings: Vec<Mapping>,
+    },
 }
 
 /// Canonical action names in declaration order; index `i` names the
 /// variant with [`Request::action_index`] `i`. Keys of
 /// [`StatsReport::per_action`] are drawn from this set.
-pub const ACTIONS: [&str; 12] = [
+pub const ACTIONS: [&str; 13] = [
     "register_profile",
     "compare",
     "best_of",
@@ -130,6 +145,7 @@ pub const ACTIONS: [&str; 12] = [
     "route",
     "replicate",
     "membership",
+    "batch",
 ];
 
 impl Request {
@@ -148,6 +164,7 @@ impl Request {
             Request::Route { .. } => 9,
             Request::Replicate { .. } => 10,
             Request::Membership => 11,
+            Request::Batch { .. } => 12,
         }
     }
 
@@ -164,7 +181,10 @@ impl Request {
     pub fn is_eval(&self) -> bool {
         matches!(
             self,
-            Request::Compare { .. } | Request::BestOf { .. } | Request::Schedule { .. }
+            Request::Compare { .. }
+                | Request::BestOf { .. }
+                | Request::Schedule { .. }
+                | Request::Batch { .. }
         )
     }
 }
@@ -409,10 +429,304 @@ pub fn encode<T: Serialize>(envelope: &T) -> String {
     serde_json::to_string(envelope).expect("protocol types always serialise")
 }
 
+/// Encode a reply envelope as one protocol line (no trailing newline).
+///
+/// Hot-path specialisation: `Predictions` replies — the bulk of serve
+/// traffic, and ~50 numbers each — are emitted by a hand-written
+/// serialiser instead of the generic value-tree walk, which measures
+/// several microseconds per reply. Byte-for-byte identical to
+/// [`encode`] (numbers go through the same [`serde_json::write_f64`]);
+/// every other variant falls through to the generic path.
+pub fn encode_response(envelope: &ResponseEnvelope) -> String {
+    use std::fmt::Write as _;
+    let Response::Predictions { epoch, predictions } = &envelope.response else {
+        return encode(envelope);
+    };
+    let mut out = String::with_capacity(96 + predictions.len() * 320);
+    let _ = write!(out, "{{\"id\":{}", envelope.id);
+    let _ = write!(out, ",\"response\":{{\"Predictions\":{{\"epoch\":{epoch}");
+    out.push_str(",\"predictions\":[");
+    for (i, p) in predictions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"time\":");
+        serde_json::write_f64(p.time, &mut out);
+        let _ = write!(out, ",\"bottleneck\":{}", p.bottleneck);
+        out.push_str(",\"per_proc\":[");
+        for (j, pc) in p.per_proc.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"r\":");
+            serde_json::write_f64(pc.r, &mut out);
+            out.push_str(",\"c\":");
+            serde_json::write_f64(pc.c, &mut out);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}}}");
+    out
+}
+
+/// Parse one protocol line into a request envelope.
+///
+/// Hot-path specialisation mirroring [`encode_response`]: the rigid
+/// compact encoding of the comparison shapes (`Compare` / `BestOf` /
+/// `Batch`) is recognised by a strict cursor parser; anything it does
+/// not match byte-for-byte — other variants, whitespace, escapes,
+/// malformed frames — falls back to the generic serde parse, so the
+/// accepted language (and every error message) is unchanged.
+pub fn decode_request(line: &str) -> Result<RequestEnvelope, serde_json::Error> {
+    if let Some(env) = decode_request_fast(line) {
+        return Ok(env);
+    }
+    serde_json::from_str(line)
+}
+
+fn decode_request_fast(line: &str) -> Option<RequestEnvelope> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    c.lit(b"{\"id\":")?;
+    let id = c.u64()?;
+    c.lit(b",\"request\":{\"")?;
+    let tag = c.until_quote(line)?;
+    c.lit(b":{\"app\":\"")?;
+    let app = c.until_quote(line)?.to_string();
+    c.lit(b",\"mappings\":[")?;
+    let mut mappings = Vec::new();
+    if !c.eat(b']') {
+        loop {
+            c.lit(b"{\"assign\":[")?;
+            let mut assign = Vec::new();
+            if !c.eat(b']') {
+                loop {
+                    assign.push(NodeId(u32::try_from(c.u64()?).ok()?));
+                    if c.eat(b']') {
+                        break;
+                    }
+                    c.lit(b",")?;
+                }
+            }
+            c.lit(b"}")?;
+            mappings.push(Mapping::new(assign));
+            if c.eat(b']') {
+                break;
+            }
+            c.lit(b",")?;
+        }
+    }
+    c.lit(b"}}}")?;
+    if c.pos != c.bytes.len() {
+        return None;
+    }
+    let request = match tag {
+        "Compare" => Request::Compare { app, mappings },
+        "BestOf" => Request::BestOf { app, mappings },
+        "Batch" => Request::Batch { app, mappings },
+        _ => return None,
+    };
+    Some(RequestEnvelope { id, request })
+}
+
+/// Byte cursor for [`decode_request_fast`]: every helper returns `None`
+/// on the first unexpected byte, sending the line to the generic parse.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn lit(&mut self, lit: &[u8]) -> Option<()> {
+        let end = self.pos.checked_add(lit.len())?;
+        if self.bytes.get(self.pos..end)? == lit {
+            self.pos = end;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let start = self.pos;
+        let mut value: u64 = 0;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            value = value.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+            self.pos += 1;
+        }
+        let digits = self.pos - start;
+        // JSON forbids leading zeros; stay no wider than the generic parse.
+        if digits == 0 || (digits > 1 && self.bytes.get(start) == Some(&b'0')) {
+            return None;
+        }
+        Some(value)
+    }
+
+    /// Consume up to and including the next `"`, returning the span
+    /// before it. Bails on escapes: the generic parser handles those.
+    fn until_quote(&mut self, line: &'a str) -> Option<&'a str> {
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'\\' => return None,
+                b'"' => {
+                    let span = line.get(start..self.pos);
+                    self.pos += 1;
+                    return span;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cbes_cluster::NodeId;
+
+    #[test]
+    fn fast_response_encoder_matches_the_generic_encoding() {
+        use cbes_core::eval::ProcCost;
+        let shapes = vec![
+            ResponseEnvelope {
+                id: 0,
+                response: Response::Predictions {
+                    epoch: 0,
+                    predictions: vec![],
+                },
+            },
+            ResponseEnvelope {
+                id: u64::MAX,
+                response: Response::Predictions {
+                    epoch: 17,
+                    predictions: vec![Prediction {
+                        time: 0.1 + 0.2, // classic non-exact sum, full digits
+                        bottleneck: 3,
+                        per_proc: vec![],
+                    }],
+                },
+            },
+            ResponseEnvelope {
+                id: 7,
+                response: Response::Predictions {
+                    epoch: 3,
+                    predictions: vec![
+                        Prediction {
+                            time: 12.0, // integral float must keep its ".0"
+                            bottleneck: 0,
+                            per_proc: vec![
+                                ProcCost { r: 1.5e-9, c: 0.0 },
+                                ProcCost {
+                                    r: f64::MAX,
+                                    c: 2.2250738585072014e-308,
+                                },
+                            ],
+                        },
+                        Prediction {
+                            time: f64::NAN, // encoder policy: null
+                            bottleneck: 1,
+                            per_proc: vec![ProcCost {
+                                r: f64::INFINITY,
+                                c: -0.0,
+                            }],
+                        },
+                    ],
+                },
+            },
+        ];
+        for env in &shapes {
+            assert_eq!(encode_response(env), encode(env), "shape: {env:?}");
+        }
+        // Non-Predictions variants take the generic path.
+        let other = ResponseEnvelope {
+            id: 9,
+            response: Response::ShuttingDown,
+        };
+        assert_eq!(encode_response(&other), encode(&other));
+    }
+
+    #[test]
+    fn fast_request_decoder_accepts_exactly_the_compact_encoding() {
+        let shapes = vec![
+            Request::Compare {
+                app: "ring".into(),
+                mappings: vec![
+                    Mapping::new(vec![NodeId(0), NodeId(4), NodeId(1000)]),
+                    Mapping::new(vec![]),
+                ],
+            },
+            Request::BestOf {
+                app: String::new(),
+                mappings: vec![],
+            },
+            Request::Batch {
+                app: "app with spaces + unicode é".into(),
+                mappings: vec![Mapping::new(vec![NodeId(u32::MAX)])],
+            },
+        ];
+        for request in shapes {
+            let env = RequestEnvelope { id: 3, request };
+            let line = encode(&env);
+            let fast = decode_request_fast(&line)
+                .unwrap_or_else(|| panic!("fast path must accept {line}"));
+            assert_eq!(fast, env);
+            assert_eq!(decode_request(&line).expect("decode"), env);
+        }
+    }
+
+    #[test]
+    fn fast_request_decoder_falls_back_without_widening_the_language() {
+        // Accepted by the generic parser, rejected by the fast path —
+        // decode_request must still succeed via fallback.
+        let spaced = "{\"id\": 5, \"request\":{\"Compare\":{\"app\":\"a\",\"mappings\":[]}}}";
+        assert!(decode_request_fast(spaced).is_none());
+        assert!(decode_request(spaced).is_ok());
+        let escaped = "{\"id\":5,\"request\":{\"Compare\":{\"app\":\"a\\\"b\",\"mappings\":[]}}}";
+        assert!(decode_request_fast(escaped).is_none());
+        assert!(decode_request(escaped).is_ok());
+        // Other variants: fast path bails, generic handles them.
+        let env = RequestEnvelope {
+            id: 1,
+            request: Request::Schedule {
+                app: "x".into(),
+                pool: vec![1, 2],
+                iters: 5,
+                seed: 0,
+            },
+        };
+        let line = encode(&env);
+        assert!(decode_request_fast(&line).is_none());
+        assert_eq!(decode_request(&line).expect("decode"), env);
+        // The vendored generic parser tolerates leading zeros; the fast
+        // path must not short-circuit that leniency away.
+        let zeros = "{\"id\":07,\"request\":{\"Compare\":{\"app\":\"a\",\"mappings\":[]}}}";
+        assert!(decode_request_fast(zeros).is_none());
+        assert!(decode_request(zeros).is_ok());
+        // Rejected by both: truncated frames, junk tails.
+        for bad in [
+            "{\"id\":5,\"request\":{\"Compare\":{\"app\":\"a\",\"mappings\":[]}}}junk",
+            "{\"id\":5,\"request\":{\"Compare\":{\"app\":\"a\",\"mappings\":[",
+        ] {
+            assert!(decode_request_fast(bad).is_none(), "fast accepted: {bad}");
+            assert!(decode_request(bad).is_err(), "generic accepted: {bad}");
+        }
+    }
 
     #[test]
     fn request_round_trips() {
@@ -522,6 +836,10 @@ mod tests {
                 iters: 0,
                 seed: 0,
             },
+            Request::Batch {
+                app: "lu".into(),
+                mappings: vec![],
+            },
         ]
         .iter()
         .map(|r| {
@@ -529,10 +847,27 @@ mod tests {
             r.action()
         })
         .collect();
-        assert_eq!(evals, ["compare", "best_of", "schedule"]);
+        assert_eq!(evals, ["compare", "best_of", "schedule", "batch"]);
         for req in [Request::Stats, Request::Metrics, Request::Membership] {
             assert!(!req.is_eval(), "{} is control-plane", req.action());
         }
+    }
+
+    #[test]
+    fn batch_round_trips_and_is_the_last_action() {
+        let req = Request::Batch {
+            app: "lu".into(),
+            mappings: vec![Mapping::new(vec![NodeId(0), NodeId(3)])],
+        };
+        assert_eq!(req.action_index(), ACTIONS.len() - 1);
+        assert_eq!(req.action(), "batch");
+        let env = RequestEnvelope {
+            id: 64,
+            request: req.clone(),
+        };
+        let back: RequestEnvelope =
+            serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
+        assert_eq!(back.request, req);
     }
 
     #[test]

@@ -1,22 +1,38 @@
-//! The daemon: a TCP acceptor, per-connection reader threads, and a
-//! fixed worker pool draining a bounded admission queue.
+//! The daemon: a readiness-based event loop (one reactor thread over
+//! the [`crate::epoll`] shim) feeding a sharded worker pool, so idle
+//! connections cost a few buffered bytes instead of a thread.
 //!
-//! Admission control: a connection thread parses one line, wraps it in a
-//! job with a single-slot reply channel, and `try_send`s it into the
-//! bounded queue. A full queue is answered immediately with a structured
-//! `overloaded` error — the connection never blocks the queue — and an
-//! admitted request that misses the per-request timeout gets a `timeout`
-//! error (the worker's late reply is dropped with the job's channel).
+//! The reactor owns the non-blocking listener and every connection:
+//! it accepts, reassembles newline-delimited frames from per-connection
+//! read buffers, and runs admission control per complete line. Admitted
+//! lines are `try_send`-ed to the connection's shard queue (connections
+//! pin to `token % workers`, so one connection's replies keep FIFO
+//! order); a full shard answers immediately with a structured
+//! `overloaded` error and the advertised back-off hint. Workers parse,
+//! rate-gate, execute, and encode off the reactor thread, then push the
+//! finished bytes back over a completion channel and nudge the reactor
+//! with a wake byte. A [`PendingTable`] enforces the per-request
+//! deadline: an admitted request that misses it is answered with a
+//! `timeout` error by the reactor and the worker's late reply is
+//! dropped.
+//!
+//! Reply ordering: admitted requests on one connection are answered in
+//! arrival order (same shard, FIFO queue). Reactor-immediate replies —
+//! shed, oversized-frame, timeout — may overtake replies still being
+//! computed, which is why every reply carries the request id.
 //!
 //! Shutdown: a `Shutdown` request (or [`ServerHandle::shutdown`]) flips
-//! the flag and wakes the acceptor. Connection readers notice the flag
-//! within one poll interval and drop their queue senders; workers drain
-//! whatever was admitted and exit when the queue disconnects. Every
-//! admitted request is answered.
+//! the flag and wakes the reactor. The reactor stops accepting, answers
+//! any newly-read line with a `shutting_down` shed, drains outstanding
+//! completions, flushes write buffers, and exits once every admitted
+//! request is answered; dropping the shard senders then disconnects the
+//! workers. Every admitted request is answered.
 
-use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,24 +43,34 @@ use cbes_core::CbesService;
 use cbes_obs::{names, Counter, Histogram, MetricsSnapshot, Registry};
 use cbes_sched::{SaConfig, SaScheduler, ScheduleRequest, Scheduler};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-
-use crate::protocol::{
-    encode, error_kind, route_key_hash, InstanceInfo, MembershipReport, Request, RequestEnvelope,
-    Response, ResponseEnvelope, StatsReport, ACTIONS,
-};
 use parking_lot::Mutex;
 
-/// How often blocked connection readers re-check the shutdown flag.
+use crate::epoll::{PollEvent, Poller};
+use crate::protocol::{
+    decode_request, encode_response, error_kind, route_key_hash, InstanceInfo, MembershipReport,
+    Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport, ACTIONS,
+};
+
+/// Upper bound on one reactor poll wait: the loop re-checks the
+/// shutdown flag at least this often even with no I/O and no deadlines.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Reactor poll token of the listening socket.
+const LISTENER_TOKEN: u64 = 0;
+/// Reactor poll token of the worker wake channel.
+const WAKE_TOKEN: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port.
     pub addr: String,
-    /// Worker threads draining the admission queue.
+    /// Worker threads (= queue shards) executing admitted requests.
     pub workers: usize,
-    /// Admission queue capacity; beyond it requests get `overloaded`.
+    /// Total admission queue capacity, split evenly across the worker
+    /// shards; beyond it requests get `overloaded`.
     pub queue_capacity: usize,
     /// Per-request deadline from admission to reply.
     pub request_timeout: Duration,
@@ -131,34 +157,10 @@ impl RateLimiter {
     }
 }
 
-/// The per-connection slice of [`ServerConfig`], cloned into each
-/// connection reader thread.
-#[derive(Debug, Clone)]
-struct ConnPolicy {
-    timeout: Duration,
-    max_line_bytes: usize,
-    max_consecutive_errors: u32,
-    shed_retry_after_ms: u64,
-    /// Shared evaluation-rate token bucket; `None` when uncapped.
-    rate: Option<Arc<RateLimiter>>,
-}
-
-impl ConnPolicy {
-    fn from_config(config: &ServerConfig) -> Self {
-        ConnPolicy {
-            timeout: config.request_timeout,
-            max_line_bytes: config.max_line_bytes.max(1),
-            max_consecutive_errors: config.max_consecutive_errors.max(1),
-            shed_retry_after_ms: config.shed_retry_after.as_millis() as u64,
-            rate: (config.max_rps > 0.0).then(|| Arc::new(RateLimiter::new(config.max_rps))),
-        }
-    }
-}
-
 /// The server's instruments: a private [`Registry`] per server instance
 /// (so several servers in one process never mix counts) with the
-/// hot-path handles cached as `Arc`s — readers and workers update them
-/// wait-free, without touching the registry lock.
+/// hot-path handles cached as `Arc`s — the reactor and workers update
+/// them wait-free, without touching the registry lock.
 struct ServerMetrics {
     registry: Registry,
     served: Arc<Counter>,
@@ -172,6 +174,10 @@ struct ServerMetrics {
     oversized_frames: Arc<Counter>,
     /// Admitted-rate cap sheds (a subset of `overloaded`).
     rate_limited: Arc<Counter>,
+    /// Candidate mappings evaluated through `Batch` requests.
+    batch_candidates: Arc<Counter>,
+    /// Reactor poll returns that carried at least one I/O event.
+    loop_wakeups: Arc<Counter>,
     /// Microseconds from admission to worker pickup.
     queue_wait: Arc<Histogram>,
     /// Microseconds a worker spent computing the reply.
@@ -193,6 +199,8 @@ impl ServerMetrics {
             dropped_connections: registry.counter(names::SERVER_DROPPED_CONNECTIONS),
             oversized_frames: registry.counter(names::SERVER_OVERSIZED_FRAMES),
             rate_limited: registry.counter(names::SERVER_RATE_LIMITED),
+            batch_candidates: registry.counter(names::SERVER_BATCH_CANDIDATES),
+            loop_wakeups: registry.counter(names::SERVER_LOOP_WAKEUPS),
             queue_wait: registry.histogram(names::SERVER_QUEUE_WAIT_US),
             service_time: registry.histogram(names::SERVER_SERVICE_TIME_US),
             by_action: names::SERVER_ACTION_COUNTERS
@@ -224,12 +232,320 @@ impl ServerMetrics {
     }
 }
 
+/// One admitted request line travelling to a worker shard.
 struct Job {
-    envelope: RequestEnvelope,
-    reply: Sender<ResponseEnvelope>,
-    /// When the reader pushed this job into the queue; queue wait is
-    /// measured from here to worker pickup.
+    /// Reactor-assigned sequence; keys the [`PendingTable`] entry.
+    seq: u64,
+    /// The raw frame; the worker parses it off the reactor thread.
+    line: String,
+    /// When the reactor queued this job; queue wait is measured from
+    /// here to worker pickup.
     admitted: Instant,
+}
+
+/// A finished reply travelling back from a worker to the reactor.
+struct Completion {
+    seq: u64,
+    /// The encoded reply line, newline included.
+    bytes: Vec<u8>,
+    /// True when the reply is a framing strike (`bad_request`).
+    malformed: bool,
+}
+
+/// Best-effort scan for the envelope id without a full parse, so shed
+/// and timeout replies can echo it. The wire encoding always leads with
+/// `{"id":N`, but any top-level placement parses; an absent or
+/// unreadable id falls back to 0 (the "unattributable" id).
+fn peek_id(line: &str) -> u64 {
+    let Some(pos) = line.find("\"id\"") else {
+        return 0;
+    };
+    let Some(rest) = line.get(pos + 4..) else {
+        return 0;
+    };
+    let Some(rest) = rest.trim_start().strip_prefix(':') else {
+        return 0;
+    };
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().unwrap_or(0)
+}
+
+/// Best-effort scan for the request's variant tag without a full
+/// parse, so the reactor can decide whether a frame is eligible for
+/// inline execution. The wire envelope is externally tagged —
+/// `{"id":N,"request":{"Schedule":{…}}}` — so the tag is the first
+/// object key after `"request"`. Returns `None` when that shape is not
+/// visible; such frames still go through the full parse (and its typed
+/// `bad_request` reply) on whichever path runs them.
+fn sniff_action(line: &str) -> Option<&str> {
+    let pos = line.find("\"request\"")?;
+    let rest = line.get(pos + 9..)?;
+    let rest = rest.trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start().strip_prefix('{')?;
+    let rest = rest.trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    rest.get(..end)
+}
+
+/// What admission control decided for one complete line.
+enum Admission {
+    /// The line is queued on its shard; `id` is the peeked envelope id
+    /// used for a timeout reply should the deadline pass first.
+    Queued { id: u64 },
+    /// Admission produced the reply itself (shed paths).
+    Reply(ResponseEnvelope),
+}
+
+/// Push one line through admission control: draining servers and full
+/// or disconnected shards shed immediately, everything else queues.
+fn try_admit(
+    line: &str,
+    tx: &Sender<Job>,
+    seq: u64,
+    draining: bool,
+    metrics: &ServerMetrics,
+    shed_retry_after_ms: u64,
+) -> Admission {
+    let id = peek_id(line);
+    if draining {
+        metrics.errors.incr();
+        return Admission::Reply(ResponseEnvelope {
+            id,
+            response: Response::shed(
+                error_kind::SHUTTING_DOWN,
+                "server is draining",
+                shed_retry_after_ms,
+            ),
+        });
+    }
+    match tx.try_send(Job {
+        seq,
+        line: line.to_string(),
+        admitted: Instant::now(),
+    }) {
+        Ok(()) => Admission::Queued { id },
+        Err(TrySendError::Full(_)) => {
+            metrics.overloaded.incr();
+            metrics.errors.incr();
+            Admission::Reply(ResponseEnvelope {
+                id,
+                response: Response::shed(
+                    error_kind::OVERLOADED,
+                    "admission queue is full",
+                    shed_retry_after_ms,
+                ),
+            })
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            metrics.errors.incr();
+            Admission::Reply(ResponseEnvelope {
+                id,
+                response: Response::shed(
+                    error_kind::SHUTTING_DOWN,
+                    "server is draining",
+                    shed_retry_after_ms,
+                ),
+            })
+        }
+    }
+}
+
+/// One in-flight admitted request. The deadline lives in the table's
+/// heap; the entry itself only needs routing identity.
+struct Pending {
+    token: u64,
+    id: u64,
+}
+
+/// The reactor's deadline ledger for admitted requests: completions
+/// consume entries, expiry turns them into `timeout` replies, and a
+/// closing connection cancels its entries so late replies are dropped.
+struct PendingTable {
+    by_seq: HashMap<u64, Pending>,
+    /// Min-heap of deadlines with lazy deletion: completed or cancelled
+    /// seqs linger here until their deadline pops them.
+    deadlines: BinaryHeap<Reverse<(Instant, u64)>>,
+}
+
+impl PendingTable {
+    fn new() -> Self {
+        PendingTable {
+            by_seq: HashMap::new(),
+            deadlines: BinaryHeap::new(),
+        }
+    }
+
+    fn insert(&mut self, seq: u64, token: u64, id: u64, deadline: Instant) {
+        self.by_seq.insert(seq, Pending { token, id });
+        self.deadlines.push(Reverse((deadline, seq)));
+    }
+
+    /// Claim the entry for a finished request; `None` means it already
+    /// timed out (or its connection went away) and the reply must be
+    /// dropped — it was answered once.
+    fn complete(&mut self, seq: u64) -> Option<Pending> {
+        let p = self.by_seq.remove(&seq);
+        if self.by_seq.is_empty() {
+            // No live entries: drop the lazily-deleted heap backlog.
+            self.deadlines.clear();
+        }
+        p
+    }
+
+    /// The earliest deadline, for sizing the poll wait. May be stale
+    /// (a completed entry) — that only causes one early wakeup.
+    fn next_deadline(&self) -> Option<Instant> {
+        self.deadlines.peek().map(|Reverse((d, _))| *d)
+    }
+
+    /// Pop every entry whose deadline has passed.
+    fn expire(&mut self, now: Instant) -> Vec<Pending> {
+        let mut due = Vec::new();
+        while let Some(Reverse((deadline, seq))) = self.deadlines.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            self.deadlines.pop();
+            if let Some(p) = self.by_seq.remove(&seq) {
+                due.push(p);
+            }
+        }
+        due
+    }
+
+    /// Cancel every entry belonging to a closed connection.
+    fn drop_conn(&mut self, token: u64) {
+        self.by_seq.retain(|_, p| p.token != token);
+        if self.by_seq.is_empty() {
+            self.deadlines.clear();
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.by_seq.is_empty()
+    }
+}
+
+/// One frame-reassembly outcome from a chunk of connection bytes.
+enum FrameEvent {
+    /// A complete line (newline stripped).
+    Line(Vec<u8>),
+    /// A frame exceeded the length cap; its bytes are being discarded
+    /// up to the next newline.
+    Oversized,
+}
+
+/// Per-connection frame reassembly: accumulates bytes until a newline,
+/// enforcing the length cap so a frame that never ends cannot grow
+/// without bound.
+struct FrameBuf {
+    rbuf: Vec<u8>,
+    /// Discarding an oversized frame's bytes until its newline.
+    discarding: bool,
+}
+
+impl FrameBuf {
+    fn new() -> Self {
+        FrameBuf {
+            rbuf: Vec::new(),
+            discarding: false,
+        }
+    }
+
+    /// Fold `chunk` into the buffer, emitting an event per completed
+    /// (or over-cap) frame, in wire order.
+    fn ingest(&mut self, mut chunk: &[u8], max_line_bytes: usize, out: &mut Vec<FrameEvent>) {
+        loop {
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            if self.discarding {
+                match newline {
+                    Some(i) => {
+                        self.discarding = false;
+                        chunk = chunk.get(i + 1..).unwrap_or(&[]);
+                    }
+                    None => return,
+                }
+                continue;
+            }
+            match newline {
+                Some(i) => {
+                    let head = chunk.get(..i).unwrap_or(&[]);
+                    chunk = chunk.get(i + 1..).unwrap_or(&[]);
+                    if self.rbuf.len() + head.len() > max_line_bytes {
+                        // The frame completed (newline seen), so no
+                        // discard state is needed beyond dropping it.
+                        self.rbuf.clear();
+                        out.push(FrameEvent::Oversized);
+                    } else {
+                        let mut line = std::mem::take(&mut self.rbuf);
+                        line.extend_from_slice(head);
+                        out.push(FrameEvent::Line(line));
+                    }
+                }
+                None => {
+                    if self.rbuf.len() + chunk.len() > max_line_bytes {
+                        self.rbuf.clear();
+                        self.discarding = true;
+                        out.push(FrameEvent::Oversized);
+                    } else {
+                        self.rbuf.extend_from_slice(chunk);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The unterminated tail at EOF, treated as a final frame.
+    fn take_residual(&mut self) -> Option<Vec<u8>> {
+        if self.discarding || self.rbuf.is_empty() {
+            return None;
+        }
+        Some(std::mem::take(&mut self.rbuf))
+    }
+}
+
+/// One live connection owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    /// Worker shard this connection's requests pin to.
+    shard: usize,
+    frames: FrameBuf,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written.
+    wpos: usize,
+    /// Consecutive malformed frames; reset by any well-formed reply,
+    /// fatal past the policy budget.
+    strikes: u32,
+    /// Admitted requests not yet answered.
+    inflight: usize,
+    /// Peer half-closed; finish in-flight replies, then close.
+    eof: bool,
+    /// Close as soon as the write buffer drains (strike budget spent).
+    closing: bool,
+    /// Current poller interest, to skip redundant `modify` calls.
+    interest: (bool, bool),
+}
+
+impl Conn {
+    fn new(stream: TcpStream, shard: usize) -> Self {
+        Conn {
+            stream,
+            shard,
+            frames: FrameBuf::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            strikes: 0,
+            inflight: 0,
+            eof: false,
+            closing: false,
+            interest: (true, false),
+        }
+    }
 }
 
 /// The CBES daemon. Construct with [`Server::start`]; the returned
@@ -240,37 +556,93 @@ impl Server {
     /// Bind `config.addr` and serve `service` until shut down.
     pub fn start(service: Arc<CbesService>, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
-        let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity);
+        let worker_count = config.workers.max(1);
+        let per_shard = (config.queue_capacity / worker_count).max(1);
 
-        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-            .map(|_| {
+        let mut shard_tx = Vec::with_capacity(worker_count);
+        let mut shard_rx = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let (tx, rx) = channel::bounded::<Job>(per_shard);
+            shard_tx.push(tx);
+            shard_rx.push(rx);
+        }
+        let all_rx = Arc::new(shard_rx);
+        let (completion_tx, completion_rx) = channel::unbounded::<Completion>();
+        let (wake_tx, wake_rx) = wake_pair()?;
+        let wake_tx = Arc::new(wake_tx);
+        let rate = (config.max_rps > 0.0).then(|| Arc::new(RateLimiter::new(config.max_rps)));
+        let shard_busy: Arc<Vec<AtomicBool>> =
+            Arc::new((0..worker_count).map(|_| AtomicBool::new(false)).collect());
+
+        let workers: Vec<JoinHandle<()>> = (0..worker_count)
+            .map(|index| {
                 let service = service.clone();
-                let job_rx = job_rx.clone();
+                let all_rx = all_rx.clone();
+                let completion_tx = completion_tx.clone();
+                let wake_tx = wake_tx.clone();
                 let metrics = metrics.clone();
                 let shutdown = shutdown.clone();
-                let worker_count = config.workers.max(1);
+                let rate = rate.clone();
+                let shard_busy = shard_busy.clone();
                 std::thread::spawn(move || {
-                    worker_loop(&service, &job_rx, &metrics, &shutdown, addr, worker_count)
+                    worker_loop(
+                        &service,
+                        index,
+                        &all_rx,
+                        &completion_tx,
+                        &wake_tx,
+                        &metrics,
+                        &shutdown,
+                        addr,
+                        rate.as_deref(),
+                        &shard_busy,
+                    )
                 })
             })
             .collect();
-        drop(job_rx);
+        drop(completion_tx);
 
-        let acceptor = {
-            let shutdown = shutdown.clone();
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+        poller.register(wake_rx.as_raw_fd(), WAKE_TOKEN, true, false)?;
+
+        let reactor = {
             let metrics = metrics.clone();
-            let policy = ConnPolicy::from_config(&config);
-            std::thread::spawn(move || accept_loop(&listener, job_tx, &metrics, &shutdown, policy))
+            let shutdown = shutdown.clone();
+            let reactor = Reactor {
+                poller,
+                listener,
+                wake_rx,
+                conns: HashMap::new(),
+                next_token: FIRST_CONN_TOKEN,
+                next_seq: 0,
+                pending: PendingTable::new(),
+                shard_tx,
+                shard_busy,
+                service,
+                rate,
+                addr,
+                completion_rx,
+                metrics,
+                shutdown,
+                request_timeout: config.request_timeout,
+                max_line_bytes: config.max_line_bytes.max(1),
+                max_consecutive_errors: config.max_consecutive_errors.max(1),
+                shed_retry_after_ms: config.shed_retry_after.as_millis() as u64,
+                draining: false,
+            };
+            std::thread::spawn(move || reactor.run())
         };
 
         Ok(ServerHandle {
             addr,
             shutdown,
             metrics,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             workers,
         })
     }
@@ -281,7 +653,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -304,8 +676,8 @@ impl ServerHandle {
     /// Wait until the server has fully drained and every thread exited.
     /// Returns the final counter values.
     pub fn join(mut self) -> (u64, u64) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -329,258 +701,587 @@ impl Drop for ServerHandle {
 
 fn trigger_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
     if !shutdown.swap(true, Ordering::AcqRel) {
-        // Wake the acceptor out of its blocking accept().
+        // Wake the reactor out of its poll wait: the connect makes the
+        // listener readable. The POLL_INTERVAL cap backstops this.
         let _ = TcpStream::connect(addr);
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    job_tx: Sender<Job>,
-    metrics: &Arc<ServerMetrics>,
-    shutdown: &Arc<AtomicBool>,
-    policy: ConnPolicy,
-) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                metrics.connections.incr();
-                let job_tx = job_tx.clone();
-                let metrics = metrics.clone();
-                let shutdown = shutdown.clone();
-                let policy = policy.clone();
-                std::thread::spawn(move || {
-                    handle_connection(stream, &job_tx, &metrics, &shutdown, policy)
-                });
-            }
-            Err(_) => {
-                if shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-            }
-        }
-    }
-    // Dropping the acceptor's sender lets workers disconnect once every
-    // connection reader has exited too.
+/// An in-process wake channel: workers nudge the reactor out of its
+/// poll wait by writing a byte. Built from a loopback TCP pair so the
+/// FFI surface stays the four polling syscalls (no `pipe(2)` shim).
+fn wake_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let probe = TcpListener::bind(("127.0.0.1", 0))?;
+    let tx = TcpStream::connect(probe.local_addr()?)?;
+    let (rx, _) = probe.accept()?;
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((tx, rx))
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    job_tx: &Sender<Job>,
-    metrics: &Arc<ServerMetrics>,
-    shutdown: &Arc<AtomicBool>,
-    policy: ConnPolicy,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let reader_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    // Consecutive malformed frames on this connection; reset by any
-    // well-framed request, fatal past the policy budget.
-    let mut strikes: u32 = 0;
+fn encode_line(envelope: &ResponseEnvelope) -> Vec<u8> {
+    let mut bytes = encode_response(envelope).into_bytes();
+    bytes.push(b'\n');
+    bytes
+}
 
-    'conn: loop {
-        line.clear();
-        let mut oversized = false;
-        // Poll for one full line, re-checking the shutdown flag whenever
-        // the read times out. read_line only returns Ok at a newline or
-        // EOF, so partial reads accumulate in `line` across timeouts; the
-        // length cap is enforced on every timeout tick and again once the
-        // line completes, so a frame that never ends cannot grow without
-        // bound — its bytes are discarded until the newline arrives.
+/// The event loop: owns the listener, the wake receiver, and every
+/// connection; everything here runs on the one reactor thread.
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    next_seq: u64,
+    pending: PendingTable,
+    shard_tx: Vec<Sender<Job>>,
+    /// Per-shard "worker is executing" flags; the reactor only runs a
+    /// frame inline when the target shard is drained *and* idle.
+    shard_busy: Arc<Vec<AtomicBool>>,
+    service: Arc<CbesService>,
+    rate: Option<Arc<RateLimiter>>,
+    addr: SocketAddr,
+    completion_rx: Receiver<Completion>,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    request_timeout: Duration,
+    max_line_bytes: usize,
+    max_consecutive_errors: u32,
+    shed_retry_after_ms: u64,
+    draining: bool,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
         loop {
-            if shutdown.load(Ordering::Acquire) {
-                break 'conn;
-            }
-            match reader.read_line(&mut line) {
-                Ok(0) => {
-                    if line.trim().is_empty() && !oversized {
-                        break 'conn; // clean EOF
-                    }
-                    break; // final line without trailing newline
+            if self.shutdown.load(Ordering::Acquire) {
+                self.begin_drain();
+                if self.pending.is_empty() && self.conns.values().all(|c| c.wbuf.is_empty()) {
+                    break;
                 }
-                Ok(_) => break,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if line.len() > policy.max_line_bytes {
-                        oversized = true;
-                        line.clear(); // discard; keep reading to the newline
-                    }
-                    continue;
-                }
-                Err(_) => break 'conn,
             }
-        }
-        let reply = if oversized || line.len() > policy.max_line_bytes {
-            metrics.oversized_frames.incr();
-            metrics.errors.incr();
-            ResponseEnvelope {
-                id: 0,
-                response: Response::error(
-                    error_kind::FRAME_TOO_LARGE,
-                    format!("request line exceeds {} bytes", policy.max_line_bytes),
-                ),
+            let mut timeout = POLL_INTERVAL;
+            if let Some(deadline) = self.pending.next_deadline() {
+                timeout = timeout.min(deadline.saturating_duration_since(Instant::now()));
             }
-        } else {
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
-            admit(trimmed, job_tx, metrics, &policy)
+            if !events.is_empty() {
+                self.metrics.loop_wakeups.incr();
+            }
+            for &ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKE_TOKEN => self.drain_wake(),
+                    token => {
+                        if ev.readable {
+                            self.conn_readable(token);
+                        }
+                        if ev.writable {
+                            self.conn_writable(token);
+                        }
+                    }
+                }
+            }
+            self.drain_completions();
+            self.expire_pending();
+        }
+        // Dropping self drops the shard senders; workers exit on the
+        // disconnect. The listener and every connection close with it.
+    }
+
+    /// Stop accepting: deregister (and thereby stop watching) the
+    /// listener once the drain begins.
+    fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        // Draining: close post-shutdown connections
+                        // immediately (the drop is the reply).
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let shard = (token % self.shard_tx.len().max(1) as u64) as usize;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, true, false)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.metrics.connections.incr();
+                    self.conns.insert(token, Conn::new(stream, shard));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Drain the wake bytes workers wrote; the signal's work — the
+    /// completion queue — is drained by the caller afterwards.
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        let mut rx = &self.wake_rx;
+        loop {
+            match rx.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_readable(&mut self, token: u64) {
+        let mut scratch = [0u8; 16 * 1024];
+        let mut frames: Vec<FrameEvent> = Vec::new();
+        let mut failed = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        let chunk = scratch.get(..n).unwrap_or(&[]);
+                        conn.frames.ingest(chunk, self.max_line_bytes, &mut frames);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if conn.eof {
+                if let Some(residual) = conn.frames.take_residual() {
+                    frames.push(FrameEvent::Line(residual));
+                }
+            }
+        }
+        if failed {
+            self.close_conn(token);
+            return;
+        }
+        for frame in frames {
+            match frame {
+                FrameEvent::Line(line) => self.handle_line(token, &line),
+                FrameEvent::Oversized => self.reply_frame_too_large(token),
+            }
+        }
+        // Flush pass: updates interest (EOF drops read interest so a
+        // half-closed socket stops waking the loop) and closes the
+        // connection if it is already fully answered.
+        self.flush_conn(token);
+    }
+
+    fn conn_writable(&mut self, token: u64) {
+        self.flush_conn(token);
+    }
+
+    /// Run admission control for one complete frame.
+    fn handle_line(&mut self, token: u64, line: &[u8]) {
+        let text = String::from_utf8_lossy(line);
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        let Some(shard) = self.conns.get(&token).map(|c| c.shard) else {
+            return;
         };
-        let malformed = matches!(
-            &reply.response,
-            Response::Error { kind, .. }
-                if kind == error_kind::BAD_REQUEST || kind == error_kind::FRAME_TOO_LARGE
-        );
+        let Some(tx) = self.shard_tx.get(shard) else {
+            return;
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let draining = self.shutdown.load(Ordering::Acquire);
+        // Inline fast path: when nothing is queued or executing anywhere
+        // on the worker pool, a bounded-cost request is cheaper to run
+        // right here than to bounce through two thread handoffs (which
+        // dominate the round trip — the eval itself is microseconds).
+        // `Schedule` is exempt (unbounded annealing would stall the
+        // loop), as is any frame whose action cannot be sniffed cheaply.
+        if !draining && self.can_inline(shard, trimmed) {
+            // The worker path records queue wait at pickup; inline
+            // pickup is immediate, so the sample is zero by definition.
+            self.metrics.queue_wait.record_duration(Duration::ZERO);
+            let depth = self.shard_tx.iter().map(|tx| tx.len()).sum();
+            let worker_count = self.shard_tx.len();
+            let (reply, malformed) = execute(
+                &self.service,
+                trimmed,
+                &self.metrics,
+                &self.shutdown,
+                self.addr,
+                depth,
+                worker_count,
+                self.rate.as_deref(),
+            );
+            self.queue_reply(token, &encode_line(&reply), malformed);
+            return;
+        }
+        match try_admit(
+            trimmed,
+            tx,
+            seq,
+            draining,
+            &self.metrics,
+            self.shed_retry_after_ms,
+        ) {
+            Admission::Queued { id } => {
+                self.pending
+                    .insert(seq, token, id, Instant::now() + self.request_timeout);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.inflight += 1;
+                }
+            }
+            Admission::Reply(envelope) => {
+                self.queue_reply(token, &encode_line(&envelope), false);
+            }
+        }
+    }
+
+    /// A frame may run inline on the reactor only when the whole pool
+    /// is quiescent — no queued jobs, no executing worker, no pending
+    /// replies — and the request's cost is bounded by the frame cap
+    /// (everything except `Schedule`, whose annealing budget is caller
+    /// controlled). Under those conditions queueing would only add two
+    /// thread handoffs to an otherwise-microsecond request.
+    fn can_inline(&self, shard: usize, line: &str) -> bool {
+        if !self.pending.is_empty() {
+            return false;
+        }
+        let queued = self.shard_tx.get(shard).is_some_and(|tx| !tx.is_empty());
+        let busy = self
+            .shard_busy
+            .get(shard)
+            .is_some_and(|b| b.load(Ordering::Acquire));
+        if queued || busy {
+            return false;
+        }
+        sniff_action(line) != Some("Schedule")
+    }
+
+    fn reply_frame_too_large(&mut self, token: u64) {
+        self.metrics.oversized_frames.incr();
+        self.metrics.errors.incr();
+        let envelope = ResponseEnvelope {
+            id: 0,
+            response: Response::error(
+                error_kind::FRAME_TOO_LARGE,
+                format!("request line exceeds {} bytes", self.max_line_bytes),
+            ),
+        };
+        self.queue_reply(token, &encode_line(&envelope), true);
+    }
+
+    /// Append a finished reply to the connection's write buffer and
+    /// apply the strike rule. Deliberately does NOT flush: every caller
+    /// runs inside a batch (a read's frame loop, a completion drain, an
+    /// expiry sweep) and flushes once at the end, so a pipelined client
+    /// costs one write syscall per batch instead of one per reply. A
+    /// buffer past the high-water mark flushes eagerly anyway, bounding
+    /// memory against a peer that writes but never reads.
+    fn queue_reply(&mut self, token: u64, bytes: &[u8], malformed: bool) {
+        const FLUSH_HIGH_WATER: usize = 64 * 1024;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
         if malformed {
-            strikes += 1;
+            conn.strikes += 1;
         } else {
-            strikes = 0;
+            conn.strikes = 0;
         }
-        let mut out = encode(&reply);
-        out.push('\n');
-        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
+        conn.wbuf.extend_from_slice(bytes);
+        if conn.strikes >= self.max_consecutive_errors {
+            self.metrics.dropped_connections.incr();
+            conn.closing = true;
         }
-        if strikes >= policy.max_consecutive_errors {
-            metrics.dropped_connections.incr();
-            break;
+        if conn.wbuf.len().saturating_sub(conn.wpos) >= FLUSH_HIGH_WATER {
+            self.flush_conn(token);
+        }
+    }
+
+    /// Write as much buffered output as the socket accepts, then settle
+    /// the connection's fate: close when the strike budget is spent or
+    /// the peer is gone and everything is answered, otherwise re-arm
+    /// the poller with the right interest.
+    fn flush_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut failed = false;
+        loop {
+            let chunk = match conn.wbuf.get(conn.wpos..) {
+                Some(c) if !c.is_empty() => c,
+                _ => break,
+            };
+            match conn.stream.write(chunk) {
+                Ok(0) => {
+                    failed = true;
+                    break;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if conn.wpos >= conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        }
+        let flushed = conn.wbuf.is_empty();
+        let done = conn.closing || (conn.eof && conn.inflight == 0);
+        if failed || (flushed && done) {
+            self.close_conn(token);
+        } else {
+            self.update_interest(token);
+        }
+    }
+
+    /// Re-arm the poller for this connection: read until EOF, write
+    /// while output is buffered.
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let readable = !conn.eof;
+        let writable = !conn.wbuf.is_empty();
+        if conn.interest != (readable, writable) {
+            conn.interest = (readable, writable);
+            let _ = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, readable, writable);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            // Cancel in-flight requests: their late completions are
+            // dropped (nobody is left to read the replies).
+            self.pending.drop_conn(token);
+        }
+    }
+
+    /// Deliver finished worker replies to their connections.
+    fn drain_completions(&mut self) {
+        let mut touched: Vec<u64> = Vec::new();
+        while let Ok(completion) = self.completion_rx.try_recv() {
+            // No pending entry: the request timed out (already answered)
+            // or its connection closed. Either way the reply is dropped.
+            let Some(p) = self.pending.complete(completion.seq) else {
+                continue;
+            };
+            if let Some(conn) = self.conns.get_mut(&p.token) {
+                conn.inflight = conn.inflight.saturating_sub(1);
+            }
+            self.queue_reply(p.token, &completion.bytes, completion.malformed);
+            if !touched.contains(&p.token) {
+                touched.push(p.token);
+            }
+        }
+        for token in touched {
+            self.flush_conn(token);
+        }
+    }
+
+    /// Answer every admitted request whose deadline passed with a
+    /// `timeout` error; the worker's eventual reply is dropped.
+    fn expire_pending(&mut self) {
+        let now = Instant::now();
+        let mut touched: Vec<u64> = Vec::new();
+        for p in self.pending.expire(now) {
+            self.metrics.timeouts.incr();
+            self.metrics.errors.incr();
+            if let Some(conn) = self.conns.get_mut(&p.token) {
+                conn.inflight = conn.inflight.saturating_sub(1);
+            }
+            let envelope = ResponseEnvelope {
+                id: p.id,
+                response: Response::error(
+                    error_kind::TIMEOUT,
+                    format!("no reply within {:?}", self.request_timeout),
+                ),
+            };
+            self.queue_reply(p.token, &encode_line(&envelope), false);
+            if !touched.contains(&p.token) {
+                touched.push(p.token);
+            }
+        }
+        for token in touched {
+            self.flush_conn(token);
         }
     }
 }
 
-/// Parse one line and push it through admission control, producing
-/// exactly one reply.
-fn admit(
+/// Parse and rate-gate one request line. `Err` carries the finished
+/// reply plus whether it counts as a malformed-frame strike (boxed:
+/// the happy path should not pay for the error reply's size).
+fn precheck(
     line: &str,
-    job_tx: &Sender<Job>,
-    metrics: &Arc<ServerMetrics>,
-    policy: &ConnPolicy,
-) -> ResponseEnvelope {
-    let envelope: RequestEnvelope = match serde_json::from_str(line) {
+    rate: Option<&RateLimiter>,
+    metrics: &ServerMetrics,
+) -> Result<RequestEnvelope, Box<(ResponseEnvelope, bool)>> {
+    let envelope: RequestEnvelope = match decode_request(line) {
         Ok(env) => env,
         Err(e) => {
             metrics.errors.incr();
-            return ResponseEnvelope {
-                id: 0,
-                response: Response::error(error_kind::BAD_REQUEST, e.to_string()),
-            };
+            return Err(Box::new((
+                ResponseEnvelope {
+                    id: 0,
+                    response: Response::error(error_kind::BAD_REQUEST, e.to_string()),
+                },
+                true,
+            )));
         }
     };
-    let id = envelope.id;
     if envelope.request.is_eval() {
-        if let Some(limiter) = policy.rate.as_ref() {
+        if let Some(limiter) = rate {
             if let Err(wait) = limiter.try_acquire() {
                 metrics.rate_limited.incr();
                 metrics.overloaded.incr();
                 metrics.errors.incr();
-                return ResponseEnvelope {
-                    id,
-                    response: Response::shed(
-                        error_kind::OVERLOADED,
-                        "evaluation rate cap exceeded",
-                        (wait.as_millis() as u64).max(1),
-                    ),
-                };
+                return Err(Box::new((
+                    ResponseEnvelope {
+                        id: envelope.id,
+                        response: Response::shed(
+                            error_kind::OVERLOADED,
+                            "evaluation rate cap exceeded",
+                            (wait.as_millis() as u64).max(1),
+                        ),
+                    },
+                    false,
+                )));
             }
         }
     }
-    let (reply_tx, reply_rx) = channel::bounded::<ResponseEnvelope>(1);
-    match job_tx.try_send(Job {
-        envelope,
-        reply: reply_tx,
-        admitted: Instant::now(),
-    }) {
-        Ok(()) => match reply_rx.recv_timeout(policy.timeout) {
-            Ok(reply) => reply,
-            Err(_) => {
-                metrics.timeouts.incr();
-                metrics.errors.incr();
-                ResponseEnvelope {
-                    id,
-                    response: Response::error(
-                        error_kind::TIMEOUT,
-                        format!("no reply within {:?}", policy.timeout),
-                    ),
-                }
-            }
-        },
-        Err(TrySendError::Full(_)) => {
-            metrics.overloaded.incr();
-            metrics.errors.incr();
-            ResponseEnvelope {
-                id,
-                response: Response::shed(
-                    error_kind::OVERLOADED,
-                    "admission queue is full",
-                    policy.shed_retry_after_ms,
-                ),
-            }
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            metrics.errors.incr();
-            ResponseEnvelope {
-                id,
-                response: Response::shed(
-                    error_kind::SHUTTING_DOWN,
-                    "server is draining",
-                    policy.shed_retry_after_ms,
-                ),
-            }
-        }
-    }
+    Ok(envelope)
 }
 
-fn worker_loop(
+/// Parse, rate-gate, execute, and instrument one job on a worker.
+/// Returns the reply and whether it was a malformed-frame strike.
+#[allow(clippy::too_many_arguments)]
+fn execute(
     service: &Arc<CbesService>,
-    job_rx: &Receiver<Job>,
+    line: &str,
     metrics: &Arc<ServerMetrics>,
     shutdown: &Arc<AtomicBool>,
     addr: SocketAddr,
+    queue_depth: usize,
     worker_count: usize,
+    rate: Option<&RateLimiter>,
+) -> (ResponseEnvelope, bool) {
+    let envelope = match precheck(line, rate, metrics) {
+        Ok(env) => env,
+        Err(reply) => return *reply,
+    };
+    let id = envelope.id;
+    let action_index = envelope.request.action_index();
+    let picked_up = Instant::now();
+    let response = {
+        let _span = metrics.registry.span(envelope.request.action());
+        handle_request(
+            service,
+            envelope.request,
+            metrics,
+            shutdown,
+            addr,
+            queue_depth,
+            worker_count,
+        )
+    };
+    metrics.service_time.record_duration(picked_up.elapsed());
+    if let Some(counter) = metrics.by_action.get(action_index) {
+        counter.incr();
+    }
+    if matches!(response, Response::Error { .. }) {
+        metrics.errors.incr();
+    }
+    metrics.served.incr();
+    (ResponseEnvelope { id, response }, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    service: &Arc<CbesService>,
+    index: usize,
+    shards: &[Receiver<Job>],
+    completion_tx: &Sender<Completion>,
+    wake: &TcpStream,
+    metrics: &Arc<ServerMetrics>,
+    shutdown: &Arc<AtomicBool>,
+    addr: SocketAddr,
+    rate: Option<&RateLimiter>,
+    shard_busy: &[AtomicBool],
 ) {
-    while let Ok(job) = job_rx.recv() {
+    let Some(own) = shards.get(index) else {
+        return;
+    };
+    let worker_count = shards.len();
+    while let Ok(job) = own.recv() {
+        if let Some(flag) = shard_busy.get(index) {
+            flag.store(true, Ordering::Release);
+        }
         metrics.queue_wait.record_duration(job.admitted.elapsed());
-        let id = job.envelope.id;
-        let action_index = job.envelope.request.action_index();
-        let picked_up = Instant::now();
-        let response = {
-            let _span = metrics.registry.span(job.envelope.request.action());
-            handle_request(
-                service,
-                job.envelope.request,
-                metrics,
-                shutdown,
-                addr,
-                job_rx.len(),
-                worker_count,
-            )
-        };
-        metrics.service_time.record_duration(picked_up.elapsed());
-        if let Some(counter) = metrics.by_action.get(action_index) {
-            counter.incr();
+        let depth: usize = shards.iter().map(|r| r.len()).sum();
+        let (reply, malformed) = execute(
+            service,
+            &job.line,
+            metrics,
+            shutdown,
+            addr,
+            depth,
+            worker_count,
+            rate,
+        );
+        let _ = completion_tx.send(Completion {
+            seq: job.seq,
+            bytes: encode_line(&reply),
+            malformed,
+        });
+        // Nudge the reactor; a full wake buffer is fine — unread bytes
+        // already guarantee a wakeup.
+        let mut w = wake;
+        let _ = w.write(&[1u8]);
+        if let Some(flag) = shard_busy.get(index) {
+            flag.store(false, Ordering::Release);
         }
-        if matches!(response, Response::Error { .. }) {
-            metrics.errors.incr();
-        }
-        metrics.served.incr();
-        // The reader may have timed out and dropped the receiver; that
-        // counts as its reply, so a failed send is fine here.
-        let _ = job.reply.send(ResponseEnvelope { id, response });
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_request(
     service: &Arc<CbesService>,
     request: Request,
@@ -745,6 +1446,13 @@ fn handle_request(
                 transitions: 0,
             },
         },
+        Request::Batch { app, mappings } => match service.batch_stamped(&app, &mappings) {
+            Ok((epoch, predictions)) => {
+                metrics.batch_candidates.add(predictions.len() as u64);
+                Response::Predictions { epoch, predictions }
+            }
+            Err(e) => Response::service_error(&e),
+        },
     }
 }
 
@@ -766,19 +1474,10 @@ fn self_instance(service: &Arc<CbesService>, addr: SocketAddr) -> InstanceInfo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::encode;
 
     fn metrics() -> Arc<ServerMetrics> {
         Arc::new(ServerMetrics::new())
-    }
-
-    fn policy(timeout: Duration) -> ConnPolicy {
-        ConnPolicy {
-            timeout,
-            max_line_bytes: 64 * 1024,
-            max_consecutive_errors: 8,
-            shed_retry_after_ms: 25,
-            rate: None,
-        }
     }
 
     fn stats_line(id: u64) -> String {
@@ -796,31 +1495,70 @@ mod tests {
     }
 
     #[test]
+    fn peek_id_reads_the_envelope_id() {
+        assert_eq!(peek_id(&stats_line(7)), 7);
+        assert_eq!(peek_id("{\"id\" : 42, \"request\":\"Stats\"}"), 42);
+        assert_eq!(peek_id("{not json"), 0, "no id to find");
+        assert_eq!(peek_id("{\"request\":\"Stats\"}"), 0, "missing id");
+        assert_eq!(peek_id("{\"id\":\"x\"}"), 0, "non-numeric id");
+    }
+
+    #[test]
+    fn sniff_action_reads_the_wire_tag_of_real_encodings() {
+        // Pin against actual serde encodings, not a hand-written shape:
+        // the enum is externally tagged, so struct variants nest as
+        // {"request":{"Schedule":{…}}} and unit variants as a string.
+        let sched = encode(&RequestEnvelope {
+            id: 3,
+            request: Request::Schedule {
+                app: "ring".to_string(),
+                pool: vec![0, 1],
+                iters: 10,
+                seed: 1,
+            },
+        });
+        assert_eq!(sniff_action(&sched), Some("Schedule"));
+        let stats = stats_line(1);
+        assert_eq!(sniff_action(&stats), None, "unit variants have no tag key");
+        assert_eq!(sniff_action("{not json"), None);
+    }
+
+    #[test]
     fn unparseable_line_is_rejected_with_id_zero() {
-        let (tx, _rx) = channel::bounded::<Job>(1);
         let m = metrics();
-        let reply = admit("{not json", &tx, &m, &policy(Duration::from_millis(10)));
+        let (reply, malformed) = *precheck("{not json", None, &m).expect_err("parse must fail");
         assert_eq!(reply.id, 0);
         assert_eq!(error_kind_of(&reply), error_kind::BAD_REQUEST);
+        assert!(malformed, "a parse failure is a framing strike");
         assert_eq!(m.errors.get(), 1);
+    }
+
+    #[test]
+    fn try_admit_queues_with_the_peeked_id() {
+        let (tx, rx) = channel::bounded::<Job>(1);
+        let m = metrics();
+        match try_admit(&stats_line(3), &tx, 11, false, &m, 25) {
+            Admission::Queued { id } => assert_eq!(id, 3),
+            Admission::Reply(r) => panic!("expected admission, got {r:?}"),
+        }
+        let job = rx.recv().expect("the job was queued");
+        assert_eq!(job.seq, 11);
+        assert_eq!(job.line, stats_line(3));
+        assert_eq!(m.errors.get(), 0);
     }
 
     #[test]
     fn full_queue_is_answered_with_overloaded() {
         let (tx, _rx) = channel::bounded::<Job>(1);
-        let (dummy_tx, _dummy_rx) = channel::bounded(1);
-        assert!(tx
-            .try_send(Job {
-                envelope: RequestEnvelope {
-                    id: 1,
-                    request: Request::Stats,
-                },
-                reply: dummy_tx,
-                admitted: Instant::now(),
-            })
-            .is_ok());
         let m = metrics();
-        let reply = admit(&stats_line(7), &tx, &m, &policy(Duration::from_millis(10)));
+        match try_admit(&stats_line(1), &tx, 1, false, &m, 25) {
+            Admission::Queued { .. } => {}
+            Admission::Reply(r) => panic!("first admit must queue, got {r:?}"),
+        }
+        let reply = match try_admit(&stats_line(7), &tx, 2, false, &m, 25) {
+            Admission::Reply(r) => r,
+            Admission::Queued { .. } => panic!("the one-slot queue was full"),
+        };
         assert_eq!(reply.id, 7, "overload reply still echoes the id");
         assert_eq!(error_kind_of(&reply), error_kind::OVERLOADED);
         assert_eq!(m.overloaded.get(), 1);
@@ -833,25 +1571,90 @@ mod tests {
     }
 
     #[test]
-    fn admitted_but_unanswered_request_times_out() {
+    fn draining_or_disconnected_queue_means_shutting_down() {
         let (tx, rx) = channel::bounded::<Job>(1);
         let m = metrics();
-        // No worker drains `rx`, so the reply never comes.
-        let reply = admit(&stats_line(3), &tx, &m, &policy(Duration::from_millis(20)));
-        assert_eq!(reply.id, 3);
-        assert_eq!(error_kind_of(&reply), error_kind::TIMEOUT);
-        assert_eq!(m.timeouts.get(), 1);
-        assert_eq!(rx.len(), 1, "the job itself was admitted");
+        // Draining sheds without consuming a queue slot.
+        let reply = match try_admit(&stats_line(5), &tx, 1, true, &m, 25) {
+            Admission::Reply(r) => r,
+            Admission::Queued { .. } => panic!("a draining server must not admit"),
+        };
+        assert_eq!(reply.id, 5);
+        assert_eq!(error_kind_of(&reply), error_kind::SHUTTING_DOWN);
+        assert_eq!(rx.len(), 0);
+        // A disconnected shard (workers gone) sheds the same way.
+        drop(rx);
+        let reply = match try_admit(&stats_line(6), &tx, 2, false, &m, 25) {
+            Admission::Reply(r) => r,
+            Admission::Queued { .. } => panic!("a dead shard must not admit"),
+        };
+        assert_eq!(error_kind_of(&reply), error_kind::SHUTTING_DOWN);
     }
 
     #[test]
-    fn disconnected_queue_means_shutting_down() {
-        let (tx, rx) = channel::bounded::<Job>(1);
-        drop(rx);
-        let m = metrics();
-        let reply = admit(&stats_line(5), &tx, &m, &policy(Duration::from_millis(10)));
-        assert_eq!(reply.id, 5);
-        assert_eq!(error_kind_of(&reply), error_kind::SHUTTING_DOWN);
+    fn pending_table_completes_expires_and_cancels() {
+        let mut t = PendingTable::new();
+        let now = Instant::now();
+        t.insert(1, 100, 11, now + Duration::from_millis(10));
+        t.insert(2, 100, 12, now + Duration::from_secs(60));
+        t.insert(3, 200, 13, now + Duration::from_secs(60));
+        assert_eq!(t.next_deadline(), Some(now + Duration::from_millis(10)));
+        let p = t.complete(1).expect("live entry");
+        assert_eq!((p.token, p.id), (100, 11));
+        assert!(t.complete(1).is_none(), "a reply is delivered exactly once");
+        t.drop_conn(200);
+        assert!(t.complete(3).is_none(), "cancelled with its connection");
+        assert!(t.expire(now).is_empty(), "nothing is due yet");
+        let due = t.expire(now + Duration::from_secs(120));
+        assert_eq!(due.len(), 1, "only the live entry expires");
+        assert_eq!(due.first().map(|p| p.id), Some(12));
+        assert!(t.is_empty());
+        assert_eq!(t.next_deadline(), None, "the heap backlog is cleared");
+    }
+
+    #[test]
+    fn frame_buf_reassembles_split_and_pipelined_frames() {
+        let mut fb = FrameBuf::new();
+        let mut out = Vec::new();
+        fb.ingest(b"{\"id\":1}\n{\"id\"", 1024, &mut out);
+        fb.ingest(b":2}\n{\"id\":3}", 1024, &mut out);
+        fb.ingest(b"\n", 1024, &mut out);
+        let lines: Vec<String> = out
+            .iter()
+            .map(|f| match f {
+                FrameEvent::Line(l) => String::from_utf8_lossy(l).to_string(),
+                FrameEvent::Oversized => panic!("no oversized frames here"),
+            })
+            .collect();
+        assert_eq!(lines, ["{\"id\":1}", "{\"id\":2}", "{\"id\":3}"]);
+        assert!(fb.take_residual().is_none());
+    }
+
+    #[test]
+    fn frame_buf_discards_oversized_frames_to_the_next_newline() {
+        let mut fb = FrameBuf::new();
+        let mut out = Vec::new();
+        // A frame that never ends trips the cap mid-stream...
+        fb.ingest(&[b'x'; 2000], 1024, &mut out);
+        assert!(matches!(out.as_slice(), [FrameEvent::Oversized]));
+        // ...its tail is discarded up to the newline, then service resumes.
+        out.clear();
+        fb.ingest(b"tail of the huge frame\nok\n", 1024, &mut out);
+        match out.as_slice() {
+            [FrameEvent::Line(l)] => assert_eq!(l.as_slice(), b"ok"),
+            other => panic!("expected one line, got {} events", other.len()),
+        }
+        // A complete (newline-terminated) over-cap frame needs no
+        // discard state at all.
+        out.clear();
+        let mut big = vec![b'y'; 2000];
+        big.push(b'\n');
+        big.extend_from_slice(b"{\"id\":9}\n");
+        fb.ingest(&big, 1024, &mut out);
+        assert!(matches!(
+            out.as_slice(),
+            [FrameEvent::Oversized, FrameEvent::Line(_)]
+        ));
     }
 
     #[test]
@@ -889,10 +1692,8 @@ mod tests {
 
     #[test]
     fn rate_cap_sheds_eval_requests_but_exempts_control_plane() {
-        let (tx, _rx) = channel::bounded::<Job>(1);
         let m = metrics();
-        let mut p = policy(Duration::from_millis(10));
-        p.rate = Some(Arc::new(RateLimiter::new(0.001))); // burst = 1 token
+        let rate = RateLimiter::new(0.001); // burst = 1 token
         let compare_line = encode(&RequestEnvelope {
             id: 11,
             request: Request::Compare {
@@ -900,25 +1701,29 @@ mod tests {
                 mappings: vec![],
             },
         });
-        // First eval spends the only token (then times out unanswered —
-        // no worker drains the queue here).
-        let first = admit(&compare_line, &tx, &m, &p);
-        assert_eq!(error_kind_of(&first), error_kind::TIMEOUT);
-        // Second eval is shed by the cap, with a time-to-next-token hint.
-        let second = admit(&compare_line, &tx, &m, &p);
-        assert_eq!(error_kind_of(&second), error_kind::OVERLOADED);
-        assert_eq!(m.rate_limited.get(), 1);
-        assert_eq!(m.overloaded.get(), 1);
-        match &second.response {
-            Response::Error { retry_after_ms, .. } => assert!(*retry_after_ms >= 1),
+        assert!(
+            precheck(&compare_line, Some(&rate), &m).is_ok(),
+            "the first eval spends the only token"
+        );
+        let (reply, malformed) =
+            *precheck(&compare_line, Some(&rate), &m).expect_err("the second eval is capped");
+        assert_eq!(reply.id, 11);
+        assert_eq!(error_kind_of(&reply), error_kind::OVERLOADED);
+        assert!(!malformed, "a shed is not a framing strike");
+        match &reply.response {
+            Response::Error { retry_after_ms, .. } => {
+                assert!(
+                    *retry_after_ms >= 1,
+                    "a time-to-next-token hint is attached"
+                )
+            }
             other => panic!("expected an error reply, got {other:?}"),
         }
-        // Control plane bypasses the cap: the stats request reaches the
-        // (now full) queue and is shed there, not by the limiter.
-        let stats = admit(&stats_line(12), &tx, &m, &p);
-        assert_eq!(error_kind_of(&stats), error_kind::OVERLOADED);
+        assert_eq!(m.rate_limited.get(), 1);
+        assert_eq!(m.overloaded.get(), 1);
+        // Control plane bypasses the cap entirely.
+        assert!(precheck(&stats_line(12), Some(&rate), &m).is_ok());
         assert_eq!(m.rate_limited.get(), 1, "the cap did not fire again");
-        assert_eq!(m.overloaded.get(), 2);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 pub mod value;
 
-pub use value::{Number, Value};
+pub use value::{write_f64, Number, Value};
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};

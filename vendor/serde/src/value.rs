@@ -169,20 +169,30 @@ impl fmt::Display for Value {
     }
 }
 
-fn emit_f64(f: f64, out: &mut String) {
+/// Append one JSON number for `f`: Rust's shortest-round-trip
+/// formatting with a trailing `.0` forced onto integral values so
+/// floats stay visibly floats, as serde_json does. Non-finite values
+/// become `null` — serde_json refuses NaN/inf; this keeps an artifact
+/// parseable instead of aborting a whole experiment dump.
+///
+/// Public so hand-written fast encoders (e.g. the server's hot-path
+/// reply serialiser) emit byte-identical numbers to the generic
+/// [`Value`] emitter.
+pub fn write_f64(f: f64, out: &mut String) {
+    use std::fmt::Write as _;
     if f.is_finite() {
-        // Rust's shortest-round-trip formatting; force a trailing `.0` onto
-        // integral values so floats stay visibly floats, as serde_json does.
-        let s = format!("{f}");
-        out.push_str(&s);
-        if !s.contains(['.', 'e', 'E']) {
+        let start = out.len();
+        let _ = write!(out, "{f}");
+        if !out[start..].contains(['.', 'e', 'E']) {
             out.push_str(".0");
         }
     } else {
-        // serde_json refuses NaN/inf; emitting null keeps the artifact
-        // parseable instead of aborting a whole experiment dump.
         out.push_str("null");
     }
+}
+
+fn emit_f64(f: f64, out: &mut String) {
+    write_f64(f, out);
 }
 
 fn emit_str(s: &str, out: &mut String) {
@@ -217,8 +227,14 @@ fn emit(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
-        Value::Number(Number::Int(i)) => out.push_str(&i.to_string()),
-        Value::Number(Number::UInt(u)) => out.push_str(&u.to_string()),
+        Value::Number(Number::Int(i)) => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{i}");
+        }
+        Value::Number(Number::UInt(u)) => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{u}");
+        }
         Value::Number(Number::Float(f)) => emit_f64(*f, out),
         Value::String(s) => emit_str(s, out),
         Value::Array(items) => {

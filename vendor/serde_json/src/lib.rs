@@ -4,7 +4,7 @@
 #![forbid(unsafe_code)]
 
 pub use serde::value::parse;
-pub use serde::{Error, Number, Value};
+pub use serde::{write_f64, Error, Number, Value};
 
 /// Serialise any [`serde::Serialize`] type to its value tree.
 pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
