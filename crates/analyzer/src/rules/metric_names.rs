@@ -7,8 +7,8 @@
 //! error (`names::SERVER_SREVED` does not exist).
 //!
 //! Flagged: `.counter("...")`, `.gauge("...")`, `.histogram("...")`,
-//! `.span("...")` with a string-literal argument, outside
-//! `#[cfg(test)]` (tests may mint scratch names).
+//! `.span("...")`, `.span_rooted("...")` with a string-literal
+//! argument, outside `#[cfg(test)]` (tests may mint scratch names).
 
 use crate::findings::Finding;
 use crate::lexer::TokKind;
@@ -16,7 +16,7 @@ use crate::rules::METRIC_NAMES;
 use crate::source::SourceFile;
 
 /// Instrumentation entry points whose first argument is a metric name.
-const INSTRUMENT_FNS: [&str; 4] = ["counter", "gauge", "histogram", "span"];
+const INSTRUMENT_FNS: [&str; 5] = ["counter", "gauge", "histogram", "span", "span_rooted"];
 
 /// True when `rel` (workspace-relative path) is in scope: production
 /// crates, excluding `cbes-obs` itself (it defines the constants) and
@@ -79,6 +79,13 @@ mod tests {
     fn constants_and_computed_names_are_fine() {
         assert!(run("fn a(r: &Registry) { r.counter(names::SERVER_SERVED).incr(); }").is_empty());
         assert!(run("fn a(r: &Registry, n: &'static str) { r.span(n); }").is_empty());
+        assert_eq!(
+            run("fn a(s: &SpanRing) { s.span_rooted(\"lit\", 1, 0); }").len(),
+            1
+        );
+        assert!(
+            run("fn a(s: &SpanRing) { s.span_rooted(names::SPAN_CLI_REQUEST, 1, 0); }").is_empty()
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@
 //!
 //! Env: `CBES_LOADGEN_CLIENTS` (default 1), `CBES_LOADGEN_DEPTH`
 //! (pipeline window per client, default 16), `CBES_LOADGEN_P99_BUDGET_MS`
-//! (default 15.0).
+//! (default 15.0), `CBES_LOADGEN_TRACE` (`1` stamps a trace context on
+//! every request so the gate measures the traced wire path).
 
 #![forbid(unsafe_code)]
 
@@ -139,15 +140,26 @@ fn main() {
     // with ids 1..=depth, reused every window (window-synchronous, so
     // no id is ever in flight twice). One write syscall issues the
     // whole window; replies stream back through a buffered reader.
+    //
+    // `CBES_LOADGEN_TRACE=1` stamps every envelope with a trace
+    // context, so the run (and the `--check` gate) measures the traced
+    // wire path: decode of the trace suffix plus a rooted server span
+    // per request.
+    let traced = std::env::var("CBES_LOADGEN_TRACE").ok().as_deref() == Some("1");
+    if traced {
+        println!("server_loadgen: trace context stamped on every request");
+    }
     let window_blob: Vec<u8> = {
         let mut blob = Vec::new();
         for id in 1..=depth as u64 {
-            let envelope = RequestEnvelope {
-                id,
-                request: Request::Compare {
-                    app: "ring".to_string(),
-                    mappings: candidates.clone(),
-                },
+            let request = Request::Compare {
+                app: "ring".to_string(),
+                mappings: candidates.clone(),
+            };
+            let envelope = if traced {
+                RequestEnvelope::traced(id, request, cbes_obs::mint_trace_id(), 0)
+            } else {
+                RequestEnvelope::new(id, request)
             };
             blob.extend_from_slice(
                 serde_json::to_string(&envelope)
@@ -374,11 +386,34 @@ fn main() {
     // Regression gate (`--check`): the fresh run must hold the line
     // against the committed baseline.
     if args.check {
+        let baseline_path = "BENCH_server_loadgen.json";
         let tolerance = perf_gate::tolerance_pct(args.tolerance);
-        match perf_gate::check_throughput("BENCH_server_loadgen.json", req_per_s, tolerance) {
+        match perf_gate::check_throughput(baseline_path, req_per_s, tolerance) {
             Ok(verdict) => println!("CHECK OK: {verdict}"),
             Err(msg) => {
+                // A bare "regressed by N%" hides the numbers the fix
+                // needs; print both sides of the comparison in full.
                 eprintln!("CHECK FAIL: {msg}");
+                let p99_us = p99.as_secs_f64() * 1e6;
+                match perf_gate::read_baseline(baseline_path) {
+                    Ok(baseline) => {
+                        let baseline_p99 = baseline
+                            .p99_us
+                            .map(|v| format!("{v:.1} us"))
+                            .unwrap_or_else(|| "n/a".to_string());
+                        eprintln!(
+                            "  committed baseline: {:>10.0} req/s, p99 {baseline_p99}",
+                            baseline.req_per_s
+                        );
+                        eprintln!(
+                            "  measured:           {req_per_s:>10.0} req/s, p99 {p99_us:.1} us"
+                        );
+                    }
+                    Err(e) => eprintln!(
+                        "  measured {req_per_s:.0} req/s, p99 {p99_us:.1} us \
+                         (baseline unreadable: {e})"
+                    ),
+                }
                 std::process::exit(1);
             }
         }

@@ -38,6 +38,37 @@ pub mod perf_gate {
         .unwrap_or(DEFAULT_TOLERANCE_PCT)
     }
 
+    /// The committed `BENCH_<name>.json` headline, as read back for
+    /// gating and for failure diagnostics.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Baseline {
+        /// Committed sustained throughput, requests per second.
+        pub req_per_s: f64,
+        /// Committed `latency_us.p99`, if the artifact recorded one
+        /// (older baselines may predate the latency block).
+        pub p99_us: Option<f64>,
+    }
+
+    /// Read the committed baseline artifact at `path`. `Err` names the
+    /// problem (missing file, invalid JSON, or no positive `req_per_s`).
+    pub fn read_baseline(path: &str) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let value: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| format!("baseline {path} is not valid JSON: {e}"))?;
+        let req_per_s = value
+            .get("req_per_s")
+            .and_then(|v| v.as_f64())
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("baseline {path} has no positive `req_per_s` field"))?;
+        let p99_us = value
+            .get("latency_us")
+            .and_then(|l| l.get("p99"))
+            .and_then(|v| v.as_f64())
+            .filter(|v| v.is_finite() && *v > 0.0);
+        Ok(Baseline { req_per_s, p99_us })
+    }
+
     /// Compare `fresh_req_per_s` against the `req_per_s` field of the
     /// baseline artifact at `path`. `Ok` carries a human-readable
     /// verdict; `Err` carries the failure (missing/garbled baseline, or
@@ -47,15 +78,7 @@ pub mod perf_gate {
         fresh_req_per_s: f64,
         tolerance_pct: f64,
     ) -> Result<String, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
-        let value: serde_json::Value = serde_json::from_str(&text)
-            .map_err(|e| format!("baseline {path} is not valid JSON: {e}"))?;
-        let baseline = value
-            .get("req_per_s")
-            .and_then(|v| v.as_f64())
-            .filter(|v| v.is_finite() && *v > 0.0)
-            .ok_or_else(|| format!("baseline {path} has no positive `req_per_s` field"))?;
+        let baseline = read_baseline(path)?.req_per_s;
         let delta_pct = (fresh_req_per_s - baseline) / baseline * 100.0;
         if delta_pct < -tolerance_pct {
             return Err(format!(
@@ -103,6 +126,27 @@ pub mod perf_gate {
             assert!(err.contains("regression"), "{err}");
             assert!(err.contains("10000"), "{err}");
             std::fs::remove_file(path).ok();
+        }
+
+        #[test]
+        fn read_baseline_surfaces_p99_when_present() {
+            let path = std::env::temp_dir()
+                .join(format!("cbes-perf-gate-p99-{}.json", std::process::id()));
+            std::fs::write(
+                &path,
+                "{\"bench\":\"x\",\"req_per_s\":12500.0,\
+                 \"latency_us\":{\"p50\":900.0,\"p99\":2400.0}}",
+            )
+            .unwrap();
+            let b = read_baseline(path.to_str().unwrap()).unwrap();
+            assert_eq!(b.req_per_s, 12_500.0);
+            assert_eq!(b.p99_us, Some(2_400.0));
+            std::fs::remove_file(&path).ok();
+            // A baseline without the latency block still reads cleanly.
+            let bare = baseline_file("11000.0");
+            let b = read_baseline(bare.to_str().unwrap()).unwrap();
+            assert_eq!(b.p99_us, None);
+            std::fs::remove_file(bare).ok();
         }
 
         #[test]

@@ -636,6 +636,84 @@ pub fn metrics(parsed: &Parsed) -> Result<String, CliError> {
     }
 }
 
+/// Render one `cbes top` frame from per-endpoint metrics snapshots:
+/// request and shed rates from the 1-second counter windows, rolling
+/// service-time quantiles from the 10/60-second histogram windows.
+fn top_frame(rows: &[(String, cbes_obs::MetricsSnapshot)]) -> String {
+    use cbes_obs::names;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<21} {:>7} {:>7} {:>10} {:>10} {:>10} {:>11} {:>7}",
+        "endpoint", "req/s", "shed/s", "p50-10s us", "p99-10s us", "p99-60s us", "spans", "flight"
+    );
+    for (addr, m) in rows {
+        let c = |key: String| m.counters.get(&key).copied().unwrap_or(0);
+        // A daemon serves requests; a router routes them. Summing the
+        // two 1s windows gives one rate column for a mixed endpoint list.
+        let served =
+            c(format!("{}#1s", names::SERVER_SERVED)) + c(format!("{}#1s", names::ROUTER_ROUTED));
+        let shed = c(format!("{}#1s", names::SERVER_OVERLOADED))
+            + c(format!("{}#1s", names::SERVER_RATE_LIMITED));
+        let q = |w: u64, pick: fn(&cbes_obs::HistogramSnapshot) -> u64| {
+            m.histograms
+                .get(&format!("{}#{w}s", names::SERVER_SERVICE_TIME_US))
+                .map(|h| pick(h).to_string())
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let _ = writeln!(
+            out,
+            "{addr:<21} {served:>7} {shed:>7} {:>10} {:>10} {:>10} {:>11} {:>7}",
+            q(10, cbes_obs::HistogramSnapshot::p50),
+            q(10, cbes_obs::HistogramSnapshot::p99),
+            q(60, cbes_obs::HistogramSnapshot::p99),
+            format!("{}/{}", m.spans_buffered, m.spans_dropped),
+            c(names::FLIGHT_EVENTS.to_string()),
+        );
+    }
+    out
+}
+
+/// `cbes top <addr>.. [--addr A].. [--iterations N] [--interval-ms N]`
+/// — a live tier view: every interval, poll each endpoint's metrics
+/// snapshot and render per-second request/shed rates and rolling
+/// latency quantiles from the sliding-window snapshot keys.
+/// Intermediate frames stream to stdout; the final frame is the
+/// returned output.
+pub fn top(parsed: &Parsed) -> Result<String, CliError> {
+    let mut addrs: Vec<&str> = parsed.positional.iter().map(String::as_str).collect();
+    addrs.extend(parsed.get_all("addr").iter().map(String::as_str));
+    if addrs.is_empty() {
+        return Err(CliError::usage(
+            "`top` needs at least one daemon address (positional or --addr)",
+        ));
+    }
+    let iterations = parsed.get_parsed("iterations", 5usize)?;
+    if iterations == 0 {
+        return Err(CliError::usage("--iterations must be at least 1"));
+    }
+    let interval = std::time::Duration::from_millis(parsed.get_parsed("interval-ms", 1000u64)?);
+    let mut last = String::new();
+    for frame in 0..iterations {
+        let mut rows = Vec::new();
+        for addr in &addrs {
+            let snap = connect(parsed, addr)?.metrics().map_err(client_err)?;
+            rows.push((addr.to_string(), snap));
+        }
+        last = format!(
+            "cbes top — frame {}/{iterations}, {} endpoint(s)\n{}",
+            frame + 1,
+            addrs.len(),
+            top_frame(&rows)
+        );
+        if frame + 1 < iterations {
+            println!("{last}");
+            std::thread::sleep(interval);
+        }
+    }
+    Ok(last)
+}
+
 /// `cbes request <addr> <action>` — issue one request to a running
 /// daemon and print the reply.
 pub fn request(parsed: &Parsed) -> Result<String, CliError> {
@@ -648,9 +726,20 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
             CliError::usage(
                 "`request` needs an action \
              (stats | metrics | shutdown | register | compare | best-of | batch \
-             | schedule | observe | observe-partial)",
+             | schedule | observe | observe-partial | trace | dump-flight)",
             )
         })?;
+    // `--trace-id N` roots this invocation in trace N: the guard makes
+    // the trace context current, so the client stamps it onto the
+    // outgoing envelope and every hop downstream joins the same trace.
+    let trace_id = parsed.get_parsed("trace-id", 0u64)?;
+    let _span = (trace_id != 0 && action != "trace").then(|| {
+        cbes_obs::Registry::global().spans().span_rooted(
+            cbes_obs::names::SPAN_CLI_REQUEST,
+            trace_id,
+            0,
+        )
+    });
     let mut client = connect(parsed, addr)?;
     let err = client_err;
 
@@ -783,16 +872,76 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
             let report = client.membership().map_err(err)?;
             out.push_str(&membership_table(&report));
         }
+        "trace" => {
+            if trace_id == 0 {
+                return Err(CliError::usage(
+                    "`trace` requires --trace-id N (the nonzero id the traced \
+                     request was stamped with)",
+                ));
+            }
+            let (tid, spans) = client.trace(trace_id).map_err(err)?;
+            out.push_str(&trace_table(tid, &spans));
+        }
+        "dump-flight" => {
+            let (path, events) = client.dump_flight().map_err(err)?;
+            let _ = writeln!(out, "flight recorder dumped {events} event(s) to {path}");
+        }
         other => {
             return Err(CliError::usage(format!(
                 "unknown request action `{other}` \
                  (want stats | metrics | shutdown | register | compare | best-of \
                  | batch | schedule | observe | observe-partial | route \
-                 | replicate | membership)"
+                 | replicate | membership | trace | dump-flight)"
             )))
         }
     }
     Ok(out)
+}
+
+/// Render a merged trace: one row per span, indented under its parent
+/// when the parent is part of the same trace, offsets relative to the
+/// earliest span.
+fn trace_table(trace_id: u64, spans: &[cbes_server::protocol::SpanSnapshot]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace {trace_id:#018x}: {} span(s)", spans.len());
+    if spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "  (no spans retained — the trace may have been evicted, or the \
+             request was not stamped with --trace-id)"
+        );
+        return out;
+    }
+    let t0 = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let depth_of = |span: &cbes_server::protocol::SpanSnapshot| {
+        // Walk the parent chain within this trace; cap the walk so a
+        // cross-process id collision cannot loop.
+        let mut depth = 0usize;
+        let mut parent = span.parent;
+        while parent != 0 && depth < 8 {
+            match spans.iter().find(|s| s.id == parent) {
+                Some(p) => {
+                    depth += 1;
+                    parent = p.parent;
+                }
+                None => break,
+            }
+        }
+        depth
+    };
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "  {:indent$}{:<24} t+{:>8} us  dur {:>8} us  id {:#018x}",
+            "",
+            s.name,
+            s.start_us.saturating_sub(t0),
+            s.dur_us,
+            s.id,
+            indent = depth_of(s) * 2
+        );
+    }
+    out
 }
 
 /// Render a tier membership report: the header line, then one row per
@@ -1105,6 +1254,48 @@ mod tests {
         assert!(out.contains("server.action.compare  1"), "{out}");
         let out = metrics(&parsed(&["metrics", &addr, "--format", "json"])).unwrap();
         assert!(out.contains("\"server.queue_wait_us\""), "{out}");
+
+        // A traced request leaves connected spans behind: the CLI root
+        // plus the server-side action span on the same trace id.
+        let out = request(&parsed(&[
+            "request",
+            &addr,
+            "compare",
+            "--app",
+            "ep.S.2",
+            "--mappings",
+            "0,1",
+            "--trace-id",
+            "7701",
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch"), "{out}");
+        let out = request(&parsed(&["request", &addr, "trace", "--trace-id", "7701"])).unwrap();
+        assert!(out.contains("compare"), "{out}");
+        assert!(out.contains("cli.request"), "{out}");
+        // Untraced requests never join a trace.
+        let out = request(&parsed(&[
+            "request",
+            &addr,
+            "trace",
+            "--trace-id",
+            "424242",
+        ]))
+        .unwrap();
+        assert!(out.contains("0 span(s)"), "{out}");
+        let err =
+            request(&parsed(&["request", &addr, "trace"])).expect_err("trace needs --trace-id");
+        assert!(err.to_string().contains("--trace-id"), "{err}");
+
+        // The flight recorder dumps on demand.
+        let out = request(&parsed(&["request", &addr, "dump-flight"])).unwrap();
+        assert!(out.contains("flight recorder dumped"), "{out}");
+
+        // One `top` frame renders the windowed rates for the endpoint.
+        let out = top(&parsed(&["top", &addr, "--iterations", "1"])).unwrap();
+        assert!(out.contains("endpoint"), "{out}");
+        assert!(out.contains(&addr), "{out}");
+
         let out = request(&parsed(&["request", &addr, "shutdown"])).unwrap();
         assert!(out.contains("draining"), "{out}");
 
@@ -1219,6 +1410,57 @@ mod tests {
         let summary = router.join().unwrap().unwrap();
         assert!(summary.contains("cbes-router"), "{summary}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn top_frame_renders_windowed_rates_and_quantiles() {
+        let r = cbes_obs::Registry::new();
+        r.counter("server.served").add(120);
+        r.counter("server.overloaded").add(3);
+        for v in [100, 200, 5000] {
+            r.histogram("server.service_time_us").record(v);
+        }
+        let rows = vec![("10.0.0.1:9077".to_string(), r.snapshot())];
+        let frame = top_frame(&rows);
+        assert!(frame.contains("endpoint"), "{frame}");
+        assert!(frame.contains("10.0.0.1:9077"), "{frame}");
+        // Fresh increments land in every window, so the 1s rate column
+        // shows the full count and the 10s window has quantiles.
+        assert!(frame.contains("120"), "{frame}");
+        let err = top(&parsed(&["top"])).unwrap_err();
+        assert!(err.to_string().contains("address"), "{err}");
+        let err = top(&parsed(&["top", "127.0.0.1:1", "--iterations", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--iterations"), "{err}");
+    }
+
+    #[test]
+    fn trace_table_indents_children_under_parents() {
+        use cbes_server::protocol::SpanSnapshot;
+        let spans = vec![
+            SpanSnapshot {
+                name: "cli.request".to_string(),
+                trace: 9,
+                id: 1,
+                parent: 0,
+                start_us: 100,
+                dur_us: 900,
+            },
+            SpanSnapshot {
+                name: "compare".to_string(),
+                trace: 9,
+                id: 2,
+                parent: 1,
+                start_us: 300,
+                dur_us: 500,
+            },
+        ];
+        let out = trace_table(9, &spans);
+        assert!(out.contains("2 span(s)"), "{out}");
+        assert!(out.contains("cli.request"), "{out}");
+        // The child row is indented two spaces deeper and offset from t0.
+        assert!(out.contains("\n    compare"), "{out}");
+        assert!(out.contains("t+     200 us"), "{out}");
+        assert!(trace_table(9, &[]).contains("no spans retained"));
     }
 
     #[test]

@@ -67,11 +67,17 @@ commands:
       observe-partial --nodes N --load NODE=AVAIL,.. [--silent 3,5,..]
       route    --app NAME [--cluster NAME]
       replicate --epoch N --nodes N --load NODE=AVAIL,.. [--silent 3,5,..]
-      (all request actions accept --timeout SECONDS, default 10;
+      trace    --trace-id N    fetch the retained spans of trace N
+      dump-flight              dump the anomaly flight recorder to disk
+      (all request actions accept --timeout SECONDS, default 10, and
+       --trace-id N to stamp the request with trace context;
        exit codes: 2 usage, 3 transport, 4 server error, 5 overload-shed)
   metrics <addr>.. [--addr A]  fetch observability snapshots from one or
       more daemons and merge them into a single tier-wide report
       [--format summary|json] [--timeout SECONDS]
+  top <addr>.. [--addr A]     live tier view: per-second request/shed
+      rates and rolling p50/p99 from the sliding-window metrics
+      [--iterations N] [--interval-ms N] [--timeout SECONDS]
   route serve                 run the scale-out routing tier (blocks)
       --instance HOST:PORT .. | --instances A,B,..
       [--cluster NAME] [--addr HOST:PORT] [--addr-file FILE]
@@ -99,6 +105,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         "serve" => commands::serve(&parsed),
         "request" => commands::request(&parsed),
         "metrics" => commands::metrics(&parsed),
+        "top" => commands::top(&parsed),
         "route" => commands::route(&parsed),
         "help" | "" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),

@@ -394,7 +394,7 @@ impl CbesService {
         let (epoch, snap) = self.snapshot_stamped();
         self.validate(profile.num_procs(), mappings, snap.health_view())?;
         let obs = instruments();
-        let _span = Registry::global().span(names::SPAN_CORE_EVALUATE_MAPPING);
+        let _span = Registry::global().span(names::SPAN_CORE_BATCH_EVALUATE);
         let timer = obs.compare_us.start_timer();
         let ev = BatchEvaluator::new(&profile, &snap);
         let predictions = ev.predict_batch(mappings);

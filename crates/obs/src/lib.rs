@@ -13,8 +13,14 @@
 //!   handful of atomic adds. [`HistogramSnapshot`]s are mergeable and
 //!   answer p50/p90/p99 queries.
 //! * [`SpanRing`] / [`SpanGuard`] — tracing spans recording name,
-//!   monotonic start, duration, and parent, drained into a bounded
-//!   in-memory ring with optional JSONL export.
+//!   monotonic start, duration, parent, and owning trace id, drained
+//!   into a bounded in-memory ring with optional JSONL export.
+//!   [`mint_trace_id`] mints process-unique trace ids and
+//!   [`SpanRing::span_rooted`] joins a remote trace carried in from
+//!   the wire, so one routed request yields one connected trace.
+//! * [`FlightRecorder`] — a bounded ring of recent anomaly events
+//!   that dumps a JSONL snapshot (events + spans) when a trigger
+//!   fires, debounced, off the hot path when idle.
 //! * [`Registry`] — a named collection of all of the above; one
 //!   [`Registry::snapshot`] renders every instrument as a serialisable
 //!   [`MetricsSnapshot`]. [`Registry::global`] is the process-wide
@@ -26,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod metrics;
 pub mod names;
 pub mod registry;
 pub mod span;
 
+pub use flight::{FlightEvent, FlightRecorder};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer};
 pub use registry::{MetricsSnapshot, Registry};
-pub use span::{SpanGuard, SpanRecord, SpanRing};
+pub use span::{current_trace, mint_trace_id, SpanGuard, SpanRecord, SpanRing};

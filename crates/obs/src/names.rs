@@ -35,7 +35,7 @@ pub const SERVER_QUEUE_DEPTH: &str = "server.queue_depth";
 /// `cbes_server::protocol::Request::action_index`. Entry `i` must be
 /// `"server.action."` followed by `ACTIONS[i]` — checked by
 /// `cbes-analyze`'s drift rule.
-pub const SERVER_ACTION_COUNTERS: [&str; 13] = [
+pub const SERVER_ACTION_COUNTERS: [&str; 15] = [
     "server.action.register_profile",
     "server.action.compare",
     "server.action.best_of",
@@ -49,6 +49,8 @@ pub const SERVER_ACTION_COUNTERS: [&str; 13] = [
     "server.action.replicate",
     "server.action.membership",
     "server.action.batch",
+    "server.action.trace",
+    "server.action.dump_flight",
 ];
 
 /// Admitted requests shed by the per-instance evaluation rate cap.
@@ -59,6 +61,19 @@ pub const SERVER_RATE_LIMITED: &str = "server.rate_limited";
 pub const SERVER_BATCH_CANDIDATES: &str = "server.batch_candidates";
 /// Event-loop readiness wakeups (one per epoll/poll return).
 pub const SERVER_LOOP_WAKEUPS: &str = "server.loop_wakeups";
+
+// ---- tracing / flight recorder -------------------------------------
+
+/// Span records evicted from a ring before export (silent trace loss).
+pub const SPANS_DROPPED: &str = "spans.dropped";
+/// Flight-recorder events recorded since process start.
+pub const FLIGHT_EVENTS: &str = "flight.events";
+/// Flight-recorder JSONL dumps written (triggered or on demand).
+pub const FLIGHT_DUMPS: &str = "flight.dumps";
+/// Span: one traced client-side request issued by the CLI.
+pub const SPAN_CLI_REQUEST: &str = "cli.request";
+/// Span: the router forwarding one request to the serving tier.
+pub const SPAN_ROUTER_FORWARD: &str = "router.forward";
 
 // ---- client (RetryingClient) ---------------------------------------
 
@@ -116,6 +131,8 @@ pub const CORE_HEALTH_DOWN: &str = "core.health.down";
 pub const SPAN_CORE_PUBLISH_EPOCH: &str = "core.publish_epoch";
 /// Span: evaluating one candidate mapping (eq. 4–8).
 pub const SPAN_CORE_EVALUATE_MAPPING: &str = "core.evaluate_mapping";
+/// Span: evaluating one batch of candidate mappings (SoA path).
+pub const SPAN_CORE_BATCH_EVALUATE: &str = "core.batch_evaluate";
 
 // ---- netmodel ------------------------------------------------------
 
@@ -186,6 +203,12 @@ mod tests {
             CORE_HEALTH_DOWN,
             SPAN_CORE_PUBLISH_EPOCH,
             SPAN_CORE_EVALUATE_MAPPING,
+            SPAN_CORE_BATCH_EVALUATE,
+            SPANS_DROPPED,
+            FLIGHT_EVENTS,
+            FLIGHT_DUMPS,
+            SPAN_CLI_REQUEST,
+            SPAN_ROUTER_FORWARD,
             NETMODEL_CALIBRATIONS,
             NETMODEL_CALIBRATION_ROUND_US,
             NETMODEL_FORECAST_REFRESH_US,

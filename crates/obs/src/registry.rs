@@ -1,6 +1,8 @@
 //! A named collection of instruments rendering one JSON snapshot.
 
+use crate::flight::FlightRecorder;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::names;
 use crate::span::{SpanGuard, SpanRing};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -9,6 +11,10 @@ use std::sync::{Arc, OnceLock};
 
 /// Default span-ring capacity for registries.
 const SPAN_CAPACITY: usize = 4096;
+
+/// Sliding windows (in seconds) rendered into snapshots as
+/// `name#1s` / `name#10s` / `name#60s` suffix keys.
+const SNAPSHOT_WINDOWS: [u64; 3] = [1, 10, 60];
 
 /// A registry of named counters, gauges, and histograms plus a span
 /// ring. Instrument lookup takes a short lock and returns an `Arc`;
@@ -23,6 +29,7 @@ pub struct Registry {
     gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
     spans: SpanRing,
+    flight: FlightRecorder,
 }
 
 impl Default for Registry {
@@ -44,6 +51,7 @@ impl Registry {
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             spans: SpanRing::new(capacity),
+            flight: FlightRecorder::new(),
         }
     }
 
@@ -90,27 +98,54 @@ impl Registry {
         self.spans.span(name)
     }
 
+    /// This registry's anomaly flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
     /// Render every instrument into one serialisable snapshot.
+    ///
+    /// Besides the lifetime totals, every counter contributes sliding
+    /// `name#1s` / `name#10s` / `name#60s` window entries (zeroes are
+    /// skipped) and every histogram contributes windowed snapshots
+    /// under the same suffix keys (empty windows are skipped), so a
+    /// merged tier snapshot reports rates and rolling quantiles
+    /// without any schema change — counters add and histograms merge
+    /// exactly as the totals do. Two derived counters surface loss:
+    /// `spans.dropped` (ring evictions) and `flight.events` (flight
+    /// recorder events seen).
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for (k, v) in self.counters.lock().iter() {
+            counters.insert(k.to_string(), v.get());
+            for w in SNAPSHOT_WINDOWS {
+                let windowed = v.window(w);
+                if windowed > 0 {
+                    counters.insert(format!("{k}#{w}s"), windowed);
+                }
+            }
+        }
+        counters.insert(names::SPANS_DROPPED.to_string(), self.spans.dropped());
+        counters.insert(names::FLIGHT_EVENTS.to_string(), self.flight.recorded());
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for (k, v) in self.histograms.lock().iter() {
+            histograms.insert(k.to_string(), v.snapshot());
+            for w in SNAPSHOT_WINDOWS {
+                let windowed = v.window_snapshot(w);
+                if windowed.count > 0 {
+                    histograms.insert(format!("{k}#{w}s"), windowed);
+                }
+            }
+        }
         MetricsSnapshot {
-            counters: self
-                .counters
-                .lock()
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.get()))
-                .collect(),
+            counters,
             gauges: self
                 .gauges
                 .lock()
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.get()))
                 .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.snapshot()))
-                .collect(),
+            histograms,
             spans_buffered: self.spans.len() as u64,
             spans_dropped: self.spans.dropped(),
         }
@@ -216,6 +251,24 @@ mod tests {
         assert_eq!(merged.histograms["lat"].count, 2);
         assert_eq!(merged.histograms["lat"].min, 5);
         assert_eq!(merged.histograms["lat"].max, 500);
+    }
+
+    #[test]
+    fn snapshot_exposes_window_keys_and_loss_counters() {
+        let r = Registry::new();
+        r.counter("req").add(4);
+        r.histogram("lat").record(100);
+        let s = r.snapshot();
+        assert_eq!(s.counters["req"], 4);
+        assert_eq!(s.counters["req#60s"], 4, "fresh increments are in-window");
+        assert_eq!(s.counters[names::SPANS_DROPPED], 0);
+        assert_eq!(s.counters[names::FLIGHT_EVENTS], 0);
+        assert_eq!(s.histograms["lat#60s"].count, 1);
+        // Window entries merge exactly like totals: counters add.
+        let mut merged = s.clone();
+        merged.merge(&s);
+        assert_eq!(merged.counters["req#60s"], 8);
+        assert_eq!(merged.histograms["lat#60s"].count, 2);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Lightweight tracing: spans recording name, monotonic start,
-//! duration, and parent, collected into a bounded in-memory ring.
+//! Lightweight tracing: spans recording name, trace membership,
+//! monotonic start, duration, and parent, collected into a bounded
+//! in-memory ring.
 //!
 //! A [`SpanGuard`] costs two `Instant::now()` calls and one short
 //! mutex-guarded push on drop — cheap enough for request-rate events
@@ -10,6 +11,13 @@
 //! live on the same thread records that span as its parent, giving a
 //! hierarchy (`request` → `evaluate_mapping`) without any allocation at
 //! record time.
+//!
+//! Trace linkage crosses *processes*: a root span minted with
+//! [`mint_trace_id`] (or joined from a remote parent with
+//! [`SpanRing::span_rooted`]) stamps a `trace` id into the same
+//! thread-local context, and every span opened beneath it — in any ring
+//! — inherits that id. [`current_trace`] exposes the live `(trace,
+//! span)` pair so protocol clients can forward it on the wire.
 
 use parking_lot::Mutex;
 use std::cell::Cell;
@@ -25,9 +33,22 @@ fn process_epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Seconds since the process epoch — the clock windowed metrics rotate
+/// on (see `metrics`).
+pub(crate) fn now_sec() -> u64 {
+    process_epoch().elapsed().as_secs()
+}
+
+/// Microseconds since the process epoch.
+pub(crate) fn now_us() -> u64 {
+    process_epoch().elapsed().as_micros() as u64
+}
+
 thread_local! {
     /// Id of the innermost live span on this thread (0 = none).
     static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+    /// Trace id the innermost rooted span joined (0 = untraced).
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Process-wide span id source. Ids are unique across *all* rings so the
@@ -36,14 +57,53 @@ thread_local! {
 /// global-registry `compare` span).
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Mint a process-unique, cross-process-unlikely-to-collide trace id
+/// (never 0). Built from a per-process random seed (so two clients
+/// minting concurrently do not collide) mixed with a process-local
+/// sequence number — no wall-clock involved.
+pub fn mint_trace_id() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let seed = *SEED.get_or_init(|| {
+        let state = std::collections::hash_map::RandomState::new();
+        let mut h = state.build_hasher();
+        h.write_u64(std::process::id() as u64);
+        h.finish()
+    });
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    // splitmix64 finalizer: full-period mix of seed + sequence.
+    let mut z = seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let id = z ^ (z >> 31);
+    id.max(1)
+}
+
+/// The live trace context of this thread: `(trace_id, span_id)` of the
+/// innermost open span when it belongs to a trace, `None` when the
+/// current work is untraced. Protocol clients stamp outgoing request
+/// envelopes from this.
+pub fn current_trace() -> Option<(u64, u64)> {
+    let trace = CURRENT_TRACE.with(|c| c.get());
+    if trace == 0 {
+        None
+    } else {
+        Some((trace, CURRENT_SPAN.with(|c| c.get())))
+    }
+}
+
 /// One finished span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Static span name (e.g. `"compare"`).
     pub name: &'static str,
+    /// Trace this span belongs to (0 = untraced).
+    pub trace: u64,
     /// Unique id within this ring (1-based).
     pub id: u64,
-    /// Id of the enclosing span on the same thread, 0 for roots.
+    /// Id of the enclosing span on the same thread (or the remote
+    /// parent for rooted spans), 0 for roots.
     pub parent: u64,
     /// Start offset in microseconds since the first span-related call in
     /// this process (monotonic clock).
@@ -57,8 +117,8 @@ impl SpanRecord {
     pub fn to_json_line(&self) -> String {
         // Names are static identifiers — no escaping needed.
         format!(
-            "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"start_us\":{},\"dur_us\":{}}}",
-            self.name, self.id, self.parent, self.start_us, self.dur_us
+            "{{\"name\":\"{}\",\"trace\":{},\"id\":{},\"parent\":{},\"start_us\":{},\"dur_us\":{}}}",
+            self.name, self.trace, self.id, self.parent, self.start_us, self.dur_us
         )
     }
 }
@@ -88,16 +148,44 @@ impl SpanRing {
         }
     }
 
-    /// Open a span; it records itself into the ring when dropped.
+    /// Open a span; it records itself into the ring when dropped. The
+    /// parent link and trace id are inherited from the innermost live
+    /// span on this thread.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
         let parent = CURRENT_SPAN.with(|c| c.replace(id));
+        let trace = CURRENT_TRACE.with(|c| c.get());
         SpanGuard {
             ring: self,
             name,
             id,
             parent,
-            start_us: process_epoch().elapsed().as_micros() as u64,
+            trace,
+            prev_span: parent,
+            prev_trace: trace,
+            start_us: now_us(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Open a span that *joins a remote trace*: its parent is
+    /// `parent_span` (a span id from another process, 0 for a trace
+    /// root) and its trace id is `trace`. Until the guard drops, spans
+    /// opened on this thread — in any ring — nest beneath it and carry
+    /// the same trace id; the previous context is restored afterwards.
+    pub fn span_rooted(&self, name: &'static str, trace: u64, parent_span: u64) -> SpanGuard<'_> {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let prev_span = CURRENT_SPAN.with(|c| c.replace(id));
+        let prev_trace = CURRENT_TRACE.with(|c| c.replace(trace));
+        SpanGuard {
+            ring: self,
+            name,
+            id,
+            parent: parent_span,
+            trace,
+            prev_span,
+            prev_trace,
+            start_us: now_us(),
             start: Instant::now(),
         }
     }
@@ -120,6 +208,24 @@ impl SpanRing {
     /// Take every buffered span, oldest first, leaving the ring empty.
     pub fn drain(&self) -> Vec<SpanRecord> {
         self.inner.lock().records.drain(..).collect()
+    }
+
+    /// Copy every buffered span, oldest first, *without* draining —
+    /// flight-recorder dumps must not consume the ring.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.inner.lock().records.iter().copied().collect()
+    }
+
+    /// Copy the buffered spans belonging to `trace`, oldest first,
+    /// without draining (the `Trace` protocol action's data source).
+    pub fn of_trace(&self, trace: u64) -> Vec<SpanRecord> {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.trace == trace && trace != 0)
+            .copied()
+            .collect()
     }
 
     /// Drain and render as JSONL (one span object per line).
@@ -156,6 +262,9 @@ pub struct SpanGuard<'a> {
     name: &'static str,
     id: u64,
     parent: u64,
+    trace: u64,
+    prev_span: u64,
+    prev_trace: u64,
     start_us: u64,
     start: Instant,
 }
@@ -165,13 +274,20 @@ impl SpanGuard<'_> {
     pub fn id(&self) -> u64 {
         self.id
     }
+
+    /// The trace this span belongs to (0 = untraced).
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        CURRENT_SPAN.with(|c| c.set(self.parent));
+        CURRENT_SPAN.with(|c| c.set(self.prev_span));
+        CURRENT_TRACE.with(|c| c.set(self.prev_trace));
         self.ring.push(SpanRecord {
             name: self.name,
+            trace: self.trace,
             id: self.id,
             parent: self.parent,
             start_us: self.start_us,
@@ -246,6 +362,7 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
         assert_eq!(v.get("name").and_then(|n| n.as_str()), Some("alpha"));
         assert!(v.get("dur_us").and_then(|d| d.as_u64()).is_some());
+        assert!(v.get("trace").and_then(|t| t.as_u64()).is_some());
     }
 
     #[test]
@@ -272,6 +389,61 @@ mod tests {
                 let p = by_id.get(&s.parent).expect("parent recorded");
                 assert_eq!(p.name, "t-outer");
             }
+        }
+    }
+
+    #[test]
+    fn rooted_spans_join_the_remote_trace_and_children_inherit_it() {
+        let ring = SpanRing::new(16);
+        let other = SpanRing::new(16);
+        assert_eq!(current_trace(), None, "untraced outside any root");
+        {
+            let root = ring.span_rooted("server.request", 77, 5);
+            assert_eq!(root.trace(), 77);
+            assert_eq!(current_trace(), Some((77, root.id())));
+            {
+                // A child in a *different* ring still inherits the trace.
+                let child = other.span("core.evaluate");
+                assert_eq!(child.trace(), 77);
+                assert_eq!(child.parent, root.id());
+            }
+        }
+        assert_eq!(current_trace(), None, "context restored after the root");
+        let root = &ring.drain()[0];
+        assert_eq!(root.trace, 77);
+        assert_eq!(root.parent, 5, "remote parent preserved");
+        let child = &other.drain()[0];
+        assert_eq!(child.trace, 77);
+    }
+
+    #[test]
+    fn of_trace_filters_without_draining() {
+        let ring = SpanRing::new(16);
+        {
+            let _a = ring.span_rooted("a", 11, 0);
+        }
+        {
+            let _b = ring.span_rooted("b", 22, 0);
+        }
+        {
+            let _c = ring.span("untraced");
+        }
+        let t11 = ring.of_trace(11);
+        assert_eq!(t11.len(), 1);
+        assert_eq!(t11[0].name, "a");
+        assert!(ring.of_trace(0).is_empty(), "trace 0 never matches");
+        assert_eq!(ring.len(), 3, "of_trace must not drain");
+        assert_eq!(ring.snapshot().len(), 3);
+        assert_eq!(ring.len(), 3, "snapshot must not drain");
+    }
+
+    #[test]
+    fn minted_trace_ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let id = mint_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "trace ids must not repeat");
         }
     }
 }

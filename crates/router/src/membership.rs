@@ -8,6 +8,7 @@
 //! instances age toward `Suspect` and `Down` under the policy, and one
 //! successful probe heals an instance completely.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -76,6 +77,9 @@ pub struct Membership {
     routed_total: Arc<Counter>,
     forwarded_total: Arc<Counter>,
     failed_over_total: Arc<Counter>,
+    /// Replication lag at the last heartbeat sweep, for the
+    /// lag-jump flight trigger.
+    last_lag: AtomicU64,
 }
 
 impl Membership {
@@ -99,6 +103,7 @@ impl Membership {
             routed_total: registry.counter(names::ROUTER_ROUTED),
             forwarded_total: registry.counter(names::ROUTER_FORWARDED),
             failed_over_total: registry.counter(names::ROUTER_FAILED_OVER),
+            last_lag: AtomicU64::new(0),
             addrs,
             config,
         })
@@ -154,9 +159,40 @@ impl Membership {
             .gauge(names::ROUTER_INSTANCES_SUSPECT)
             .set(s as f64);
         registry.gauge(names::ROUTER_INSTANCES_DOWN).set(d as f64);
+        let lag = self.replication_lag();
         registry
             .gauge(names::ROUTER_REPLICATION_LAG)
-            .set(self.replication_lag() as f64);
+            .set(lag as f64);
+        // Flight triggers: an instance health transition, or the
+        // replication lag jumping while already past one in-flight
+        // sweep, flags the anomaly and (debounced) dumps the recorder.
+        let prev_lag = self.last_lag.swap(lag, Ordering::Relaxed);
+        let mut dump_reason = None;
+        if changed > 0 {
+            registry.flight().record(
+                "instance_transition",
+                format!("{changed} instance health transition(s) in one heartbeat sweep"),
+                0,
+            );
+            dump_reason = Some("instance_transition");
+        }
+        if lag >= 2 && lag > prev_lag {
+            registry.flight().record(
+                "replication_lag",
+                format!("replication lag jumped {prev_lag} -> {lag} epochs"),
+                0,
+            );
+            dump_reason = Some("replication_lag");
+        }
+        if let Some(reason) = dump_reason {
+            if registry
+                .flight()
+                .auto_dump(reason, registry.spans())
+                .is_some()
+            {
+                registry.counter(names::FLIGHT_DUMPS).incr();
+            }
+        }
         changed
     }
 

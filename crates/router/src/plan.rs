@@ -19,7 +19,7 @@
 ///   merged into one tier-wide report.
 /// - `"broadcast"` — sent to every usable instance; all must accept.
 /// - `"local"` — answered by the router itself from its own state.
-pub const FORWARD_MODES: [&str; 13] = [
+pub const FORWARD_MODES: [&str; 15] = [
     "broadcast", // register_profile: every instance needs the profile
     "hash",      // compare
     "hash",      // best_of
@@ -33,6 +33,8 @@ pub const FORWARD_MODES: [&str; 13] = [
     "broadcast", // replicate: relay the leader's sweep as-is
     "local",     // membership: the membership table lives here
     "hash",      // batch: same key-owner placement as compare
+    "merge",     // trace: a trace's spans are scattered across instances
+    "broadcast", // dump_flight: every instance dumps its own recorder
 ];
 
 /// A parsed entry of [`FORWARD_MODES`].

@@ -25,7 +25,7 @@ use cbes_cluster::load::LoadState;
 use cbes_obs::{names, MetricsSnapshot, Registry};
 use cbes_server::protocol::{
     encode, error_kind, route_key_hash, Request, RequestEnvelope, Response, ResponseEnvelope,
-    StatsReport,
+    SpanSnapshot, StatsReport,
 };
 use cbes_server::{Client, ClientError};
 
@@ -299,10 +299,24 @@ fn handle_connection(
             continue;
         }
         let reply = match serde_json::from_str::<RequestEnvelope>(trimmed) {
-            Ok(env) => ResponseEnvelope {
-                id: env.id,
-                response: dispatch(membership, shutdown, self_addr, env.request),
-            },
+            Ok(env) => {
+                // A traced envelope joins the caller's trace here, and —
+                // because `Client::request` stamps outgoing envelopes
+                // from the live trace context — every hop this dispatch
+                // forwards carries the same trace id with the router's
+                // span as the remote parent.
+                let _span = (env.trace_id != 0).then(|| {
+                    Registry::global().spans().span_rooted(
+                        names::SPAN_ROUTER_FORWARD,
+                        env.trace_id,
+                        env.parent_span,
+                    )
+                });
+                ResponseEnvelope {
+                    id: env.id,
+                    response: dispatch(membership, shutdown, self_addr, env.request),
+                }
+            }
             Err(e) => ResponseEnvelope {
                 id: 0,
                 response: Response::error(error_kind::BAD_REQUEST, e.to_string()),
@@ -395,6 +409,8 @@ fn dispatch(
         ForwardMode::Merge => {
             let mut stats: Vec<StatsReport> = Vec::new();
             let mut metrics: Option<MetricsSnapshot> = None;
+            let mut traces: Vec<SpanSnapshot> = Vec::new();
+            let mut answered = false;
             for i in membership.usable() {
                 let addr = match membership.addrs().get(i) {
                     Some(a) => a.as_str(),
@@ -412,8 +428,36 @@ fn dispatch(
                             None => metrics = Some(m),
                         }
                     }
+                    Ok(Response::Traces { spans, .. }) => {
+                        membership.count_forwarded(i);
+                        answered = true;
+                        traces.extend(spans);
+                    }
                     _ => {}
                 }
+            }
+            if let Request::Trace { trace_id } = request {
+                if !answered {
+                    return Response::error(error_kind::SERVICE, "no usable instance answered");
+                }
+                // The router's own forwarding spans are part of the
+                // trace too — without them the tier-wide view has no
+                // root connecting the per-instance fragments.
+                traces.extend(
+                    Registry::global()
+                        .spans()
+                        .of_trace(trace_id)
+                        .into_iter()
+                        .map(SpanSnapshot::from),
+                );
+                traces.sort_by_key(|a| (a.start_us, a.id));
+                // Instances sharing one process (in-proc tests) also
+                // share the global span ring; drop exact duplicates.
+                traces.dedup();
+                return Response::Traces {
+                    trace_id,
+                    spans: traces,
+                };
             }
             if let Some(metrics) = metrics {
                 return Response::Metrics { metrics };
@@ -443,6 +487,23 @@ fn dispatch(
                 shutdown.store(true, Ordering::Release);
                 let _ = TcpStream::connect(self_addr);
                 return Response::ShuttingDown;
+            }
+            if matches!(request, Request::DumpFlight) {
+                // The router is part of the tier: dump its own recorder
+                // alongside the instances'. The first instance reply is
+                // relayed; the router's own dump answers only when no
+                // instance could.
+                let registry = Registry::global();
+                let dumped = registry.flight().dump("on_demand", registry.spans());
+                if let Ok((path, events)) = dumped {
+                    registry.counter(names::FLIGHT_DUMPS).incr();
+                    if ok.is_none() {
+                        ok = Some(Response::FlightDumped {
+                            path: path.display().to_string(),
+                            events: events as u64,
+                        });
+                    }
+                }
             }
             ok.unwrap_or_else(|| {
                 Response::error(error_kind::SERVICE, "no usable instance accepted")

@@ -15,7 +15,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::protocol::{
     encode, InstanceInfo, MembershipReport, Request, RequestEnvelope, Response, ResponseEnvelope,
-    StatsReport,
+    SpanSnapshot, StatsReport,
 };
 
 /// A client-side failure: transport, protocol, or a server error reply.
@@ -132,10 +132,21 @@ impl Client {
     /// Send one request and wait for its reply envelope. Error replies
     /// are returned as envelopes, not `Err` — use the typed helpers for
     /// automatic error conversion.
+    ///
+    /// When the calling thread is inside an open span (see
+    /// [`cbes_obs::current_trace`]), the envelope carries that trace id
+    /// and span id so the server joins the caller's trace; otherwise
+    /// the envelope is untraced and the wire shape is unchanged.
     pub fn request(&mut self, request: Request) -> Result<ResponseEnvelope, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let mut line = encode(&RequestEnvelope { id, request });
+        let envelope = match cbes_obs::current_trace() {
+            Some((trace_id, parent_span)) => {
+                RequestEnvelope::traced(id, request, trace_id, parent_span)
+            }
+            None => RequestEnvelope::new(id, request),
+        };
+        let mut line = encode(&envelope);
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
@@ -359,6 +370,26 @@ impl Client {
         match self.exchange(Request::Membership)? {
             Response::Membership { membership } => Ok(membership),
             other => Err(unexpected("Membership", &other)),
+        }
+    }
+
+    /// Fetch every buffered span belonging to `trace_id` from the
+    /// server's rings (a routed tier merges spans from every instance
+    /// plus the router's own forwarding spans).
+    pub fn trace(&mut self, trace_id: u64) -> Result<(u64, Vec<SpanSnapshot>), ClientError> {
+        match self.exchange(Request::Trace { trace_id })? {
+            Response::Traces { trace_id, spans } => Ok((trace_id, spans)),
+            other => Err(unexpected("Traces", &other)),
+        }
+    }
+
+    /// Force an unconditional flight-recorder dump; returns the dump
+    /// file path and the number of events written (a routed tier dumps
+    /// on every instance and reports the first reply).
+    pub fn dump_flight(&mut self) -> Result<(String, u64), ClientError> {
+        match self.exchange(Request::DumpFlight)? {
+            Response::FlightDumped { path, events } => Ok((path, events)),
+            other => Err(unexpected("FlightDumped", &other)),
         }
     }
 

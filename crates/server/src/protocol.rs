@@ -127,12 +127,24 @@ pub enum Request {
         /// Candidate mappings, arity matching the profile.
         mappings: Vec<Mapping>,
     },
+    /// Read every buffered span belonging to one trace. A routed
+    /// request is answered tier-wide: the router concatenates each
+    /// instance's matching spans with its own forwarding spans, so one
+    /// traced `Batch` yields a single connected trace in the reply.
+    Trace {
+        /// The trace id minted at the requesting client.
+        trace_id: u64,
+    },
+    /// Dump the anomaly flight recorder (recent events + span ring)
+    /// to a JSONL file on the serving instance, as if a trigger had
+    /// fired. The router broadcasts the dump to every usable instance.
+    DumpFlight,
 }
 
 /// Canonical action names in declaration order; index `i` names the
 /// variant with [`Request::action_index`] `i`. Keys of
 /// [`StatsReport::per_action`] are drawn from this set.
-pub const ACTIONS: [&str; 13] = [
+pub const ACTIONS: [&str; 15] = [
     "register_profile",
     "compare",
     "best_of",
@@ -146,6 +158,8 @@ pub const ACTIONS: [&str; 13] = [
     "replicate",
     "membership",
     "batch",
+    "trace",
+    "dump_flight",
 ];
 
 impl Request {
@@ -165,6 +179,8 @@ impl Request {
             Request::Replicate { .. } => 10,
             Request::Membership => 11,
             Request::Batch { .. } => 12,
+            Request::Trace { .. } => 13,
+            Request::DumpFlight => 14,
         }
     }
 
@@ -281,6 +297,23 @@ pub enum Response {
         /// The tier (or single-instance) membership view.
         membership: MembershipReport,
     },
+    /// Spans belonging to one trace, for a `Trace` request. Through
+    /// the router this is the tier-wide union: every instance's
+    /// matching spans plus the router's own forwarding spans.
+    Traces {
+        /// The queried trace id, echoed.
+        trace_id: u64,
+        /// Every buffered span stamped with that trace, unordered
+        /// (consumers sort by `start_us`).
+        spans: Vec<SpanSnapshot>,
+    },
+    /// Receipt for a `DumpFlight` request: where the dump landed.
+    FlightDumped {
+        /// Path of the JSONL dump file on the answering instance.
+        path: String,
+        /// Flight-recorder events written into the dump.
+        events: u64,
+    },
     /// The request failed; `kind` is one of [`error_kind`].
     Error {
         /// Machine-readable error class.
@@ -319,6 +352,38 @@ impl Response {
             kind: kind.to_string(),
             message: message.into(),
             retry_after_ms,
+        }
+    }
+}
+
+/// One exported tracing span, the unit of [`Response::Traces`]. The
+/// owned-`String` twin of `cbes_obs::SpanRecord` (whose name is a
+/// `&'static str` and cannot cross the wire).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// Span name (an action name or a `cbes_obs::names` constant).
+    pub name: String,
+    /// Owning trace id; 0 marks an untraced span.
+    pub trace: u64,
+    /// Span id, unique within the recording process.
+    pub id: u64,
+    /// Parent span id; 0 marks a root span.
+    pub parent: u64,
+    /// Microseconds from the recording process's epoch to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+impl From<cbes_obs::SpanRecord> for SpanSnapshot {
+    fn from(r: cbes_obs::SpanRecord) -> Self {
+        SpanSnapshot {
+            name: r.name.to_string(),
+            trace: r.trace,
+            id: r.id,
+            parent: r.parent,
+            start_us: r.start_us,
+            dur_us: r.dur_us,
         }
     }
 }
@@ -406,13 +471,82 @@ pub struct StatsReport {
     pub uptime_s: f64,
 }
 
-/// A request with its correlation id.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A request with its correlation id and optional trace context.
+///
+/// The trace fields are carried as a pair: an untraced request (the
+/// overwhelmingly common case) encodes exactly as before — `{"id": n,
+/// "request": ...}` with no trace keys on the wire — while a traced
+/// one appends `"trace_id"` and `"parent_span"` after the request.
+/// Absent fields deserialise to 0, so old and new peers interoperate
+/// in both directions. `Serialize`/`Deserialize` are hand-written
+/// because the vendored derive has no optional-field support.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestEnvelope {
     /// Client-chosen id, echoed verbatim in the reply.
     pub id: u64,
     /// The request.
     pub request: Request,
+    /// Trace id minted at the originating client; 0 = untraced.
+    pub trace_id: u64,
+    /// The sender's span id, adopted as the parent of the receiver's
+    /// request span; 0 = the trace root.
+    pub parent_span: u64,
+}
+
+impl RequestEnvelope {
+    /// An untraced envelope (the common case).
+    pub fn new(id: u64, request: Request) -> Self {
+        RequestEnvelope {
+            id,
+            request,
+            trace_id: 0,
+            parent_span: 0,
+        }
+    }
+
+    /// An envelope joined to an existing trace.
+    pub fn traced(id: u64, request: Request, trace_id: u64, parent_span: u64) -> Self {
+        RequestEnvelope {
+            id,
+            request,
+            trace_id,
+            parent_span,
+        }
+    }
+}
+
+impl Serialize for RequestEnvelope {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("request".to_string(), self.request.to_value()),
+        ];
+        if self.trace_id != 0 {
+            fields.push(("trace_id".to_string(), self.trace_id.to_value()));
+            fields.push(("parent_span".to_string(), self.parent_span.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for RequestEnvelope {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom(format!("expected object, got {}", v.kind())))?;
+        let optional_u64 = |key: &str| -> Result<u64, serde::Error> {
+            match obj.iter().find(|(k, _)| k == key) {
+                Some((_, v)) => u64::from_value(v),
+                None => Ok(0),
+            }
+        };
+        Ok(RequestEnvelope {
+            id: serde::from_field(obj, "id")?,
+            request: serde::from_field(obj, "request")?,
+            trace_id: optional_u64("trace_id")?,
+            parent_span: optional_u64("parent_span")?,
+        })
+    }
 }
 
 /// A reply with the id of the request it answers.
@@ -519,7 +653,23 @@ fn decode_request_fast(line: &str) -> Option<RequestEnvelope> {
             c.lit(b",")?;
         }
     }
-    c.lit(b"}}}")?;
+    c.lit(b"}}")?;
+    // The envelope tail is either `}` (untraced) or the exact trace
+    // suffix the encoder emits — both fields, in order.
+    let (trace_id, parent_span) = if c.eat(b'}') {
+        (0, 0)
+    } else {
+        c.lit(b",\"trace_id\":")?;
+        let trace_id = c.u64()?;
+        c.lit(b",\"parent_span\":")?;
+        let parent_span = c.u64()?;
+        c.lit(b"}")?;
+        // The generic encoder never emits trace_id 0; stay as narrow.
+        if trace_id == 0 {
+            return None;
+        }
+        (trace_id, parent_span)
+    };
     if c.pos != c.bytes.len() {
         return None;
     }
@@ -529,7 +679,7 @@ fn decode_request_fast(line: &str) -> Option<RequestEnvelope> {
         "Batch" => Request::Batch { app, mappings },
         _ => return None,
     };
-    Some(RequestEnvelope { id, request })
+    Some(RequestEnvelope::traced(id, request, trace_id, parent_span))
 }
 
 /// Byte cursor for [`decode_request_fast`]: every helper returns `None`
@@ -681,7 +831,7 @@ mod tests {
             },
         ];
         for request in shapes {
-            let env = RequestEnvelope { id: 3, request };
+            let env = RequestEnvelope::new(3, request);
             let line = encode(&env);
             let fast = decode_request_fast(&line)
                 .unwrap_or_else(|| panic!("fast path must accept {line}"));
@@ -701,15 +851,15 @@ mod tests {
         assert!(decode_request_fast(escaped).is_none());
         assert!(decode_request(escaped).is_ok());
         // Other variants: fast path bails, generic handles them.
-        let env = RequestEnvelope {
-            id: 1,
-            request: Request::Schedule {
+        let env = RequestEnvelope::new(
+            1,
+            Request::Schedule {
                 app: "x".into(),
                 pool: vec![1, 2],
                 iters: 5,
                 seed: 0,
             },
-        };
+        );
         let line = encode(&env);
         assert!(decode_request_fast(&line).is_none());
         assert_eq!(decode_request(&line).expect("decode"), env);
@@ -730,13 +880,13 @@ mod tests {
 
     #[test]
     fn request_round_trips() {
-        let env = RequestEnvelope {
-            id: 42,
-            request: Request::Compare {
+        let env = RequestEnvelope::new(
+            42,
+            Request::Compare {
                 app: "lu".into(),
                 mappings: vec![Mapping::new(vec![NodeId(0), NodeId(3)])],
             },
-        };
+        );
         let line = encode(&env);
         assert!(!line.contains('\n'), "one line per message");
         let back: RequestEnvelope = serde_json::from_str(&line).expect("encode emits valid JSON");
@@ -760,10 +910,7 @@ mod tests {
         for (i, req) in reqs.into_iter().enumerate() {
             assert_eq!(req.action_index(), 9 + i, "{}", req.action());
             assert!(!req.is_eval(), "router family is control-plane");
-            let env = RequestEnvelope {
-                id: 7,
-                request: req.clone(),
-            };
+            let env = RequestEnvelope::new(7, req.clone());
             let back: RequestEnvelope =
                 serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
             assert_eq!(back.request, req);
@@ -854,29 +1001,115 @@ mod tests {
     }
 
     #[test]
-    fn batch_round_trips_and_is_the_last_action() {
+    fn batch_round_trips_and_keeps_its_index() {
         let req = Request::Batch {
             app: "lu".into(),
             mappings: vec![Mapping::new(vec![NodeId(0), NodeId(3)])],
         };
-        assert_eq!(req.action_index(), ACTIONS.len() - 1);
+        assert_eq!(req.action_index(), 12);
         assert_eq!(req.action(), "batch");
-        let env = RequestEnvelope {
-            id: 64,
-            request: req.clone(),
-        };
+        let env = RequestEnvelope::new(64, req.clone());
         let back: RequestEnvelope =
             serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
         assert_eq!(back.request, req);
     }
 
     #[test]
+    fn trace_family_round_trips_and_closes_the_action_table() {
+        let trace = Request::Trace { trace_id: 99 };
+        let dump = Request::DumpFlight;
+        assert_eq!(trace.action_index(), ACTIONS.len() - 2);
+        assert_eq!(dump.action_index(), ACTIONS.len() - 1);
+        assert_eq!(trace.action(), "trace");
+        assert_eq!(dump.action(), "dump_flight");
+        assert!(
+            !trace.is_eval() && !dump.is_eval(),
+            "observability is control-plane"
+        );
+        for req in [trace, dump] {
+            let env = RequestEnvelope::new(5, req.clone());
+            let back: RequestEnvelope =
+                serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
+            assert_eq!(back.request, req);
+        }
+        let resp = Response::Traces {
+            trace_id: 99,
+            spans: vec![SpanSnapshot {
+                name: "batch".into(),
+                trace: 99,
+                id: 3,
+                parent: 1,
+                start_us: 40,
+                dur_us: 17,
+            }],
+        };
+        let env = ResponseEnvelope {
+            id: 5,
+            response: resp.clone(),
+        };
+        let back: ResponseEnvelope =
+            serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
+        assert_eq!(back.response, resp);
+        let receipt = Response::FlightDumped {
+            path: "/tmp/cbes-flight-1-2.jsonl".into(),
+            events: 4,
+        };
+        let back: ResponseEnvelope = serde_json::from_str(&encode(&ResponseEnvelope {
+            id: 6,
+            response: receipt.clone(),
+        }))
+        .expect("encode emits valid JSON");
+        assert_eq!(back.response, receipt);
+    }
+
+    #[test]
+    fn traced_envelopes_round_trip_and_untraced_wire_shape_is_unchanged() {
+        let untraced = RequestEnvelope::new(3, Request::Stats);
+        let line = encode(&untraced);
+        assert!(
+            !line.contains("trace_id"),
+            "untraced envelopes must not widen the wire: {line}"
+        );
+        let back: RequestEnvelope = serde_json::from_str(&line).expect("decode");
+        assert_eq!(back, untraced);
+
+        let traced = RequestEnvelope::traced(4, Request::Stats, 77, 5);
+        let line = encode(&traced);
+        assert!(line.contains("\"trace_id\":77"), "{line}");
+        assert!(line.contains("\"parent_span\":5"), "{line}");
+        let back: RequestEnvelope = serde_json::from_str(&line).expect("decode");
+        assert_eq!(back, traced);
+        // A traced root (parent 0) still carries both fields.
+        let root = RequestEnvelope::traced(4, Request::Stats, 77, 0);
+        let back: RequestEnvelope = serde_json::from_str(&encode(&root)).expect("decode");
+        assert_eq!(back, root);
+    }
+
+    #[test]
+    fn fast_request_decoder_accepts_the_traced_suffix() {
+        let req = Request::Batch {
+            app: "lu".into(),
+            mappings: vec![Mapping::new(vec![NodeId(0), NodeId(3)])],
+        };
+        let env = RequestEnvelope::traced(9, req, 0xABCD, 7);
+        let line = encode(&env);
+        let fast = decode_request_fast(&line)
+            .unwrap_or_else(|| panic!("fast path must accept traced frames: {line}"));
+        assert_eq!(fast, env);
+        // Truncated or reordered trace suffixes fall back cleanly.
+        for bad in [
+            "{\"id\":9,\"request\":{\"Batch\":{\"app\":\"lu\",\"mappings\":[]}},\"trace_id\":5}",
+            "{\"id\":9,\"request\":{\"Batch\":{\"app\":\"lu\",\"mappings\":[]}},\"parent_span\":5,\"trace_id\":5}",
+            "{\"id\":9,\"request\":{\"Batch\":{\"app\":\"lu\",\"mappings\":[]}},\"trace_id\":0,\"parent_span\":0}",
+        ] {
+            assert!(decode_request_fast(bad).is_none(), "fast accepted: {bad}");
+        }
+    }
+
+    #[test]
     fn unit_requests_round_trip() {
         for req in [Request::Stats, Request::Shutdown] {
-            let env = RequestEnvelope {
-                id: 1,
-                request: req.clone(),
-            };
+            let env = RequestEnvelope::new(1, req.clone());
             let back: RequestEnvelope =
                 serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
             assert_eq!(back.request, req);

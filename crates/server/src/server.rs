@@ -33,8 +33,8 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,7 +48,7 @@ use parking_lot::Mutex;
 use crate::epoll::{PollEvent, Poller};
 use crate::protocol::{
     decode_request, encode_response, error_kind, route_key_hash, InstanceInfo, MembershipReport,
-    Request, RequestEnvelope, Response, ResponseEnvelope, StatsReport, ACTIONS,
+    Request, RequestEnvelope, Response, ResponseEnvelope, SpanSnapshot, StatsReport, ACTIONS,
 };
 
 /// Upper bound on one reactor poll wait: the loop re-checks the
@@ -184,6 +184,13 @@ struct ServerMetrics {
     service_time: Arc<Histogram>,
     /// Served-request counters, index-aligned with [`ACTIONS`].
     by_action: Vec<Arc<Counter>>,
+    /// Flight-recorder dumps written (triggered or on demand).
+    flight_dumps: Arc<Counter>,
+    /// Second stamp of the last once-per-second anomaly sweep
+    /// ([`flight_checks`]); 0 = never swept.
+    last_flight_check: AtomicU64,
+    /// Node health-transition count at the last anomaly sweep.
+    last_health_transitions: AtomicU64,
     start: Instant,
 }
 
@@ -207,6 +214,9 @@ impl ServerMetrics {
                 .iter()
                 .map(|n| registry.counter(n))
                 .collect(),
+            flight_dumps: registry.counter(names::FLIGHT_DUMPS),
+            last_flight_check: AtomicU64::new(0),
+            last_health_transitions: AtomicU64::new(0),
             start: Instant::now(),
             registry,
         }
@@ -331,6 +341,7 @@ fn try_admit(
         Err(TrySendError::Full(_)) => {
             metrics.overloaded.incr();
             metrics.errors.incr();
+            maybe_flag_shed_spike(metrics);
             Admission::Reply(ResponseEnvelope {
                 id,
                 response: Response::shed(
@@ -724,6 +735,112 @@ fn encode_line(envelope: &ResponseEnvelope) -> Vec<u8> {
     let mut bytes = encode_response(envelope).into_bytes();
     bytes.push(b'\n');
     bytes
+}
+
+/// Sheds within one second that count as a spike and trip the flight
+/// recorder. `CBES_FLIGHT_SHED_SPIKE` overrides; 0 disables the
+/// trigger entirely.
+fn shed_spike_threshold() -> u64 {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("CBES_FLIGHT_SHED_SPIKE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8)
+    })
+}
+
+/// Rolling-p99 service-time budget in microseconds; exceeding it over
+/// the 10 s window trips the flight recorder. `CBES_FLIGHT_P99_BUDGET_US`
+/// sets it; the default 0 disables the trigger.
+fn flight_p99_budget_us() -> u64 {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("CBES_FLIGHT_P99_BUDGET_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Shed-spike flight trigger, called from every shed site. Records one
+/// event at the threshold crossing and attempts a (debounced) dump
+/// whenever the last second's shed count sits at or above the
+/// threshold; below it the cost is one windowed-counter read.
+fn maybe_flag_shed_spike(metrics: &ServerMetrics) {
+    let spike = shed_spike_threshold();
+    if spike == 0 {
+        return;
+    }
+    let recent = metrics.overloaded.window(1);
+    if recent < spike {
+        return;
+    }
+    let flight = metrics.registry.flight();
+    if recent == spike {
+        flight.record(
+            "shed_spike",
+            format!("{recent} requests shed in the last second"),
+            0,
+        );
+    }
+    if flight
+        .auto_dump("shed_spike", metrics.registry.spans())
+        .is_some()
+    {
+        metrics.flight_dumps.incr();
+    }
+}
+
+/// Once-per-second anomaly sweep run by whichever worker first crosses
+/// a second boundary: a rolling-p99 budget breach or a node
+/// health-state transition trips a (debounced) flight dump. Every
+/// other request of the second pays one atomic swap and returns.
+fn flight_checks(service: &Arc<CbesService>, metrics: &Arc<ServerMetrics>) {
+    // +1 keeps the stamp nonzero so "never swept" stays distinguishable.
+    let now = metrics.start.elapsed().as_secs() + 1;
+    let prev_check = metrics.last_flight_check.swap(now, Ordering::Relaxed);
+    if prev_check == now {
+        return;
+    }
+    let transitions = service.health_transitions();
+    let prev_transitions = metrics
+        .last_health_transitions
+        .swap(transitions, Ordering::Relaxed);
+    if prev_check == 0 {
+        // First sweep only seeds the baselines.
+        return;
+    }
+    let flight = metrics.registry.flight();
+    let mut dump_reason = None;
+    let budget = flight_p99_budget_us();
+    if budget > 0 {
+        let p99 = metrics.service_time.window_snapshot(10).p99();
+        if p99 > budget {
+            flight.record(
+                "p99_budget",
+                format!("rolling p99 {p99}us exceeds budget {budget}us over 10s"),
+                0,
+            );
+            dump_reason = Some("p99_budget");
+        }
+    }
+    if transitions > prev_transitions {
+        flight.record(
+            "health_transition",
+            format!(
+                "{} node health transition(s) since the last sweep",
+                transitions - prev_transitions
+            ),
+            0,
+        );
+        dump_reason = Some("health_transition");
+    }
+    if let Some(reason) = dump_reason {
+        if flight.auto_dump(reason, metrics.registry.spans()).is_some() {
+            metrics.flight_dumps.incr();
+        }
+    }
 }
 
 /// The event loop: owns the listener, the wake receiver, and every
@@ -1173,6 +1290,7 @@ fn precheck(
                 metrics.rate_limited.incr();
                 metrics.overloaded.incr();
                 metrics.errors.incr();
+                maybe_flag_shed_spike(metrics);
                 return Err(Box::new((
                     ResponseEnvelope {
                         id: envelope.id,
@@ -1211,7 +1329,18 @@ fn execute(
     let action_index = envelope.request.action_index();
     let picked_up = Instant::now();
     let response = {
-        let _span = metrics.registry.span(envelope.request.action());
+        // A traced envelope joins the caller's trace: this request span
+        // (and every child span it opens — core evaluation, scheduler)
+        // carries the remote trace id and links to the remote parent.
+        let _span = if envelope.trace_id != 0 {
+            metrics.registry.spans().span_rooted(
+                envelope.request.action(),
+                envelope.trace_id,
+                envelope.parent_span,
+            )
+        } else {
+            metrics.registry.span(envelope.request.action())
+        };
         handle_request(
             service,
             envelope.request,
@@ -1230,6 +1359,7 @@ fn execute(
         metrics.errors.incr();
     }
     metrics.served.incr();
+    flight_checks(service, metrics);
     (ResponseEnvelope { id, response }, false)
 }
 
@@ -1453,6 +1583,43 @@ fn handle_request(
             }
             Err(e) => Response::service_error(&e),
         },
+        Request::Trace { trace_id } => {
+            // Both rings can hold pieces of one trace: the request span
+            // lands in the server registry, the evaluation spans beneath
+            // it land in the global registry the library crates use.
+            let mut spans: Vec<SpanSnapshot> = metrics
+                .registry
+                .spans()
+                .of_trace(trace_id)
+                .into_iter()
+                .map(SpanSnapshot::from)
+                .collect();
+            spans.extend(
+                Registry::global()
+                    .spans()
+                    .of_trace(trace_id)
+                    .into_iter()
+                    .map(SpanSnapshot::from),
+            );
+            spans.sort_by_key(|s| s.start_us);
+            Response::Traces { trace_id, spans }
+        }
+        Request::DumpFlight => {
+            match metrics
+                .registry
+                .flight()
+                .dump("on_demand", metrics.registry.spans())
+            {
+                Ok((path, events)) => {
+                    metrics.flight_dumps.incr();
+                    Response::FlightDumped {
+                        path: path.display().to_string(),
+                        events: events as u64,
+                    }
+                }
+                Err(e) => Response::error(error_kind::SERVICE, format!("flight dump failed: {e}")),
+            }
+        }
     }
 }
 
@@ -1481,10 +1648,7 @@ mod tests {
     }
 
     fn stats_line(id: u64) -> String {
-        encode(&RequestEnvelope {
-            id,
-            request: Request::Stats,
-        })
+        encode(&RequestEnvelope::new(id, Request::Stats))
     }
 
     fn error_kind_of(envelope: &ResponseEnvelope) -> &str {
@@ -1508,15 +1672,15 @@ mod tests {
         // Pin against actual serde encodings, not a hand-written shape:
         // the enum is externally tagged, so struct variants nest as
         // {"request":{"Schedule":{…}}} and unit variants as a string.
-        let sched = encode(&RequestEnvelope {
-            id: 3,
-            request: Request::Schedule {
+        let sched = encode(&RequestEnvelope::new(
+            3,
+            Request::Schedule {
                 app: "ring".to_string(),
                 pool: vec![0, 1],
                 iters: 10,
                 seed: 1,
             },
-        });
+        ));
         assert_eq!(sniff_action(&sched), Some("Schedule"));
         let stats = stats_line(1);
         assert_eq!(sniff_action(&stats), None, "unit variants have no tag key");
@@ -1694,13 +1858,13 @@ mod tests {
     fn rate_cap_sheds_eval_requests_but_exempts_control_plane() {
         let m = metrics();
         let rate = RateLimiter::new(0.001); // burst = 1 token
-        let compare_line = encode(&RequestEnvelope {
-            id: 11,
-            request: Request::Compare {
+        let compare_line = encode(&RequestEnvelope::new(
+            11,
+            Request::Compare {
                 app: "lu".into(),
                 mappings: vec![],
             },
-        });
+        ));
         assert!(
             precheck(&compare_line, Some(&rate), &m).is_ok(),
             "the first eval spends the only token"
