@@ -16,6 +16,10 @@
 //!    with a valid mode, hash-routed actions have `RoutingClient`
 //!    methods, the CLI exposes the `route` command with its `serve` and
 //!    `status` arms, and DESIGN.md tables every `(action, mode)` pair.
+//! 8. When the reconfig crate exists: the CLI exposes the `artifact`
+//!    command with its full lifecycle arm set (`stage`, `apply`,
+//!    `accept`, `rollback`, `status`, `list`), so the admin action
+//!    family cannot grow without an operator entry point.
 
 use crate::findings::Finding;
 use crate::lexer::TokKind;
@@ -169,7 +173,39 @@ pub fn check(root: &Path) -> Vec<Finding> {
 
     check_exit_codes(root, &mut out);
     check_forward_plan(root, &actions, &mut out);
+    check_artifact_family(root, &mut out);
     out
+}
+
+/// Sub-check 8: the artifact lifecycle CLI vs the reconfig crate.
+/// Skipped entirely when the workspace has no reconfig crate (older
+/// trees stay clean).
+fn check_artifact_family(root: &Path, out: &mut Vec<Finding>) {
+    if !root.join("crates/reconfig").is_dir() {
+        return;
+    }
+    let Some(commands) = parse(root, COMMANDS, out) else {
+        return;
+    };
+    if has_fn(&commands, "artifact") {
+        for sub in ["stage", "apply", "accept", "rollback", "status", "list"] {
+            if !has_str(&commands, sub) {
+                out.push(Finding::new(
+                    DRIFT,
+                    COMMANDS,
+                    0,
+                    format!("the CLI `artifact` command has no \"{sub}\" arm"),
+                ));
+            }
+        }
+    } else {
+        out.push(Finding::new(
+            DRIFT,
+            COMMANDS,
+            0,
+            "reconfig crate present but the CLI has no `fn artifact` command",
+        ));
+    }
 }
 
 /// Sub-check 7: the router's forwarding plan vs the protocol, the

@@ -89,12 +89,12 @@ fn drift_fixture_reports_every_planted_mismatch() {
     let report = run(fixture("drift"), &[rules::DRIFT]);
     assert_eq!(
         report.findings.len(),
-        11,
+        12,
         "one finding per planted mismatch: {:#?}",
         report.findings
     );
     // Drift findings are unwaivable by design.
-    assert_eq!(report.unwaived().count(), 11);
+    assert_eq!(report.unwaived().count(), 12);
     for f in &report.findings {
         assert_eq!(f.rule, rules::DRIFT);
     }
@@ -112,6 +112,7 @@ fn drift_fixture_reports_every_planted_mismatch() {
         "router crate present but the CLI has no `fn route` command",
         "action \"compare\" (mode \"hash\") has no row in the DESIGN.md forwarding table",
         "action \"stats\" (mode \"teleport\") has no row in the DESIGN.md forwarding table",
+        "reconfig crate present but the CLI has no `fn artifact` command",
     ];
     for expected in planted {
         assert!(
@@ -195,6 +196,6 @@ fn cli_writes_the_json_report() {
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let json = std::fs::read_to_string(&path).expect("json report written");
     std::fs::remove_file(&path).ok();
-    assert!(json.contains("\"unwaived_count\": 11"), "{json}");
+    assert!(json.contains("\"unwaived_count\": 12"), "{json}");
     assert!(json.contains("\"rule\": \"drift\""), "{json}");
 }

@@ -1,0 +1,3 @@
+//! Fixture: the reconfig crate exists, but the CLI next door has no
+//! `fn artifact` command — the planted sub-check-8 mismatch.
+pub struct ArtifactStore;

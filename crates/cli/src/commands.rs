@@ -394,6 +394,7 @@ pub fn serve(parsed: &Parsed) -> Result<String, CliError> {
             parsed.get_parsed("retry-after-ms", 25u64)?,
         ),
         max_rps: parsed.get_parsed("max-rps", 0.0f64)?,
+        state_dir: parsed.get("state-dir").map(std::path::PathBuf::from),
     };
     let health = cbes_core::HealthPolicy {
         suspect_after: parsed.get_parsed("suspect-after", 3u64)?,
@@ -636,25 +637,50 @@ pub fn metrics(parsed: &Parsed) -> Result<String, CliError> {
     }
 }
 
+/// Per-endpoint cumulative `(served, shed)` totals from the previous
+/// `cbes top` frame, keyed by address — the baseline for the per-frame
+/// rate deltas.
+type TopTotals = std::collections::BTreeMap<String, (u64, u64)>;
+
 /// Render one `cbes top` frame from per-endpoint metrics snapshots:
-/// request and shed rates from the 1-second counter windows, rolling
-/// service-time quantiles from the 10/60-second histogram windows.
-fn top_frame(rows: &[(String, cbes_obs::MetricsSnapshot)]) -> String {
+/// request and shed deltas against the previous frame's cumulative
+/// totals, rolling service-time quantiles from the 10/60-second
+/// histogram windows. An endpoint that did not answer this frame
+/// (`None`) renders as a `down` row rather than aborting the session,
+/// and its delta baseline is dropped so the first frame after it comes
+/// back starts fresh. Deltas clamp at zero via `saturating_sub`: a
+/// restarted instance resets its counters, and a session that spans the
+/// restart must show a quiet endpoint, not an underflowed rate.
+fn top_frame(rows: &[(String, Option<cbes_obs::MetricsSnapshot>)], prev: &mut TopTotals) -> String {
     use cbes_obs::names;
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<21} {:>7} {:>7} {:>10} {:>10} {:>10} {:>11} {:>7}",
-        "endpoint", "req/s", "shed/s", "p50-10s us", "p99-10s us", "p99-60s us", "spans", "flight"
+        "endpoint", "req", "shed", "p50-10s us", "p99-10s us", "p99-60s us", "spans", "flight"
     );
-    for (addr, m) in rows {
+    for (addr, snap) in rows {
+        let Some(m) = snap else {
+            prev.remove(addr);
+            let _ = writeln!(
+                out,
+                "{addr:<21} {:>7} {:>7} {:>10} {:>10} {:>10} {:>11} {:>7}  (down)",
+                "-", "-", "-", "-", "-", "-", "-"
+            );
+            continue;
+        };
         let c = |key: String| m.counters.get(&key).copied().unwrap_or(0);
         // A daemon serves requests; a router routes them. Summing the
-        // two 1s windows gives one rate column for a mixed endpoint list.
-        let served =
-            c(format!("{}#1s", names::SERVER_SERVED)) + c(format!("{}#1s", names::ROUTER_ROUTED));
-        let shed = c(format!("{}#1s", names::SERVER_OVERLOADED))
-            + c(format!("{}#1s", names::SERVER_RATE_LIMITED));
+        // two counters gives one rate column for a mixed endpoint list.
+        let served_total =
+            c(names::SERVER_SERVED.to_string()) + c(names::ROUTER_ROUTED.to_string());
+        let shed_total =
+            c(names::SERVER_OVERLOADED.to_string()) + c(names::SERVER_RATE_LIMITED.to_string());
+        let (served_prev, shed_prev) = prev
+            .insert(addr.clone(), (served_total, shed_total))
+            .unwrap_or((0, 0));
+        let served = served_total.saturating_sub(served_prev);
+        let shed = shed_total.saturating_sub(shed_prev);
         let q = |w: u64, pick: fn(&cbes_obs::HistogramSnapshot) -> u64| {
             m.histograms
                 .get(&format!("{}#{w}s", names::SERVER_SERVICE_TIME_US))
@@ -694,17 +720,22 @@ pub fn top(parsed: &Parsed) -> Result<String, CliError> {
     }
     let interval = std::time::Duration::from_millis(parsed.get_parsed("interval-ms", 1000u64)?);
     let mut last = String::new();
+    let mut totals = TopTotals::new();
     for frame in 0..iterations {
         let mut rows = Vec::new();
         for addr in &addrs {
-            let snap = connect(parsed, addr)?.metrics().map_err(client_err)?;
+            // A dead endpoint is a row, not a session abort: restarts
+            // mid-session are exactly when an operator watches `top`.
+            let snap = connect(parsed, addr)
+                .and_then(|mut c| c.metrics().map_err(client_err))
+                .ok();
             rows.push((addr.to_string(), snap));
         }
         last = format!(
             "cbes top — frame {}/{iterations}, {} endpoint(s)\n{}",
             frame + 1,
             addrs.len(),
-            top_frame(&rows)
+            top_frame(&rows, &mut totals)
         );
         if frame + 1 < iterations {
             println!("{last}");
@@ -886,12 +917,162 @@ pub fn request(parsed: &Parsed) -> Result<String, CliError> {
             let (path, events) = client.dump_flight().map_err(err)?;
             let _ = writeln!(out, "flight recorder dumped {events} event(s) to {path}");
         }
+        "stage" => {
+            let kind = parsed.require("kind")?;
+            let payload = artifact_payload(parsed)?;
+            let (version, state, _) = client.stage(kind, &payload).map_err(err)?;
+            let _ = writeln!(out, "artifact v{version} {state} ({kind})");
+        }
+        "apply" => {
+            let (version, state, epoch) = client.apply().map_err(err)?;
+            let _ = writeln!(out, "artifact v{version} {state} (epoch {epoch})");
+        }
+        "accept" => {
+            let (version, state, _) = client.accept().map_err(err)?;
+            let _ = writeln!(out, "artifact v{version} {state}");
+        }
+        "rollback" => {
+            let reason = parsed.get("reason").unwrap_or("operator rollback");
+            let (version, state, epoch) = client.rollback(reason).map_err(err)?;
+            let _ = writeln!(out, "artifact v{version} {state} (epoch {epoch})");
+        }
+        "artifact-status" => {
+            let status = client.artifact_status().map_err(err)?;
+            out.push_str(&artifact_status_table(&status));
+        }
         other => {
             return Err(CliError::usage(format!(
                 "unknown request action `{other}` \
                  (want stats | metrics | shutdown | register | compare | best-of \
                  | batch | schedule | observe | observe-partial | route \
-                 | replicate | membership | trace | dump-flight)"
+                 | replicate | membership | trace | dump-flight | stage \
+                 | apply | accept | rollback | artifact-status)"
+            )))
+        }
+    }
+    Ok(out)
+}
+
+/// The artifact payload for `stage`: inline `--payload JSON` or
+/// `--payload-file FILE`.
+fn artifact_payload(parsed: &Parsed) -> Result<String, CliError> {
+    match (parsed.get("payload"), parsed.get("payload-file")) {
+        (Some(inline), None) => Ok(inline.to_string()),
+        (None, Some(path)) => Ok(std::fs::read_to_string(path)?),
+        _ => Err(CliError::usage(
+            "staging needs exactly one of --payload JSON or --payload-file FILE",
+        )),
+    }
+}
+
+/// Render a tier-wide artifact status: one block per instance with its
+/// staged/soaking/active versions and lifecycle history.
+fn artifact_status_table(status: &cbes_reconfig::StatusReport) -> String {
+    let mut out = String::new();
+    for i in &status.instances {
+        if !i.reconfigurable {
+            let _ = writeln!(out, "{}: not reconfigurable (no --state-dir)", i.addr);
+            continue;
+        }
+        let s = &i.status;
+        let fmt = |a: &Option<cbes_reconfig::ArtifactSummary>| {
+            a.as_ref()
+                .map(|a| format!("v{} ({})", a.version, a.kind))
+                .unwrap_or_else(|| "none".to_string())
+        };
+        let soaking = s
+            .soaking
+            .as_ref()
+            .map(|s| format!("v{} ({}, falls back to v{})", s.version, s.kind, s.previous))
+            .unwrap_or_else(|| "none".to_string());
+        let _ = writeln!(
+            out,
+            "{}: active {}, soaking {soaking}, staged {}, {} journal record(s)",
+            i.addr,
+            fmt(&s.active),
+            fmt(&s.staged),
+            s.journal_records
+        );
+        if let Some(r) = &s.last_rollback {
+            let _ = writeln!(
+                out,
+                "  last rollback: v{} ({}) — {}",
+                r.version,
+                if r.auto { "auto" } else { "operator" },
+                r.reason
+            );
+        }
+    }
+    out
+}
+
+/// `cbes artifact <stage|apply|accept|rollback|status|list> <addr>` —
+/// drive the live-reconfiguration lifecycle of a daemon or, pointed at
+/// a router, of the whole tier (stage/apply/accept/rollback broadcast;
+/// status merges one row per instance).
+pub fn artifact(parsed: &Parsed) -> Result<String, CliError> {
+    let sub = parsed.positional0().map_err(|_| {
+        CliError::usage(
+            "`artifact` needs a subcommand (stage | apply | accept | rollback | status | list)",
+        )
+    })?;
+    let addr = parsed
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| {
+            CliError::usage(format!("`artifact {sub}` needs a daemon or router address"))
+        })?;
+    let mut client = connect(parsed, addr)?;
+    let mut out = String::new();
+    match sub {
+        "stage" => {
+            let kind = parsed.require("kind")?;
+            let payload = artifact_payload(parsed)?;
+            let (version, state, _) = client.stage(kind, &payload).map_err(client_err)?;
+            let _ = writeln!(out, "staged artifact v{version} ({kind}): {state}");
+            let _ = writeln!(out, "next: cbes artifact apply {addr}");
+        }
+        "apply" => {
+            let (version, state, epoch) = client.apply().map_err(client_err)?;
+            let _ = writeln!(
+                out,
+                "artifact v{version} is {state} at epoch {epoch} — accept it once the \
+                 soak looks healthy, or roll back"
+            );
+        }
+        "accept" => {
+            let (version, state, _) = client.accept().map_err(client_err)?;
+            let _ = writeln!(out, "artifact v{version} is {state}");
+        }
+        "rollback" => {
+            let reason = parsed.get("reason").unwrap_or("operator rollback");
+            let (version, state, epoch) = client.rollback(reason).map_err(client_err)?;
+            let _ = writeln!(
+                out,
+                "artifact v{version} {state} at epoch {epoch}: {reason}"
+            );
+        }
+        "status" => {
+            let status = client.artifact_status().map_err(client_err)?;
+            out.push_str(&artifact_status_table(&status));
+        }
+        "list" => {
+            let status = client.artifact_status().map_err(client_err)?;
+            for i in &status.instances {
+                let _ = writeln!(out, "{}:", i.addr);
+                if i.status.artifacts.is_empty() {
+                    let _ = writeln!(out, "  (no artifacts staged)");
+                }
+                for a in &i.status.artifacts {
+                    let _ = writeln!(out, "  v{:<4} {:<16} {}", a.version, a.kind, a.state);
+                }
+            }
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown artifact subcommand `{other}` \
+                 (want stage | apply | accept | rollback | status | list)"
             )))
         }
     }
@@ -1413,6 +1594,94 @@ mod tests {
     }
 
     #[test]
+    fn artifact_lifecycle_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cbes-cli-artifact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let af = addr_file.to_str().unwrap().to_string();
+        let state = dir.join("state").to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            serve(&parsed(&[
+                "serve",
+                "demo",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--addr-file",
+                &af,
+                "--state-dir",
+                &state,
+            ]))
+        });
+        let addr = loop {
+            if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let limits_file = dir.join("limits.json");
+        std::fs::write(
+            &limits_file,
+            r#"{"max_rps": 80.0, "shed_retry_after_ms": 5}"#,
+        )
+        .unwrap();
+        let lf = limits_file.to_str().unwrap().to_string();
+        let out = artifact(&parsed(&[
+            "artifact",
+            "stage",
+            &addr,
+            "--kind",
+            "serving_limits",
+            "--payload-file",
+            &lf,
+        ]))
+        .unwrap();
+        assert!(out.contains("staged artifact v1"), "{out}");
+        let out = artifact(&parsed(&["artifact", "apply", &addr])).unwrap();
+        assert!(out.contains("soaking"), "{out}");
+        let out = artifact(&parsed(&["artifact", "status", &addr])).unwrap();
+        assert!(out.contains("soaking v1"), "{out}");
+        let out = artifact(&parsed(&["artifact", "accept", &addr])).unwrap();
+        assert!(out.contains("v1 is active"), "{out}");
+        let out = artifact(&parsed(&["artifact", "list", &addr])).unwrap();
+        assert!(out.contains("serving_limits"), "{out}");
+        assert!(out.contains("active"), "{out}");
+        // The generic request path speaks the same verbs.
+        let out = request(&parsed(&["request", &addr, "artifact-status"])).unwrap();
+        assert!(out.contains("active v1"), "{out}");
+        // Staging from a bad payload is a server-side validation error.
+        let err = artifact(&parsed(&[
+            "artifact",
+            "stage",
+            &addr,
+            "--kind",
+            "serving_limits",
+            "--payload",
+            "not json",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        // Missing payload flags are a usage error before any connection.
+        let err = artifact(&parsed(&[
+            "artifact",
+            "stage",
+            &addr,
+            "--kind",
+            "serving_limits",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+
+        request(&parsed(&["request", &addr, "shutdown"])).unwrap();
+        server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn top_frame_renders_windowed_rates_and_quantiles() {
         let r = cbes_obs::Registry::new();
         r.counter("server.served").add(120);
@@ -1420,17 +1689,59 @@ mod tests {
         for v in [100, 200, 5000] {
             r.histogram("server.service_time_us").record(v);
         }
-        let rows = vec![("10.0.0.1:9077".to_string(), r.snapshot())];
-        let frame = top_frame(&rows);
+        let addr = "10.0.0.1:9077".to_string();
+        let mut totals = TopTotals::new();
+        let rows = vec![(addr.clone(), Some(r.snapshot()))];
+        let frame = top_frame(&rows, &mut totals);
         assert!(frame.contains("endpoint"), "{frame}");
         assert!(frame.contains("10.0.0.1:9077"), "{frame}");
-        // Fresh increments land in every window, so the 1s rate column
-        // shows the full count and the 10s window has quantiles.
+        // The first frame has no baseline, so the delta is the total.
         assert!(frame.contains("120"), "{frame}");
         let err = top(&parsed(&["top"])).unwrap_err();
         assert!(err.to_string().contains("address"), "{err}");
         let err = top(&parsed(&["top", "127.0.0.1:1", "--iterations", "0"])).unwrap_err();
         assert!(err.to_string().contains("--iterations"), "{err}");
+    }
+
+    #[test]
+    fn top_tolerates_restarts_and_dead_endpoints() {
+        let addr = "10.0.0.1:9077".to_string();
+        let mut totals = TopTotals::new();
+        // Frame 1: 120 served.
+        let r = cbes_obs::Registry::new();
+        r.counter("server.served").add(120);
+        top_frame(&[(addr.clone(), Some(r.snapshot()))], &mut totals);
+        // The endpoint restarts: its counters reset below the baseline.
+        // The delta must clamp at zero, not underflow.
+        let r = cbes_obs::Registry::new();
+        r.counter("server.served").add(5);
+        let frame = top_frame(&[(addr.clone(), Some(r.snapshot()))], &mut totals);
+        assert!(
+            frame.contains(&format!("{:<21} {:>7}", addr, 0)),
+            "reset counters must clamp the delta at zero: {frame}"
+        );
+        // A frame where the endpoint is unreachable renders a down row
+        // and drops the baseline...
+        let frame = top_frame(&[(addr.clone(), None)], &mut totals);
+        assert!(frame.contains("(down)"), "{frame}");
+        assert!(totals.is_empty(), "down endpoints lose their baseline");
+        // ...so the frame after it comes back starts fresh.
+        let r = cbes_obs::Registry::new();
+        r.counter("server.served").add(7);
+        let frame = top_frame(&[(addr.clone(), Some(r.snapshot()))], &mut totals);
+        assert!(frame.contains(&format!("{:<21} {:>7}", addr, 7)), "{frame}");
+        // One dead endpoint must not hide the live one next to it.
+        let r = cbes_obs::Registry::new();
+        r.counter("server.served").add(9);
+        let frame = top_frame(
+            &[
+                ("10.0.0.2:9077".to_string(), None),
+                (addr.clone(), Some(r.snapshot())),
+            ],
+            &mut totals,
+        );
+        assert!(frame.contains("(down)"), "{frame}");
+        assert!(frame.contains("10.0.0.1:9077"), "{frame}");
     }
 
     #[test]

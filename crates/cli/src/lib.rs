@@ -57,6 +57,8 @@ commands:
       [--seed N] [--addr-file FILE]
       [--max-line-bytes N] [--max-bad-frames N] [--retry-after-ms N]
       [--suspect-after SWEEPS] [--down-after SWEEPS] [--max-rps N]
+      [--state-dir DIR]        enable the live-reconfiguration artifact
+                               store (crash-safe journal under DIR)
   request <addr> <action>     issue one request to a running daemon
       stats | metrics | shutdown | membership
       register --profile FILE
@@ -69,9 +71,20 @@ commands:
       replicate --epoch N --nodes N --load NODE=AVAIL,.. [--silent 3,5,..]
       trace    --trace-id N    fetch the retained spans of trace N
       dump-flight              dump the anomaly flight recorder to disk
+      stage --kind K --payload JSON | --payload-file FILE
+      apply | accept | rollback [--reason R] | artifact-status
       (all request actions accept --timeout SECONDS, default 10, and
        --trace-id N to stamp the request with trace context;
        exit codes: 2 usage, 3 transport, 4 server error, 5 overload-shed)
+  artifact <sub> <addr>       live-reconfiguration lifecycle; point at a
+      router to drive the whole tier at once
+      stage    --kind latency_model|cluster_preset|serving_limits
+               --payload JSON | --payload-file FILE
+      apply                    activate the staged artifact (starts a soak)
+      accept                   promote the soaking artifact
+      rollback [--reason R]    reinstate the previous configuration
+      status                   lifecycle state, one row per instance
+      list                     every version the store has ever staged
   metrics <addr>.. [--addr A]  fetch observability snapshots from one or
       more daemons and merge them into a single tier-wide report
       [--format summary|json] [--timeout SECONDS]
@@ -104,6 +117,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         "analyze" => commands::analyze(&parsed),
         "serve" => commands::serve(&parsed),
         "request" => commands::request(&parsed),
+        "artifact" => commands::artifact(&parsed),
         "metrics" => commands::metrics(&parsed),
         "top" => commands::top(&parsed),
         "route" => commands::route(&parsed),

@@ -58,14 +58,33 @@ fn instruments() -> &'static CoreInstruments {
 }
 
 /// A load forecast stamped with the observation epoch that produced it.
-#[derive(Debug, Clone)]
+///
+/// The active no-load latency model rides in the same `Arc` as the load
+/// and health views: the cached `Arc<EpochLoad>` is the service's single
+/// atomic publication unit, so a request never sees a new model with an
+/// old epoch (or vice versa) — live reconfiguration is one `Arc` swap,
+/// exactly like a load sweep.
+#[derive(Clone)]
 pub struct EpochLoad {
-    /// Monotone counter: 0 before any observation, +1 per `observe_load`.
+    /// Monotone counter: 0 before any observation, +1 per `observe_load`
+    /// and +1 per artifact activation.
     pub epoch: u64,
     /// The monitor's forecast as of that epoch.
     pub load: LoadState,
     /// Per-node health classification as of that epoch.
     pub health: HealthView,
+    /// The no-load latency model active as of that epoch.
+    pub model: Arc<dyn LatencyProvider + Send + Sync>,
+}
+
+impl std::fmt::Debug for EpochLoad {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochLoad")
+            .field("epoch", &self.epoch)
+            .field("load", &self.load)
+            .field("health", &self.health)
+            .finish_non_exhaustive()
+    }
 }
 
 /// The core CBES module: owns the profile registry and the monitor, and
@@ -97,6 +116,7 @@ impl CbesService {
             epoch: 0,
             load: LoadState::idle(n),
             health: HealthView::all_healthy(n),
+            model: no_load.clone(),
         });
         CbesService {
             cluster,
@@ -245,10 +265,12 @@ impl CbesService {
             Some(target) => target,
         };
         self.epoch.store(epoch, Ordering::Release);
+        let model = self.cached.read().model.clone();
         *self.cached.write() = Arc::new(EpochLoad {
             epoch,
             load,
             health,
+            model,
         });
         drop(tracker);
         drop(publish);
@@ -276,18 +298,75 @@ impl CbesService {
         self.cached.read().clone()
     }
 
-    /// The snapshot a request issued *now* would be evaluated against.
-    pub fn snapshot(&self) -> SystemSnapshot<'_> {
-        self.snapshot_stamped().1
-    }
-
-    /// Like [`CbesService::snapshot`], also reporting the snapshot epoch.
-    pub fn snapshot_stamped(&self) -> (u64, SystemSnapshot<'_>) {
-        let cached = self.current_load();
-        let mut s = SystemSnapshot::no_load(&self.cluster, &*self.no_load);
+    /// The evaluation snapshot for one epoch-stamped forecast. Callers
+    /// pin an epoch with [`CbesService::current_load`], then build the
+    /// snapshot against it:
+    ///
+    /// ```ignore
+    /// let cached = service.current_load();
+    /// let snapshot = service.snapshot_of(&cached);
+    /// ```
+    ///
+    /// The two-step shape (rather than a single `snapshot()`) exists
+    /// because the snapshot borrows the epoch's latency model, which
+    /// lives inside the cached [`EpochLoad`]: the caller must keep the
+    /// `Arc` alive for as long as the snapshot is in use. In exchange,
+    /// everything a request reads — load, health, model, epoch — comes
+    /// from one atomic publication.
+    pub fn snapshot_of<'a>(&'a self, cached: &'a EpochLoad) -> SystemSnapshot<'a> {
+        let mut s = SystemSnapshot::no_load(&self.cluster, &*cached.model);
         s.set_load(cached.load.clone());
         s.set_health(cached.health.clone());
-        (cached.epoch, s)
+        s
+    }
+
+    /// Atomically activate a new no-load latency model: exactly one
+    /// epoch bump, publishing the model together with the current load
+    /// and health views as a single `Arc` swap. In-flight requests
+    /// finish against the epoch they pinned; every request admitted
+    /// after the swap sees the new model. Returns the new epoch.
+    pub fn activate_provider(&self, provider: Arc<dyn LatencyProvider + Send + Sync>) -> u64 {
+        self.republish(Some(provider))
+    }
+
+    /// Reinstate the boot-time latency model (artifact rollback with no
+    /// previously accepted artifact). One epoch bump, like any
+    /// activation. Returns the new epoch.
+    pub fn activate_boot_provider(&self) -> u64 {
+        self.republish(Some(self.no_load.clone()))
+    }
+
+    /// Bump the snapshot epoch without changing the model, load, or
+    /// health views. Non-model artifacts (serving limits) activate
+    /// through this so every artifact activation is exactly one epoch
+    /// bump, observable tier-wide. Returns the new epoch.
+    pub fn bump_epoch(&self) -> u64 {
+        self.republish(None)
+    }
+
+    /// Shared activation path: serialise with observers on the monitor
+    /// lock, bump the epoch by one, republish the cached forecast with
+    /// `model` (or the current model when `None`).
+    fn republish(&self, model: Option<Arc<dyn LatencyProvider + Send + Sync>>) -> u64 {
+        let obs = instruments();
+        let _span = Registry::global().span(names::SPAN_CORE_PUBLISH_EPOCH);
+        let publish = obs.epoch_publish_us.start_timer();
+        // The monitor write lock serialises activations with load
+        // sweeps, so two publications can never race the epoch store
+        // and cache swap below.
+        let _monitor = self.monitor.write();
+        let current = self.cached.read().clone();
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        self.epoch.store(epoch, Ordering::Release);
+        *self.cached.write() = Arc::new(EpochLoad {
+            epoch,
+            load: current.load.clone(),
+            health: current.health.clone(),
+            model: model.unwrap_or_else(|| current.model.clone()),
+        });
+        drop(publish);
+        obs.epoch.set(epoch as f64);
+        epoch
     }
 
     /// Validate `mappings` against `profile_procs`, the cluster, and the
@@ -363,7 +442,9 @@ impl CbesService {
             .registry
             .get(app)
             .ok_or_else(|| ServiceError::UnknownApp(app.to_string()))?;
-        let (epoch, snap) = self.snapshot_stamped();
+        let cached = self.current_load();
+        let epoch = cached.epoch;
+        let snap = self.snapshot_of(&cached);
         self.validate(profile.num_procs(), mappings, snap.health_view())?;
         let obs = instruments();
         let _span = Registry::global().span(names::SPAN_CORE_EVALUATE_MAPPING);
@@ -391,7 +472,9 @@ impl CbesService {
             .registry
             .get(app)
             .ok_or_else(|| ServiceError::UnknownApp(app.to_string()))?;
-        let (epoch, snap) = self.snapshot_stamped();
+        let cached = self.current_load();
+        let epoch = cached.epoch;
+        let snap = self.snapshot_of(&cached);
         self.validate(profile.num_procs(), mappings, snap.health_view())?;
         let obs = instruments();
         let _span = Registry::global().span(names::SPAN_CORE_BATCH_EVALUATE);
@@ -521,6 +604,59 @@ mod tests {
             svc.batch_stamped("nope", &candidates).unwrap_err(),
             ServiceError::UnknownApp("nope".into())
         );
+    }
+
+    #[test]
+    fn activation_is_one_epoch_bump_and_pinned_snapshots_keep_their_model() {
+        struct Flat(f64);
+        impl cbes_cluster::LatencyProvider for Flat {
+            fn latency(&self, _: NodeId, _: NodeId, _: u64) -> f64 {
+                self.0
+            }
+        }
+        let svc = demo_service();
+        let base = svc.compare("app", &[m(&[0, 4])]).expect("valid")[0].clone();
+        // An in-flight request pins the pre-activation epoch.
+        let pinned = svc.current_load();
+        let before = svc.epoch();
+
+        let epoch = svc.activate_provider(Arc::new(Flat(0.5)));
+        assert_eq!(epoch, before + 1, "activation is exactly one epoch bump");
+        assert_eq!(svc.epoch(), epoch);
+
+        // New requests evaluate against the new model (0.5 s per hop
+        // dwarfs the demo fabric), the pinned snapshot against the old.
+        let after = svc.compare("app", &[m(&[0, 4])]).expect("valid")[0].clone();
+        assert!(
+            after.time > base.time,
+            "flat 0.5 s hops must slow the forecast ({} vs {})",
+            after.time,
+            base.time
+        );
+        let old_snap = svc.snapshot_of(&pinned);
+        let fresh = svc.current_load();
+        let new_snap = svc.snapshot_of(&fresh);
+        assert!(old_snap.latency(NodeId(0), NodeId(4), 8192) < 0.5);
+        assert!((new_snap.latency(NodeId(0), NodeId(4), 8192) - 0.5).abs() < 1e-12);
+
+        // A bare epoch bump republishes the same model.
+        let bumped = svc.bump_epoch();
+        assert_eq!(bumped, epoch + 1);
+        let same = svc.compare("app", &[m(&[0, 4])]).expect("valid")[0].clone();
+        assert_eq!(same, after);
+
+        // Boot reactivation restores the original predictions.
+        svc.activate_boot_provider();
+        let restored = svc.compare("app", &[m(&[0, 4])]).expect("valid")[0].clone();
+        assert_eq!(restored, base);
+
+        // Load observations carry the active model forward.
+        svc.activate_provider(Arc::new(Flat(0.5)));
+        svc.observe_load(&LoadState::idle(svc.cluster().len()))
+            .expect("sweep covers every node");
+        let swept = svc.current_load();
+        let snap = svc.snapshot_of(&swept);
+        assert!((snap.latency(NodeId(0), NodeId(4), 8192) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Process-kill fail points for crash-safety testing.
+//!
+//! A fail point is a named call site on a durability-critical path
+//! (e.g. each journal write in `cbes-reconfig`). Normally it is free:
+//! one environment lookup, no clocks, no randomness — deterministic by
+//! construction. When the `CBES_FAIL_POINT` environment variable names
+//! the call site, reaching it hard-kills the process with
+//! [`std::process::abort`], which (like `kill -9`) runs no destructors
+//! and flushes no buffers. Crash-recovery tests re-exec themselves with
+//! the variable set, let the child die at the chosen point, then assert
+//! the survivor state recovers exactly.
+
+/// Environment variable naming the fail point to trip.
+pub const FAIL_POINT_ENV: &str = "CBES_FAIL_POINT";
+
+/// Hard-kill the process if `CBES_FAIL_POINT` names this call site;
+/// otherwise do nothing. The abort is deliberate and unclean — no
+/// `Drop`, no stream flushing — so whatever the caller had made durable
+/// before this line is exactly what a recovery sees.
+pub fn fail_point(name: &str) {
+    if let Ok(armed) = std::env::var(FAIL_POINT_ENV) {
+        if armed == name {
+            eprintln!("cbes-faults: fail point \"{name}\" tripped, aborting process");
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_fail_point_is_a_no_op() {
+        // The test environment never arms this name; reaching the call
+        // must fall straight through.
+        fail_point("tests.never_armed");
+    }
+}

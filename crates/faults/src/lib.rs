@@ -17,8 +17,10 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod failpoint;
 
 pub use chaos::{run_chaos, ChaosReport};
+pub use failpoint::{fail_point, FAIL_POINT_ENV};
 
 use cbes_obs::{names, Registry};
 use cbes_runtime::{Disturbance, Perturbation};

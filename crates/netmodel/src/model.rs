@@ -68,6 +68,36 @@ impl LatencyModel {
         i * (self.n - 1) - i * i.saturating_sub(1) / 2 + (j - i - 1)
     }
 
+    /// Check the invariants [`LatencyModel::from_table`] asserts, for
+    /// models that arrived over the wire (serde bypasses the
+    /// constructor, so a malformed payload must be rejected here before
+    /// any `no_load` query indexes the table).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("model covers zero nodes".to_string());
+        }
+        if self.sizes.is_empty() {
+            return Err("model has no probe sizes".to_string());
+        }
+        if !self.sizes.windows(2).all(|w| w[0] < w[1]) {
+            return Err("probe sizes are not strictly increasing".to_string());
+        }
+        let want = Self::pairs(self.n) * self.sizes.len();
+        if self.table.len() != want {
+            return Err(format!(
+                "table has {} entries but {} nodes x {} probe sizes needs {}",
+                self.table.len(),
+                self.n,
+                self.sizes.len(),
+                want
+            ));
+        }
+        if let Some(bad) = self.table.iter().find(|v| !v.is_finite() || **v < 0.0) {
+            return Err(format!("table contains a non-physical latency {bad}"));
+        }
+        Ok(())
+    }
+
     /// Interpolated no-load latency for a `bytes`-byte message between `a`
     /// and `b`. Self-pairs return a tiny loopback constant.
     pub fn no_load(&self, a: NodeId, b: NodeId, bytes: u64) -> f64 {
@@ -216,5 +246,20 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_sizes_panic() {
         let _ = LatencyModel::from_table(2, vec![10, 10], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn validate_rejects_wire_malformed_models() {
+        let good = LatencyModel::from_table(3, vec![64, 1024], vec![1e-4; 6]);
+        assert_eq!(good.validate(), Ok(()));
+        // A wrong-dimension table smuggled in through serde.
+        let bad: LatencyModel =
+            serde_json::from_str("{\"n\": 3, \"sizes\": [64, 1024], \"table\": [0.1, 0.2]}")
+                .expect("structurally valid JSON");
+        assert!(bad.validate().is_err());
+        let negative: LatencyModel =
+            serde_json::from_str("{\"n\": 2, \"sizes\": [64], \"table\": [-1.0]}")
+                .expect("structurally valid JSON");
+        assert!(negative.validate().is_err());
     }
 }

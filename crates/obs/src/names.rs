@@ -35,7 +35,7 @@ pub const SERVER_QUEUE_DEPTH: &str = "server.queue_depth";
 /// `cbes_server::protocol::Request::action_index`. Entry `i` must be
 /// `"server.action."` followed by `ACTIONS[i]` — checked by
 /// `cbes-analyze`'s drift rule.
-pub const SERVER_ACTION_COUNTERS: [&str; 15] = [
+pub const SERVER_ACTION_COUNTERS: [&str; 20] = [
     "server.action.register_profile",
     "server.action.compare",
     "server.action.best_of",
@@ -51,6 +51,11 @@ pub const SERVER_ACTION_COUNTERS: [&str; 15] = [
     "server.action.batch",
     "server.action.trace",
     "server.action.dump_flight",
+    "server.action.stage",
+    "server.action.apply",
+    "server.action.accept",
+    "server.action.rollback",
+    "server.action.artifact_status",
 ];
 
 /// Admitted requests shed by the per-instance evaluation rate cap.
@@ -145,6 +150,21 @@ pub const NETMODEL_FORECAST_REFRESH_US: &str = "netmodel.forecast_refresh_us";
 /// Span: one full latency-calibration campaign.
 pub const SPAN_NETMODEL_CALIBRATE: &str = "netmodel.calibrate";
 
+// ---- reconfig (artifact lifecycle) ---------------------------------
+
+/// Artifacts staged into the store (validated + journalled).
+pub const RECONFIG_STAGED: &str = "reconfig.staged";
+/// Artifact applies: activations under a soak (one epoch bump each).
+pub const RECONFIG_APPLIES: &str = "reconfig.applies";
+/// Soaking artifacts promoted to active.
+pub const RECONFIG_ACCEPTS: &str = "reconfig.accepts";
+/// Rollbacks, operator-initiated and automatic together.
+pub const RECONFIG_ROLLBACKS: &str = "reconfig.rollbacks";
+/// Rollbacks fired by the soak monitor on a telemetry regression.
+pub const RECONFIG_AUTO_ROLLBACKS: &str = "reconfig.auto_rollbacks";
+/// The active artifact version (0 = boot configuration).
+pub const RECONFIG_ACTIVE_VERSION: &str = "reconfig.active_version";
+
 // ---- faults / chaos ------------------------------------------------
 
 /// Faults injected into the node-health model.
@@ -213,6 +233,12 @@ mod tests {
             NETMODEL_CALIBRATION_ROUND_US,
             NETMODEL_FORECAST_REFRESH_US,
             SPAN_NETMODEL_CALIBRATE,
+            RECONFIG_STAGED,
+            RECONFIG_APPLIES,
+            RECONFIG_ACCEPTS,
+            RECONFIG_ROLLBACKS,
+            RECONFIG_AUTO_ROLLBACKS,
+            RECONFIG_ACTIVE_VERSION,
             FAULTS_INJECTED,
             CHAOS_RUNS,
         ];

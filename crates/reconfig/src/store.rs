@@ -1,0 +1,609 @@
+//! The crash-safe artifact store: versioned payload files plus an
+//! append-only lifecycle journal under one state directory.
+//!
+//! Durability protocol:
+//!
+//! * **Payloads** are written to `artifacts/.vN.tmp`, fsynced, then
+//!   atomically renamed to `artifacts/vN.json` *before* the `stage`
+//!   record is journalled. A crash between the rename and the journal
+//!   append leaves an orphan payload file that replay simply ignores
+//!   (the version was never staged, so the next stage reuses it and the
+//!   rename overwrites the orphan).
+//! * **The journal** (`journal.jsonl`) is append-only: one JSON record
+//!   per line, flushed and fsynced per append. Replay tolerates exactly
+//!   one torn trailing line (a crash mid-append) and rejects anything
+//!   else as corruption.
+//! * Every write point calls [`cbes_faults::fail_point`] so the crash
+//!   suite can hard-kill the process at each step and assert recovery.
+//!
+//! The in-memory [`Lifecycle`] is only mutated *after* the record is on
+//! disk, so the durable state always leads the visible state — a crash
+//! can lose an acknowledgement, never an acknowledged transition.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use cbes_faults::fail_point;
+use parking_lot::Mutex;
+
+use crate::lifecycle::{
+    op, ArtifactKind, ArtifactRef, JournalRecord, Lifecycle, LifecycleError, RollbackNote, Soak,
+};
+use crate::report::{ArtifactEntry, ArtifactSummary, LifecycleStatus, RollbackReport, SoakSummary};
+
+/// Every fail-point name the store's write paths pass through, in the
+/// order a full stage→apply→accept cycle reaches them. The crash suite
+/// iterates this table so a new write point cannot be added without
+/// being covered.
+pub const WRITE_POINTS: [&str; 10] = [
+    "reconfig.stage.payload_tmp",
+    "reconfig.stage.payload_renamed",
+    "reconfig.journal.stage.pre",
+    "reconfig.journal.stage.post",
+    "reconfig.journal.apply.pre",
+    "reconfig.journal.apply.post",
+    "reconfig.journal.accept.pre",
+    "reconfig.journal.accept.post",
+    "reconfig.journal.rollback.pre",
+    "reconfig.journal.rollback.post",
+];
+
+/// A store-level failure.
+#[derive(Debug)]
+pub enum ReconfigError {
+    /// A lifecycle transition was rejected.
+    Lifecycle(LifecycleError),
+    /// Filesystem I/O failed.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The journal holds a record that cannot be parsed or replayed.
+    CorruptJournal {
+        /// 1-based journal line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A payload failed kind-specific validation.
+    InvalidPayload(String),
+    /// An operation referenced a version the store has never staged.
+    UnknownVersion(u64),
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::Lifecycle(e) => write!(f, "{e}"),
+            ReconfigError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            ReconfigError::CorruptJournal { line, detail } => {
+                write!(f, "corrupt journal at line {line}: {detail}")
+            }
+            ReconfigError::InvalidPayload(detail) => write!(f, "invalid payload: {detail}"),
+            ReconfigError::UnknownVersion(v) => write!(f, "unknown artifact version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+impl From<LifecycleError> for ReconfigError {
+    fn from(e: LifecycleError) -> Self {
+        ReconfigError::Lifecycle(e)
+    }
+}
+
+/// Serving/admission limits carried by a `serving_limits` artifact.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServingLimits {
+    /// Evaluation-request admission cap, requests/second (`0` = none).
+    pub max_rps: f64,
+    /// Back-off hint attached to shed replies, milliseconds.
+    pub shed_retry_after_ms: u64,
+}
+
+/// Parse and validate an artifact payload for its kind.
+///
+/// `expected_nodes`, when known (the serving daemon knows its cluster
+/// size), pins latency models and cluster presets to the running node
+/// count — an artifact for the wrong cluster is rejected at stage time,
+/// not at first query.
+pub fn validate_payload(
+    kind: ArtifactKind,
+    payload: &str,
+    expected_nodes: Option<usize>,
+) -> Result<(), ReconfigError> {
+    match kind {
+        ArtifactKind::LatencyModel => {
+            let model: cbes_netmodel::LatencyModel = serde_json::from_str(payload)
+                .map_err(|e| ReconfigError::InvalidPayload(format!("latency model: {e}")))?;
+            model.validate().map_err(ReconfigError::InvalidPayload)?;
+            if let Some(n) = expected_nodes {
+                if model.num_nodes() != n {
+                    return Err(ReconfigError::InvalidPayload(format!(
+                        "latency model covers {} nodes but the cluster has {n}",
+                        model.num_nodes()
+                    )));
+                }
+            }
+        }
+        ArtifactKind::ClusterPreset => {
+            let spec: cbes_cluster::ClusterSpec = serde_json::from_str(payload)
+                .map_err(|e| ReconfigError::InvalidPayload(format!("cluster preset: {e}")))?;
+            let cluster = spec
+                .build()
+                .map_err(|e| ReconfigError::InvalidPayload(format!("cluster preset: {e}")))?;
+            if let Some(n) = expected_nodes {
+                if cluster.len() != n {
+                    return Err(ReconfigError::InvalidPayload(format!(
+                        "cluster preset defines {} nodes but the cluster has {n}",
+                        cluster.len()
+                    )));
+                }
+            }
+        }
+        ArtifactKind::ServingLimits => {
+            let limits: ServingLimits = serde_json::from_str(payload)
+                .map_err(|e| ReconfigError::InvalidPayload(format!("serving limits: {e}")))?;
+            if !limits.max_rps.is_finite() || limits.max_rps < 0.0 {
+                return Err(ReconfigError::InvalidPayload(format!(
+                    "serving limits: max_rps {} is not a finite non-negative rate",
+                    limits.max_rps
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of [`ArtifactStore::apply`]: what to activate.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// The artifact now soaking.
+    pub artifact: ArtifactRef,
+    /// The previously active version (`0` = boot config).
+    pub previous: u64,
+    /// The artifact's payload JSON.
+    pub payload: String,
+}
+
+/// Outcome of [`ArtifactStore::rollback`]: what to reinstate.
+#[derive(Debug, Clone)]
+pub struct RolledBack {
+    /// The artifact rolled back.
+    pub artifact: ArtifactRef,
+    /// The version to reinstate (`0` = boot config).
+    pub previous: u64,
+    /// Payload of `previous` (`None` when reverting to boot config).
+    pub previous_payload: Option<(ArtifactKind, String)>,
+}
+
+/// The crash-safe artifact store. All methods are `&self`; the journal
+/// file and lifecycle state are internally synchronised, and concurrent
+/// writers serialise on the journal lock.
+pub struct ArtifactStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    journal: File,
+    state: Lifecycle,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> ReconfigError + '_ {
+    move |source| ReconfigError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+impl ArtifactStore {
+    /// Open (or initialise) the store under `dir`, replaying the
+    /// journal to recover the exact pre-crash lifecycle state.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactStore, ReconfigError> {
+        let dir = dir.into();
+        let artifacts = dir.join("artifacts");
+        fs::create_dir_all(&artifacts).map_err(io_err(&artifacts))?;
+        let journal_path = dir.join("journal.jsonl");
+        let mut state = Lifecycle::new();
+        if journal_path.exists() {
+            let text = fs::read_to_string(&journal_path).map_err(io_err(&journal_path))?;
+            let lines: Vec<&str> = text.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let record: JournalRecord = match serde_json::from_str(line) {
+                    Ok(r) => r,
+                    // A torn *final* line is the signature of a crash
+                    // mid-append: the record never committed, drop it.
+                    // Anywhere else it is corruption.
+                    Err(e) if i + 1 == lines.len() => {
+                        let _ = e;
+                        break;
+                    }
+                    Err(e) => {
+                        return Err(ReconfigError::CorruptJournal {
+                            line: i + 1,
+                            detail: e.to_string(),
+                        });
+                    }
+                };
+                state
+                    .commit(&record)
+                    .map_err(|e| ReconfigError::CorruptJournal {
+                        line: i + 1,
+                        detail: e.to_string(),
+                    })?;
+            }
+        }
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)
+            .map_err(io_err(&journal_path))?;
+        Ok(ArtifactStore {
+            dir,
+            inner: Mutex::new(Inner { journal, state }),
+        })
+    }
+
+    /// The state directory this store persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn payload_path(&self, version: u64) -> PathBuf {
+        self.dir.join("artifacts").join(format!("v{version}.json"))
+    }
+
+    /// Append one record to the journal: write, flush, fsync. The
+    /// in-memory state is only advanced by the caller afterwards.
+    fn append(journal: &mut File, dir: &Path, record: &JournalRecord) -> Result<(), ReconfigError> {
+        let path = dir.join("journal.jsonl");
+        let mut line = serde_json::to_string(record).expect("journal records always serialise");
+        line.push('\n');
+        fail_point(&format!("reconfig.journal.{}.pre", record.op));
+        journal.write_all(line.as_bytes()).map_err(io_err(&path))?;
+        journal.flush().map_err(io_err(&path))?;
+        journal.sync_data().map_err(io_err(&path))?;
+        fail_point(&format!("reconfig.journal.{}.post", record.op));
+        Ok(())
+    }
+
+    /// Stage a new artifact version: validate the payload, persist it
+    /// durably, journal the `stage` record, and return the version.
+    pub fn stage(
+        &self,
+        kind: ArtifactKind,
+        payload: &str,
+        expected_nodes: Option<usize>,
+    ) -> Result<u64, ReconfigError> {
+        validate_payload(kind, payload, expected_nodes)?;
+        let mut inner = self.inner.lock();
+        let record = inner.state.plan_stage(kind);
+        let version = record.version;
+        // Payload first: write-temp + fsync + atomic rename, so the
+        // journal never references a payload that is not fully on disk.
+        let tmp = self.dir.join("artifacts").join(format!(".v{version}.tmp"));
+        let target = self.payload_path(version);
+        {
+            let mut f = File::create(&tmp).map_err(io_err(&tmp))?;
+            f.write_all(payload.as_bytes()).map_err(io_err(&tmp))?;
+            f.sync_all().map_err(io_err(&tmp))?;
+        }
+        fail_point("reconfig.stage.payload_tmp");
+        fs::rename(&tmp, &target).map_err(io_err(&target))?;
+        fail_point("reconfig.stage.payload_renamed");
+        Self::append(&mut inner.journal, &self.dir, &record)?;
+        inner.state.commit(&record)?;
+        Ok(version)
+    }
+
+    /// Activate the staged artifact, entering its soak window. Returns
+    /// the payload so the caller can swap it into the serving path.
+    pub fn apply(&self) -> Result<Applied, ReconfigError> {
+        let mut inner = self.inner.lock();
+        let record = inner.state.plan_apply()?;
+        let artifact = inner
+            .state
+            .staged()
+            .ok_or(ReconfigError::Lifecycle(LifecycleError::NothingStaged))?;
+        let payload = self.read_payload(record.version)?;
+        Self::append(&mut inner.journal, &self.dir, &record)?;
+        inner.state.commit(&record)?;
+        Ok(Applied {
+            artifact,
+            previous: record.previous,
+            payload,
+        })
+    }
+
+    /// Accept the soaking artifact as the durable active configuration.
+    pub fn accept(&self) -> Result<ArtifactRef, ReconfigError> {
+        let mut inner = self.inner.lock();
+        let record = inner.state.plan_accept()?;
+        let artifact = inner
+            .state
+            .soaking()
+            .map(|s| s.artifact)
+            .ok_or(ReconfigError::Lifecycle(LifecycleError::NothingSoaking))?;
+        Self::append(&mut inner.journal, &self.dir, &record)?;
+        inner.state.commit(&record)?;
+        Ok(artifact)
+    }
+
+    /// Roll the soaking artifact back. Returns what to reinstate:
+    /// the previous version's payload, or `None` for the boot config.
+    pub fn rollback(&self, reason: &str, auto: bool) -> Result<RolledBack, ReconfigError> {
+        let mut inner = self.inner.lock();
+        let record = inner.state.plan_rollback(reason, auto)?;
+        let soak = inner
+            .state
+            .soaking()
+            .ok_or(ReconfigError::Lifecycle(LifecycleError::NothingSoaking))?;
+        let previous_payload = if record.previous == 0 {
+            None
+        } else {
+            let kind = inner
+                .state
+                .kind_of(record.previous)
+                .ok_or(ReconfigError::UnknownVersion(record.previous))?;
+            Some((kind, self.read_payload(record.previous)?))
+        };
+        Self::append(&mut inner.journal, &self.dir, &record)?;
+        inner.state.commit(&record)?;
+        Ok(RolledBack {
+            artifact: soak.artifact,
+            previous: record.previous,
+            previous_payload,
+        })
+    }
+
+    /// Read the payload of a staged version.
+    pub fn payload(&self, version: u64) -> Result<String, ReconfigError> {
+        {
+            let inner = self.inner.lock();
+            if inner.state.kind_of(version).is_none() {
+                return Err(ReconfigError::UnknownVersion(version));
+            }
+        }
+        self.read_payload(version)
+    }
+
+    fn read_payload(&self, version: u64) -> Result<String, ReconfigError> {
+        let path = self.payload_path(version);
+        fs::read_to_string(&path).map_err(io_err(&path))
+    }
+
+    /// The artifact currently soaking, if any.
+    pub fn soaking(&self) -> Option<Soak> {
+        self.inner.lock().state.soaking()
+    }
+
+    /// The durably accepted artifact, if any.
+    pub fn active(&self) -> Option<ArtifactRef> {
+        self.inner.lock().state.active()
+    }
+
+    /// The artifact a request is served under right now.
+    pub fn serving(&self) -> Option<ArtifactRef> {
+        self.inner.lock().state.serving()
+    }
+
+    /// A serialisable snapshot of the lifecycle, for status replies.
+    pub fn status(&self) -> LifecycleStatus {
+        let inner = self.inner.lock();
+        let state = &inner.state;
+        let summary = |a: ArtifactRef| ArtifactSummary {
+            version: a.version,
+            kind: a.kind.as_str().to_string(),
+        };
+        LifecycleStatus {
+            staged: state.staged().map(summary),
+            soaking: state.soaking().map(|s: Soak| SoakSummary {
+                version: s.artifact.version,
+                kind: s.artifact.kind.as_str().to_string(),
+                previous: s.previous,
+            }),
+            active: state.active().map(summary),
+            last_rollback: state
+                .last_rollback()
+                .map(|n: &RollbackNote| RollbackReport {
+                    version: n.version,
+                    reason: n.reason.clone(),
+                    auto: n.auto,
+                }),
+            journal_records: state.records(),
+            artifacts: state
+                .entries()
+                .into_iter()
+                .map(|(version, kind, lifecycle_state)| ArtifactEntry {
+                    version,
+                    kind: kind.as_str().to_string(),
+                    state: lifecycle_state.to_string(),
+                })
+                .collect(),
+        }
+    }
+}
+
+// Keep the journal-op constants referenced so the module-level docs and
+// fail-point names cannot silently drift from the lifecycle vocabulary.
+const _: [&str; 4] = [op::STAGE, op::APPLY, op::ACCEPT, op::ROLLBACK];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cbes-reconfig-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn model_json(n: usize) -> String {
+        let model = cbes_netmodel::LatencyModel::from_table(
+            n,
+            vec![64, 4096],
+            vec![1e-4; cbes_netmodel::LatencyModel::pairs(n) * 2],
+        );
+        serde_json::to_string(&model).expect("model encodes")
+    }
+
+    #[test]
+    fn stage_apply_accept_survives_reopen() {
+        let dir = scratch("cycle");
+        {
+            let store = ArtifactStore::open(&dir).expect("open");
+            let v = store
+                .stage(ArtifactKind::LatencyModel, &model_json(4), Some(4))
+                .expect("stage");
+            assert_eq!(v, 1);
+            let applied = store.apply().expect("apply");
+            assert_eq!(applied.artifact.version, 1);
+            assert_eq!(applied.previous, 0);
+            store.accept().expect("accept");
+        }
+        let store = ArtifactStore::open(&dir).expect("reopen");
+        assert_eq!(store.active().map(|a| a.version), Some(1));
+        assert_eq!(store.soaking(), None);
+        let status = store.status();
+        assert_eq!(status.journal_records, 3);
+        assert_eq!(status.artifacts.len(), 1);
+        assert_eq!(status.artifacts[0].state, "active");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollback_returns_the_previous_payload() {
+        let dir = scratch("rollback");
+        let store = ArtifactStore::open(&dir).expect("open");
+        let first = model_json(3);
+        store
+            .stage(ArtifactKind::LatencyModel, &first, Some(3))
+            .expect("stage v1");
+        store.apply().expect("apply v1");
+        store.accept().expect("accept v1");
+        store
+            .stage(ArtifactKind::LatencyModel, &model_json(3), Some(3))
+            .expect("stage v2");
+        store.apply().expect("apply v2");
+        let rb = store.rollback("operator says no", false).expect("rollback");
+        assert_eq!(rb.artifact.version, 2);
+        assert_eq!(rb.previous, 1);
+        let (kind, payload) = rb.previous_payload.expect("previous payload");
+        assert_eq!(kind, ArtifactKind::LatencyModel);
+        assert_eq!(payload, first);
+        assert_eq!(store.serving().map(|a| a.version), Some(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_journal_line_is_dropped() {
+        let dir = scratch("torn");
+        {
+            let store = ArtifactStore::open(&dir).expect("open");
+            store
+                .stage(
+                    ArtifactKind::ServingLimits,
+                    "{\"max_rps\": 5.0, \"shed_retry_after_ms\": 10}",
+                    None,
+                )
+                .expect("stage");
+        }
+        // Simulate a crash mid-append: garbage tail without newline.
+        let journal = dir.join("journal.jsonl");
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("open journal");
+        f.write_all(b"{\"op\":\"app").expect("torn write");
+        drop(f);
+        let store = ArtifactStore::open(&dir).expect("reopen despite torn tail");
+        assert_eq!(store.status().journal_records, 1);
+        assert_eq!(store.soaking(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_interior_line_is_corruption() {
+        let dir = scratch("corrupt");
+        {
+            let store = ArtifactStore::open(&dir).expect("open");
+            store
+                .stage(
+                    ArtifactKind::ServingLimits,
+                    "{\"max_rps\": 5.0, \"shed_retry_after_ms\": 10}",
+                    None,
+                )
+                .expect("stage");
+        }
+        let journal = dir.join("journal.jsonl");
+        let text = fs::read_to_string(&journal).expect("read");
+        fs::write(&journal, format!("not json\n{text}")).expect("rewrite");
+        assert!(matches!(
+            ArtifactStore::open(&dir),
+            Err(ReconfigError::CorruptJournal { line: 1, .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_validation_gates_staging() {
+        let dir = scratch("validate");
+        let store = ArtifactStore::open(&dir).expect("open");
+        // Wrong node count for the running cluster.
+        assert!(matches!(
+            store.stage(ArtifactKind::LatencyModel, &model_json(4), Some(8)),
+            Err(ReconfigError::InvalidPayload(_))
+        ));
+        // Structurally broken model.
+        assert!(matches!(
+            store.stage(
+                ArtifactKind::LatencyModel,
+                "{\"n\": 3, \"sizes\": [64], \"table\": [0.1]}",
+                None
+            ),
+            Err(ReconfigError::InvalidPayload(_))
+        ));
+        assert!(matches!(
+            store.stage(
+                ArtifactKind::ServingLimits,
+                "{\"max_rps\": -1.0, \"shed_retry_after_ms\": 0}",
+                None
+            ),
+            Err(ReconfigError::InvalidPayload(_))
+        ));
+        // Nothing journalled by rejected stages.
+        assert_eq!(store.status().journal_records, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_points_cover_every_journal_op() {
+        for op_name in [op::STAGE, op::APPLY, op::ACCEPT, op::ROLLBACK] {
+            for suffix in ["pre", "post"] {
+                let point = format!("reconfig.journal.{op_name}.{suffix}");
+                assert!(
+                    WRITE_POINTS.contains(&point.as_str()),
+                    "missing write point {point}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests over random lifecycle transition sequences: whatever
+//! order of stage/apply/accept/rollback verbs arrives, the state
+//! machine never reaches accept-without-soak, never has two artifacts
+//! active at once, and rejected transitions leave the state untouched.
+//!
+//! The vendored proptest stand-in draws numeric strategies only, so
+//! each case draws a seed and a length and expands them into an op
+//! sequence through a seeded RNG — fully deterministic per case.
+
+use cbes_reconfig::{ArtifactKind, Lifecycle, LifecycleError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Stage(ArtifactKind),
+    Apply,
+    Accept,
+    Rollback,
+}
+
+fn ops_from_seed(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| match rng.random_range(0u32..6) {
+            0 => Op::Stage(ArtifactKind::LatencyModel),
+            1 => Op::Stage(ArtifactKind::ClusterPreset),
+            2 => Op::Stage(ArtifactKind::ServingLimits),
+            3 => Op::Apply,
+            4 => Op::Accept,
+            _ => Op::Rollback,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_sequences_preserve_the_invariants(
+        seed in 0u64..u64::MAX,
+        len in 1usize..60,
+    ) {
+        let mut l = Lifecycle::new();
+        // Soak/accept bookkeeping mirrored independently of the
+        // implementation, so the invariants are externally checked,
+        // not read back from the code under test.
+        let mut soak_open = false;
+        let mut last_accepted: Option<u64> = None;
+
+        for op in ops_from_seed(seed, len) {
+            let before = l.clone();
+            match op {
+                Op::Stage(kind) => {
+                    let record = l.plan_stage(kind);
+                    prop_assert!(l.commit(&record).is_ok());
+                    // Staging never touches the serving side.
+                    prop_assert_eq!(l.soaking().is_some(), soak_open);
+                    prop_assert_eq!(l.active().map(|a| a.version), last_accepted);
+                }
+                Op::Apply => {
+                    match l.plan_apply() {
+                        Ok(record) => {
+                            // Never double-active: an apply can only
+                            // succeed when no soak is in progress.
+                            prop_assert!(!soak_open, "apply accepted during a soak");
+                            prop_assert!(before.staged().is_some());
+                            prop_assert!(l.commit(&record).is_ok());
+                            soak_open = true;
+                        }
+                        Err(e) => {
+                            prop_assert!(matches!(
+                                e,
+                                LifecycleError::NothingStaged
+                                    | LifecycleError::SoakInProgress { .. }
+                            ));
+                            prop_assert_eq!(&l, &before, "rejected apply mutated state");
+                        }
+                    }
+                }
+                Op::Accept => {
+                    match l.plan_accept() {
+                        Ok(record) => {
+                            // Never accept-without-soak.
+                            prop_assert!(soak_open, "accept accepted without a soak");
+                            prop_assert!(l.commit(&record).is_ok());
+                            soak_open = false;
+                            last_accepted = Some(record.version);
+                        }
+                        Err(e) => {
+                            prop_assert_eq!(e, LifecycleError::NothingSoaking);
+                            prop_assert_eq!(&l, &before, "rejected accept mutated state");
+                        }
+                    }
+                }
+                Op::Rollback => {
+                    match l.plan_rollback("prop", true) {
+                        Ok(record) => {
+                            prop_assert!(soak_open, "rollback accepted without a soak");
+                            // Rollback falls back to the accepted
+                            // config, never anything else.
+                            prop_assert_eq!(record.previous, last_accepted.unwrap_or(0));
+                            prop_assert!(l.commit(&record).is_ok());
+                            soak_open = false;
+                        }
+                        Err(e) => {
+                            prop_assert_eq!(e, LifecycleError::NothingSoaking);
+                            prop_assert_eq!(&l, &before, "rejected rollback mutated state");
+                        }
+                    }
+                }
+            }
+
+            // Global invariants after every step.
+            prop_assert_eq!(l.soaking().is_some(), soak_open);
+            prop_assert_eq!(l.active().map(|a| a.version), last_accepted);
+            // Exactly one artifact serves: the soaking one shadows the
+            // accepted one; with no soak the accepted artifact serves.
+            let serving = l.serving().map(|a| a.version);
+            if soak_open {
+                prop_assert_eq!(serving, l.soaking().map(|s| s.artifact.version));
+            } else {
+                prop_assert_eq!(serving, last_accepted);
+            }
+        }
+    }
+
+    /// Replaying any sequence's journal records from scratch
+    /// reconstructs the same state (replay = commit, so this is the
+    /// crash-recovery path on random histories).
+    #[test]
+    fn replaying_committed_records_reconstructs_the_state(
+        seed in 0u64..u64::MAX,
+        len in 1usize..40,
+    ) {
+        let mut l = Lifecycle::new();
+        let mut journal = Vec::new();
+        for op in ops_from_seed(seed, len) {
+            let planned = match op {
+                Op::Stage(kind) => Some(l.plan_stage(kind)),
+                Op::Apply => l.plan_apply().ok(),
+                Op::Accept => l.plan_accept().ok(),
+                Op::Rollback => l.plan_rollback("prop", false).ok(),
+            };
+            if let Some(record) = planned {
+                prop_assert!(l.commit(&record).is_ok());
+                journal.push(record);
+            }
+        }
+        let mut replayed = Lifecycle::new();
+        for record in &journal {
+            prop_assert!(replayed.commit(record).is_ok());
+        }
+        prop_assert_eq!(replayed, l);
+    }
+}

@@ -19,7 +19,7 @@
 ///   merged into one tier-wide report.
 /// - `"broadcast"` — sent to every usable instance; all must accept.
 /// - `"local"` — answered by the router itself from its own state.
-pub const FORWARD_MODES: [&str; 15] = [
+pub const FORWARD_MODES: [&str; 20] = [
     "broadcast", // register_profile: every instance needs the profile
     "hash",      // compare
     "hash",      // best_of
@@ -35,6 +35,11 @@ pub const FORWARD_MODES: [&str; 15] = [
     "hash",      // batch: same key-owner placement as compare
     "merge",     // trace: a trace's spans are scattered across instances
     "broadcast", // dump_flight: every instance dumps its own recorder
+    "broadcast", // stage: every instance journals the same artifact
+    "broadcast", // apply: the whole tier flips together
+    "broadcast", // accept: tier-wide promotion
+    "broadcast", // rollback: tier-wide restore
+    "merge",     // artifact_status: one lifecycle row per instance
 ];
 
 /// A parsed entry of [`FORWARD_MODES`].

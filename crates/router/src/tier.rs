@@ -410,6 +410,7 @@ fn dispatch(
             let mut stats: Vec<StatsReport> = Vec::new();
             let mut metrics: Option<MetricsSnapshot> = None;
             let mut traces: Vec<SpanSnapshot> = Vec::new();
+            let mut lifecycle: Vec<cbes_reconfig::InstanceStatus> = Vec::new();
             let mut answered = false;
             for i in membership.usable() {
                 let addr = match membership.addrs().get(i) {
@@ -433,8 +434,24 @@ fn dispatch(
                         answered = true;
                         traces.extend(spans);
                     }
+                    Ok(Response::ArtifactStatus { status }) => {
+                        membership.count_forwarded(i);
+                        answered = true;
+                        lifecycle.extend(status.instances);
+                    }
                     _ => {}
                 }
+            }
+            if matches!(request, Request::ArtifactStatus) {
+                if !answered {
+                    return Response::error(error_kind::SERVICE, "no usable instance answered");
+                }
+                lifecycle.sort_by(|a, b| a.addr.cmp(&b.addr));
+                return Response::ArtifactStatus {
+                    status: cbes_reconfig::StatusReport {
+                        instances: lifecycle,
+                    },
+                };
             }
             if let Request::Trace { trace_id } = request {
                 if !answered {
@@ -468,6 +485,12 @@ fn dispatch(
             }
         }
         ForwardMode::Broadcast => {
+            if matches!(
+                request,
+                Request::Stage { .. } | Request::Apply | Request::Accept | Request::Rollback { .. }
+            ) {
+                return broadcast_artifact(membership, timeout, &request);
+            }
             let mut ok: Option<Response> = None;
             for i in membership.usable() {
                 let addr = match membership.addrs().get(i) {
@@ -537,6 +560,59 @@ fn dispatch(
                 "local mode covers route/membership",
             ),
         },
+    }
+}
+
+/// Tier-wide artifact lifecycle verbs are all-or-error broadcasts:
+/// every usable instance must acknowledge, and the first refusal (or
+/// unreachable instance) is relayed verbatim, tagged with the
+/// instance's address, so the operator sees exactly which instance
+/// diverged. Instances that already acknowledged stay flipped — the
+/// lifecycle's own `rollback` verb is the recovery path, and because
+/// each instance journals its state durably a retry converges the
+/// stragglers.
+fn broadcast_artifact(
+    membership: &Arc<Membership>,
+    timeout: Duration,
+    request: &Request,
+) -> Response {
+    let mut ack: Option<Response> = None;
+    let mut reached = 0usize;
+    for i in membership.usable() {
+        let addr = match membership.addrs().get(i) {
+            Some(a) => a.as_str(),
+            None => continue,
+        };
+        match forward(addr, timeout, request) {
+            Ok(Response::Error {
+                kind,
+                message,
+                retry_after_ms,
+            }) => {
+                return Response::Error {
+                    kind,
+                    message: format!("{addr}: {message}"),
+                    retry_after_ms,
+                };
+            }
+            Ok(response) => {
+                membership.count_forwarded(i);
+                reached += 1;
+                if ack.is_none() {
+                    ack = Some(response);
+                }
+            }
+            Err(e) => {
+                return Response::error(
+                    error_kind::SERVICE,
+                    format!("{addr}: unreachable mid-broadcast: {e}"),
+                );
+            }
+        }
+    }
+    match ack {
+        Some(response) if reached > 0 => response,
+        _ => Response::error(error_kind::SERVICE, "no usable instance accepted"),
     }
 }
 

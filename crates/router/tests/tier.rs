@@ -276,3 +276,112 @@ fn heartbeat_thread_marks_dead_instances_down() {
     hb.join().expect("heartbeat thread exits");
     a.shutdown_and_join();
 }
+
+#[test]
+fn artifact_verbs_broadcast_tier_wide_and_status_merges_per_instance() {
+    let state_root =
+        std::env::temp_dir().join(format!("cbes-tier-artifacts-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_root);
+    let start_reconfigurable = |slot: usize| {
+        let service = Arc::new(CbesService::self_calibrated(
+            Arc::new(two_switch_demo()),
+            ForecastKind::LastValue,
+        ));
+        Server::start(
+            service,
+            ServerConfig {
+                workers: 1,
+                state_dir: Some(state_root.join(format!("i{slot}"))),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("loopback bind succeeds")
+    };
+    let instances: Vec<ServerHandle> = (0..2).map(start_reconfigurable).collect();
+    let seeds: Vec<String> = instances.iter().map(|h| h.addr().to_string()).collect();
+    let router = RouterServer::start(TierConfig {
+        addr: "127.0.0.1:0".to_string(),
+        seeds: seeds.clone(),
+        membership: MembershipConfig {
+            cluster: "demo".to_string(),
+            heartbeat: Duration::from_millis(20),
+            probe_timeout: Duration::from_millis(500),
+            policy: HealthPolicy {
+                suspect_after: 2,
+                down_after: 4,
+                suspect_cost_factor: 1.0,
+            },
+            replicas: 1,
+        },
+    })
+    .expect("router binds loopback");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router.membership().counts().0 < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "heartbeat never marked the instances healthy"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut c =
+        Client::connect_timeout(router.addr(), Duration::from_secs(2)).expect("router answers");
+
+    // Stage + apply broadcast to every instance; each journals v1 and
+    // flips with exactly one epoch bump.
+    let limits = r#"{"max_rps": 50.0, "shed_retry_after_ms": 5}"#;
+    let (v, state, _) = c.stage("serving_limits", limits).expect("tier-wide stage");
+    assert_eq!((v, state.as_str()), (1, "staged"));
+    let (_, state, _) = c.apply().expect("tier-wide apply");
+    assert_eq!(state, "soaking");
+
+    // The merged status carries one row per instance, sorted by address.
+    let status = c.artifact_status().expect("merged status");
+    assert_eq!(status.instances.len(), 2, "one lifecycle row per instance");
+    let mut sorted = status
+        .instances
+        .iter()
+        .map(|i| i.addr.clone())
+        .collect::<Vec<_>>();
+    sorted.sort();
+    assert_eq!(
+        status
+            .instances
+            .iter()
+            .map(|i| i.addr.clone())
+            .collect::<Vec<_>>(),
+        sorted,
+        "merge sorts rows by address"
+    );
+    for row in &status.instances {
+        assert!(row.reconfigurable);
+        assert_eq!(row.status.soaking.as_ref().map(|s| s.version), Some(1));
+    }
+    for addr in &seeds {
+        let mut direct = Client::connect_timeout(addr.as_str(), Duration::from_millis(500))
+            .expect("instance answers");
+        assert_eq!(
+            direct.stats().expect("stats").epoch,
+            1,
+            "each instance flipped with exactly one epoch bump"
+        );
+    }
+
+    // A lifecycle refusal from any instance is relayed with its address.
+    match c.accept().and_then(|_| c.accept()) {
+        Err(cbes_server::client::ClientError::Server { message, .. }) => {
+            assert!(
+                seeds.iter().any(|s| message.contains(s.as_str())),
+                "error names the refusing instance: {message}"
+            );
+        }
+        other => panic!("second accept must be refused tier-wide, got {other:?}"),
+    }
+
+    c.shutdown().expect("broadcast shutdown");
+    for h in instances {
+        h.join();
+    }
+    router.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&state_root);
+}

@@ -393,6 +393,73 @@ impl Client {
         }
     }
 
+    /// Stage a configuration artifact (validated and journalled, not
+    /// yet activated). Returns `(version, state, epoch)` from the ack;
+    /// `state` is `"staged"` on success.
+    pub fn stage(&mut self, kind: &str, payload: &str) -> Result<(u64, String, u64), ClientError> {
+        let request = Request::Stage {
+            kind: kind.to_string(),
+            payload: payload.to_string(),
+        };
+        match self.exchange(request)? {
+            Response::ArtifactAck {
+                version,
+                state,
+                epoch,
+            } => Ok((version, state, epoch)),
+            other => Err(unexpected("ArtifactAck", &other)),
+        }
+    }
+
+    /// Activate the staged artifact under a soak (one epoch bump).
+    pub fn apply(&mut self) -> Result<(u64, String, u64), ClientError> {
+        match self.exchange(Request::Apply)? {
+            Response::ArtifactAck {
+                version,
+                state,
+                epoch,
+            } => Ok((version, state, epoch)),
+            other => Err(unexpected("ArtifactAck", &other)),
+        }
+    }
+
+    /// Promote the soaking artifact to active.
+    pub fn accept(&mut self) -> Result<(u64, String, u64), ClientError> {
+        match self.exchange(Request::Accept)? {
+            Response::ArtifactAck {
+                version,
+                state,
+                epoch,
+            } => Ok((version, state, epoch)),
+            other => Err(unexpected("ArtifactAck", &other)),
+        }
+    }
+
+    /// Abandon the soaking artifact and reinstate the previous
+    /// configuration (one more epoch bump).
+    pub fn rollback(&mut self, reason: &str) -> Result<(u64, String, u64), ClientError> {
+        let request = Request::Rollback {
+            reason: reason.to_string(),
+        };
+        match self.exchange(request)? {
+            Response::ArtifactAck {
+                version,
+                state,
+                epoch,
+            } => Ok((version, state, epoch)),
+            other => Err(unexpected("ArtifactAck", &other)),
+        }
+    }
+
+    /// Read the artifact lifecycle state (tier-wide through a router:
+    /// one entry per usable instance).
+    pub fn artifact_status(&mut self) -> Result<cbes_reconfig::StatusReport, ClientError> {
+        match self.exchange(Request::ArtifactStatus)? {
+            Response::ArtifactStatus { status } => Ok(status),
+            other => Err(unexpected("ArtifactStatus", &other)),
+        }
+    }
+
     /// Ask the server to drain and exit. The acknowledgement arrives
     /// before the drain completes.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {

@@ -8,6 +8,7 @@ pub mod client;
 #[allow(unsafe_code)]
 pub mod epoll;
 pub mod protocol;
+pub(crate) mod reconfig;
 pub mod server;
 
 pub use client::{Client, ClientError, RetryPolicy, RetryingClient};

@@ -139,12 +139,41 @@ pub enum Request {
     /// to a JSONL file on the serving instance, as if a trigger had
     /// fired. The router broadcasts the dump to every usable instance.
     DumpFlight,
+    /// Stage a configuration artifact in the instance's artifact store
+    /// (validated, versioned, durable) without activating it. The
+    /// router broadcasts lifecycle verbs to every usable instance so
+    /// one call reconfigures the whole tier.
+    Stage {
+        /// Artifact kind: `"latency_model"`, `"cluster_preset"`, or
+        /// `"serving_limits"` (see `cbes_reconfig::ArtifactKind`).
+        kind: String,
+        /// The artifact payload (JSON text of the kind's schema).
+        payload: String,
+    },
+    /// Activate the staged artifact under a soak: one atomic epoch
+    /// bump publishes it to new requests while in-flight requests
+    /// finish on the old epoch. The soak monitor watches windowed
+    /// telemetry and rolls back automatically on regression.
+    Apply,
+    /// Promote the soaking artifact to active, ending the soak.
+    Accept,
+    /// Abandon the soaking artifact and reinstate the previous active
+    /// configuration (or the boot configuration), with one more epoch
+    /// bump.
+    Rollback {
+        /// Operator-supplied reason, recorded in the journal.
+        reason: String,
+    },
+    /// Read the artifact lifecycle state. Through the router this is
+    /// the tier-wide merge: every instance's staged/soaking/active
+    /// view, so divergence after a partial apply is visible.
+    ArtifactStatus,
 }
 
 /// Canonical action names in declaration order; index `i` names the
 /// variant with [`Request::action_index`] `i`. Keys of
 /// [`StatsReport::per_action`] are drawn from this set.
-pub const ACTIONS: [&str; 15] = [
+pub const ACTIONS: [&str; 20] = [
     "register_profile",
     "compare",
     "best_of",
@@ -160,6 +189,11 @@ pub const ACTIONS: [&str; 15] = [
     "batch",
     "trace",
     "dump_flight",
+    "stage",
+    "apply",
+    "accept",
+    "rollback",
+    "artifact_status",
 ];
 
 impl Request {
@@ -181,6 +215,11 @@ impl Request {
             Request::Batch { .. } => 12,
             Request::Trace { .. } => 13,
             Request::DumpFlight => 14,
+            Request::Stage { .. } => 15,
+            Request::Apply => 16,
+            Request::Accept => 17,
+            Request::Rollback { .. } => 18,
+            Request::ArtifactStatus => 19,
         }
     }
 
@@ -313,6 +352,24 @@ pub enum Response {
         path: String,
         /// Flight-recorder events written into the dump.
         events: u64,
+    },
+    /// Receipt for an artifact lifecycle verb (`Stage`, `Apply`,
+    /// `Accept`, `Rollback`).
+    ArtifactAck {
+        /// The artifact version the verb acted on.
+        version: u64,
+        /// Its lifecycle state after the verb: `"staged"`,
+        /// `"soaking"`, `"active"`, or `"rolled_back"`.
+        state: String,
+        /// The snapshot epoch after the verb (bumped exactly once by
+        /// `Apply` and `Rollback`; unchanged by `Stage` and `Accept`).
+        epoch: u64,
+    },
+    /// Lifecycle state for an `ArtifactStatus` request. Through the
+    /// router this carries one entry per usable instance.
+    ArtifactStatus {
+        /// Per-instance lifecycle views, sorted by address.
+        status: cbes_reconfig::StatusReport,
     },
     /// The request failed; `kind` is one of [`error_kind`].
     Error {
@@ -1018,8 +1075,8 @@ mod tests {
     fn trace_family_round_trips_and_closes_the_action_table() {
         let trace = Request::Trace { trace_id: 99 };
         let dump = Request::DumpFlight;
-        assert_eq!(trace.action_index(), ACTIONS.len() - 2);
-        assert_eq!(dump.action_index(), ACTIONS.len() - 1);
+        assert_eq!(trace.action_index(), 13);
+        assert_eq!(dump.action_index(), 14);
         assert_eq!(trace.action(), "trace");
         assert_eq!(dump.action(), "dump_flight");
         assert!(
@@ -1060,6 +1117,67 @@ mod tests {
         }))
         .expect("encode emits valid JSON");
         assert_eq!(back.response, receipt);
+    }
+
+    #[test]
+    fn artifact_family_round_trips_and_closes_the_action_table() {
+        let family = [
+            Request::Stage {
+                kind: "serving_limits".into(),
+                payload: "{\"max_rps\": 50.0, \"shed_retry_after_ms\": 10}".into(),
+            },
+            Request::Apply,
+            Request::Accept,
+            Request::Rollback {
+                reason: "p99 regression".into(),
+            },
+            Request::ArtifactStatus,
+        ];
+        for (i, req) in family.iter().enumerate() {
+            assert_eq!(req.action_index(), 15 + i, "{}", req.action());
+            assert!(
+                !req.is_eval(),
+                "{} is control-plane, exempt from the eval rate cap",
+                req.action()
+            );
+            let env = RequestEnvelope::new(7, req.clone());
+            let back: RequestEnvelope =
+                serde_json::from_str(&encode(&env)).expect("encode emits valid JSON");
+            assert_eq!(&back.request, req);
+        }
+        assert_eq!(
+            family[family.len() - 1].action_index(),
+            ACTIONS.len() - 1,
+            "the artifact family closes the action table"
+        );
+
+        let ack = Response::ArtifactAck {
+            version: 3,
+            state: "soaking".into(),
+            epoch: 12,
+        };
+        let back: ResponseEnvelope = serde_json::from_str(&encode(&ResponseEnvelope {
+            id: 7,
+            response: ack.clone(),
+        }))
+        .expect("encode emits valid JSON");
+        assert_eq!(back.response, ack);
+
+        let status = Response::ArtifactStatus {
+            status: cbes_reconfig::StatusReport {
+                instances: vec![cbes_reconfig::InstanceStatus {
+                    addr: "127.0.0.1:4100".into(),
+                    reconfigurable: true,
+                    status: cbes_reconfig::LifecycleStatus::empty(),
+                }],
+            },
+        };
+        let back: ResponseEnvelope = serde_json::from_str(&encode(&ResponseEnvelope {
+            id: 8,
+            response: status.clone(),
+        }))
+        .expect("encode emits valid JSON");
+        assert_eq!(back.response, status);
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! The daemon side of live reconfiguration: glue between the
+//! crash-safe [`ArtifactStore`] (`cbes-reconfig`) and the serving
+//! path.
+//!
+//! The store journals *what* the lifecycle state is; this runtime makes
+//! the running daemon *agree* with it. Activation follows an overlay
+//! model: the boot configuration (the cluster's own no-load latency
+//! function, the `--max-rps` admission cap) is the base, and the
+//! serving artifact overlays exactly one aspect of it — a calibrated
+//! latency model or a cluster preset replaces the latency provider, a
+//! serving-limits artifact retunes the admission cap. Every `apply`
+//! and `rollback` publishes through exactly one snapshot-epoch bump
+//! (`cbes-core`'s atomic `Arc` swap), so in-flight requests finish on
+//! the configuration they were admitted under and a restart that
+//! replays the journal re-activates the recovered serving artifact
+//! before the first request is answered.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cbes_cluster::{ClusterSpec, LatencyProvider};
+use cbes_core::CbesService;
+use cbes_netmodel::LatencyModel;
+use cbes_obs::{names, Counter, Gauge, Registry};
+use cbes_reconfig::{
+    ArtifactKind, ArtifactStore, InstanceStatus, ReconfigError, ServingLimits, StatusReport,
+};
+use parking_lot::Mutex;
+
+use crate::protocol::{error_kind, Response};
+use crate::server::RateLimiter;
+
+/// One soak in progress: the soaking version plus the shed-counter
+/// baseline taken at apply time, so the monitor measures *regression
+/// since the flip*, not ambient load.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SoakState {
+    /// The soaking artifact version.
+    pub version: u64,
+    /// Cumulative shed count (`server.overloaded`) when the soak began.
+    pub sheds_at_apply: u64,
+}
+
+/// Per-daemon live-reconfiguration state: the artifact store plus the
+/// hooks that make an activation real (latency-provider swap on the
+/// core service, admission-cap retune on the rate limiter).
+pub(crate) struct ReconfigRuntime {
+    store: ArtifactStore,
+    service: Arc<CbesService>,
+    limiter: Arc<RateLimiter>,
+    /// The `--max-rps` the daemon booted with; rollback to version 0
+    /// reinstates it.
+    boot_max_rps: f64,
+    soak: Mutex<Option<SoakState>>,
+    staged: Arc<Counter>,
+    applies: Arc<Counter>,
+    accepts: Arc<Counter>,
+    rollbacks: Arc<Counter>,
+    auto_rollbacks: Arc<Counter>,
+    active_version: Arc<Gauge>,
+}
+
+impl std::fmt::Debug for ReconfigRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReconfigRuntime")
+            .field("store", &self.store)
+            .finish_non_exhaustive()
+    }
+}
+
+fn reconfig_error(e: &ReconfigError) -> Response {
+    let kind = match e {
+        ReconfigError::InvalidPayload(_) | ReconfigError::Lifecycle(_) => error_kind::BAD_REQUEST,
+        _ => error_kind::SERVICE,
+    };
+    Response::error(kind, e.to_string())
+}
+
+/// The reply for an artifact verb on a daemon started without
+/// `--state-dir`.
+pub(crate) fn not_reconfigurable() -> Response {
+    Response::error(
+        error_kind::BAD_REQUEST,
+        "artifact lifecycle disabled: start the daemon with --state-dir",
+    )
+}
+
+/// The `ArtifactStatus` reply for a daemon without a store: visible in
+/// a tier-wide merge as `reconfigurable: false` rather than an error,
+/// so a mixed tier still reports every instance.
+pub(crate) fn unreconfigurable_status(addr: std::net::SocketAddr) -> Response {
+    Response::ArtifactStatus {
+        status: StatusReport {
+            instances: vec![InstanceStatus {
+                addr: addr.to_string(),
+                reconfigurable: false,
+                status: cbes_reconfig::LifecycleStatus::empty(),
+            }],
+        },
+    }
+}
+
+impl ReconfigRuntime {
+    /// Open (or recover) the store under `state_dir` and re-activate
+    /// whatever artifact the journal says should be serving, so a
+    /// restarted daemon answers its first request under the recovered
+    /// configuration. A recovered mid-soak artifact resumes its soak
+    /// with a fresh telemetry baseline.
+    pub fn open(
+        state_dir: PathBuf,
+        service: Arc<CbesService>,
+        limiter: Arc<RateLimiter>,
+        boot_max_rps: f64,
+        registry: &Registry,
+    ) -> Result<ReconfigRuntime, ReconfigError> {
+        let store = ArtifactStore::open(state_dir)?;
+        let runtime = ReconfigRuntime {
+            store,
+            service,
+            limiter,
+            boot_max_rps,
+            soak: Mutex::new(None),
+            staged: registry.counter(names::RECONFIG_STAGED),
+            applies: registry.counter(names::RECONFIG_APPLIES),
+            accepts: registry.counter(names::RECONFIG_ACCEPTS),
+            rollbacks: registry.counter(names::RECONFIG_ROLLBACKS),
+            auto_rollbacks: registry.counter(names::RECONFIG_AUTO_ROLLBACKS),
+            active_version: registry.gauge(names::RECONFIG_ACTIVE_VERSION),
+        };
+        runtime.resume()?;
+        Ok(runtime)
+    }
+
+    /// Re-activate the recovered serving artifact after a restart.
+    fn resume(&self) -> Result<(), ReconfigError> {
+        if let Some(serving) = self.store.serving() {
+            let payload = self.store.payload(serving.version)?;
+            self.activate(serving.kind, &payload)
+                .map_err(ReconfigError::InvalidPayload)?;
+        }
+        if let Some(soak) = self.store.soaking() {
+            *self.soak.lock() = Some(SoakState {
+                version: soak.artifact.version,
+                sheds_at_apply: 0,
+            });
+        }
+        self.publish_active_version();
+        Ok(())
+    }
+
+    fn publish_active_version(&self) {
+        self.active_version
+            .set(self.store.active().map_or(0, |a| a.version) as f64);
+    }
+
+    /// Make one artifact real on the serving path, with exactly one
+    /// epoch bump. Payloads were validated at stage time, so a failure
+    /// here means the artifact directory was tampered with.
+    fn activate(&self, kind: ArtifactKind, payload: &str) -> Result<u64, String> {
+        match kind {
+            ArtifactKind::LatencyModel => {
+                let model: LatencyModel =
+                    serde_json::from_str(payload).map_err(|e| e.to_string())?;
+                model.validate()?;
+                Ok(self.service.activate_provider(Arc::new(model)))
+            }
+            ArtifactKind::ClusterPreset => {
+                let spec: ClusterSpec = serde_json::from_str(payload).map_err(|e| e.to_string())?;
+                let cluster = spec.build().map_err(|e| e.to_string())?;
+                let provider: Arc<dyn LatencyProvider + Send + Sync> = Arc::new(cluster);
+                Ok(self.service.activate_provider(provider))
+            }
+            ArtifactKind::ServingLimits => {
+                let limits: ServingLimits =
+                    serde_json::from_str(payload).map_err(|e| e.to_string())?;
+                self.limiter
+                    .set_limits(limits.max_rps, limits.shed_retry_after_ms);
+                Ok(self.service.bump_epoch())
+            }
+        }
+    }
+
+    /// Reinstate the pre-soak configuration: boot defaults, with the
+    /// previously active artifact (if any) overlaid — published as one
+    /// epoch bump.
+    fn restore(&self, previous: Option<(ArtifactKind, String)>) -> u64 {
+        match previous {
+            None => {
+                self.limiter.set_limits(self.boot_max_rps, 0);
+                self.service.activate_boot_provider()
+            }
+            Some((ArtifactKind::ServingLimits, payload)) => {
+                // The previous overlay retuned admission, so the
+                // latency provider reverts to boot.
+                if let Ok(limits) = serde_json::from_str::<ServingLimits>(&payload) {
+                    self.limiter
+                        .set_limits(limits.max_rps, limits.shed_retry_after_ms);
+                } else {
+                    self.limiter.set_limits(self.boot_max_rps, 0);
+                }
+                self.service.activate_boot_provider()
+            }
+            Some((kind, payload)) => {
+                // The previous overlay replaced the latency provider,
+                // so admission reverts to boot.
+                self.limiter.set_limits(self.boot_max_rps, 0);
+                self.activate(kind, &payload)
+                    .unwrap_or_else(|_| self.service.activate_boot_provider())
+            }
+        }
+    }
+
+    /// `Stage`: validate and persist without activating.
+    pub fn handle_stage(&self, kind: &str, payload: &str) -> Response {
+        let Some(kind) = ArtifactKind::parse(kind) else {
+            return Response::error(
+                error_kind::BAD_REQUEST,
+                format!("unknown artifact kind {kind:?} (latency_model | cluster_preset | serving_limits)"),
+            );
+        };
+        let expected = Some(self.service.cluster().len());
+        match self.store.stage(kind, payload, expected) {
+            Ok(version) => {
+                self.staged.incr();
+                Response::ArtifactAck {
+                    version,
+                    state: "staged".to_string(),
+                    epoch: self.service.epoch(),
+                }
+            }
+            Err(e) => reconfig_error(&e),
+        }
+    }
+
+    /// `Apply`: journal the activation, flip the serving path (one
+    /// epoch bump), and open the soak window.
+    pub fn handle_apply(&self, sheds_now: u64) -> Response {
+        let applied = match self.store.apply() {
+            Ok(a) => a,
+            Err(e) => return reconfig_error(&e),
+        };
+        match self.activate(applied.artifact.kind, &applied.payload) {
+            Ok(epoch) => {
+                self.applies.incr();
+                *self.soak.lock() = Some(SoakState {
+                    version: applied.artifact.version,
+                    sheds_at_apply: sheds_now,
+                });
+                Response::ArtifactAck {
+                    version: applied.artifact.version,
+                    state: "soaking".to_string(),
+                    epoch,
+                }
+            }
+            Err(detail) => {
+                // The journal committed the apply but the serving path
+                // refused the payload: roll back immediately so the
+                // store and the daemon stay agreed. Nothing was
+                // activated, so there is nothing to restore.
+                let _ = self
+                    .store
+                    .rollback(&format!("activation failed: {detail}"), true);
+                self.rollbacks.incr();
+                self.auto_rollbacks.incr();
+                Response::error(
+                    error_kind::SERVICE,
+                    format!("activation failed and was rolled back: {detail}"),
+                )
+            }
+        }
+    }
+
+    /// `Accept`: promote the soaking artifact; no epoch bump (it is
+    /// already serving).
+    pub fn handle_accept(&self) -> Response {
+        match self.store.accept() {
+            Ok(artifact) => {
+                *self.soak.lock() = None;
+                self.accepts.incr();
+                self.publish_active_version();
+                Response::ArtifactAck {
+                    version: artifact.version,
+                    state: "active".to_string(),
+                    epoch: self.service.epoch(),
+                }
+            }
+            Err(e) => reconfig_error(&e),
+        }
+    }
+
+    /// `Rollback` (operator or soak monitor): journal it, reinstate
+    /// the previous configuration with one epoch bump.
+    pub fn handle_rollback(&self, reason: &str, auto: bool) -> Response {
+        let rolled = match self.store.rollback(reason, auto) {
+            Ok(r) => r,
+            Err(e) => return reconfig_error(&e),
+        };
+        let epoch = self.restore(rolled.previous_payload);
+        *self.soak.lock() = None;
+        self.rollbacks.incr();
+        if auto {
+            self.auto_rollbacks.incr();
+        }
+        self.publish_active_version();
+        Response::ArtifactAck {
+            version: rolled.artifact.version,
+            state: "rolled_back".to_string(),
+            epoch,
+        }
+    }
+
+    /// `ArtifactStatus`: this daemon's single-instance lifecycle view.
+    pub fn handle_status(&self, addr: std::net::SocketAddr) -> Response {
+        Response::ArtifactStatus {
+            status: StatusReport {
+                instances: vec![InstanceStatus {
+                    addr: addr.to_string(),
+                    reconfigurable: true,
+                    status: self.store.status(),
+                }],
+            },
+        }
+    }
+
+    /// The soak in progress, if any — read by the once-per-second soak
+    /// monitor sweep in the server.
+    pub fn soak_state(&self) -> Option<SoakState> {
+        *self.soak.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbes_cluster::presets::two_switch_demo;
+    use cbes_core::ForecastKind;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cbes-runtime-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn runtime(tag: &str) -> (ReconfigRuntime, Arc<CbesService>) {
+        let service = Arc::new(CbesService::self_calibrated(
+            Arc::new(two_switch_demo()),
+            ForecastKind::LastValue,
+        ));
+        let limiter = Arc::new(RateLimiter::new(0.0));
+        let registry = Registry::new();
+        let rt = ReconfigRuntime::open(scratch(tag), service.clone(), limiter, 0.0, &registry)
+            .expect("open runtime");
+        (rt, service)
+    }
+
+    fn limits(rps: f64) -> String {
+        format!("{{\"max_rps\": {rps}, \"shed_retry_after_ms\": 5}}")
+    }
+
+    fn ack(resp: Response) -> (u64, String, u64) {
+        match resp {
+            Response::ArtifactAck {
+                version,
+                state,
+                epoch,
+            } => (version, state, epoch),
+            other => panic!("expected ArtifactAck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_bumps_the_epoch_exactly_once_and_rollback_once_more() {
+        let (rt, service) = runtime("epochs");
+        let (v, state, _) = ack(rt.handle_stage("serving_limits", &limits(40.0)));
+        assert_eq!((v, state.as_str()), (1, "staged"));
+        let before = service.epoch();
+        let (_, state, epoch) = ack(rt.handle_apply(0));
+        assert_eq!(state, "soaking");
+        assert_eq!(epoch, before + 1, "apply is one epoch bump");
+        assert!(rt.soak_state().is_some());
+        let (_, state, epoch2) = ack(rt.handle_rollback("operator", false));
+        assert_eq!(state, "rolled_back");
+        assert_eq!(epoch2, epoch + 1, "rollback is one epoch bump");
+        assert!(rt.soak_state().is_none());
+    }
+
+    #[test]
+    fn accept_promotes_without_an_epoch_bump() {
+        let (rt, service) = runtime("accept");
+        ack(rt.handle_stage("serving_limits", &limits(40.0)));
+        let (_, _, apply_epoch) = ack(rt.handle_apply(0));
+        let (v, state, epoch) = ack(rt.handle_accept());
+        assert_eq!((v, state.as_str()), (1, "active"));
+        assert_eq!(epoch, apply_epoch, "accept does not republish");
+        assert_eq!(service.epoch(), apply_epoch);
+    }
+
+    #[test]
+    fn unknown_kind_and_missing_store_paths_reply_with_errors() {
+        let (rt, _) = runtime("errors");
+        assert!(matches!(
+            rt.handle_stage("firmware", "{}"),
+            Response::Error { .. }
+        ));
+        assert!(matches!(rt.handle_apply(0), Response::Error { .. }));
+        assert!(matches!(rt.handle_accept(), Response::Error { .. }));
+        assert!(matches!(
+            rt.handle_rollback("nothing soaking", false),
+            Response::Error { .. }
+        ));
+        assert!(matches!(not_reconfigurable(), Response::Error { .. }));
+    }
+}

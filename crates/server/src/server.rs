@@ -50,6 +50,7 @@ use crate::protocol::{
     decode_request, encode_response, error_kind, route_key_hash, InstanceInfo, MembershipReport,
     Request, RequestEnvelope, Response, ResponseEnvelope, SpanSnapshot, StatsReport, ACTIONS,
 };
+use crate::reconfig::{not_reconfigurable, unreconfigurable_status, ReconfigRuntime};
 
 /// Upper bound on one reactor poll wait: the loop re-checks the
 /// shutdown flag at least this often even with no I/O and no deadlines.
@@ -92,6 +93,11 @@ pub struct ServerConfig {
     /// requests beyond the budget are shed with `overloaded` and a
     /// `retry_after_ms` hint equal to the time until the next token.
     pub max_rps: f64,
+    /// Durable state directory for the artifact store (`None` disables
+    /// the artifact lifecycle). On start the journal under it is
+    /// replayed and the recovered serving artifact re-activated before
+    /// the first request is answered.
+    pub state_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +111,7 @@ impl Default for ServerConfig {
             max_consecutive_errors: 8,
             shed_retry_after: Duration::from_millis(25),
             max_rps: 0.0,
+            state_dir: None,
         }
     }
 }
@@ -114,10 +121,18 @@ impl Default for ServerConfig {
 /// instances (or co-tenant workloads) share a machine. Refills
 /// continuously at `rate` tokens/s up to a burst of a quarter-second's
 /// worth (at least one token).
+///
+/// The rate is runtime-adjustable (stored as `f64` bits in an atomic,
+/// `0` = unlimited) so a `serving_limits` artifact can retune
+/// admission on a live daemon without restarting the worker pool; the
+/// limiter is always present and a zero rate short-circuits to an
+/// uncontended load.
 #[derive(Debug)]
-struct RateLimiter {
-    rate: f64,
-    burst: f64,
+pub(crate) struct RateLimiter {
+    /// `f64::to_bits` of the rate in tokens/s; `0.0` disables the cap.
+    rate_bits: AtomicU64,
+    /// Minimum `retry_after_ms` hint attached to rate-cap sheds.
+    hint_ms: AtomicU64,
     state: Mutex<BucketState>,
 }
 
@@ -128,31 +143,58 @@ struct BucketState {
 }
 
 impl RateLimiter {
-    fn new(rate_per_s: f64) -> Self {
-        let rate = rate_per_s.max(0.001);
-        let burst = (rate * 0.25).max(1.0);
+    pub(crate) fn new(rate_per_s: f64) -> Self {
+        let rate = rate_per_s.max(0.0);
         RateLimiter {
-            rate,
-            burst,
+            rate_bits: AtomicU64::new(rate.to_bits()),
+            hint_ms: AtomicU64::new(0),
             state: Mutex::new(BucketState {
-                tokens: burst,
+                tokens: Self::burst_of(rate),
                 refilled: Instant::now(),
             }),
         }
     }
 
+    fn burst_of(rate: f64) -> f64 {
+        (rate * 0.25).max(1.0)
+    }
+
+    /// Retune the cap at runtime (a `serving_limits` activation or
+    /// rollback). Resets the bucket to a full burst at the new rate so
+    /// the flip itself never sheds.
+    pub(crate) fn set_limits(&self, rate_per_s: f64, hint_ms: u64) {
+        let rate = rate_per_s.max(0.0);
+        self.rate_bits.store(rate.to_bits(), Ordering::Release);
+        self.hint_ms.store(hint_ms, Ordering::Release);
+        let mut s = self.state.lock();
+        s.tokens = Self::burst_of(rate);
+        s.refilled = Instant::now();
+    }
+
+    /// The configured shed back-off hint floor, in milliseconds.
+    fn hint_ms(&self) -> u64 {
+        self.hint_ms.load(Ordering::Acquire)
+    }
+
     /// Take one token, or report how long until one is available.
-    fn try_acquire(&self) -> Result<(), Duration> {
+    /// Unlimited (zero-rate) limiters admit without touching the lock.
+    pub(crate) fn try_acquire(&self) -> Result<(), Duration> {
+        let rate = f64::from_bits(self.rate_bits.load(Ordering::Acquire));
+        if rate <= 0.0 {
+            return Ok(());
+        }
+        let rate = rate.max(0.001);
+        let burst = Self::burst_of(rate);
         let mut s = self.state.lock();
         let now = Instant::now();
         let dt = now.duration_since(s.refilled).as_secs_f64();
-        s.tokens = (s.tokens + dt * self.rate).min(self.burst);
+        s.tokens = (s.tokens + dt * rate).min(burst);
         s.refilled = now;
         if s.tokens >= 1.0 {
             s.tokens -= 1.0;
             Ok(())
         } else {
-            Err(Duration::from_secs_f64((1.0 - s.tokens) / self.rate))
+            Err(Duration::from_secs_f64((1.0 - s.tokens) / rate))
         }
     }
 }
@@ -585,7 +627,20 @@ impl Server {
         let (completion_tx, completion_rx) = channel::unbounded::<Completion>();
         let (wake_tx, wake_rx) = wake_pair()?;
         let wake_tx = Arc::new(wake_tx);
-        let rate = (config.max_rps > 0.0).then(|| Arc::new(RateLimiter::new(config.max_rps)));
+        let rate = Arc::new(RateLimiter::new(config.max_rps));
+        let reconfig = match config.state_dir.clone() {
+            Some(dir) => Some(Arc::new(
+                ReconfigRuntime::open(
+                    dir,
+                    service.clone(),
+                    rate.clone(),
+                    config.max_rps,
+                    &metrics.registry,
+                )
+                .map_err(|e| std::io::Error::other(format!("artifact store: {e}")))?,
+            )),
+            None => None,
+        };
         let shard_busy: Arc<Vec<AtomicBool>> =
             Arc::new((0..worker_count).map(|_| AtomicBool::new(false)).collect());
 
@@ -598,6 +653,7 @@ impl Server {
                 let metrics = metrics.clone();
                 let shutdown = shutdown.clone();
                 let rate = rate.clone();
+                let reconfig = reconfig.clone();
                 let shard_busy = shard_busy.clone();
                 std::thread::spawn(move || {
                     worker_loop(
@@ -609,7 +665,8 @@ impl Server {
                         &metrics,
                         &shutdown,
                         addr,
-                        rate.as_deref(),
+                        &rate,
+                        reconfig.as_deref(),
                         &shard_busy,
                     )
                 })
@@ -636,6 +693,7 @@ impl Server {
                 shard_busy,
                 service,
                 rate,
+                reconfig,
                 addr,
                 completion_rx,
                 metrics,
@@ -792,11 +850,91 @@ fn maybe_flag_shed_spike(metrics: &ServerMetrics) {
     }
 }
 
+/// Sheds tolerated since an artifact apply before the soak monitor
+/// rolls it back. `CBES_SOAK_SHED_BUDGET` overrides; 0 disables the
+/// shed trigger.
+fn soak_shed_budget() -> u64 {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("CBES_SOAK_SHED_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25)
+    })
+}
+
+/// Rolling-p99 service-time budget (microseconds over the 10 s window)
+/// during a soak; exceeding it rolls the soaking artifact back.
+/// `CBES_SOAK_P99_BUDGET_US` sets it; the default 0 disables the
+/// trigger.
+fn soak_p99_budget_us() -> u64 {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("CBES_SOAK_P99_BUDGET_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The soak monitor: while an artifact is soaking, compare windowed
+/// telemetry against the soak budgets and auto-roll-back on
+/// regression, dumping the flight recorder tagged with the artifact
+/// version. Runs inside the once-per-second [`flight_checks`] sweep.
+fn soak_check(runtime: &ReconfigRuntime, metrics: &Arc<ServerMetrics>) {
+    let Some(soak) = runtime.soak_state() else {
+        return;
+    };
+    let mut reason = None;
+    let shed_budget = soak_shed_budget();
+    if shed_budget > 0 {
+        let shed = metrics.overloaded.get().saturating_sub(soak.sheds_at_apply);
+        if shed >= shed_budget {
+            reason = Some(format!(
+                "{shed} requests shed since apply (budget {shed_budget})"
+            ));
+        }
+    }
+    let p99_budget = soak_p99_budget_us();
+    if reason.is_none() && p99_budget > 0 {
+        let p99 = metrics.service_time.window_snapshot(10).p99();
+        if p99 > p99_budget {
+            reason = Some(format!(
+                "rolling p99 {p99}us exceeds soak budget {p99_budget}us"
+            ));
+        }
+    }
+    let Some(reason) = reason else {
+        return;
+    };
+    let flight = metrics.registry.flight();
+    flight.record(
+        "soak_regression",
+        format!("artifact v{} rolled back: {reason}", soak.version),
+        0,
+    );
+    // The rollback journals, reinstates the previous configuration, and
+    // clears the soak; a concurrent operator verb simply wins the race
+    // (the store serialises, the loser's reply is a lifecycle error).
+    let _ = runtime.handle_rollback(&reason, true);
+    if flight
+        .auto_dump("soak_regression", metrics.registry.spans())
+        .is_some()
+    {
+        metrics.flight_dumps.incr();
+    }
+}
+
 /// Once-per-second anomaly sweep run by whichever worker first crosses
 /// a second boundary: a rolling-p99 budget breach or a node
-/// health-state transition trips a (debounced) flight dump. Every
+/// health-state transition trips a (debounced) flight dump, and a
+/// soaking artifact is checked against its regression budgets. Every
 /// other request of the second pays one atomic swap and returns.
-fn flight_checks(service: &Arc<CbesService>, metrics: &Arc<ServerMetrics>) {
+fn flight_checks(
+    service: &Arc<CbesService>,
+    metrics: &Arc<ServerMetrics>,
+    reconfig: Option<&ReconfigRuntime>,
+) {
     // +1 keeps the stamp nonzero so "never swept" stays distinguishable.
     let now = metrics.start.elapsed().as_secs() + 1;
     let prev_check = metrics.last_flight_check.swap(now, Ordering::Relaxed);
@@ -810,6 +948,9 @@ fn flight_checks(service: &Arc<CbesService>, metrics: &Arc<ServerMetrics>) {
     if prev_check == 0 {
         // First sweep only seeds the baselines.
         return;
+    }
+    if let Some(runtime) = reconfig {
+        soak_check(runtime, metrics);
     }
     let flight = metrics.registry.flight();
     let mut dump_reason = None;
@@ -858,7 +999,8 @@ struct Reactor {
     /// frame inline when the target shard is drained *and* idle.
     shard_busy: Arc<Vec<AtomicBool>>,
     service: Arc<CbesService>,
-    rate: Option<Arc<RateLimiter>>,
+    rate: Arc<RateLimiter>,
+    reconfig: Option<Arc<ReconfigRuntime>>,
     addr: SocketAddr,
     completion_rx: Receiver<Completion>,
     metrics: Arc<ServerMetrics>,
@@ -1059,7 +1201,8 @@ impl Reactor {
                 self.addr,
                 depth,
                 worker_count,
-                self.rate.as_deref(),
+                &self.rate,
+                self.reconfig.as_deref(),
             );
             self.queue_reply(token, &encode_line(&reply), malformed);
             return;
@@ -1268,7 +1411,7 @@ impl Reactor {
 /// the happy path should not pay for the error reply's size).
 fn precheck(
     line: &str,
-    rate: Option<&RateLimiter>,
+    rate: &RateLimiter,
     metrics: &ServerMetrics,
 ) -> Result<RequestEnvelope, Box<(ResponseEnvelope, bool)>> {
     let envelope: RequestEnvelope = match decode_request(line) {
@@ -1285,24 +1428,22 @@ fn precheck(
         }
     };
     if envelope.request.is_eval() {
-        if let Some(limiter) = rate {
-            if let Err(wait) = limiter.try_acquire() {
-                metrics.rate_limited.incr();
-                metrics.overloaded.incr();
-                metrics.errors.incr();
-                maybe_flag_shed_spike(metrics);
-                return Err(Box::new((
-                    ResponseEnvelope {
-                        id: envelope.id,
-                        response: Response::shed(
-                            error_kind::OVERLOADED,
-                            "evaluation rate cap exceeded",
-                            (wait.as_millis() as u64).max(1),
-                        ),
-                    },
-                    false,
-                )));
-            }
+        if let Err(wait) = rate.try_acquire() {
+            metrics.rate_limited.incr();
+            metrics.overloaded.incr();
+            metrics.errors.incr();
+            maybe_flag_shed_spike(metrics);
+            return Err(Box::new((
+                ResponseEnvelope {
+                    id: envelope.id,
+                    response: Response::shed(
+                        error_kind::OVERLOADED,
+                        "evaluation rate cap exceeded",
+                        (wait.as_millis() as u64).max(1).max(rate.hint_ms()),
+                    ),
+                },
+                false,
+            )));
         }
     }
     Ok(envelope)
@@ -1319,7 +1460,8 @@ fn execute(
     addr: SocketAddr,
     queue_depth: usize,
     worker_count: usize,
-    rate: Option<&RateLimiter>,
+    rate: &RateLimiter,
+    reconfig: Option<&ReconfigRuntime>,
 ) -> (ResponseEnvelope, bool) {
     let envelope = match precheck(line, rate, metrics) {
         Ok(env) => env,
@@ -1349,6 +1491,7 @@ fn execute(
             addr,
             queue_depth,
             worker_count,
+            reconfig,
         )
     };
     metrics.service_time.record_duration(picked_up.elapsed());
@@ -1359,7 +1502,7 @@ fn execute(
         metrics.errors.incr();
     }
     metrics.served.incr();
-    flight_checks(service, metrics);
+    flight_checks(service, metrics, reconfig);
     (ResponseEnvelope { id, response }, false)
 }
 
@@ -1373,7 +1516,8 @@ fn worker_loop(
     metrics: &Arc<ServerMetrics>,
     shutdown: &Arc<AtomicBool>,
     addr: SocketAddr,
-    rate: Option<&RateLimiter>,
+    rate: &RateLimiter,
+    reconfig: Option<&ReconfigRuntime>,
     shard_busy: &[AtomicBool],
 ) {
     let Some(own) = shards.get(index) else {
@@ -1395,6 +1539,7 @@ fn worker_loop(
             depth,
             worker_count,
             rate,
+            reconfig,
         );
         let _ = completion_tx.send(Completion {
             seq: job.seq,
@@ -1420,6 +1565,7 @@ fn handle_request(
     addr: SocketAddr,
     queue_depth: usize,
     worker_count: usize,
+    reconfig: Option<&ReconfigRuntime>,
 ) -> Response {
     match request {
         Request::RegisterProfile { profile } => {
@@ -1461,7 +1607,9 @@ fn handle_request(
             if let Some(bad) = pool.iter().find(|n| n.index() >= service.cluster().len()) {
                 return Response::service_error(&cbes_core::ServiceError::BadNode(bad.0));
             }
-            let (epoch, snapshot) = service.snapshot_stamped();
+            let cached = service.current_load();
+            let epoch = cached.epoch;
+            let snapshot = service.snapshot_of(&cached);
             let request = ScheduleRequest::new(&profile, &snapshot, &pool);
             let mut config = SaConfig::fast(seed);
             if iters > 0 {
@@ -1620,6 +1768,26 @@ fn handle_request(
                 Err(e) => Response::error(error_kind::SERVICE, format!("flight dump failed: {e}")),
             }
         }
+        Request::Stage { kind, payload } => match reconfig {
+            Some(rt) => rt.handle_stage(&kind, &payload),
+            None => not_reconfigurable(),
+        },
+        Request::Apply => match reconfig {
+            Some(rt) => rt.handle_apply(metrics.overloaded.get()),
+            None => not_reconfigurable(),
+        },
+        Request::Accept => match reconfig {
+            Some(rt) => rt.handle_accept(),
+            None => not_reconfigurable(),
+        },
+        Request::Rollback { reason } => match reconfig {
+            Some(rt) => rt.handle_rollback(&reason, false),
+            None => not_reconfigurable(),
+        },
+        Request::ArtifactStatus => match reconfig {
+            Some(rt) => rt.handle_status(addr),
+            None => unreconfigurable_status(addr),
+        },
     }
 }
 
@@ -1690,7 +1858,9 @@ mod tests {
     #[test]
     fn unparseable_line_is_rejected_with_id_zero() {
         let m = metrics();
-        let (reply, malformed) = *precheck("{not json", None, &m).expect_err("parse must fail");
+        let unlimited = RateLimiter::new(0.0);
+        let (reply, malformed) =
+            *precheck("{not json", &unlimited, &m).expect_err("parse must fail");
         assert_eq!(reply.id, 0);
         assert_eq!(error_kind_of(&reply), error_kind::BAD_REQUEST);
         assert!(malformed, "a parse failure is a framing strike");
@@ -1866,11 +2036,11 @@ mod tests {
             },
         ));
         assert!(
-            precheck(&compare_line, Some(&rate), &m).is_ok(),
+            precheck(&compare_line, &rate, &m).is_ok(),
             "the first eval spends the only token"
         );
         let (reply, malformed) =
-            *precheck(&compare_line, Some(&rate), &m).expect_err("the second eval is capped");
+            *precheck(&compare_line, &rate, &m).expect_err("the second eval is capped");
         assert_eq!(reply.id, 11);
         assert_eq!(error_kind_of(&reply), error_kind::OVERLOADED);
         assert!(!malformed, "a shed is not a framing strike");
@@ -1886,8 +2056,13 @@ mod tests {
         assert_eq!(m.rate_limited.get(), 1);
         assert_eq!(m.overloaded.get(), 1);
         // Control plane bypasses the cap entirely.
-        assert!(precheck(&stats_line(12), Some(&rate), &m).is_ok());
+        assert!(precheck(&stats_line(12), &rate, &m).is_ok());
         assert_eq!(m.rate_limited.get(), 1, "the cap did not fire again");
+        // A runtime retune to unlimited lifts the cap mid-flight.
+        rate.set_limits(0.0, 0);
+        assert!(precheck(&compare_line, &rate, &m).is_ok());
+        assert!(precheck(&compare_line, &rate, &m).is_ok());
+        assert_eq!(m.rate_limited.get(), 1, "unlimited admits every eval");
     }
 
     #[test]

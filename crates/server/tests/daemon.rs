@@ -319,7 +319,8 @@ fn overload_and_timeout_paths_are_counted_in_stats_and_metrics() {
     // Calibrate SA speed offline, then size a schedule request to ~1.5 s
     // — five request timeouts — so it reliably hogs the single worker.
     let profile = service.registry().get("ring").expect("registered");
-    let (_, snapshot) = service.snapshot_stamped();
+    let cached = service.current_load();
+    let snapshot = service.snapshot_of(&cached);
     let pool: Vec<NodeId> = (0..8).map(NodeId).collect();
     let request = ScheduleRequest::new(&profile, &snapshot, &pool);
     let mut cfg = SaConfig::fast(1);
@@ -638,4 +639,103 @@ fn shutdown_drains_and_answers_every_request() {
             assert_eq!(n, 0, "post-shutdown connection must be closed, got {line}");
         }
     }
+}
+
+#[test]
+fn artifact_lifecycle_over_the_wire_survives_a_restart() {
+    let state_dir =
+        std::env::temp_dir().join(format!("cbes-daemon-artifacts-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let start = |dir: std::path::PathBuf| {
+        let service = Arc::new(CbesService::self_calibrated(
+            Arc::new(two_switch_demo()),
+            ForecastKind::LastValue,
+        ));
+        Server::start(
+            service,
+            ServerConfig {
+                workers: 1,
+                state_dir: Some(dir),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    };
+
+    let handle = start(state_dir.clone());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Nothing soaking yet: apply/accept/rollback are lifecycle errors.
+    for err in [client.apply(), client.accept(), client.rollback("nothing")] {
+        match err {
+            Err(ClientError::Server { kind, .. }) => assert_eq!(kind, error_kind::BAD_REQUEST),
+            other => panic!("expected lifecycle error, got {other:?}"),
+        }
+    }
+
+    // Stage → apply (one epoch bump) → rollback (one more).
+    let limits = r#"{"max_rps": 50.0, "shed_retry_after_ms": 5}"#;
+    let (v1, state, epoch0) = client.stage("serving_limits", limits).expect("stage");
+    assert_eq!((v1, state.as_str()), (1, "staged"));
+    let (_, state, epoch1) = client.apply().expect("apply");
+    assert_eq!(state, "soaking");
+    assert_eq!(epoch1, epoch0 + 1, "apply is exactly one epoch bump");
+    let status = client.artifact_status().expect("status");
+    assert_eq!(status.instances.len(), 1);
+    assert!(status.instances[0].reconfigurable);
+    assert_eq!(
+        status.instances[0]
+            .status
+            .soaking
+            .as_ref()
+            .map(|s| s.version),
+        Some(1)
+    );
+    let (_, state, epoch2) = client.rollback("operator says no").expect("rollback");
+    assert_eq!(state, "rolled_back");
+    assert_eq!(epoch2, epoch1 + 1, "rollback is exactly one epoch bump");
+
+    // Stage → apply → accept, then restart on the same state dir: the
+    // journal replay must recover v2 as the active, serving artifact.
+    let (v2, _, _) = client.stage("serving_limits", limits).expect("stage v2");
+    assert_eq!(v2, 2);
+    client.apply().expect("apply v2");
+    let (_, state, _) = client.accept().expect("accept v2");
+    assert_eq!(state, "active");
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    let handle = start(state_dir.clone());
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    let status = client.artifact_status().expect("status after restart");
+    assert_eq!(
+        status.instances[0]
+            .status
+            .active
+            .as_ref()
+            .map(|a| a.version),
+        Some(2)
+    );
+    assert!(status.instances[0].status.soaking.is_none());
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn artifact_verbs_without_a_state_dir_reply_bad_request() {
+    let (handle, _service) = demo_server(1);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    match client.stage("serving_limits", "{}") {
+        Err(ClientError::Server { kind, message, .. }) => {
+            assert_eq!(kind, error_kind::BAD_REQUEST);
+            assert!(message.contains("--state-dir"), "{message}");
+        }
+        other => panic!("expected bad request, got {other:?}"),
+    }
+    // Status still answers, flagged as not reconfigurable, so a mixed
+    // tier merge reports every instance.
+    let status = client.artifact_status().expect("status");
+    assert_eq!(status.instances.len(), 1);
+    assert!(!status.instances[0].reconfigurable);
 }
