@@ -337,9 +337,8 @@ impl CbesService {
     }
 
     /// Bump the snapshot epoch without changing the model, load, or
-    /// health views. Non-model artifacts (serving limits) activate
-    /// through this so every artifact activation is exactly one epoch
-    /// bump, observable tier-wide. Returns the new epoch.
+    /// health views, republishing the current configuration so the
+    /// change is observable tier-wide. Returns the new epoch.
     pub fn bump_epoch(&self) -> u64 {
         self.republish(None)
     }

@@ -11,8 +11,9 @@
 //!   rename overwrites the orphan).
 //! * **The journal** (`journal.jsonl`) is append-only: one JSON record
 //!   per line, flushed and fsynced per append. Replay tolerates exactly
-//!   one torn trailing line (a crash mid-append) and rejects anything
-//!   else as corruption.
+//!   one torn trailing line (a crash mid-append), truncates the torn
+//!   fragment so the next append starts a fresh line, and rejects
+//!   anything else as corruption.
 //! * Every write point calls [`cbes_faults::fail_point`] so the crash
 //!   suite can hard-kill the process at each step and assert recovery.
 //!
@@ -222,33 +223,22 @@ impl ArtifactStore {
         let mut state = Lifecycle::new();
         if journal_path.exists() {
             let text = fs::read_to_string(&journal_path).map_err(io_err(&journal_path))?;
-            let lines: Vec<&str> = text.lines().collect();
-            for (i, line) in lines.iter().enumerate() {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let record: JournalRecord = match serde_json::from_str(line) {
-                    Ok(r) => r,
-                    // A torn *final* line is the signature of a crash
-                    // mid-append: the record never committed, drop it.
-                    // Anywhere else it is corruption.
-                    Err(e) if i + 1 == lines.len() => {
-                        let _ = e;
-                        break;
-                    }
-                    Err(e) => {
-                        return Err(ReconfigError::CorruptJournal {
-                            line: i + 1,
-                            detail: e.to_string(),
-                        });
-                    }
-                };
-                state
-                    .commit(&record)
-                    .map_err(|e| ReconfigError::CorruptJournal {
-                        line: i + 1,
-                        detail: e.to_string(),
-                    })?;
+            let valid_len = Self::replay(&text, &mut state)?;
+            // A torn trailing fragment (crash mid-append) was tolerated
+            // by replay. Truncate it away before reopening for append:
+            // otherwise the next record would be written onto the same
+            // line as the fragment, turning a tolerated torn *tail*
+            // into a fatal corrupt *interior* line on the open after
+            // that. Truncation is idempotent — a crash mid-truncate
+            // leaves a (shorter) fragment that the next open tolerates
+            // and truncates again.
+            if valid_len < text.len() {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&journal_path)
+                    .map_err(io_err(&journal_path))?;
+                f.set_len(valid_len as u64).map_err(io_err(&journal_path))?;
+                f.sync_all().map_err(io_err(&journal_path))?;
             }
         }
         let journal = OpenOptions::new()
@@ -260,6 +250,55 @@ impl ArtifactStore {
             dir,
             inner: Mutex::new(Inner { journal, state }),
         })
+    }
+
+    /// Replay journal text into `state`, tolerating exactly one torn
+    /// trailing line, and return the byte length of the valid committed
+    /// prefix (everything past it is the torn fragment).
+    ///
+    /// A record only counts as committed when its terminating newline
+    /// reached disk: the writer emits `record + '\n'` in one append, so
+    /// an unterminated final line — even one that happens to parse —
+    /// is a write the caller was never acknowledged for, and replay
+    /// drops it rather than adopting a transition nobody observed.
+    fn replay(text: &str, state: &mut Lifecycle) -> Result<usize, ReconfigError> {
+        let mut offset = 0usize;
+        let mut line_no = 0usize;
+        while offset < text.len() {
+            line_no += 1;
+            let rest = &text[offset..];
+            let (line, consumed) = match rest.find('\n') {
+                Some(n) => (&rest[..n], n + 1),
+                // Unterminated final line: the one tolerated torn tail.
+                None => return Ok(offset),
+            };
+            if !line.trim().is_empty() {
+                let record: JournalRecord = match serde_json::from_str(line) {
+                    Ok(r) => r,
+                    // A garbled *final* line is also a torn append (the
+                    // newline flushed but the record bytes did not).
+                    // Anywhere else it is corruption.
+                    Err(e) if offset + consumed >= text.len() => {
+                        let _ = e;
+                        return Ok(offset);
+                    }
+                    Err(e) => {
+                        return Err(ReconfigError::CorruptJournal {
+                            line: line_no,
+                            detail: e.to_string(),
+                        });
+                    }
+                };
+                state
+                    .commit(&record)
+                    .map_err(|e| ReconfigError::CorruptJournal {
+                        line: line_no,
+                        detail: e.to_string(),
+                    })?;
+            }
+            offset += consumed;
+        }
+        Ok(offset)
     }
 
     /// The state directory this store persists under.
@@ -537,6 +576,80 @@ mod tests {
         let store = ArtifactStore::open(&dir).expect("reopen despite torn tail");
         assert_eq!(store.status().journal_records, 1);
         assert_eq!(store.soaking(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_recovery_truncates_so_later_appends_survive() {
+        let dir = scratch("torn-append");
+        {
+            let store = ArtifactStore::open(&dir).expect("open");
+            store
+                .stage(
+                    ArtifactKind::ServingLimits,
+                    "{\"max_rps\": 5.0, \"shed_retry_after_ms\": 10}",
+                    None,
+                )
+                .expect("stage");
+        }
+        let journal = dir.join("journal.jsonl");
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("open journal");
+        f.write_all(b"{\"op\":\"app").expect("torn write");
+        drop(f);
+        // Recover from the torn tail, then keep writing: the appended
+        // record must land on a fresh line, not on the fragment.
+        {
+            let store = ArtifactStore::open(&dir).expect("reopen despite torn tail");
+            store.apply().expect("apply after recovery");
+        }
+        let text = fs::read_to_string(&journal).expect("read journal");
+        assert!(
+            !text.contains("{\"op\":\"app{"),
+            "torn fragment survived into an interior line: {text:?}"
+        );
+        let store = ArtifactStore::open(&dir).expect("reopen after post-recovery append");
+        assert_eq!(store.status().journal_records, 2);
+        assert_eq!(store.soaking().map(|s| s.artifact.version), Some(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unterminated_final_record_is_treated_as_torn() {
+        let dir = scratch("torn-no-newline");
+        {
+            let store = ArtifactStore::open(&dir).expect("open");
+            store
+                .stage(
+                    ArtifactKind::ServingLimits,
+                    "{\"max_rps\": 5.0, \"shed_retry_after_ms\": 10}",
+                    None,
+                )
+                .expect("stage");
+        }
+        // A complete, parseable record whose newline never reached disk
+        // was never acknowledged: replay must drop it, not adopt it.
+        let journal = dir.join("journal.jsonl");
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("open journal");
+        f.write_all(
+            b"{\"op\":\"apply\",\"version\":1,\"kind\":\"\",\"previous\":0,\"reason\":\"\",\"auto\":false}",
+        )
+        .expect("unterminated write");
+        drop(f);
+        {
+            let store = ArtifactStore::open(&dir).expect("reopen");
+            assert_eq!(store.status().journal_records, 1);
+            assert_eq!(store.soaking(), None, "unacknowledged apply adopted");
+            // And the store stays writable across another reopen.
+            store.apply().expect("apply after recovery");
+        }
+        let store = ArtifactStore::open(&dir).expect("reopen after append");
+        assert_eq!(store.status().journal_records, 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

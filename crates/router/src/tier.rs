@@ -563,56 +563,66 @@ fn dispatch(
     }
 }
 
-/// Tier-wide artifact lifecycle verbs are all-or-error broadcasts:
-/// every usable instance must acknowledge, and the first refusal (or
-/// unreachable instance) is relayed verbatim, tagged with the
-/// instance's address, so the operator sees exactly which instance
-/// diverged. Instances that already acknowledged stay flipped — the
-/// lifecycle's own `rollback` verb is the recovery path, and because
-/// each instance journals its state durably a retry converges the
-/// stragglers.
+/// Tier-wide artifact lifecycle verbs are all-or-error broadcasts that
+/// never stop early: a refusing or unreachable instance is recorded
+/// and the sweep continues, so a failure early in seed order does not
+/// strand the instances behind it on the old configuration. When every
+/// instance acknowledges, the first ack is relayed; otherwise the
+/// reply is one error aggregating every instance's outcome — how many
+/// flipped out of how many attempted, plus each failure tagged with
+/// its address — so the operator knows the tier is divergent without a
+/// separate `ArtifactStatus` call. Instances that acknowledged stay
+/// flipped: each journals its state durably, so a retry (or the
+/// lifecycle's own `rollback` verb) converges the stragglers.
 fn broadcast_artifact(
     membership: &Arc<Membership>,
     timeout: Duration,
     request: &Request,
 ) -> Response {
     let mut ack: Option<Response> = None;
-    let mut reached = 0usize;
+    let mut flipped = 0usize;
+    let mut attempted = 0usize;
+    let mut failures: Vec<String> = Vec::new();
     for i in membership.usable() {
         let addr = match membership.addrs().get(i) {
             Some(a) => a.as_str(),
             None => continue,
         };
+        attempted += 1;
         match forward(addr, timeout, request) {
-            Ok(Response::Error {
-                kind,
-                message,
-                retry_after_ms,
-            }) => {
-                return Response::Error {
-                    kind,
-                    message: format!("{addr}: {message}"),
-                    retry_after_ms,
-                };
+            Ok(Response::Error { message, .. }) => {
+                failures.push(format!("{addr}: {message}"));
             }
             Ok(response) => {
                 membership.count_forwarded(i);
-                reached += 1;
+                flipped += 1;
                 if ack.is_none() {
                     ack = Some(response);
                 }
             }
             Err(e) => {
-                return Response::error(
-                    error_kind::SERVICE,
-                    format!("{addr}: unreachable mid-broadcast: {e}"),
-                );
+                failures.push(format!("{addr}: unreachable: {e}"));
             }
         }
     }
     match ack {
-        Some(response) if reached > 0 => response,
-        _ => Response::error(error_kind::SERVICE, "no usable instance accepted"),
+        Some(response) if failures.is_empty() => response,
+        None if attempted == 0 => {
+            Response::error(error_kind::SERVICE, "no usable instance accepted")
+        }
+        // Nothing flipped: a uniform refusal, not divergence.
+        None => Response::error(
+            error_kind::SERVICE,
+            format!("broadcast refused by every instance [{}]", failures.join("; ")),
+        ),
+        Some(_) => Response::error(
+            error_kind::SERVICE,
+            format!(
+                "partial broadcast: {flipped}/{attempted} instances acknowledged, \
+                 the tier is divergent — retry to converge or roll back [{}]",
+                failures.join("; ")
+            ),
+        ),
     }
 }
 

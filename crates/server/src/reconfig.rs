@@ -8,12 +8,23 @@
 //! function, the `--max-rps` admission cap) is the base, and the
 //! serving artifact overlays exactly one aspect of it — a calibrated
 //! latency model or a cluster preset replaces the latency provider, a
-//! serving-limits artifact retunes the admission cap. Every `apply`
-//! and `rollback` publishes through exactly one snapshot-epoch bump
-//! (`cbes-core`'s atomic `Arc` swap), so in-flight requests finish on
-//! the configuration they were admitted under and a restart that
-//! replays the journal re-activates the recovered serving artifact
-//! before the first request is answered.
+//! serving-limits artifact retunes the admission cap. Activating an
+//! artifact of one kind reverts the *other* aspect to boot, so the
+//! live configuration is always `boot + the single journal-recorded
+//! serving artifact` — exactly what [`restore`](ReconfigRuntime) and a
+//! post-restart replay rebuild. Every `apply` and `rollback` publishes
+//! through exactly one snapshot-epoch bump (`cbes-core`'s atomic `Arc`
+//! swap), so in-flight requests finish on the configuration they were
+//! admitted under and a restart that replays the journal re-activates
+//! the recovered serving artifact before the first request is
+//! answered.
+//!
+//! Worker threads handle admin verbs concurrently, so every transition
+//! that must flip *both* the store and the serving path (`apply`,
+//! `accept`, `rollback`, post-restart resume) runs under one runtime
+//! `transition` lock — a journalled apply can never interleave with a
+//! concurrent rollback's restore such that the serving path ends up on
+//! an artifact the store records as rolled back.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -51,6 +62,11 @@ pub(crate) struct ReconfigRuntime {
     /// The `--max-rps` the daemon booted with; rollback to version 0
     /// reinstates it.
     boot_max_rps: f64,
+    /// Held across the journal transition *and* the serving-path flip
+    /// of every state-changing verb, so store state and serving state
+    /// move atomically with respect to each other. Ordered before the
+    /// store's own journal lock and the `soak` lock.
+    transition: Mutex<()>,
     soak: Mutex<Option<SoakState>>,
     staged: Arc<Counter>,
     applies: Arc<Counter>,
@@ -119,6 +135,7 @@ impl ReconfigRuntime {
             service,
             limiter,
             boot_max_rps,
+            transition: Mutex::new(()),
             soak: Mutex::new(None),
             staged: registry.counter(names::RECONFIG_STAGED),
             applies: registry.counter(names::RECONFIG_APPLIES),
@@ -132,11 +149,40 @@ impl ReconfigRuntime {
     }
 
     /// Re-activate the recovered serving artifact after a restart.
+    ///
+    /// A recovered artifact that no longer activates (a tampered or
+    /// truncated payload file, or a crash that journalled an apply the
+    /// daemon then refused) must not turn into a daemon that refuses to
+    /// boot: a soaking artifact is auto-rolled-back through the journal
+    /// and the previous configuration reinstated; an *accepted* one has
+    /// no rollback edge, so the daemon serves the boot configuration
+    /// and leaves the evidence in the flight ring.
     fn resume(&self) -> Result<(), ReconfigError> {
+        let _flip = self.transition.lock();
         if let Some(serving) = self.store.serving() {
             let payload = self.store.payload(serving.version)?;
-            self.activate(serving.kind, &payload)
-                .map_err(ReconfigError::InvalidPayload)?;
+            if let Err(detail) = self.activate(serving.kind, &payload) {
+                if self.store.soaking().is_some() {
+                    let rolled = self
+                        .store
+                        .rollback(&format!("activation failed on restart: {detail}"), true)?;
+                    self.restore(rolled.previous_payload);
+                    self.rollbacks.incr();
+                    self.auto_rollbacks.incr();
+                } else {
+                    Registry::global().flight().record(
+                        "reconfig",
+                        format!(
+                            "active artifact v{} failed to activate on restart: \
+                             {detail}; serving the boot configuration",
+                            serving.version
+                        ),
+                        0,
+                    );
+                    self.limiter.set_limits(self.boot_max_rps, 0);
+                    self.service.activate_boot_provider();
+                }
+            }
         }
         if let Some(soak) = self.store.soaking() {
             *self.soak.lock() = Some(SoakState {
@@ -154,20 +200,28 @@ impl ReconfigRuntime {
     }
 
     /// Make one artifact real on the serving path, with exactly one
-    /// epoch bump. Payloads were validated at stage time, so a failure
-    /// here means the artifact directory was tampered with.
+    /// epoch bump. Exactly one overlay is live at a time, so the aspect
+    /// the artifact does *not* carry reverts to boot — this keeps the
+    /// in-memory configuration identical to what a journal replay
+    /// (boot + the single serving artifact) would rebuild, so a later
+    /// rollback or restart never silently changes the effective
+    /// admission cap or latency provider. Payloads were validated at
+    /// stage time, so a failure here means the artifact directory was
+    /// tampered with.
     fn activate(&self, kind: ArtifactKind, payload: &str) -> Result<u64, String> {
         match kind {
             ArtifactKind::LatencyModel => {
                 let model: LatencyModel =
                     serde_json::from_str(payload).map_err(|e| e.to_string())?;
                 model.validate()?;
+                self.limiter.set_limits(self.boot_max_rps, 0);
                 Ok(self.service.activate_provider(Arc::new(model)))
             }
             ArtifactKind::ClusterPreset => {
                 let spec: ClusterSpec = serde_json::from_str(payload).map_err(|e| e.to_string())?;
                 let cluster = spec.build().map_err(|e| e.to_string())?;
                 let provider: Arc<dyn LatencyProvider + Send + Sync> = Arc::new(cluster);
+                self.limiter.set_limits(self.boot_max_rps, 0);
                 Ok(self.service.activate_provider(provider))
             }
             ArtifactKind::ServingLimits => {
@@ -175,38 +229,28 @@ impl ReconfigRuntime {
                     serde_json::from_str(payload).map_err(|e| e.to_string())?;
                 self.limiter
                     .set_limits(limits.max_rps, limits.shed_retry_after_ms);
-                Ok(self.service.bump_epoch())
+                // The latency provider reverts to boot; the epoch bump
+                // publishes that reversion atomically with the retune.
+                Ok(self.service.activate_boot_provider())
             }
         }
     }
 
     /// Reinstate the pre-soak configuration: boot defaults, with the
     /// previously active artifact (if any) overlaid — published as one
-    /// epoch bump.
+    /// epoch bump. [`activate`](Self::activate) already reverts the
+    /// aspect the artifact does not carry, so this is symmetric with
+    /// the apply path.
     fn restore(&self, previous: Option<(ArtifactKind, String)>) -> u64 {
         match previous {
             None => {
                 self.limiter.set_limits(self.boot_max_rps, 0);
                 self.service.activate_boot_provider()
             }
-            Some((ArtifactKind::ServingLimits, payload)) => {
-                // The previous overlay retuned admission, so the
-                // latency provider reverts to boot.
-                if let Ok(limits) = serde_json::from_str::<ServingLimits>(&payload) {
-                    self.limiter
-                        .set_limits(limits.max_rps, limits.shed_retry_after_ms);
-                } else {
-                    self.limiter.set_limits(self.boot_max_rps, 0);
-                }
-                self.service.activate_boot_provider()
-            }
-            Some((kind, payload)) => {
-                // The previous overlay replaced the latency provider,
-                // so admission reverts to boot.
+            Some((kind, payload)) => self.activate(kind, &payload).unwrap_or_else(|_| {
                 self.limiter.set_limits(self.boot_max_rps, 0);
-                self.activate(kind, &payload)
-                    .unwrap_or_else(|_| self.service.activate_boot_provider())
-            }
+                self.service.activate_boot_provider()
+            }),
         }
     }
 
@@ -233,8 +277,11 @@ impl ReconfigRuntime {
     }
 
     /// `Apply`: journal the activation, flip the serving path (one
-    /// epoch bump), and open the soak window.
+    /// epoch bump), and open the soak window. The transition lock makes
+    /// the journal commit and the flip atomic with respect to a
+    /// concurrent `Rollback`/`Accept`.
     pub fn handle_apply(&self, sheds_now: u64) -> Response {
+        let _flip = self.transition.lock();
         let applied = match self.store.apply() {
             Ok(a) => a,
             Err(e) => return reconfig_error(&e),
@@ -257,15 +304,45 @@ impl ReconfigRuntime {
                 // refused the payload: roll back immediately so the
                 // store and the daemon stay agreed. Nothing was
                 // activated, so there is nothing to restore.
-                let _ = self
+                match self
                     .store
-                    .rollback(&format!("activation failed: {detail}"), true);
-                self.rollbacks.incr();
-                self.auto_rollbacks.incr();
-                Response::error(
-                    error_kind::SERVICE,
-                    format!("activation failed and was rolled back: {detail}"),
-                )
+                    .rollback(&format!("activation failed: {detail}"), true)
+                {
+                    Ok(_) => {
+                        self.rollbacks.incr();
+                        self.auto_rollbacks.incr();
+                        Response::error(
+                            error_kind::SERVICE,
+                            format!("activation failed and was rolled back: {detail}"),
+                        )
+                    }
+                    Err(rb) => {
+                        // The compensating rollback could not be
+                        // journalled (e.g. disk full): the store now
+                        // durably records the artifact as soaking while
+                        // nothing was activated. Tell the operator and
+                        // leave the evidence in the flight ring —
+                        // swallowing this would strand the divergence.
+                        Registry::global().flight().record(
+                            "reconfig",
+                            format!(
+                                "compensating rollback of v{} failed: {rb} \
+                                 (activation failure: {detail})",
+                                applied.artifact.version
+                            ),
+                            0,
+                        );
+                        Response::error(
+                            error_kind::SERVICE,
+                            format!(
+                                "activation failed ({detail}) and the compensating \
+                                 rollback also failed ({rb}); the store still records \
+                                 v{} as soaking — roll back manually",
+                                applied.artifact.version
+                            ),
+                        )
+                    }
+                }
             }
         }
     }
@@ -273,6 +350,7 @@ impl ReconfigRuntime {
     /// `Accept`: promote the soaking artifact; no epoch bump (it is
     /// already serving).
     pub fn handle_accept(&self) -> Response {
+        let _flip = self.transition.lock();
         match self.store.accept() {
             Ok(artifact) => {
                 *self.soak.lock() = None;
@@ -289,8 +367,11 @@ impl ReconfigRuntime {
     }
 
     /// `Rollback` (operator or soak monitor): journal it, reinstate
-    /// the previous configuration with one epoch bump.
+    /// the previous configuration with one epoch bump — both under the
+    /// transition lock, so a concurrent `Apply` cannot activate a
+    /// payload the store has just recorded as rolled back.
     pub fn handle_rollback(&self, reason: &str, auto: bool) -> Response {
+        let _flip = self.transition.lock();
         let rolled = match self.store.rollback(reason, auto) {
             Ok(r) => r,
             Err(e) => return reconfig_error(&e),
@@ -341,16 +422,30 @@ mod tests {
         dir
     }
 
-    fn runtime(tag: &str) -> (ReconfigRuntime, Arc<CbesService>) {
+    fn runtime_at(dir: PathBuf) -> (ReconfigRuntime, Arc<CbesService>, Arc<RateLimiter>) {
         let service = Arc::new(CbesService::self_calibrated(
             Arc::new(two_switch_demo()),
             ForecastKind::LastValue,
         ));
         let limiter = Arc::new(RateLimiter::new(0.0));
         let registry = Registry::new();
-        let rt = ReconfigRuntime::open(scratch(tag), service.clone(), limiter, 0.0, &registry)
+        let rt = ReconfigRuntime::open(dir, service.clone(), limiter.clone(), 0.0, &registry)
             .expect("open runtime");
+        (rt, service, limiter)
+    }
+
+    fn runtime(tag: &str) -> (ReconfigRuntime, Arc<CbesService>) {
+        let (rt, service, _) = runtime_at(scratch(tag));
         (rt, service)
+    }
+
+    fn model_json(n: usize) -> String {
+        let model = LatencyModel::from_table(
+            n,
+            vec![64, 4096],
+            vec![1e-4; LatencyModel::pairs(n) * 2],
+        );
+        serde_json::to_string(&model).expect("model encodes")
     }
 
     fn limits(rps: f64) -> String {
@@ -393,6 +488,83 @@ mod tests {
         assert_eq!((v, state.as_str()), (1, "active"));
         assert_eq!(epoch, apply_epoch, "accept does not republish");
         assert_eq!(service.epoch(), apply_epoch);
+    }
+
+    #[test]
+    fn activating_a_different_kind_resets_the_other_overlay_aspect() {
+        let (rt, service, limiter) = runtime_at(scratch("overlay"));
+        // Accept a serving-limits overlay: admission capped at 40 rps.
+        ack(rt.handle_stage("serving_limits", &limits(40.0)));
+        ack(rt.handle_apply(0));
+        ack(rt.handle_accept());
+        assert_eq!(limiter.rate_per_s(), 40.0);
+        // Applying a latency model reverts admission to boot
+        // (uncapped) — exactly what a restart's journal replay would
+        // rebuild from boot + the single serving artifact.
+        let n = service.cluster().len();
+        ack(rt.handle_stage("latency_model", &model_json(n)));
+        ack(rt.handle_apply(0));
+        assert_eq!(
+            limiter.rate_per_s(),
+            0.0,
+            "stale limits overlay survived a latency-model activation"
+        );
+        // Rolling the model back reinstates the accepted limits overlay.
+        ack(rt.handle_rollback("operator", false));
+        assert_eq!(limiter.rate_per_s(), 40.0);
+    }
+
+    #[test]
+    fn resume_rolls_back_a_soaking_artifact_that_no_longer_activates() {
+        let dir = scratch("resume-soak-fallback");
+        {
+            let (rt, _, _) = runtime_at(dir.clone());
+            ack(rt.handle_stage("serving_limits", &limits(40.0)));
+            ack(rt.handle_apply(0));
+        }
+        // Corrupt the soaking payload behind the store's back: the
+        // restarted daemon must boot anyway, journalling the fallback.
+        std::fs::write(dir.join("artifacts").join("v1.json"), "not json")
+            .expect("corrupt payload");
+        let (rt, _, limiter) = runtime_at(dir.clone());
+        assert!(rt.soak_state().is_none());
+        assert_eq!(limiter.rate_per_s(), 0.0, "boot cap reinstated");
+        match rt.handle_status("127.0.0.1:0".parse().expect("addr")) {
+            Response::ArtifactStatus { status } => {
+                let inst = &status.instances[0].status;
+                assert!(inst.soaking.is_none());
+                let rb = inst.last_rollback.as_ref().expect("journalled rollback");
+                assert_eq!((rb.version, rb.auto), (1, true));
+            }
+            other => panic!("expected ArtifactStatus, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_serves_boot_when_the_accepted_artifact_no_longer_activates() {
+        let dir = scratch("resume-active-fallback");
+        {
+            let (rt, _, _) = runtime_at(dir.clone());
+            ack(rt.handle_stage("serving_limits", &limits(40.0)));
+            ack(rt.handle_apply(0));
+            ack(rt.handle_accept());
+        }
+        std::fs::write(dir.join("artifacts").join("v1.json"), "not json")
+            .expect("corrupt payload");
+        // An accepted artifact has no rollback edge: the daemon still
+        // boots, serving the boot configuration.
+        let (rt, _, limiter) = runtime_at(dir.clone());
+        assert_eq!(limiter.rate_per_s(), 0.0, "boot cap reinstated");
+        match rt.handle_status("127.0.0.1:0".parse().expect("addr")) {
+            Response::ArtifactStatus { status } => {
+                let inst = &status.instances[0].status;
+                assert_eq!(inst.active.as_ref().map(|a| a.version), Some(1));
+                assert!(inst.last_rollback.is_none());
+            }
+            other => panic!("expected ArtifactStatus, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

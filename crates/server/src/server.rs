@@ -176,6 +176,13 @@ impl RateLimiter {
         self.hint_ms.load(Ordering::Acquire)
     }
 
+    /// The currently configured admission cap, requests/second
+    /// (`0` = uncapped). Test-only: asserts overlay symmetry.
+    #[cfg(test)]
+    pub(crate) fn rate_per_s(&self) -> f64 {
+        f64::from_bits(self.rate_bits.load(Ordering::Acquire))
+    }
+
     /// Take one token, or report how long until one is available.
     /// Unlimited (zero-rate) limiters admit without touching the lock.
     pub(crate) fn try_acquire(&self) -> Result<(), Duration> {
