@@ -1,7 +1,11 @@
 //! Workspace walking and rule orchestration.
 
+use crate::callgraph::CallGraph;
 use crate::findings::{Finding, Report};
-use crate::rules::{self, determinism, drift, forbid_unsafe, metric_names, panic_path};
+use crate::rules::{
+    self, blocking_hot_path, determinism, drift, error_swallow, forbid_unsafe, lock_order,
+    metric_names, panic_path, unsafe_audit,
+};
 use crate::source::SourceFile;
 use std::path::{Path, PathBuf};
 
@@ -52,6 +56,14 @@ pub fn analyze(opts: &Options) -> Result<Report, String> {
         }
     }
 
+    // The call-graph rules share one workspace graph; build it only
+    // when one of them is selected.
+    let graph = opts
+        .rules
+        .iter()
+        .any(|r| matches!(*r, rules::LOCK_ORDER | rules::BLOCKING_HOT_PATH))
+        .then(|| CallGraph::build(&sources));
+
     for rule in &opts.rules {
         match *rule {
             rules::PANIC_PATH => {
@@ -93,6 +105,28 @@ pub fn analyze(opts: &Options) -> Result<Report, String> {
                     );
                 }
             }
+            rules::LOCK_ORDER => {
+                let graph = graph.as_ref().expect("graph built for lock_order");
+                apply_all(&mut report, &sources, lock_order::check(&sources, graph));
+            }
+            rules::BLOCKING_HOT_PATH => {
+                let graph = graph.as_ref().expect("graph built for blocking_hot_path");
+                apply_all(
+                    &mut report,
+                    &sources,
+                    blocking_hot_path::check(&sources, graph),
+                );
+            }
+            rules::UNSAFE_AUDIT => {
+                for src in &sources {
+                    apply(&mut report, src, unsafe_audit::check(src));
+                }
+            }
+            rules::ERROR_SWALLOW => {
+                for src in &sources {
+                    apply(&mut report, src, error_swallow::check(src));
+                }
+            }
             rules::DRIFT => report.findings.extend(drift::check(&opts.root)),
             other => return Err(format!("unknown rule `{other}`")),
         }
@@ -108,6 +142,22 @@ fn apply(report: &mut Report, src: &SourceFile, raw: Vec<Finding>) {
             if let Some(w) = src.waiver_for(f.rule, f.line) {
                 f.waived = true;
                 f.reason = Some(w.reason.clone());
+            }
+        }
+        report.findings.push(f);
+    }
+}
+
+/// Like [`apply`], for rules whose findings span files: each finding's
+/// waiver is looked up in its own file.
+fn apply_all(report: &mut Report, sources: &[SourceFile], raw: Vec<Finding>) {
+    for mut f in raw {
+        if rules::waivable(f.rule) {
+            if let Some(src) = sources.iter().find(|s| s.path == f.file) {
+                if let Some(w) = src.waiver_for(f.rule, f.line) {
+                    f.waived = true;
+                    f.reason = Some(w.reason.clone());
+                }
             }
         }
         report.findings.push(f);

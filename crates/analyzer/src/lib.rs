@@ -9,6 +9,14 @@
 //! `#![forbid(unsafe_code)]` ([`rules::forbid_unsafe`]), and
 //! protocol/CLI/docs consistency ([`rules::drift`]).
 //!
+//! On top of the flat stream sit a brace-aware token-tree parser
+//! ([`token_tree`]) and a workspace call graph ([`callgraph`]), which
+//! power the structural rules: canonical lock ordering
+//! ([`rules::lock_order`]), no blocking primitives reachable from the
+//! event loop ([`rules::blocking_hot_path`]), audited `unsafe` blocks
+//! ([`rules::unsafe_audit`]), and no swallowed `Result`s in
+//! crash-safety-critical paths ([`rules::error_swallow`]).
+//!
 //! Run it from the workspace root:
 //!
 //! ```text
@@ -22,11 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod engine;
 pub mod findings;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod token_tree;
 
 pub use engine::{analyze, Options};
 pub use findings::{Finding, Report};

@@ -19,7 +19,9 @@ usage: cbes-analyze [options]
                   (the default when no --root is given)
   --root DIR      analyze the workspace rooted at DIR
   --rules a,b,c   run only the named rules
-                  (panic_path, determinism, metric_names, forbid_unsafe, drift)
+                  (panic_path, determinism, metric_names, forbid_unsafe,
+                   lock_order, blocking_hot_path, unsafe_audit, error_swallow,
+                   drift)
   --json PATH     also write the machine-readable findings report to PATH
 
 exits 0 when clean, 1 when any unwaived finding remains, 2 on usage or I/O errors";

@@ -1,0 +1,210 @@
+//! `blocking_hot_path`: no blocking primitive may be reachable from an
+//! event-loop entry point.
+//!
+//! The static twin of the serve-path p99 budget: the reactor and the
+//! worker run loops must never stall on work whose latency is decided
+//! by a disk or a peer. Reachability is computed over the workspace
+//! call graph from the entry points below; any reachable call to a
+//! blocking primitive — `fsync`-family durability calls,
+//! `std::thread::sleep`, a deadline-less `connect`, an unbounded
+//! channel `recv()` — is flagged with a witness call path.
+//!
+//! Deliberate blocking (a worker's idle wait on its shard channel, the
+//! journal's durability contract) is waived at the site with a reason,
+//! so every blocking call on the hot path is a reviewed decision.
+
+use crate::callgraph::CallGraph;
+use crate::findings::Finding;
+use crate::rules::BLOCKING_HOT_PATH;
+use crate::source::SourceFile;
+
+/// Hot-path entry points, as `(file, fn name)` pairs: the reactor's
+/// event loop and poll dispatch, and the worker pool's run loop.
+pub const ENTRY_POINTS: &[(&str, &str)] = &[
+    ("crates/server/src/server.rs", "run"),
+    ("crates/server/src/server.rs", "worker_loop"),
+    ("crates/server/src/epoll.rs", "wait"),
+];
+
+/// Module prefixes the serving tier never calls back into: client
+/// stubs, the CLI driver, and the bench harness all live on the *other*
+/// side of the socket. Name-based resolution would otherwise route
+/// generic verbs (`schedule`, `call`, `request`) into these modules
+/// and manufacture impossible reachability chains.
+pub const NON_CALLEE_MODULES: &[&str] = &[
+    "crates/server/src/client.rs",
+    "crates/router/src/client.rs",
+    "crates/cli/src/",
+    "crates/bench/src/",
+];
+
+/// One matched blocking primitive.
+struct Site {
+    /// Token index of the primitive's identifier.
+    token: usize,
+    line: u32,
+    what: &'static str,
+}
+
+/// Find blocking-primitive call sites in `tokens[start..=end]`.
+fn blocking_sites(src: &SourceFile, start: usize, end: usize) -> Vec<Site> {
+    let tokens = &src.tokens;
+    let mut out = Vec::new();
+    let at = |i: usize| tokens.get(i);
+    for i in start..=end.min(tokens.len().saturating_sub(1)) {
+        if tokens[i].kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        let name = tokens[i].text.as_str();
+        let line = tokens[i].line;
+        let called = at(i + 1).is_some_and(|t| t.is_punct('('));
+        let method = i > 0 && tokens[i - 1].is_punct('.');
+        let what: Option<&'static str> = match name {
+            "sync_all" | "sync_data" if called && method => Some("fsync-family durability call"),
+            "fsync" | "fdatasync" if called => Some("fsync-family durability call"),
+            "sleep"
+                if called
+                    && i >= 2
+                    && tokens[i - 1].is_punct(':')
+                    && tokens[i - 2].is_punct(':') =>
+            {
+                Some("thread sleep")
+            }
+            "recv" if method && called && at(i + 2).is_some_and(|t| t.is_punct(')')) => {
+                Some("unbounded channel recv")
+            }
+            "connect"
+                if called
+                    && i >= 2
+                    && tokens[i - 1].is_punct(':')
+                    && tokens[i - 2].is_punct(':') =>
+            {
+                Some("deadline-less blocking connect")
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            if !src.in_test_code(i) {
+                out.push(Site {
+                    token: i,
+                    line,
+                    what,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run the rule over the whole workspace.
+pub fn check(sources: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
+    let entries: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            !f.in_test
+                && ENTRY_POINTS
+                    .iter()
+                    .any(|(file, name)| sources[f.src].path == *file && f.name == *name)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let admit = |f: &crate::callgraph::FnDef, _name: &str| {
+        let path = &sources[f.src].path;
+        !NON_CALLEE_MODULES.iter().any(|m| path.starts_with(m))
+    };
+    let pred = graph.reachable_from(&entries, &admit);
+
+    let mut findings = Vec::new();
+    let mut seen: Vec<(usize, usize)> = Vec::new(); // (src, token) dedupe
+    for &fi in pred.keys() {
+        let f = &graph.fns[fi];
+        let src = &sources[f.src];
+        for site in blocking_sites(src, f.body.0, f.body.1) {
+            if seen.contains(&(f.src, site.token)) {
+                continue;
+            }
+            seen.push((f.src, site.token));
+            findings.push(Finding::new(
+                BLOCKING_HOT_PATH,
+                &src.path,
+                site.line,
+                format!(
+                    "{} reachable from event-loop entry via {}",
+                    site.what,
+                    graph.path_to(&pred, fi),
+                ),
+            ));
+        }
+    }
+    // Stable output order: by file then line.
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, s)| SourceFile::parse(*p, s))
+            .collect();
+        let graph = CallGraph::build(&sources);
+        check(&sources, &graph)
+    }
+
+    #[test]
+    fn fsync_reachable_from_the_event_loop_is_flagged() {
+        let findings = run(&[
+            (
+                "crates/server/src/server.rs",
+                "fn run(&mut self) { self.handle(); }\nfn handle(&mut self) { persist(); }",
+            ),
+            (
+                "crates/reconfig/src/store.rs",
+                "fn persist() { file.sync_all().unwrap(); }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("run -> handle -> persist"));
+        assert_eq!(findings[0].file, "crates/reconfig/src/store.rs");
+    }
+
+    #[test]
+    fn unreachable_blocking_calls_are_not_flagged() {
+        let findings = run(&[
+            ("crates/server/src/server.rs", "fn run(&mut self) {}"),
+            (
+                "crates/reconfig/src/store.rs",
+                "fn persist() { file.sync_all().unwrap(); }",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn sleep_and_unbounded_recv_in_run_loops_are_flagged() {
+        let findings = run(&[(
+            "crates/server/src/server.rs",
+            "fn worker_loop(rx: &Receiver<u8>) { \
+               while let Ok(_x) = rx.recv() { std::thread::sleep(d); } \
+               let _soon = rx.recv_timeout(d); }",
+        )]);
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+    }
+
+    #[test]
+    fn deadline_bounded_calls_are_clean() {
+        let findings = run(&[(
+            "crates/server/src/server.rs",
+            "fn run(&mut self) { let s = TcpStream::connect_timeout(&addr, d); drop(s); }",
+        )]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+}

@@ -20,6 +20,12 @@
 //!    command with its full lifecycle arm set (`stage`, `apply`,
 //!    `accept`, `rollback`, `status`, `list`), so the admin action
 //!    family cannot grow without an operator entry point.
+//! 9. When the analyzer crate exists: its `ALL_RULES` registry (an
+//!    array of ident constants, resolved through their string values),
+//!    the CLI's `analyze` command, the `analyze.rule.<rule>` counter
+//!    table in `names.rs`, and the DESIGN.md rule documentation all
+//!    agree — a new rule cannot ship without its CLI exposure, its
+//!    metric name, and its docs.
 
 use crate::findings::Finding;
 use crate::lexer::TokKind;
@@ -37,6 +43,7 @@ const OBS_NAMES: &str = "crates/obs/src/names.rs";
 const DESIGN: &str = "DESIGN.md";
 const ROUTER_PLAN: &str = "crates/router/src/plan.rs";
 const ROUTER_CLIENT: &str = "crates/router/src/client.rs";
+const ANALYZER_RULES: &str = "crates/analyzer/src/rules/mod.rs";
 
 /// Run every drift sub-check against the tree rooted at `root`.
 pub fn check(root: &Path) -> Vec<Finding> {
@@ -156,8 +163,17 @@ pub fn check(root: &Path) -> Vec<Finding> {
             }
         }
         // Any duplicated name constant silently merges two metrics.
+        // Test code is exempt: assertion format strings are not names.
         let mut seen: HashMap<&str, u32> = HashMap::new();
-        for t in names.tokens.iter().filter(|t| t.kind == TokKind::Str) {
+        for (i, t) in names
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TokKind::Str)
+        {
+            if names.in_test_code(i) {
+                continue;
+            }
             if let Some(first) = seen.get(t.text.as_str()) {
                 out.push(Finding::new(
                     DRIFT,
@@ -174,7 +190,108 @@ pub fn check(root: &Path) -> Vec<Finding> {
     check_exit_codes(root, &mut out);
     check_forward_plan(root, &actions, &mut out);
     check_artifact_family(root, &mut out);
+    check_analyzer_registration(root, &mut out);
     out
+}
+
+/// Sub-check 9: the analyzer's rule registry vs the CLI, the metric
+/// names, and the docs. Skipped entirely when the workspace has no
+/// analyzer crate (fixture trees and older trees stay clean).
+fn check_analyzer_registration(root: &Path, out: &mut Vec<Finding>) {
+    if !root.join("crates/analyzer").is_dir() {
+        return;
+    }
+    let Some(registry) = parse(root, ANALYZER_RULES, out) else {
+        return;
+    };
+    // `ALL_RULES` is an array of ident constants; resolve each ident
+    // through its `pub const NAME: &str = "..."` declaration.
+    let idents = const_ident_array(&registry, "ALL_RULES");
+    if idents.is_empty() {
+        out.push(Finding::new(
+            DRIFT,
+            ANALYZER_RULES,
+            0,
+            "no `ALL_RULES` rule registry found",
+        ));
+        return;
+    }
+    let mut rule_ids = Vec::new();
+    for ident in &idents {
+        match const_str_value(&registry, ident) {
+            Some(v) => rule_ids.push(v),
+            None => out.push(Finding::new(
+                DRIFT,
+                ANALYZER_RULES,
+                0,
+                format!("`ALL_RULES` entry `{ident}` has no string constant declaration"),
+            )),
+        }
+    }
+
+    if let Some(commands) = parse(root, COMMANDS, out) {
+        if !has_fn(&commands, "analyze_static") {
+            out.push(Finding::new(
+                DRIFT,
+                COMMANDS,
+                0,
+                "analyzer crate present but the CLI has no `fn analyze_static` command",
+            ));
+        }
+    }
+
+    if let Some(names) = parse(root, OBS_NAMES, out) {
+        let counters = const_str_array(&names, "ANALYZE_RULE_COUNTERS");
+        if counters.len() != rule_ids.len() {
+            out.push(Finding::new(
+                DRIFT,
+                OBS_NAMES,
+                0,
+                format!(
+                    "`ANALYZE_RULE_COUNTERS` has {} entries for {} analyzer rules",
+                    counters.len(),
+                    rule_ids.len()
+                ),
+            ));
+        }
+        for (c, r) in counters.iter().zip(&rule_ids) {
+            let expected = format!("analyze.rule.{r}");
+            if c != &expected {
+                out.push(Finding::new(
+                    DRIFT,
+                    OBS_NAMES,
+                    0,
+                    format!(
+                        "rule counter \"{c}\" does not match its rule (expected \"{expected}\")"
+                    ),
+                ));
+            }
+        }
+        for required in ["ANALYZE_FINDINGS", "ANALYZE_WAIVED"] {
+            if const_str_value(&names, required).is_none() {
+                out.push(Finding::new(
+                    DRIFT,
+                    OBS_NAMES,
+                    0,
+                    format!("analyzer summary metric constant `{required}` is not defined"),
+                ));
+            }
+        }
+    }
+
+    if let Some(design) = read(root, DESIGN, out) {
+        for r in &rule_ids {
+            let marker = format!("`{r}`");
+            if !design.contains(&marker) {
+                out.push(Finding::new(
+                    DRIFT,
+                    DESIGN,
+                    0,
+                    format!("analyzer rule `{r}` is not documented in DESIGN.md"),
+                ));
+            }
+        }
+    }
 }
 
 /// Sub-check 8: the artifact lifecycle CLI vs the reconfig crate.
@@ -445,6 +562,50 @@ fn const_str_array(f: &SourceFile, name: &str) -> Vec<String> {
     out
 }
 
+/// Ident entries of `<NAME>: [&str; N] = [IDENT, IDENT, ...]` — the
+/// type bracket is skipped by walking to `=` first.
+fn const_ident_array(f: &SourceFile, name: &str) -> Vec<String> {
+    let t = &f.tokens;
+    let Some(at) = t.iter().position(|tok| tok.is_ident(name)) else {
+        return Vec::new();
+    };
+    let mut j = at + 1;
+    while j < t.len() && !t[j].is_punct('=') {
+        j += 1;
+    }
+    while j < t.len() && !t[j].is_punct('[') {
+        j += 1;
+    }
+    let mut out = Vec::new();
+    while j < t.len() && !t[j].is_punct(']') {
+        if t[j].kind == TokKind::Ident {
+            out.push(t[j].text.clone());
+        }
+        j += 1;
+    }
+    out
+}
+
+/// The string value of `pub const <NAME>: &str = "...";`, or `None`
+/// when no such declaration exists.
+fn const_str_value(f: &SourceFile, name: &str) -> Option<String> {
+    let t = &f.tokens;
+    for i in 0..t.len().saturating_sub(1) {
+        if !(t[i].is_ident("const") && t[i + 1].is_ident(name)) {
+            continue;
+        }
+        let mut j = i + 2;
+        while j < t.len() && !t[j].is_punct('=') && !t[j].is_punct(';') {
+            j += 1;
+        }
+        if j + 1 < t.len() && t[j].is_punct('=') && t[j + 1].kind == TokKind::Str {
+            return Some(t[j + 1].text.clone());
+        }
+        return None;
+    }
+    None
+}
+
 fn has_fn(f: &SourceFile, name: &str) -> bool {
     let t = &f.tokens;
     (0..t.len().saturating_sub(1)).any(|i| t[i].is_ident("fn") && t[i + 1].is_ident(name))
@@ -556,6 +717,32 @@ mod tests {
     fn const_str_array_skips_the_type_brackets() {
         let f = SourceFile::parse("x.rs", "pub const ACTIONS: [&str; 2] = [\"a\", \"b\"];");
         assert_eq!(const_str_array(&f, "ACTIONS"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn const_ident_array_reads_the_registry_shape() {
+        let f = SourceFile::parse(
+            "mod.rs",
+            "pub const ALL_RULES: [&str; 2] = [PANIC_PATH, DRIFT];",
+        );
+        assert_eq!(
+            const_ident_array(&f, "ALL_RULES"),
+            vec!["PANIC_PATH", "DRIFT"]
+        );
+    }
+
+    #[test]
+    fn const_str_value_resolves_ident_constants() {
+        let f = SourceFile::parse(
+            "mod.rs",
+            "pub const PANIC_PATH: &str = \"panic_path\";\npub const N: usize = 3;",
+        );
+        assert_eq!(
+            const_str_value(&f, "PANIC_PATH").as_deref(),
+            Some("panic_path")
+        );
+        assert_eq!(const_str_value(&f, "N"), None);
+        assert_eq!(const_str_value(&f, "MISSING"), None);
     }
 
     #[test]

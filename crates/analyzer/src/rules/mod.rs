@@ -1,11 +1,15 @@
 //! The rule catalog. Each rule has a stable id used in findings, in
 //! waiver annotations, and in the `--rules` CLI filter.
 
+pub mod blocking_hot_path;
 pub mod determinism;
 pub mod drift;
+pub mod error_swallow;
 pub mod forbid_unsafe;
+pub mod lock_order;
 pub mod metric_names;
 pub mod panic_path;
+pub mod unsafe_audit;
 
 /// Panic-free request/evaluation path lint.
 pub const PANIC_PATH: &str = "panic_path";
@@ -15,13 +19,33 @@ pub const DETERMINISM: &str = "determinism";
 pub const METRIC_NAMES: &str = "metric_names";
 /// Every crate root must carry `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE: &str = "forbid_unsafe";
+/// Nested lock acquisitions must follow the canonical workspace order.
+pub const LOCK_ORDER: &str = "lock_order";
+/// No blocking primitive reachable from an event-loop entry point.
+pub const BLOCKING_HOT_PATH: &str = "blocking_hot_path";
+/// `unsafe` only in allowlisted modules, only as `// SAFETY:`-commented
+/// blocks.
+pub const UNSAFE_AUDIT: &str = "unsafe_audit";
+/// No discarded `Result`s in crash-safety-critical paths; fsync-family
+/// returns may never be ignored.
+pub const ERROR_SWALLOW: &str = "error_swallow";
 /// Protocol ↔ client ↔ CLI ↔ docs consistency checks.
 pub const DRIFT: &str = "drift";
 /// Malformed waiver annotations (always checked, never waivable).
 pub const WAIVER: &str = "waiver";
 
 /// Every selectable rule, in run order.
-pub const ALL_RULES: [&str; 5] = [PANIC_PATH, DETERMINISM, METRIC_NAMES, FORBID_UNSAFE, DRIFT];
+pub const ALL_RULES: [&str; 9] = [
+    PANIC_PATH,
+    DETERMINISM,
+    METRIC_NAMES,
+    FORBID_UNSAFE,
+    LOCK_ORDER,
+    BLOCKING_HOT_PATH,
+    UNSAFE_AUDIT,
+    ERROR_SWALLOW,
+    DRIFT,
+];
 
 /// Whether findings of `rule` can be waived with a
 /// `// cbes-analyze: allow(rule, reason)` annotation. Drift findings
@@ -30,6 +54,13 @@ pub const ALL_RULES: [&str; 5] = [PANIC_PATH, DETERMINISM, METRIC_NAMES, FORBID_
 pub fn waivable(rule: &str) -> bool {
     matches!(
         rule,
-        "panic_path" | "determinism" | "metric_names" | "forbid_unsafe"
+        "panic_path"
+            | "determinism"
+            | "metric_names"
+            | "forbid_unsafe"
+            | "lock_order"
+            | "blocking_hot_path"
+            | "unsafe_audit"
+            | "error_swallow"
     )
 }

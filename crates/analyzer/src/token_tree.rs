@@ -1,0 +1,236 @@
+//! Brace-aware token trees over the flat lexer stream.
+//!
+//! The lexer emits a flat token stream; rules that need *structure* —
+//! function extents, guard lifetimes, call argument lists — parse it
+//! into a forest of [`TokenTree`]s. Leaves index into the original
+//! token slice, so a tree never copies tokens and [`flatten`] can
+//! round-trip the exact stream (a property test pins this).
+//!
+//! The parser is tolerant by construction: a stray closing delimiter
+//! becomes an ordinary leaf, and a group left open at end of input is
+//! closed there with [`Group::close`] set to `None`. Rules therefore
+//! never fail on partially written or macro-mangled code; they just see
+//! a shallower tree.
+
+use crate::lexer::Token;
+
+/// The three Rust delimiter pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `( ... )`
+    Paren,
+    /// `[ ... ]`
+    Bracket,
+    /// `{ ... }`
+    Brace,
+}
+
+impl Delim {
+    /// The delimiter opened by `ch`, if any.
+    pub fn opening(ch: &str) -> Option<Delim> {
+        match ch {
+            "(" => Some(Delim::Paren),
+            "[" => Some(Delim::Bracket),
+            "{" => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+
+    /// The delimiter closed by `ch`, if any.
+    pub fn closing(ch: &str) -> Option<Delim> {
+        match ch {
+            ")" => Some(Delim::Paren),
+            "]" => Some(Delim::Bracket),
+            "}" => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+}
+
+/// One node of the token forest.
+#[derive(Debug)]
+pub enum TokenTree {
+    /// A non-delimiter token, by index into the lexed stream.
+    Leaf(usize),
+    /// A delimited group and everything inside it.
+    Group(Group),
+}
+
+/// A delimited group: `( ... )`, `[ ... ]`, or `{ ... }`.
+#[derive(Debug)]
+pub struct Group {
+    /// Which delimiter pair encloses the group.
+    pub delim: Delim,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter, or `None` when the group
+    /// ran off the end of input and was closed there.
+    pub close: Option<usize>,
+    /// Child nodes in source order.
+    pub children: Vec<TokenTree>,
+}
+
+impl TokenTree {
+    /// The group inside this node, if it is one.
+    pub fn as_group(&self) -> Option<&Group> {
+        match self {
+            TokenTree::Group(g) => Some(g),
+            TokenTree::Leaf(_) => None,
+        }
+    }
+
+    /// The leaf token index inside this node, if it is one.
+    pub fn as_leaf(&self) -> Option<usize> {
+        match self {
+            TokenTree::Leaf(i) => Some(*i),
+            TokenTree::Group(_) => None,
+        }
+    }
+}
+
+/// Parse the flat token stream into a forest of token trees.
+///
+/// Stray closers become leaves; unterminated groups close at end of
+/// input. Every input token appears in the forest exactly once, in
+/// order — see [`flatten`].
+pub fn parse(tokens: &[Token]) -> Vec<TokenTree> {
+    struct Frame {
+        delim: Delim,
+        open: usize,
+        children: Vec<TokenTree>,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut top: Vec<TokenTree> = Vec::new();
+
+    fn sink<'a>(stack: &'a mut [Frame], top: &'a mut Vec<TokenTree>) -> &'a mut Vec<TokenTree> {
+        match stack.last_mut() {
+            Some(frame) => &mut frame.children,
+            None => top,
+        }
+    }
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == crate::lexer::TokKind::Punct {
+            if let Some(delim) = Delim::opening(&t.text) {
+                stack.push(Frame {
+                    delim,
+                    open: i,
+                    children: Vec::new(),
+                });
+                continue;
+            }
+            if let Some(delim) = Delim::closing(&t.text) {
+                match stack.last() {
+                    Some(frame) if frame.delim == delim => {
+                        let frame = stack.pop().expect("frame present");
+                        sink(&mut stack, &mut top).push(TokenTree::Group(Group {
+                            delim: frame.delim,
+                            open: frame.open,
+                            close: Some(i),
+                            children: frame.children,
+                        }));
+                    }
+                    // Mismatched or stray closer: keep it as a leaf so
+                    // flatten still reproduces the stream.
+                    _ => sink(&mut stack, &mut top).push(TokenTree::Leaf(i)),
+                }
+                continue;
+            }
+        }
+        sink(&mut stack, &mut top).push(TokenTree::Leaf(i));
+    }
+
+    // Close unterminated groups at end of input, innermost first.
+    while let Some(frame) = stack.pop() {
+        sink(&mut stack, &mut top).push(TokenTree::Group(Group {
+            delim: frame.delim,
+            open: frame.open,
+            close: None,
+            children: frame.children,
+        }));
+    }
+    top
+}
+
+/// Append the token indices of `forest` to `out` in source order.
+///
+/// `flatten(parse(tokens))` yields exactly `0..tokens.len()` — the tree
+/// is a lossless view of the stream.
+pub fn flatten(forest: &[TokenTree], out: &mut Vec<usize>) {
+    for node in forest {
+        match node {
+            TokenTree::Leaf(i) => out.push(*i),
+            TokenTree::Group(g) => {
+                out.push(g.open);
+                flatten(&g.children, out);
+                if let Some(close) = g.close {
+                    out.push(close);
+                }
+            }
+        }
+    }
+}
+
+/// The token-index extent `[first, last]` covered by a group, closing
+/// delimiter included (or the last inner token when unterminated).
+pub fn group_extent(g: &Group, tokens_len: usize) -> (usize, usize) {
+    let last = g.close.unwrap_or_else(|| tokens_len.saturating_sub(1));
+    (g.open, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn roundtrip(src: &str) {
+        let (tokens, _) = lex(src);
+        let forest = parse(&tokens);
+        let mut flat = Vec::new();
+        flatten(&forest, &mut flat);
+        assert_eq!(flat, (0..tokens.len()).collect::<Vec<_>>(), "{src:?}");
+    }
+
+    #[test]
+    fn nested_groups_parse_and_roundtrip() {
+        roundtrip("fn f(a: [u8; 4]) { if x { g(y) } }");
+    }
+
+    #[test]
+    fn stray_closers_become_leaves() {
+        let (tokens, _) = lex(") } x ]");
+        let forest = parse(&tokens);
+        assert_eq!(forest.len(), 4);
+        assert!(forest.iter().all(|n| n.as_leaf().is_some()));
+        roundtrip(") } x ]");
+    }
+
+    #[test]
+    fn unterminated_groups_close_at_eof() {
+        let (tokens, _) = lex("fn f() { loop { x(");
+        let forest = parse(&tokens);
+        let brace = forest
+            .iter()
+            .filter_map(|n| n.as_group())
+            .find(|g| g.delim == Delim::Brace)
+            .expect("outer brace group");
+        assert!(brace.close.is_none());
+        roundtrip("fn f() { loop { x(");
+    }
+
+    #[test]
+    fn mismatched_closer_keeps_the_open_group_alive() {
+        // `( ]` — the `]` cannot close the paren frame; it becomes a
+        // leaf inside it and the paren closes at the real `)`.
+        let (tokens, _) = lex("f( ] x )");
+        let forest = parse(&tokens);
+        let paren = forest
+            .iter()
+            .filter_map(|n| n.as_group())
+            .find(|g| g.delim == Delim::Paren)
+            .expect("paren group survives");
+        assert!(paren.close.is_some());
+        assert_eq!(paren.children.len(), 2);
+        roundtrip("f( ] x )");
+    }
+}

@@ -1,0 +1,13 @@
+//! The fsync lives two calls away from the entry point; the finding
+//! must carry the `run -> step -> persist` witness path.
+
+pub fn persist(journal: &File) {
+    // Planted: fsync reachable from the reactor.
+    journal.sync_all().expect("journal fsync");
+}
+
+pub fn replay(journal: &File) -> u64 {
+    // Unreachable from any entry point: not a finding.
+    journal.sync_data().expect("replay fsync");
+    0
+}

@@ -1,0 +1,24 @@
+//! Error-swallow fixture, crash-safety-critical path: a wildcard
+//! discard and a trailing `.ok()` are findings; propagation and
+//! `.ok()` feeding a consumer are clean.
+
+pub fn replay(line: &str) {
+    // Planted: `let _ =` discard in a critical path.
+    let _ = parse_record(line);
+}
+
+pub fn cleanup(tmp: &Path) {
+    // Planted: `.ok();` downgrades and drops the Result.
+    std::fs::remove_file(tmp).ok();
+}
+
+pub fn persist(journal: &File) -> io::Result<()> {
+    // Propagated: clean.
+    journal.sync_all()?;
+    Ok(())
+}
+
+pub fn read_payload(path: &Path) -> Option<String> {
+    // `.ok()` feeding a consumer: clean.
+    std::fs::read_to_string(path).ok()
+}

@@ -1,0 +1,11 @@
+//! Outside the critical paths only fsync-family discards are flagged.
+
+pub fn sloppy(file: &File) {
+    // Planted: ignored fsync return, flagged workspace-wide.
+    let _ = file.sync_all();
+}
+
+pub fn tolerated(stream: &TcpStream) {
+    // A non-fsync discard outside the critical paths: clean.
+    let _ = stream.write(&[1]);
+}

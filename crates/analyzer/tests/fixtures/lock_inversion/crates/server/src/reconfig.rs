@@ -1,0 +1,42 @@
+//! Lock-order fixture: `reconfig.transition` (rank 10) must be taken
+//! before `reconfig.soak` (rank 30). Two planted inversions — one
+//! direct, one hidden behind a call — plus one waived site and one
+//! clean canonical-order function.
+
+pub struct Runtime {
+    transition: Mutex<()>,
+    soak: Mutex<Option<u8>>,
+}
+
+impl Runtime {
+    fn locks_transition(&self) {
+        let _t = self.transition.lock();
+    }
+
+    // Planted: direct inversion — soak held, then transition acquired.
+    pub fn direct_inversion(&self) {
+        let _s = self.soak.lock();
+        let _t = self.transition.lock();
+    }
+
+    // Planted: the same inversion one call deep; only the transitive
+    // lock closure of `locks_transition` can see it.
+    pub fn transitive_inversion(&self) {
+        let _s = self.soak.lock();
+        self.locks_transition();
+    }
+
+    // Waived: the waiver grammar must cover call-graph rule findings
+    // in their own file.
+    pub fn sanctioned(&self) {
+        let _s = self.soak.lock();
+        // cbes-analyze: allow(lock_order, fixture waiver: demonstrates in-place waiving of an inversion)
+        let _t = self.transition.lock();
+    }
+
+    // Canonical order: transition before soak — clean.
+    pub fn fine(&self) {
+        let _t = self.transition.lock();
+        let _s = self.soak.lock();
+    }
+}

@@ -1,0 +1,7 @@
+//! Unsafe outside the allowlisted module: a finding even with a
+//! SAFETY comment — the allowlist is the audit's outer wall.
+
+pub fn sneaky(bytes: &[u8]) -> &str {
+    // SAFETY: validated as UTF-8 above (irrelevant: wrong module).
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}

@@ -1,0 +1,16 @@
+//! Unsafe-audit fixture, allowlisted module: one documented block
+//! (clean), one undocumented block, and one non-block `unsafe`.
+
+pub fn documented(fd: i32) -> i32 {
+    // SAFETY: fd is owned by this struct and stays open for the
+    // duration of the call; the buffer outlives the syscall.
+    unsafe { syscall_wait(fd) }
+}
+
+pub fn undocumented(fd: i32) -> i32 {
+    unsafe { syscall_wait(fd) }
+}
+
+pub unsafe fn exposed_surface(fd: i32) -> i32 {
+    syscall_wait(fd)
+}

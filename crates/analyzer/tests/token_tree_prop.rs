@@ -1,0 +1,82 @@
+//! Property test: the token-tree parse is lossless.
+//!
+//! `token_tree::parse` must be tolerant of arbitrarily malformed input
+//! (the analyzer runs over fixtures that deliberately ship unbalanced
+//! delimiters), and `flatten` must recover every token index the lexer
+//! produced, in order, exactly once. We drive that with random "token
+//! soup": a seeded mix of idents, literals, comments, and — crucially —
+//! unmatched `{ } ( ) [ ]` in any arrangement.
+
+use cbes_analyze::lexer;
+use cbes_analyze::token_tree;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Building blocks skewed towards delimiters so deep and unbalanced
+/// nesting is common rather than rare.
+const PIECES: &[&str] = &[
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "(",
+    ")",
+    "fn",
+    "let",
+    "match",
+    "ident",
+    "x7",
+    "self",
+    "0",
+    "42",
+    "\"str\"",
+    "'c'",
+    ";",
+    ",",
+    ".",
+    "::",
+    "->",
+    "=>",
+    "&",
+    "*",
+    "=",
+    "#",
+    "// trailing comment\n",
+    "/* block comment */",
+    "unsafe",
+];
+
+/// Deterministically expand `(seed, len)` into a soup of tokens.
+fn soup(seed: u64, len: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    for _ in 0..len {
+        let i = rng.random_range(0u32..PIECES.len() as u32) as usize;
+        out.push_str(PIECES[i]);
+        out.push(' ');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_then_flatten_roundtrips_the_lexer_stream(
+        seed in 0u64..u64::MAX,
+        len in 0usize..120,
+    ) {
+        let text = soup(seed, len);
+        let (tokens, _comments) = lexer::lex(&text);
+        let forest = token_tree::parse(&tokens);
+        let mut flat = Vec::new();
+        token_tree::flatten(&forest, &mut flat);
+        let expected: Vec<usize> = (0..tokens.len()).collect();
+        prop_assert_eq!(flat, expected);
+    }
+}

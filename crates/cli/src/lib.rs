@@ -51,6 +51,11 @@ commands:
       --mapping 0,1,.. [--seed N] [--load NODE=AVAIL,..]
   analyze <preset>            trace a run and print post-mortem statistics
       --workload NAME --mapping 0,1,.. [--seed N]
+  analyze                     static analysis of the workspace source
+      [--root DIR] [--rules a,b,..] [--json FILE]
+      [--diff-baseline FILE]   fail only on findings absent from a
+                               previous --json report
+      (exits 0 when clean, 1 on unwaived findings, 2 usage)
   serve <preset>              run the CBES daemon (blocks until shutdown)
       [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
       [--forecast last|mean|median|adaptive] [--profiles DIR]

@@ -165,6 +165,27 @@ pub const RECONFIG_AUTO_ROLLBACKS: &str = "reconfig.auto_rollbacks";
 /// The active artifact version (0 = boot configuration).
 pub const RECONFIG_ACTIVE_VERSION: &str = "reconfig.active_version";
 
+// ---- static analysis (cbes analyze) --------------------------------
+
+/// Unwaived findings reported by the most recent `cbes analyze` run.
+pub const ANALYZE_FINDINGS: &str = "analyze.findings";
+/// Waived findings (each carrying a reason) from the most recent run.
+pub const ANALYZE_WAIVED: &str = "analyze.waived";
+/// Per-rule finding counters, `analyze.rule.<rule>`, in the analyzer's
+/// `ALL_RULES` declaration order — kept aligned with
+/// `cbes_analyze::rules::ALL_RULES` by the drift rule.
+pub const ANALYZE_RULE_COUNTERS: [&str; 9] = [
+    "analyze.rule.panic_path",
+    "analyze.rule.determinism",
+    "analyze.rule.metric_names",
+    "analyze.rule.forbid_unsafe",
+    "analyze.rule.lock_order",
+    "analyze.rule.blocking_hot_path",
+    "analyze.rule.unsafe_audit",
+    "analyze.rule.error_swallow",
+    "analyze.rule.drift",
+];
+
 // ---- faults / chaos ------------------------------------------------
 
 /// Faults injected into the node-health model.
@@ -239,12 +260,25 @@ mod tests {
             RECONFIG_ROLLBACKS,
             RECONFIG_AUTO_ROLLBACKS,
             RECONFIG_ACTIVE_VERSION,
+            ANALYZE_FINDINGS,
+            ANALYZE_WAIVED,
             FAULTS_INJECTED,
             CHAOS_RUNS,
         ];
         let mut seen = std::collections::BTreeSet::new();
-        for name in all.into_iter().chain(SERVER_ACTION_COUNTERS) {
+        for name in all
+            .into_iter()
+            .chain(SERVER_ACTION_COUNTERS)
+            .chain(ANALYZE_RULE_COUNTERS)
+        {
             assert!(seen.insert(name), "duplicate metric name {name}");
+        }
+    }
+
+    #[test]
+    fn analyze_rule_counters_share_the_prefix() {
+        for name in ANALYZE_RULE_COUNTERS {
+            assert!(name.starts_with("analyze.rule."), "{name}");
         }
     }
 }

@@ -613,7 +613,10 @@ fn broadcast_artifact(
         // Nothing flipped: a uniform refusal, not divergence.
         None => Response::error(
             error_kind::SERVICE,
-            format!("broadcast refused by every instance [{}]", failures.join("; ")),
+            format!(
+                "broadcast refused by every instance [{}]",
+                failures.join("; ")
+            ),
         ),
         Some(_) => Response::error(
             error_kind::SERVICE,

@@ -440,11 +440,8 @@ mod tests {
     }
 
     fn model_json(n: usize) -> String {
-        let model = LatencyModel::from_table(
-            n,
-            vec![64, 4096],
-            vec![1e-4; LatencyModel::pairs(n) * 2],
-        );
+        let model =
+            LatencyModel::from_table(n, vec![64, 4096], vec![1e-4; LatencyModel::pairs(n) * 2]);
         serde_json::to_string(&model).expect("model encodes")
     }
 
@@ -524,8 +521,7 @@ mod tests {
         }
         // Corrupt the soaking payload behind the store's back: the
         // restarted daemon must boot anyway, journalling the fallback.
-        std::fs::write(dir.join("artifacts").join("v1.json"), "not json")
-            .expect("corrupt payload");
+        std::fs::write(dir.join("artifacts").join("v1.json"), "not json").expect("corrupt payload");
         let (rt, _, limiter) = runtime_at(dir.clone());
         assert!(rt.soak_state().is_none());
         assert_eq!(limiter.rate_per_s(), 0.0, "boot cap reinstated");
@@ -550,8 +546,7 @@ mod tests {
             ack(rt.handle_apply(0));
             ack(rt.handle_accept());
         }
-        std::fs::write(dir.join("artifacts").join("v1.json"), "not json")
-            .expect("corrupt payload");
+        std::fs::write(dir.join("artifacts").join("v1.json"), "not json").expect("corrupt payload");
         // An accepted artifact has no rollback edge: the daemon still
         // boots, serving the boot configuration.
         let (rt, _, limiter) = runtime_at(dir.clone());

@@ -335,20 +335,41 @@ fn peek_id(line: &str) -> u64 {
 
 /// Best-effort scan for the request's variant tag without a full
 /// parse, so the reactor can decide whether a frame is eligible for
-/// inline execution. The wire envelope is externally tagged —
-/// `{"id":N,"request":{"Schedule":{…}}}` — so the tag is the first
-/// object key after `"request"`. Returns `None` when that shape is not
-/// visible; such frames still go through the full parse (and its typed
-/// `bad_request` reply) on whichever path runs them.
+/// inline execution. The wire envelope is externally tagged — struct
+/// variants nest as `{"id":N,"request":{"Schedule":{…}}}` and unit
+/// variants encode as a bare string, `{"id":N,"request":"Stats"}`; the
+/// tag is the first object key or the string itself. Returns `None`
+/// when neither shape is visible; such frames still go through the
+/// full parse (and its typed `bad_request` reply) on whichever path
+/// runs them.
 fn sniff_action(line: &str) -> Option<&str> {
     let pos = line.find("\"request\"")?;
     let rest = line.get(pos + 9..)?;
     let rest = rest.trim_start().strip_prefix(':')?;
-    let rest = rest.trim_start().strip_prefix('{')?;
-    let rest = rest.trim_start().strip_prefix('"')?;
+    let rest = rest.trim_start();
+    let rest = match rest.strip_prefix('{') {
+        Some(inner) => inner.trim_start(),
+        None => rest,
+    };
+    let rest = rest.strip_prefix('"')?;
     let end = rest.find('"')?;
     rest.get(..end)
 }
+
+/// Request tags that must never run inline on the reactor thread:
+/// `Schedule` has a caller-controlled annealing budget, the artifact
+/// verbs (`Stage`/`Apply`/`Accept`/`Rollback`) fsync the reconfig
+/// journal, and `DumpFlight` writes the flight file. All of these
+/// block on disk or CPU for unbounded time, which the event loop
+/// cannot absorb.
+const NEVER_INLINE: &[&str] = &[
+    "Schedule",
+    "Stage",
+    "Apply",
+    "Accept",
+    "Rollback",
+    "DumpFlight",
+];
 
 /// What admission control decided for one complete line.
 enum Admission {
@@ -778,8 +799,10 @@ impl Drop for ServerHandle {
 fn trigger_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
     if !shutdown.swap(true, Ordering::AcqRel) {
         // Wake the reactor out of its poll wait: the connect makes the
-        // listener readable. The POLL_INTERVAL cap backstops this.
-        let _ = TcpStream::connect(addr);
+        // listener readable. The POLL_INTERVAL cap backstops this, so
+        // a bounded connect is purely best-effort — if the loopback
+        // nudge times out the reactor still notices within one poll.
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
     }
 }
 
@@ -1034,6 +1057,7 @@ impl Reactor {
                 timeout = timeout.min(deadline.saturating_duration_since(Instant::now()));
             }
             if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // cbes-analyze: allow(blocking_hot_path, 1ms backoff after a poll error prevents a hot error spin; bounded and only on the failure path)
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
@@ -1237,10 +1261,11 @@ impl Reactor {
 
     /// A frame may run inline on the reactor only when the whole pool
     /// is quiescent — no queued jobs, no executing worker, no pending
-    /// replies — and the request's cost is bounded by the frame cap
-    /// (everything except `Schedule`, whose annealing budget is caller
-    /// controlled). Under those conditions queueing would only add two
-    /// thread handoffs to an otherwise-microsecond request.
+    /// replies — and its tag is positively identified as outside
+    /// [`NEVER_INLINE`] (annealing and the disk-touching verbs). A
+    /// frame whose tag cannot be sniffed queues: the worker's full
+    /// parse decides what it is, and guessing "cheap" on the reactor
+    /// would let an artifact verb fsync on the event loop.
     fn can_inline(&self, shard: usize, line: &str) -> bool {
         if !self.pending.is_empty() {
             return false;
@@ -1253,7 +1278,7 @@ impl Reactor {
         if queued || busy {
             return false;
         }
-        sniff_action(line) != Some("Schedule")
+        sniff_action(line).is_some_and(|tag| !NEVER_INLINE.contains(&tag))
     }
 
     fn reply_frame_too_large(&mut self, token: u64) {
@@ -1531,6 +1556,7 @@ fn worker_loop(
         return;
     };
     let worker_count = shards.len();
+    // cbes-analyze: allow(blocking_hot_path, the worker's idle park on its own shard queue is the designed wait point; the reactor never calls recv)
     while let Ok(job) = own.recv() {
         if let Some(flag) = shard_busy.get(index) {
             flag.store(true, Ordering::Release);
@@ -1858,7 +1884,13 @@ mod tests {
         ));
         assert_eq!(sniff_action(&sched), Some("Schedule"));
         let stats = stats_line(1);
-        assert_eq!(sniff_action(&stats), None, "unit variants have no tag key");
+        assert_eq!(
+            sniff_action(&stats),
+            Some("Stats"),
+            "unit variants encode as a bare string tag"
+        );
+        let apply = encode(&RequestEnvelope::new(4, Request::Apply));
+        assert_eq!(sniff_action(&apply), Some("Apply"));
         assert_eq!(sniff_action("{not json"), None);
     }
 
